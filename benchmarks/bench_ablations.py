@@ -1,0 +1,118 @@
+"""Ablations of the simulator's design choices (DESIGN.md Sec. 5).
+
+Each ablation disables one modelled mechanism and shows the paper
+behaviour it is responsible for disappearing:
+
+1. fault batching       -> unbatched UVM fault servicing is disastrous;
+2. prefetch L2-warming  -> uvm_prefetch collapses toward plain uvm;
+3. double buffering     -> async degenerates to overhead-only;
+4. cross-chip placement -> the Mega-size memcpy instability vanishes.
+"""
+
+import dataclasses
+
+from repro.core.configs import TransferMode
+from repro.core.experiment import Experiment
+from repro.harness.report import render_table
+from repro.sim.calibration import default_calibration
+from repro.sim.hardware import default_system
+from repro.workloads.sizes import SizeClass
+
+
+def _mean_total(workload, mode, size=SizeClass.SUPER, system=None,
+                calib=None, iterations=3, smem=None):
+    experiment = Experiment(workload=workload, size=size, modes=(mode,),
+                            iterations=iterations, system=system,
+                            calib=calib, smem_carveout_bytes=smem)
+    return experiment.run_mode(mode).mean_total_ns()
+
+
+def bench_ablation_fault_batching(benchmark, save_result):
+    def run():
+        system = default_system()
+        unbatched = system.with_uvm(fault_batch_size=1)
+        return (_mean_total("vector_seq", TransferMode.UVM, system=system),
+                _mean_total("vector_seq", TransferMode.UVM,
+                            system=unbatched))
+
+    batched, unbatched = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ("fault batch size", "uvm total (ms)"),
+        [("64 (default)", f"{batched / 1e6:.1f}"),
+         ("1 (ablated)", f"{unbatched / 1e6:.1f}")],
+        title="Ablation 1: UVM fault batching")
+    save_result("ablation_fault_batching", text)
+    print("\n" + text)
+    assert unbatched > 1.3 * batched
+
+
+def bench_ablation_prefetch_gain(benchmark, save_result):
+    def run():
+        calib = default_calibration()
+        no_gain = dataclasses.replace(
+            calib, kernel=dataclasses.replace(calib.kernel,
+                                              prefetch_l2_gain=1.0))
+        with_gain = _mean_total("vector_seq", TransferMode.UVM_PREFETCH,
+                                calib=calib)
+        without = _mean_total("vector_seq", TransferMode.UVM_PREFETCH,
+                              calib=no_gain)
+        return with_gain, without
+
+    with_gain, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ("L2-warming", "uvm_prefetch total (ms)"),
+        [("on (default)", f"{with_gain / 1e6:.1f}"),
+         ("off (ablated)", f"{without / 1e6:.1f}")],
+        title="Ablation 2: prefetch L2-warming")
+    save_result("ablation_prefetch_gain", text)
+    print("\n" + text)
+    assert without > with_gain
+
+
+def bench_ablation_double_buffer(benchmark, save_result):
+    def run():
+        # 2 KiB carveout cannot hold vector_seq's 2x2 KiB double buffer.
+        fits = _mean_total("vector_seq", TransferMode.ASYNC,
+                           smem=32 * 1024)
+        misfit = _mean_total("vector_seq", TransferMode.ASYNC,
+                             smem=2 * 1024)
+        standard = _mean_total("vector_seq", TransferMode.STANDARD,
+                               smem=32 * 1024)
+        return fits, misfit, standard
+
+    fits, misfit, standard = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ("configuration", "total (ms)"),
+        [("async, buffers fit", f"{fits / 1e6:.1f}"),
+         ("async, buffers do not fit", f"{misfit / 1e6:.1f}"),
+         ("standard", f"{standard / 1e6:.1f}")],
+        title="Ablation 3: async double-buffer capacity")
+    save_result("ablation_double_buffer", text)
+    print("\n" + text)
+    assert fits < standard       # async pays off when it can overlap
+    assert misfit > fits         # and degenerates when it cannot
+
+
+def bench_ablation_cross_chip(benchmark, save_result):
+    def run():
+        calib = default_calibration()
+        no_spill = dataclasses.replace(
+            calib, noise=dataclasses.replace(calib.noise,
+                                             spill_threshold=10.0))
+        cvs = {}
+        for label, c in (("spill on", calib), ("spill off", no_spill)):
+            runs = Experiment(workload="vector_seq", size=SizeClass.MEGA,
+                              modes=(TransferMode.STANDARD,),
+                              iterations=12, calib=c).run_mode(
+                TransferMode.STANDARD)
+            cvs[label] = runs.cv()
+        return cvs
+
+    cvs = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ("host placement model", "Mega std/mean"),
+        [(label, f"{value:.4f}") for label, value in cvs.items()],
+        title="Ablation 4: cross-chip host placement (Fig. 6 inverse)")
+    save_result("ablation_cross_chip", text)
+    print("\n" + text)
+    assert cvs["spill on"] > 1.5 * cvs["spill off"]

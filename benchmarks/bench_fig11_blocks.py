@@ -1,0 +1,30 @@
+"""Fig. 11: sensitivity of vector_seq to the number of blocks.
+
+Paper finding (Takeaway 4): performance is insensitive to block count
+in the saturated band; the relative benefits of async/uvm_prefetch
+stay roughly constant (2.77 % / 21.34 % / 22.38 % on average).
+"""
+
+from repro.harness.sensitivity import (BLOCK_SWEEP, blocks_sensitivity,
+                                       normalized_sweep, render_sweep)
+
+
+def bench_fig11(benchmark, save_result, iterations):
+    data = benchmark.pedantic(
+        lambda: blocks_sensitivity(iterations=max(3, iterations // 2)),
+        rounds=1, iterations=1)
+    normalized = normalized_sweep(data)
+    text = render_sweep(normalized, "#blocks",
+                        "Fig. 11: vector_seq vs #blocks "
+                        "(normalized to standard @ 4096)")
+    save_result("fig11_blocks", text)
+    print("\n" + text)
+
+    # Saturated band (>= 1024 blocks): flat within ~3 %.
+    for count in (4096, 2048, 1024):
+        assert abs(normalized[count]["standard"] - 1.0) < 0.03
+    # The config benefits persist at every block count.
+    for count in BLOCK_SWEEP:
+        standard = data[count]["standard"].mean_total_ns()
+        prefetch = data[count]["uvm_prefetch"].mean_total_ns()
+        assert prefetch < standard

@@ -1,0 +1,36 @@
+"""Fig. 12: sensitivity of vector_seq to threads per block.
+
+Paper findings (Takeaway 4): strong sensitivity below 128 threads
+(kernel time 3.95x at 32 vs 128 threads), and Async Memcpy's benefit
+grows as threads shrink (1.01 % at 1024 -> 16.51 % at 32).
+"""
+
+from repro.harness.sensitivity import (normalized_sweep, render_sweep,
+                                       threads_sensitivity)
+
+
+def bench_fig12(benchmark, save_result, iterations):
+    data = benchmark.pedantic(
+        lambda: threads_sensitivity(iterations=max(3, iterations // 2)),
+        rounds=1, iterations=1)
+    normalized = normalized_sweep(data, baseline_key=1024)
+    text = render_sweep(normalized, "#threads",
+                        "Fig. 12: vector_seq vs threads/block "
+                        "(normalized to standard @ 1024)")
+
+    kernel_ratio = (data[32]["standard"].mean_component("gpu_kernel")
+                    / data[128]["standard"].mean_component("gpu_kernel"))
+    gain_low = (1 - data[32]["async"].mean_total_ns()
+                / data[32]["standard"].mean_total_ns()) * 100
+    gain_high = (1 - data[1024]["async"].mean_total_ns()
+                 / data[1024]["standard"].mean_total_ns()) * 100
+    text += (f"\nkernel time 32 vs 128 threads: {kernel_ratio:.2f}x "
+             f"(paper 3.95x)"
+             f"\nasync total gain: {gain_high:+.2f}% @1024 -> "
+             f"{gain_low:+.2f}% @32 (paper +1.01% -> +16.51%)")
+    save_result("fig12_threads", text)
+    print("\n" + text)
+
+    assert 2.5 < kernel_ratio < 5.0
+    assert gain_low > gain_high
+    assert normalized[32]["standard"] > 1.2  # >50 % total swing band

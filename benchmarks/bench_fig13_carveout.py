@@ -1,0 +1,31 @@
+"""Fig. 13: sensitivity to the L1-cache / shared-memory partition.
+
+Paper finding (Takeaway 5): too little shared memory (no room for the
+double buffer) hurts Async Memcpy; too much (too little L1) hurts the
+UVM configurations.
+"""
+
+from repro.harness.sensitivity import (carveout_sensitivity,
+                                       normalized_sweep, render_sweep)
+
+
+def bench_fig13(benchmark, save_result, iterations):
+    data = benchmark.pedantic(
+        lambda: carveout_sensitivity(iterations=max(3, iterations // 2)),
+        rounds=1, iterations=1)
+    normalized = normalized_sweep(data, baseline_key=32)
+    text = render_sweep(normalized, "smem KB",
+                        "Fig. 13: vector_seq vs smem carveout "
+                        "(normalized to standard @ 32 KB)")
+    save_result("fig13_carveout", text)
+    print("\n" + text)
+
+    # Async pays at 2 KB (double buffer does not fit).
+    assert data[2]["async"].mean_total_ns() > \
+        data[8]["async"].mean_total_ns()
+    # UVM pays at 128 KB (L1 squeezed).
+    assert data[128]["uvm_prefetch"].mean_total_ns() > \
+        data[32]["uvm_prefetch"].mean_total_ns()
+    # Standard does not care.
+    assert abs(normalized[128]["standard"] - normalized[4]["standard"]) \
+        < 0.05

@@ -1,0 +1,43 @@
+"""Fig. 14 / Sec. 6.2: the proposed inter-job data-transfer model.
+
+Paper projection: overlapping job i+1's allocation with job i's kernel
+recovers the allocation share, an estimated >30 % improvement in the
+ideal case.
+"""
+
+from repro.core.configs import TransferMode
+from repro.core.pipeline_model import interjob_speedup
+from repro.harness.report import render_table
+from repro.workloads.registry import get_workload
+from repro.workloads.sizes import SizeClass
+
+
+def bench_fig14(benchmark, save_result):
+    program = get_workload("vector_seq").program(SizeClass.SUPER)
+
+    def sweep():
+        return {
+            mode: interjob_speedup(program, mode, jobs=8)
+            for mode in (TransferMode.STANDARD,
+                         TransferMode.UVM_PREFETCH,
+                         TransferMode.UVM_PREFETCH_ASYNC)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [(mode.value,
+             f"{entry['sequential_wall_ns'] / 1e6:.1f}",
+             f"{entry['pipelined_wall_ns'] / 1e6:.1f}",
+             f"{entry['speedup']:.3f}",
+             f"{entry['improvement_pct']:.2f}%")
+            for mode, entry in results.items()]
+    text = render_table(
+        ("config", "sequential (ms)", "pipelined (ms)", "speedup",
+         "improvement"), rows,
+        title="Fig. 14: inter-job pipeline, 8 vector_seq jobs @ super")
+    save_result("fig14_interjob", text)
+    print("\n" + text)
+
+    best = results[TransferMode.UVM_PREFETCH_ASYNC]
+    assert best["improvement_pct"] > 15.0
+    for entry in results.values():
+        assert entry["speedup"] > 1.0

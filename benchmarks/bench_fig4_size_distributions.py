@@ -1,0 +1,45 @@
+"""Fig. 4: execution-time distributions across input sizes (micro suite).
+
+Regenerates the per-size distributions and asserts the figure's
+message: Large and Super are the most stable sizes.
+"""
+
+from repro.core.stats import Summary, geomean
+from repro.harness.figures import fig4_distributions
+from repro.harness.report import render_table
+from repro.workloads.registry import MICRO_NAMES
+from repro.workloads.sizes import SizeClass
+
+
+def bench_fig4(benchmark, save_result, iterations):
+    data = benchmark.pedantic(
+        lambda: fig4_distributions(iterations=iterations), rounds=1,
+        iterations=1)
+
+    rows = []
+    for size in SizeClass.ordered():
+        for name in MICRO_NAMES:
+            for mode, totals in data[size.label][name].items():
+                summary = Summary.of(totals)
+                rows.append((size.label, name, mode,
+                             f"{summary.mean / 1e6:.1f}",
+                             f"{summary.minimum / 1e6:.1f}",
+                             f"{summary.maximum / 1e6:.1f}",
+                             f"{summary.cv:.4f}"))
+    text = render_table(
+        ("size", "workload", "config", "mean (ms)", "min (ms)", "max (ms)",
+         "std/mean"), rows,
+        title=f"Fig. 4: execution-time distributions ({iterations} runs)")
+    save_result("fig4_size_distributions", text)
+    print("\n" + text)
+
+    # The figure's message: Large/Super are the most stable classes.
+    def size_cv(label):
+        cvs = []
+        for name in MICRO_NAMES:
+            for totals in data[label][name].values():
+                cvs.append(Summary.of(totals).cv)
+        return geomean([max(cv, 1e-6) for cv in cvs])
+
+    assert size_cv("large") < size_cv("tiny")
+    assert size_cv("super") < size_cv("tiny")

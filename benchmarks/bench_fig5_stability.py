@@ -1,0 +1,25 @@
+"""Fig. 5: std/mean of repeated runs per input size.
+
+Paper finding: stability improves from Tiny to Large/Super, and Mega
+regresses (host DRAM chip-capacity effect).
+"""
+
+from repro.harness.figures import (fig4_distributions, fig5_stability,
+                                   render_fig5)
+
+
+def bench_fig5(benchmark, save_result, iterations):
+    def compute():
+        distributions = fig4_distributions(iterations=max(iterations, 10))
+        return fig5_stability(distributions)
+
+    stability = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = render_fig5(stability)
+    save_result("fig5_stability", text)
+    print("\n" + text)
+
+    geo = stability["Geo-mean"]
+    # Takeaway 1's two claims.
+    assert geo["large"] < geo["tiny"]
+    assert geo["super"] < geo["tiny"]
+    assert geo["mega"] > geo["super"]

@@ -1,0 +1,29 @@
+"""Fig. 6: per-run breakdown of vector_seq at the Mega input size.
+
+Paper finding: allocation and kernel time are stable run-to-run, but
+memcpy time swings (data spills across host DRAM chips).
+"""
+
+from repro.core.stats import coefficient_of_variation
+from repro.harness.figures import fig6_mega_breakdown, render_fig6
+
+
+def bench_fig6(benchmark, save_result):
+    breakdowns = benchmark.pedantic(
+        lambda: fig6_mega_breakdown(iterations=30), rounds=1, iterations=1)
+    text = render_fig6(breakdowns)
+    save_result("fig6_mega_breakdown", text)
+    print("\n" + text)
+
+    memcpy_cv = coefficient_of_variation([b["memcpy"] for b in breakdowns])
+    kernel_cv = coefficient_of_variation([b["gpu_kernel"]
+                                          for b in breakdowns])
+    alloc_cv = coefficient_of_variation([b["allocation"]
+                                         for b in breakdowns])
+    summary = (f"memcpy cv={memcpy_cv:.4f}  kernel cv={kernel_cv:.4f}  "
+               f"allocation cv={alloc_cv:.4f}")
+    print(summary)
+    save_result("fig6_cv_summary", text + "\n" + summary)
+    # Memcpy is the unstable component.
+    assert memcpy_cv > 3 * kernel_cv
+    assert memcpy_cv > 2.5 * alloc_cv

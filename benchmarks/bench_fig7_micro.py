@@ -1,0 +1,51 @@
+"""Fig. 7: microbenchmark comparison at Large and Super.
+
+Paper headline numbers (Super): async ~ standard; uvm ~13 % slower;
+uvm_prefetch +28.4 %; uvm_prefetch_async +27.0 % (slightly below
+uvm_prefetch, but best on vector_seq / vector_rand).
+"""
+
+from repro.core.configs import TransferMode
+from repro.harness.figures import (fig7_micro, geomean_improvements,
+                                   render_comparison)
+from repro.harness.plots import render_stacked_suite
+from repro.workloads.sizes import SizeClass
+
+
+def _run(benchmark, save_result, iterations, size, tag):
+    comparisons = benchmark.pedantic(
+        lambda: fig7_micro(size=size, iterations=iterations), rounds=1,
+        iterations=1)
+    text = render_comparison(
+        comparisons, f"Fig. 7{tag}: micro @ {size.label} "
+        f"(normalized total, {iterations} runs)")
+    improvements = geomean_improvements(comparisons)
+    text += "\ngeomean improvement over standard: " + "  ".join(
+        f"{mode}={value:+.2f}%" for mode, value in improvements.items())
+    save_result(f"fig7{tag}_micro_{size.label}", text)
+    save_result(f"fig7{tag}_micro_{size.label}_bars",
+                render_stacked_suite(comparisons))
+    print("\n" + text)
+    return comparisons, improvements
+
+
+def bench_fig7a_large(benchmark, save_result, iterations):
+    comparisons, improvements = _run(benchmark, save_result, iterations,
+                                     SizeClass.LARGE, "a")
+    # Large: the constant allocation overhead caps prefetch's gain.
+    assert improvements["uvm"] < 0
+    assert improvements["uvm_prefetch"] > improvements["uvm"]
+
+
+def bench_fig7b_super(benchmark, save_result, iterations):
+    comparisons, improvements = _run(benchmark, save_result, iterations,
+                                     SizeClass.SUPER, "b")
+    assert abs(improvements["async"]) < 10.0
+    assert improvements["uvm"] < -2.0             # slower than standard
+    assert improvements["uvm_prefetch"] > 10.0
+    assert improvements["uvm_prefetch_async"] > 5.0
+    # The combination wins on the vector workloads specifically.
+    for name in ("vector_seq", "vector_rand"):
+        assert comparisons[name].normalized_total(
+            TransferMode.UVM_PREFETCH_ASYNC) < \
+            comparisons[name].normalized_total(TransferMode.UVM_PREFETCH)

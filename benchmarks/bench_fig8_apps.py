@@ -1,0 +1,52 @@
+"""Fig. 8: real-world application comparison at Super.
+
+Paper headline numbers: async +2.81 %, uvm -4.41 %, uvm_prefetch
++20.96 %, uvm_prefetch_async +22.52 % (best); memcpy savings 32.70 /
+64.24 / 64.18 %; anomalies: lud (async-only winner), nw (prefetch
+hurts), yolov3 (combination worse than prefetch-only).
+"""
+
+from repro.core.configs import TransferMode
+from repro.harness.figures import (fig8_apps, geomean_improvements,
+                                   render_comparison)
+from repro.harness.plots import render_stacked_suite
+
+
+def bench_fig8(benchmark, save_result, iterations):
+    comparisons = benchmark.pedantic(
+        lambda: fig8_apps(iterations=max(3, iterations // 2)), rounds=1,
+        iterations=1)
+    text = render_comparison(
+        comparisons, "Fig. 8: real-world applications @ super "
+        "(normalized total)")
+    improvements = geomean_improvements(comparisons)
+    text += "\ngeomean improvement over standard: " + "  ".join(
+        f"{mode}={value:+.2f}%" for mode, value in improvements.items())
+
+    base_memcpy = sum(c.baseline().mean_component("memcpy")
+                      for c in comparisons.values())
+    savings = {}
+    for mode in (TransferMode.UVM, TransferMode.UVM_PREFETCH,
+                 TransferMode.UVM_PREFETCH_ASYNC):
+        memcpy = sum(c.by_mode[mode].mean_component("memcpy")
+                     for c in comparisons.values())
+        savings[mode.value] = (1 - memcpy / base_memcpy) * 100
+    text += "\nmemcpy savings vs standard: " + "  ".join(
+        f"{mode}={value:.2f}%" for mode, value in savings.items())
+    save_result("fig8_apps", text)
+    save_result("fig8_apps_bars", render_stacked_suite(comparisons))
+    print("\n" + text)
+
+    # Headline shape: the combination is the best config on apps.
+    assert improvements["uvm_prefetch_async"] == max(improvements.values())
+    assert improvements["uvm"] < 0
+    # Anomalies.
+    lud = comparisons["lud"]
+    assert lud.normalized_total(TransferMode.ASYNC) < \
+        lud.normalized_total(TransferMode.UVM_PREFETCH)
+    nw = comparisons["nw"]
+    assert nw.normalized_total(TransferMode.UVM_PREFETCH) > \
+        nw.normalized_total(TransferMode.UVM)
+    yolo = comparisons["yolov3"]
+    assert yolo.normalized_total(TransferMode.UVM_PREFETCH_ASYNC) > \
+        yolo.normalized_total(TransferMode.UVM_PREFETCH)

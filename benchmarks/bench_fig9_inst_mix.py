@@ -1,0 +1,31 @@
+"""Fig. 9: instruction-mix comparison on gemm / lud / yolov3.
+
+Paper finding: Async Memcpy raises control-instruction counts
+(+39.98 % on gemm, +30.13 % on yolov3); UVM leaves the mix unchanged.
+"""
+
+from repro.harness.figures import fig9_instruction_mix, render_counters
+
+
+def bench_fig9(benchmark, save_result):
+    data = benchmark.pedantic(fig9_instruction_mix, rounds=1, iterations=1)
+    text = render_counters(data, ("control", "integer"),
+                           "Fig. 9: control / integer instruction counts")
+    deltas = []
+    for name in ("gemm", "lud", "yolov3"):
+        increase = (data[name]["async"]["control"]
+                    / data[name]["standard"]["control"] - 1) * 100
+        deltas.append(f"{name}: async control insts {increase:+.2f}%")
+    text += "\n" + "\n".join(deltas)
+    save_result("fig9_instruction_mix", text)
+    print("\n" + text)
+
+    gemm_up = data["gemm"]["async"]["control"] \
+        / data["gemm"]["standard"]["control"] - 1
+    yolo_up = data["yolov3"]["async"]["control"] \
+        / data["yolov3"]["standard"]["control"] - 1
+    assert 0.30 < gemm_up < 0.50       # paper: +39.98 %
+    assert 0.15 < yolo_up < 0.55       # paper: +30.13 %
+    for name in ("gemm", "lud", "yolov3"):
+        assert abs(data[name]["uvm"]["control"]
+                   / data[name]["standard"]["control"] - 1) < 0.02

@@ -1,0 +1,10 @@
+"""Table 1: hardware configurations used in the study."""
+
+from repro.harness.tables import table1_hardware
+
+
+def bench_table1(benchmark, save_result):
+    text = benchmark.pedantic(table1_hardware, rounds=1, iterations=1)
+    save_result("table1_hardware", text)
+    print("\n" + text)
+    assert "A100" in text and "EPYC 7742" in text

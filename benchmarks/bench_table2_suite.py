@@ -1,0 +1,14 @@
+"""Table 2: the 21-workload benchmark suite."""
+
+from repro.harness.tables import table2_rows, table2_suite
+
+
+def bench_table2(benchmark, save_result):
+    text = benchmark.pedantic(table2_suite, rounds=1, iterations=1)
+    save_result("table2_suite", text)
+    print("\n" + text)
+    rows = table2_rows()
+    assert len(rows) == 21
+    micro = [row for row in rows if row[0] == "Micro"]
+    apps = [row for row in rows if row[0] == "Apps"]
+    assert len(micro) == 7 and len(apps) == 14

@@ -1,0 +1,12 @@
+"""Table 3: the Tiny..Mega input-size classes."""
+
+from repro.harness.tables import table3_rows, table3_sizes
+
+
+def bench_table3(benchmark, save_result):
+    text = benchmark.pedantic(table3_sizes, rounds=1, iterations=1)
+    save_result("table3_sizes", text)
+    print("\n" + text)
+    rows = table3_rows()
+    assert [row[0] for row in rows] == ["Tiny", "Small", "Medium", "Large",
+                                        "Super", "Mega"]

@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.
+Rendered outputs are written to ``benchmarks/results/`` so the
+reproduction artifacts survive the run (EXPERIMENTS.md quotes them).
+
+Iteration counts default to a fast setting; set
+``REPRO_BENCH_ITERATIONS=30`` to match the paper's 30-run protocol.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_iterations(default: int = 10) -> int:
+    return int(os.environ.get("REPRO_BENCH_ITERATIONS", default))
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def iterations():
+    return bench_iterations()

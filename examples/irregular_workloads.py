@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Irregular-workload deep dive: why lud loves Async Memcpy.
+
+Reproduces the paper's Sec. 4.2 analysis in miniature: runs lud,
+kmeans (irregular), and gemm (regular) under all configurations, then
+opens the performance counters to show the mechanism - cp.async adds
+control instructions everywhere, but only irregular kernels get the
+L1 miss-rate reduction that pays for them.
+
+Also runs the functional faces: an actual LU decomposition and an
+actual k-means clustering, proving the algorithms behind the
+descriptors are real.
+
+Usage:
+    python examples/irregular_workloads.py
+"""
+
+import numpy as np
+
+from repro import ALL_MODES, Experiment, SizeClass, get_workload
+from repro.harness import counter_sweep, render_table
+from repro.workloads.rodinia import (diagonally_dominant, kmeans_reference,
+                                     lud_reference)
+
+
+def functional_faces() -> None:
+    print("=== Functional layer ===")
+    rng = np.random.default_rng(11)
+    matrix = diagonally_dominant(rng, 64)
+    factors = lud_reference(matrix)
+    error = np.abs(factors["L"] @ factors["U"] - matrix).max()
+    print(f"  lud: 64x64 LU factorization, max |LU - A| = {error:.2e}")
+
+    points = np.concatenate([
+        center + rng.standard_normal((50, 6))
+        for center in (np.zeros(6), np.full(6, 8.0), np.full(6, -8.0))
+    ])
+    clusters = kmeans_reference(points, k=3, rng=rng)
+    print(f"  kmeans: 150 points -> cluster sizes "
+          f"{np.bincount(clusters['labels']).tolist()}")
+
+
+def performance_comparison() -> None:
+    print("\n=== Overall time, normalized to standard (Super) ===")
+    rows = []
+    for name in ("lud", "kmeans", "gemm"):
+        comparison = Experiment(workload=name, size=SizeClass.SUPER,
+                                iterations=5).run()
+        rows.append((name, *(f"{comparison.normalized_total(m):.3f}"
+                             for m in ALL_MODES)))
+    print(render_table(("workload", *(m.value for m in ALL_MODES)), rows))
+
+
+def counter_analysis() -> None:
+    print("\n=== The mechanism (Figs. 9-10) ===")
+    counters = counter_sweep(workloads=("gemm", "lud"))
+    rows = []
+    for name, by_mode in counters.items():
+        standard = by_mode["standard"]
+        async_ = by_mode["async"]
+        rows.append((
+            name,
+            f"+{(async_['control'] / standard['control'] - 1) * 100:.1f} %",
+            f"{(async_['load_miss'] / standard['load_miss'] - 1) * 100:+.1f} %",
+            f"{(async_['store_miss'] / standard['store_miss'] - 1) * 100:+.1f} %",
+        ))
+    print(render_table(
+        ("workload", "control insts (async)", "L1 load miss (async)",
+         "L1 store miss (async)"), rows))
+    print("gemm pays the control-instruction overhead and gets nothing "
+          "back; lud's miss rates collapse, which is where its speedup "
+          "comes from (Takeaway 3).")
+
+
+def main() -> None:
+    functional_faces()
+    performance_comparison()
+    counter_analysis()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the five data-transfer configurations.
+
+Runs the vector_seq microbenchmark at the Super input size under all
+five configurations (standard / async / uvm / uvm_prefetch /
+uvm_prefetch_async), prints the paper-style time breakdown, and shows
+the execution timeline of one run.
+
+Usage:
+    python examples/quickstart.py [--iterations N] [--workload NAME]
+"""
+
+import argparse
+
+from repro import (ALL_MODES, Experiment, SizeClass, TransferMode,
+                   default_calibration, default_system, execute_program,
+                   get_workload)
+from repro.harness import format_ns, render_table
+from repro.sim.runtime import CudaRuntime
+
+import numpy as np
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="vector_seq")
+    parser.add_argument("--size", default="super",
+                        choices=[s.label for s in SizeClass.ordered()])
+    parser.add_argument("--iterations", type=int, default=10)
+    args = parser.parse_args()
+
+    size = SizeClass.from_label(args.size)
+    experiment = Experiment(workload=args.workload, size=size,
+                            iterations=args.iterations)
+    comparison = experiment.run()
+
+    rows = []
+    for mode in ALL_MODES:
+        runs = comparison.by_mode[mode]
+        breakdown = runs.mean_breakdown()
+        rows.append((
+            mode.value,
+            format_ns(runs.mean_total_ns()),
+            f"{comparison.normalized_total(mode):.3f}",
+            format_ns(breakdown["gpu_kernel"]),
+            format_ns(breakdown["memcpy"]),
+            format_ns(breakdown["allocation"]),
+        ))
+    print(render_table(
+        ("config", "total", "vs standard", "gpu_kernel", "memcpy",
+         "allocation"),
+        rows,
+        title=f"{args.workload} @ {size.label} "
+              f"(mean of {args.iterations} runs)"))
+
+    best = min(ALL_MODES, key=comparison.normalized_total)
+    print(f"\nbest configuration: {best.value} "
+          f"({comparison.improvement_pct(best):.1f} % faster than standard)")
+
+    # Show one run's timeline under the best configuration.
+    workload = get_workload(args.workload)
+    program = workload.program(size)
+    rt = CudaRuntime(default_system(), default_calibration(),
+                     np.random.default_rng(0),
+                     footprint_bytes=program.footprint_bytes)
+    from repro.core.execution import _explicit_process, _managed_process
+    process = (_managed_process(rt, program, best) if best.managed
+               else _explicit_process(rt, program, best))
+    rt.run(process)
+    print(f"\ntimeline of one {best.value} run "
+          "(A=allocation M=memcpy K=gpu kernel):")
+    print(rt.timeline.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Tuning walkthrough: apply the paper's takeaways to your own kernel.
+
+Scenario: you have a CUDA kernel (here: a stencil like the paper's
+srad) and must choose (a) a data-transfer configuration, (b) a launch
+geometry, and (c) an L1/shared-memory carveout. This example uses the
+advisor (Takeaways 1-5 as code), then *verifies* each recommendation
+with simulator sweeps, exactly like Sec. 5 of the paper.
+
+Usage:
+    python examples/tune_a_kernel.py
+"""
+
+from repro import SizeClass, TransferMode, get_workload, recommend_mode
+from repro.core.advisor import (check_carveout, check_input_size,
+                                check_launch_geometry)
+from repro.harness import (carveout_sensitivity, normalized_sweep,
+                           render_sweep, threads_sensitivity)
+
+
+def main() -> None:
+    workload = get_workload("srad")
+    size = SizeClass.SUPER
+    program = workload.program(size)
+    kernel = program.descriptors()[0]
+
+    print("=== Step 1: pick an input size (Takeaway 1) ===")
+    for candidate in SizeClass.ordered():
+        for note in check_input_size(candidate):
+            print(f"  {note}")
+
+    print("\n=== Step 2: pick a transfer configuration ===")
+    recommendation = recommend_mode(program)
+    print(recommendation.render())
+
+    print("\n=== Step 3: check the launch geometry (Takeaway 4) ===")
+    for note in check_launch_geometry(kernel):
+        print(f"  {note}")
+    print("\nverification sweep (vector_seq threads/block, Fig. 12):")
+    sweep = threads_sensitivity(iterations=3)
+    print(render_sweep(normalized_sweep(sweep, baseline_key=1024),
+                       "#threads", ""))
+
+    print("\n=== Step 4: check the carveout (Takeaway 5) ===")
+    for carveout_kb in (2, 32, 128):
+        notes = check_carveout(kernel, carveout_kb * 1024,
+                               recommendation.mode)
+        print(f"  {carveout_kb:>3} KB carveout: " + "; ".join(notes))
+    print("\nverification sweep (vector_seq carveout, Fig. 13):")
+    sweep = carveout_sensitivity(iterations=3)
+    print(render_sweep(normalized_sweep(sweep, baseline_key=32),
+                       "smem KB", ""))
+
+    print("\n=== Step 5: counter-example - nw (prefetch hurts) ===")
+    nw = get_workload("nw")
+    print(recommend_mode(nw.program(size)).render())
+
+
+if __name__ == "__main__":
+    main()

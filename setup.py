@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` (and the
+legacy ``python setup.py develop`` fallback) work on machines without
+the ``wheel`` package installed.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro: reproduction of "Performance Implications of Async Memcpy and
+UVM: A Tale of Two Data Transfer Modes" (IISWC 2023).
+
+The package has four layers:
+
+* :mod:`repro.sim` - a discrete-event simulator of the CPU-GPU
+  heterogeneous system (the substitute for the paper's A100 testbed).
+* :mod:`repro.workloads` - the 21-benchmark suite of Table 2, each with
+  a functional NumPy implementation and a kernel characterization.
+* :mod:`repro.core` - the study framework: the five transfer
+  configurations, experiment runner, statistics, the Sec. 6 inter-job
+  pipeline model, and the configuration advisor.
+* :mod:`repro.harness` - regenerators for every table and figure.
+
+Quickstart::
+
+    from repro import compare_workload, SizeClass
+    comparison = compare_workload("vector_seq", SizeClass.SUPER,
+                                  iterations=10)
+    for mode in comparison.modes():
+        print(mode.value, comparison.normalized_total(mode))
+"""
+
+from .core import (ALL_MODES, Experiment, ModeComparison, Recommendation,
+                   RunResult, RunSet, TransferMode, compare_workload,
+                   execute_program, interjob_speedup, recommend_mode,
+                   run_job_batch, run_workload, section6_shares)
+from .sim import (AccessPattern, Calibration, CudaRuntime, KernelDescriptor,
+                  Program, SystemSpec, default_calibration, default_system)
+from .workloads.registry import (ALL_NAMES, APP_NAMES, MICRO_NAMES,
+                                 all_workloads, app_workloads, get_workload,
+                                 micro_workloads, workloads_by_suite)
+from .workloads.sizes import STABLE_SIZES, SizeClass
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_MODES", "ALL_NAMES", "APP_NAMES", "AccessPattern", "Calibration",
+    "CudaRuntime", "Experiment", "KernelDescriptor", "MICRO_NAMES",
+    "ModeComparison", "Program", "Recommendation", "RunResult", "RunSet",
+    "STABLE_SIZES", "SizeClass", "SystemSpec", "TransferMode",
+    "all_workloads", "app_workloads", "compare_workload",
+    "default_calibration", "default_system", "execute_program",
+    "get_workload", "interjob_speedup", "micro_workloads",
+    "recommend_mode", "run_job_batch", "run_workload", "section6_shares",
+    "workloads_by_suite", "__version__",
+]

@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's experiment workflow (and the artifact
+appendix's ``run_*`` scripts, see :mod:`repro.harness.artifact`):
+
+* ``list``     - the Table 2 suite
+* ``sizes``    - the Table 3 size classes
+* ``hardware`` - the Table 1 platform
+* ``run``      - one workload under one configuration
+* ``compare``  - one workload under all five configurations
+* ``figure``   - regenerate a figure (4-14) as text
+* ``advise``   - configuration recommendation for a workload
+* ``interjob`` - the Sec. 6 inter-job pipeline estimate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.advisor import recommend_mode
+from .core.configs import ALL_MODES, TransferMode
+from .core.experiment import Experiment
+from .core.pipeline_model import interjob_speedup
+from .core.roofline import render_roofline, suite_roofline
+from .harness.figures import (fig4_distributions, fig5_stability,
+                              fig6_mega_breakdown, fig7_micro, fig8_apps,
+                              fig9_instruction_mix, fig10_cache_miss,
+                              geomean_improvements, render_comparison,
+                              render_counters, render_fig5, render_fig6)
+from .harness.report import format_ns, render_table
+from .harness.size_search import assess_sizes, render_size_search
+from .harness.sensitivity import (blocks_sensitivity, carveout_sensitivity,
+                                  normalized_sweep, render_sweep,
+                                  threads_sensitivity)
+from .harness.tables import table1_hardware, table2_suite, table3_sizes
+from .workloads.registry import ALL_NAMES, get_workload
+from .workloads.sizes import SizeClass
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size", default="super",
+                        choices=[s.label for s in SizeClass.ordered()])
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=1234)
+
+
+def _cmd_list(_args) -> str:
+    return table2_suite()
+
+
+def _cmd_sizes(_args) -> str:
+    return table3_sizes()
+
+
+def _cmd_hardware(_args) -> str:
+    return table1_hardware()
+
+
+def _cmd_run(args) -> str:
+    size = SizeClass.from_label(args.size)
+    mode = TransferMode.from_label(args.mode)
+    experiment = Experiment(workload=args.workload, size=size,
+                            modes=(mode,), iterations=args.iterations,
+                            base_seed=args.seed)
+    runs = experiment.run_mode(mode)
+    breakdown = runs.mean_breakdown()
+    rows = [
+        ("total", format_ns(runs.mean_total_ns())),
+        ("gpu_kernel", format_ns(breakdown["gpu_kernel"])),
+        ("memcpy", format_ns(breakdown["memcpy"])),
+        ("allocation", format_ns(breakdown["allocation"])),
+        ("std/mean", f"{runs.cv():.4f}"),
+    ]
+    return render_table(
+        ("metric", "value"), rows,
+        title=f"{args.workload} @ {size.label} under {mode.value} "
+              f"({args.iterations} runs)")
+
+
+def _cmd_compare(args) -> str:
+    size = SizeClass.from_label(args.size)
+    experiment = Experiment(workload=args.workload, size=size,
+                            iterations=args.iterations,
+                            base_seed=args.seed)
+    comparison = experiment.run()
+    rows = []
+    for mode in ALL_MODES:
+        runs = comparison.by_mode[mode]
+        rows.append((mode.value, format_ns(runs.mean_total_ns()),
+                     f"{comparison.normalized_total(mode):.3f}",
+                     f"{comparison.improvement_pct(mode):+.2f} %"))
+    from .harness.plots import render_stacked_comparison
+    table = render_table(
+        ("config", "mean total", "vs standard", "improvement"), rows,
+        title=f"{args.workload} @ {size.label} ({args.iterations} runs)")
+    return table + "\n\n" + render_stacked_comparison(comparison)
+
+
+def _cmd_figure(args) -> str:
+    iterations = args.iterations
+    figure = args.id
+    if figure == "4":
+        data = fig4_distributions(iterations=iterations)
+        return render_fig5(fig5_stability(data)) + \
+            "\n(see benchmarks/bench_fig4_size_distributions.py for the " \
+            "full per-run dump)"
+    if figure == "5":
+        return render_fig5(fig5_stability(
+            fig4_distributions(iterations=iterations)))
+    if figure == "6":
+        return render_fig6(fig6_mega_breakdown(iterations=iterations))
+    if figure in ("7", "7a", "7b"):
+        size = SizeClass.LARGE if figure == "7a" else SizeClass.SUPER
+        comparisons = fig7_micro(size=size, iterations=iterations)
+        text = render_comparison(comparisons,
+                                 f"Fig. 7: micro @ {size.label}")
+        improvements = geomean_improvements(comparisons)
+        return text + "\n" + "  ".join(
+            f"{mode}={value:+.2f}%" for mode, value in improvements.items())
+    if figure == "8":
+        comparisons = fig8_apps(iterations=iterations)
+        return render_comparison(comparisons, "Fig. 8: applications @ super")
+    if figure == "9":
+        return render_counters(fig9_instruction_mix(),
+                               ("control", "integer"), "Fig. 9")
+    if figure == "10":
+        return render_counters(fig10_cache_miss(),
+                               ("load_miss", "store_miss"), "Fig. 10")
+    if figure == "11":
+        data = blocks_sensitivity(iterations=iterations)
+        return render_sweep(normalized_sweep(data), "#blocks", "Fig. 11")
+    if figure == "12":
+        data = threads_sensitivity(iterations=iterations)
+        return render_sweep(normalized_sweep(data, baseline_key=1024),
+                            "#threads", "Fig. 12")
+    if figure == "13":
+        data = carveout_sensitivity(iterations=iterations)
+        return render_sweep(normalized_sweep(data, baseline_key=32),
+                            "smem KB", "Fig. 13")
+    if figure == "14":
+        program = get_workload("vector_seq").program(SizeClass.SUPER)
+        rows = []
+        for mode in (TransferMode.STANDARD,
+                     TransferMode.UVM_PREFETCH_ASYNC):
+            entry = interjob_speedup(program, mode, jobs=8)
+            rows.append((mode.value,
+                         format_ns(entry["sequential_wall_ns"]),
+                         format_ns(entry["pipelined_wall_ns"]),
+                         f"{entry['improvement_pct']:.1f} %"))
+        return render_table(("config", "sequential", "pipelined",
+                             "improvement"), rows, title="Fig. 14")
+    raise SystemExit(f"unknown figure {figure!r} (expected 4-14)")
+
+
+def _cmd_advise(args) -> str:
+    size = SizeClass.from_label(args.size)
+    workload = get_workload(args.workload)
+    program = workload.program(size)
+    return recommend_mode(program).render()
+
+
+def _cmd_interjob(args) -> str:
+    size = SizeClass.from_label(args.size)
+    program = get_workload(args.workload).program(size)
+    mode = TransferMode.from_label(args.mode)
+    entry = interjob_speedup(program, mode, jobs=args.jobs)
+    return (f"{args.workload} @ {size.label}, {args.jobs} jobs, "
+            f"{mode.value}:\n"
+            f"  sequential {format_ns(entry['sequential_wall_ns'])}\n"
+            f"  pipelined  {format_ns(entry['pipelined_wall_ns'])}\n"
+            f"  improvement {entry['improvement_pct']:.2f} % "
+            f"(speedup {entry['speedup']:.3f}x)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'Performance Implications "
+                    "of Async Memcpy and UVM' (IISWC 2023)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="Table 2: the benchmark suite")
+    sub.add_parser("sizes", help="Table 3: input-size classes")
+    sub.add_parser("hardware", help="Table 1: the simulated platform")
+
+    run = sub.add_parser("run", help="run one workload+configuration")
+    run.add_argument("workload", choices=sorted(ALL_NAMES))
+    run.add_argument("--mode", default="standard",
+                     choices=[m.value for m in ALL_MODES])
+    _add_common(run)
+
+    compare = sub.add_parser("compare",
+                             help="run one workload under all five configs")
+    compare.add_argument("workload", choices=sorted(ALL_NAMES))
+    _add_common(compare)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("id", help="4, 5, 6, 7a, 7b, 8, 9, 10, 11, 12, "
+                                   "13, or 14")
+    _add_common(figure)
+
+    advise = sub.add_parser("advise",
+                            help="configuration recommendation "
+                                 "(the paper's takeaways)")
+    advise.add_argument("workload", choices=sorted(ALL_NAMES))
+    _add_common(advise)
+
+    interjob = sub.add_parser("interjob",
+                              help="Sec. 6 inter-job pipeline estimate")
+    interjob.add_argument("workload", choices=sorted(ALL_NAMES))
+    interjob.add_argument("--mode", default="uvm_prefetch_async",
+                          choices=[m.value for m in ALL_MODES])
+    interjob.add_argument("--jobs", type=int, default=8)
+    _add_common(interjob)
+
+    sizesearch = sub.add_parser("sizesearch",
+                                help="Sec. 3.3 input-size search")
+    sizesearch.add_argument("workload", choices=sorted(ALL_NAMES))
+    _add_common(sizesearch)
+
+    roofline = sub.add_parser("roofline",
+                              help="pipeline-stage bottleneck table")
+    roofline.add_argument("workloads", nargs="*",
+                          help="subset of workloads (default: all 21)")
+    _add_common(roofline)
+
+    artifact = sub.add_parser("artifact",
+                              help="run one of the paper appendix's "
+                                   "experiment scripts")
+    from .harness.artifact import ARTIFACT_SCRIPTS
+    artifact.add_argument("script", choices=sorted(ARTIFACT_SCRIPTS))
+    artifact.add_argument("-i", "--iterations", type=int, default=10)
+    artifact.add_argument("--seed", type=int, default=1234)
+    artifact.add_argument("--profiling", action="store_true")
+    return parser
+
+
+def _cmd_roofline(args) -> str:
+    size = SizeClass.from_label(args.size)
+    names = args.workloads or None
+    return render_roofline(suite_roofline(size, names=names))
+
+
+def _cmd_sizesearch(args) -> str:
+    assessments = assess_sizes(args.workload, iterations=args.iterations,
+                               base_seed=args.seed)
+    return render_size_search(args.workload, assessments)
+
+
+def _cmd_artifact(args) -> str:
+    from .harness.artifact import ARTIFACT_SCRIPTS, run_micro_all
+    script = ARTIFACT_SCRIPTS[args.script]
+    if script is run_micro_all:
+        result = script(iterations=args.iterations, base_seed=args.seed,
+                        profiling=args.profiling)
+    elif args.script == "process_perf":
+        result = script(base_seed=args.seed)
+    else:
+        result = script(iterations=args.iterations, base_seed=args.seed)
+    return result.render()
+
+
+COMMANDS = {
+    "artifact": _cmd_artifact,
+    "sizesearch": _cmd_sizesearch,
+    "roofline": _cmd_roofline,
+    "list": _cmd_list,
+    "sizes": _cmd_sizes,
+    "hardware": _cmd_hardware,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "figure": _cmd_figure,
+    "advise": _cmd_advise,
+    "interjob": _cmd_interjob,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        print(COMMANDS[args.command](args))
+    except BrokenPipeError:  # e.g. `python -m repro list | head`
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Replaying a workload program under one transfer configuration.
+
+This module encodes what each of the five configurations *means* as a
+sequence of runtime operations:
+
+* ``standard`` / ``async`` - host malloc, ``cudaMalloc``, explicit
+  H2D copies, kernels (sync or cp.async staging), explicit D2H copies,
+  ``cudaFree``.
+* ``uvm`` - ``cudaMallocManaged``, kernels fault their data over on
+  first touch (migration overlaps the stalling kernel), the host
+  faults results back, ``cudaFree``.
+* ``uvm_prefetch`` / ``uvm_prefetch_async`` - as ``uvm`` plus a bulk
+  ``cudaMemPrefetchAsync`` of every input range before the kernels;
+  kernels start fully resident, except when a preceding kernel shares
+  its working set (the paper's nw anomaly).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim.calibration import Calibration, default_calibration
+from ..sim.hardware import SystemSpec, default_system
+from ..sim.program import BufferDirection, Program
+from ..sim.runtime import CudaRuntime
+from .configs import TransferMode
+from .results import RunResult
+
+# Fraction of a kernel's working set still resident when a bulk
+# prefetch for the previous kernel displaced shared data (nw case):
+# the displaced range must fault back in entirely.
+SHARED_DATA_PREFETCH_PENALTY = 0.0
+
+# Fraction of HBM usable for managed data (driver reserves the rest).
+UVM_USABLE_HBM_FRACTION = 0.95
+
+
+def managed_capacity_ratio(program: Program, rt: CudaRuntime) -> float:
+    """How much of the program's footprint fits GPU memory at once.
+
+    Under oversubscription (footprint > HBM), every kernel pass
+    re-faults the excess - the thrashing regime studied by the
+    oversubscription literature the paper builds on (Shao et al.).
+    Explicit allocation cannot oversubscribe at all; managed memory
+    degrades gracefully via this cap on residency.
+    """
+    usable = rt.system.gpu.hbm_bytes * UVM_USABLE_HBM_FRACTION
+    return min(1.0, usable / max(program.footprint_bytes, 1))
+
+
+def _explicit_process(rt: CudaRuntime, program: Program, mode: TransferMode):
+    """standard / async: explicit allocation and copies."""
+    flags = mode.kernel_flags()
+    for buf in program.buffers:
+        if buf.direction is not BufferDirection.SCRATCH:
+            yield from rt.malloc_host(buf.name, buf.size_bytes)
+    for buf in program.buffers:
+        yield from rt.malloc_device(buf.name, buf.size_bytes)
+    for buf in program.buffers:
+        if buf.direction.host_to_device:
+            yield from rt.memcpy_h2d(buf.name, buf.size_bytes)
+    for phase in program.phases:
+        yield from rt.launch_repeated(phase.descriptor, flags, phase.count,
+                                      resident_first=1.0, resident_rest=1.0)
+        if phase.host_sync_bytes:
+            # Rodinia's explicit versions copy intermediate results
+            # back every iteration; UVM keeps them resident instead.
+            yield from rt.memcpy_d2h(f"{phase.descriptor.name}:sync",
+                                     phase.host_sync_bytes)
+    for buf in program.buffers:
+        if buf.direction.device_to_host:
+            yield from rt.memcpy_d2h(buf.name, buf.size_bytes)
+    for buf in program.buffers:
+        yield from rt.free(buf.name, buf.size_bytes, managed=False)
+
+
+def _managed_process(rt: CudaRuntime, program: Program, mode: TransferMode):
+    """uvm / uvm_prefetch / uvm_prefetch_async."""
+    flags = mode.kernel_flags()
+    for buf in program.buffers:
+        yield from rt.malloc_managed(
+            buf.name, buf.size_bytes,
+            host_populated=buf.direction.host_to_device)
+
+    if mode.prefetch:
+        for buf in program.buffers:
+            if buf.direction.host_to_device:
+                yield from rt.uvm_prefetch(buf.name,
+                                           fraction=buf.device_touched_fraction)
+
+    capacity_ratio = managed_capacity_ratio(program, rt)
+    first_touch = True
+    previous_shares_data = False
+    for phase in program.phases:
+        desc = phase.descriptor
+        if mode.prefetch:
+            resident_first = 1.0
+            if previous_shares_data:
+                # Prefetching around a kernel that re-reads the previous
+                # kernel's data displaces the shared working set; part of
+                # it must fault back (the paper's nw case).
+                resident_first = SHARED_DATA_PREFETCH_PENALTY
+            resident_rest = resident_first if phase.fresh_data else 1.0
+        else:
+            resident_first = 1.0 if not first_touch else 0.0
+            resident_rest = 0.0 if phase.fresh_data else 1.0
+        # Oversubscription: residency is capped by GPU capacity, so
+        # repeated passes keep re-faulting the evicted excess.
+        resident_first = min(resident_first, capacity_ratio)
+        resident_rest = min(resident_rest, capacity_ratio)
+        yield from rt.launch_repeated(desc, flags, phase.count,
+                                      resident_first=resident_first,
+                                      resident_rest=resident_rest)
+        first_touch = False
+        previous_shares_data = desc.shares_data_with_next
+
+    for buf in program.buffers:
+        if buf.direction.device_to_host:
+            rt.managed.device_wrote(buf.name, fraction=1.0)
+            yield from rt.uvm_host_read(buf.name, buf.host_read_fraction)
+    for buf in program.buffers:
+        yield from rt.free(buf.name, buf.size_bytes, managed=True)
+
+
+def execute_program(program: Program, mode: TransferMode, *,
+                    system: Optional[SystemSpec] = None,
+                    calib: Optional[Calibration] = None,
+                    rng: Optional[np.random.Generator] = None,
+                    seed: int = 0,
+                    smem_carveout_bytes: Optional[int] = None,
+                    size_label: str = "") -> RunResult:
+    """Run one program once under one configuration; return the measurement."""
+    system = system or default_system()
+    calib = calib or default_calibration()
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    rt = CudaRuntime(system, calib, rng,
+                     footprint_bytes=program.footprint_bytes,
+                     smem_carveout_bytes=smem_carveout_bytes)
+    if mode.managed:
+        process = _managed_process(rt, program, mode)
+    else:
+        process = _explicit_process(rt, program, mode)
+    rt.run(process)
+
+    timeline = rt.timeline
+    wall = timeline.wall_ns()
+    gpu_busy = timeline.busy_time("gpu_kernel") / wall if wall > 0 else 0.0
+    return RunResult(
+        workload=program.name,
+        mode=mode,
+        size=size_label,
+        seed=seed,
+        alloc_ns=timeline.category_time("allocation"),
+        memcpy_ns=timeline.category_time("memcpy"),
+        kernel_ns=timeline.category_time("gpu_kernel"),
+        wall_ns=wall,
+        counters=rt.counters,
+        occupancy=rt.counters.mean_occupancy(),
+        gpu_busy_fraction=gpu_busy,
+    )

@@ -1,0 +1,175 @@
+"""Statistics helpers used throughout the study.
+
+The paper reports means of 30 runs, std/mean stability ratios
+(Fig. 5), geometric means across workloads, and percentage
+improvements over the standard configuration; these helpers implement
+exactly those aggregations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def std(values: Sequence[float]) -> float:
+    """Sample standard deviation (ddof=1, matching the paper's 30-run plots)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    center = mean(values)
+    return math.sqrt(sum((v - center) ** 2 for v in values) / (len(values) - 1))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std / mean - the stability metric of Fig. 5."""
+    center = mean(values)
+    if center == 0:
+        raise ValueError("coefficient of variation undefined for zero mean")
+    return std(values) / center
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's cross-workload aggregate)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile q outside [0, 100]")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def speedup(baseline: float, candidate: float) -> float:
+    """How many times faster ``candidate`` is than ``baseline``."""
+    if candidate <= 0:
+        raise ValueError("candidate time must be positive")
+    return baseline / candidate
+
+
+def improvement_pct(baseline: float, candidate: float) -> float:
+    """Percent time saved vs the baseline (negative = slower)."""
+    if baseline <= 0:
+        raise ValueError("baseline time must be positive")
+    return (baseline - candidate) / baseline * 100.0
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Normal-approximation 95 % CI of the mean."""
+    center = mean(values)
+    if len(values) < 2:
+        return (center, center)
+    half = 1.96 * std(values) / math.sqrt(len(values))
+    return (center - half, center + half)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary of a run distribution."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        values = list(values)
+        if not values:
+            raise ValueError("summary of empty sequence")
+        return cls(
+            count=len(values),
+            mean=mean(values),
+            std=std(values),
+            minimum=min(values),
+            maximum=max(values),
+            p50=percentile(values, 50.0),
+        )
+
+    @property
+    def cv(self) -> float:
+        return self.std / self.mean if self.mean else 0.0
+
+
+def normalize_to(baseline: float, values: Iterable[float]) -> List[float]:
+    """Express values as multiples of a baseline (the paper's bar charts)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return [v / baseline for v in values]
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """Outcome of a two-sample comparison between run distributions."""
+
+    faster: bool           # candidate's median beats the baseline's
+    significant: bool      # at the requested alpha
+    p_value: float
+    median_baseline: float
+    median_candidate: float
+
+    @property
+    def median_speedup(self) -> float:
+        return self.median_baseline / self.median_candidate
+
+
+def significantly_faster(baseline: Sequence[float],
+                         candidate: Sequence[float],
+                         alpha: float = 0.05) -> SignificanceResult:
+    """Is ``candidate`` reliably faster than ``baseline``?
+
+    Uses the one-sided Mann-Whitney U test (run-time distributions are
+    skewed, so a rank test beats a t-test here). With fewer than 3
+    samples per side the comparison falls back to medians with
+    ``significant=False``.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    baseline = list(baseline)
+    candidate = list(candidate)
+    if not baseline or not candidate:
+        raise ValueError("both samples must be non-empty")
+    median_b = percentile(baseline, 50.0)
+    median_c = percentile(candidate, 50.0)
+    if len(baseline) < 3 or len(candidate) < 3:
+        return SignificanceResult(
+            faster=median_c < median_b, significant=False, p_value=1.0,
+            median_baseline=median_b, median_candidate=median_c)
+    from scipy import stats as scipy_stats
+    outcome = scipy_stats.mannwhitneyu(candidate, baseline,
+                                       alternative="less")
+    return SignificanceResult(
+        faster=median_c < median_b,
+        significant=bool(outcome.pvalue < alpha),
+        p_value=float(outcome.pvalue),
+        median_baseline=median_b,
+        median_candidate=median_c,
+    )

@@ -1,0 +1,46 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .artifact import (ARTIFACT_SCRIPTS, ArtifactResult, process_perf,
+                       run_full_artifact, run_micro_all,
+                       run_micro_sensitivity, run_micro_shared,
+                       run_real_all)
+from .export import comparison_to_csv, runset_to_csv, sweep_to_csv
+from .figures import (COUNTER_WORKLOADS, comparison_sweep, counter_sweep,
+                      fig4_distributions, fig5_stability,
+                      fig6_mega_breakdown, fig7_micro, fig8_apps,
+                      fig9_instruction_mix, fig10_cache_miss,
+                      geomean_improvements, render_comparison,
+                      render_counters, render_fig5, render_fig6)
+from .plots import (render_stacked_comparison, render_stacked_suite,
+                    stacked_bar)
+from .regression import (RegressionReport, collect_headline_metrics,
+                         compare_to_snapshot, save_snapshot)
+from .report import format_ns, format_pct, render_series, render_table
+from .size_search import (SizeAssessment, assess_sizes, recommend_sizes,
+                          render_size_search)
+from .sensitivity import (BLOCK_SWEEP, CARVEOUT_SWEEP_KB, THREAD_SWEEP,
+                          blocks_sensitivity, carveout_sensitivity,
+                          normalized_sweep, render_sweep,
+                          threads_sensitivity)
+from .store import ResultStore
+from .tables import table1_hardware, table2_rows, table2_suite, table3_rows, table3_sizes
+
+__all__ = [
+    "ARTIFACT_SCRIPTS", "ArtifactResult", "process_perf",
+    "run_full_artifact", "run_micro_all", "run_micro_sensitivity",
+    "run_micro_shared", "run_real_all", "comparison_to_csv",
+    "runset_to_csv", "sweep_to_csv", "render_stacked_comparison",
+    "render_stacked_suite", "stacked_bar", "SizeAssessment",
+    "assess_sizes", "recommend_sizes", "render_size_search",
+    "RegressionReport", "collect_headline_metrics", "compare_to_snapshot",
+    "save_snapshot", "ResultStore",
+    "BLOCK_SWEEP", "CARVEOUT_SWEEP_KB", "COUNTER_WORKLOADS", "THREAD_SWEEP",
+    "blocks_sensitivity", "carveout_sensitivity", "comparison_sweep",
+    "counter_sweep", "fig10_cache_miss", "fig4_distributions",
+    "fig5_stability", "fig6_mega_breakdown", "fig7_micro", "fig8_apps",
+    "fig9_instruction_mix", "format_ns", "format_pct",
+    "geomean_improvements", "normalized_sweep", "render_comparison",
+    "render_counters", "render_fig5", "render_fig6", "render_series",
+    "render_sweep", "render_table", "table1_hardware", "table2_rows",
+    "table2_suite", "table3_rows", "table3_sizes", "threads_sensitivity",
+]

@@ -1,0 +1,146 @@
+"""The paper's artifact-appendix workflow, reproduced.
+
+The IISWC artifact ships ``run_micro_all.py``, ``run_micro_perf.py``,
+``run_real_all.py``, ``run_real_perf.py``, ``run_micro_sensitivity.py``
+and ``run_micro_shared.py``, each regenerating a subset of the figures
+(Appendix Secs. 5-6). This module provides the same entry points on
+top of the simulator, with the same ``-i`` iteration knob:
+
+=====================  =======================================
+artifact script        figures (per the appendix)
+=====================  =======================================
+run_micro_all          Fig. 4, Fig. 5, Fig. 6, Fig. 7
+run_real_all           Fig. 8
+process_perf           Fig. 9, Fig. 10
+run_micro_sensitivity  Fig. 11, Fig. 12
+run_micro_shared       Fig. 13
+=====================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..workloads.sizes import SizeClass
+from .figures import (fig4_distributions, fig5_stability,
+                      fig6_mega_breakdown, fig7_micro, fig8_apps,
+                      counter_sweep, geomean_improvements,
+                      render_comparison, render_counters, render_fig5,
+                      render_fig6)
+from .sensitivity import (blocks_sensitivity, carveout_sensitivity,
+                          normalized_sweep, render_sweep,
+                          threads_sensitivity)
+
+
+@dataclass
+class ArtifactResult:
+    """One artifact-script run: the figures it regenerates, as text."""
+
+    script: str
+    figures: Dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"== {self.script} =="]
+        for name, text in self.figures.items():
+            parts.append(f"-- {name} --\n{text}")
+        return "\n\n".join(parts)
+
+
+def run_micro_all(iterations: int = 30, profiling: bool = False,
+                  base_seed: int = 1234) -> ArtifactResult:
+    """Appendix: 'Reproduce Figure 4, Figure 5, Figure 6, and Figure 7.'
+
+    ``profiling`` mirrors the artifact's ``--profiling`` flag: it only
+    collects the measurements (the parse/visualize step is the render).
+    """
+    result = ArtifactResult("run_micro_all.py")
+    distributions = fig4_distributions(iterations=iterations,
+                                       base_seed=base_seed)
+    stability = fig5_stability(distributions)
+    result.figures["figure4+5"] = render_fig5(stability)
+    result.figures["figure6"] = render_fig6(
+        fig6_mega_breakdown(iterations=iterations, base_seed=base_seed))
+    if not profiling:
+        for tag, size in (("a", SizeClass.LARGE), ("b", SizeClass.SUPER)):
+            comparisons = fig7_micro(size=size, iterations=iterations,
+                                     base_seed=base_seed)
+            text = render_comparison(comparisons,
+                                     f"Fig. 7{tag} @ {size.label}")
+            improvements = geomean_improvements(comparisons)
+            text += "\n" + "  ".join(f"{mode}={value:+.2f}%"
+                                     for mode, value in improvements.items())
+            result.figures[f"figure7{tag}"] = text
+    return result
+
+
+def run_real_all(iterations: int = 30,
+                 base_seed: int = 1234) -> ArtifactResult:
+    """Appendix: 'Reproduce Figure 8.'"""
+    result = ArtifactResult("run_real_all.py")
+    comparisons = fig8_apps(iterations=iterations, base_seed=base_seed)
+    text = render_comparison(comparisons, "Fig. 8 @ super")
+    improvements = geomean_improvements(comparisons)
+    text += "\n" + "  ".join(f"{mode}={value:+.2f}%"
+                             for mode, value in improvements.items())
+    result.figures["figure8"] = text
+    return result
+
+
+def process_perf(base_seed: int = 1234) -> ArtifactResult:
+    """Appendix: 'Reproduce Figure 9 and Figure 10.'"""
+    result = ArtifactResult("process_perf.py")
+    counters = counter_sweep(base_seed=base_seed)
+    result.figures["figure9"] = render_counters(
+        counters, ("control", "integer"), "Fig. 9: instruction mix")
+    result.figures["figure10"] = render_counters(
+        counters, ("load_miss", "store_miss"), "Fig. 10: L1 miss rates")
+    return result
+
+
+def run_micro_sensitivity(iterations: int = 30,
+                          base_seed: int = 1234) -> ArtifactResult:
+    """Appendix: 'Reproduce Figure 11 and Figure 12.'"""
+    result = ArtifactResult("run_micro_sensitivity.py")
+    blocks = blocks_sensitivity(iterations=iterations, base_seed=base_seed)
+    result.figures["figure11"] = render_sweep(
+        normalized_sweep(blocks), "#blocks", "Fig. 11: block sweep")
+    threads = threads_sensitivity(iterations=iterations,
+                                  base_seed=base_seed)
+    result.figures["figure12"] = render_sweep(
+        normalized_sweep(threads, baseline_key=1024), "#threads",
+        "Fig. 12: thread sweep")
+    return result
+
+
+def run_micro_shared(iterations: int = 30,
+                     base_seed: int = 1234) -> ArtifactResult:
+    """Appendix: 'Reproduce Figure 13.'"""
+    result = ArtifactResult("run_micro_shared.py")
+    carveouts = carveout_sensitivity(iterations=iterations,
+                                     base_seed=base_seed)
+    result.figures["figure13"] = render_sweep(
+        normalized_sweep(carveouts, baseline_key=32), "smem KB",
+        "Fig. 13: carveout sweep")
+    return result
+
+
+ARTIFACT_SCRIPTS = {
+    "run_micro_all": run_micro_all,
+    "run_real_all": run_real_all,
+    "process_perf": process_perf,
+    "run_micro_sensitivity": run_micro_sensitivity,
+    "run_micro_shared": run_micro_shared,
+}
+
+
+def run_full_artifact(iterations: int = 30,
+                      base_seed: int = 1234) -> List[ArtifactResult]:
+    """The appendix's complete experiment workflow, in order."""
+    return [
+        run_micro_all(iterations=iterations, base_seed=base_seed),
+        run_real_all(iterations=iterations, base_seed=base_seed),
+        process_perf(base_seed=base_seed),
+        run_micro_sensitivity(iterations=iterations, base_seed=base_seed),
+        run_micro_shared(iterations=iterations, base_seed=base_seed),
+    ]

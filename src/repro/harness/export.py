@@ -1,0 +1,72 @@
+"""CSV export of experiment results.
+
+Downstream plotting (the paper's matplotlib scripts, spreadsheets)
+wants flat tables; these helpers serialize run sets, comparisons, and
+sweeps into tidy CSV files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..core.results import BREAKDOWN_KEYS, ModeComparison, RunSet
+
+
+def runset_to_csv(runs: RunSet,
+                  path: Optional[Union[str, Path]] = None) -> str:
+    """One row per run: seed, components, total."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["workload", "mode", "size", "seed", "alloc_ns",
+                     "memcpy_ns", "kernel_ns", "total_ns", "wall_ns"])
+    for run in runs.runs:
+        writer.writerow([run.workload, run.mode.value, run.size, run.seed,
+                         f"{run.alloc_ns:.1f}", f"{run.memcpy_ns:.1f}",
+                         f"{run.kernel_ns:.1f}", f"{run.total_ns:.1f}",
+                         f"{run.wall_ns:.1f}"])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def comparison_to_csv(comparison: ModeComparison,
+                      path: Optional[Union[str, Path]] = None) -> str:
+    """One row per configuration: mean breakdown + normalized total."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["workload", "size", "mode", *BREAKDOWN_KEYS,
+                     "mean_total_ns", "normalized_total",
+                     "improvement_pct"])
+    for mode, runs in comparison.by_mode.items():
+        breakdown = runs.mean_breakdown()
+        writer.writerow([
+            comparison.workload, comparison.size, mode.value,
+            *(f"{breakdown[key]:.1f}" for key in BREAKDOWN_KEYS),
+            f"{runs.mean_total_ns():.1f}",
+            f"{comparison.normalized_total(mode):.6f}",
+            f"{comparison.improvement_pct(mode):.4f}",
+        ])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def sweep_to_csv(data: Dict[int, Dict[str, RunSet]], axis_label: str,
+                 path: Optional[Union[str, Path]] = None) -> str:
+    """Sensitivity sweeps (Figs. 11-13): one row per (x, mode)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([axis_label, "mode", "mean_total_ns", "cv"])
+    for key, by_mode in data.items():
+        for mode, runs in by_mode.items():
+            writer.writerow([key, mode, f"{runs.mean_total_ns():.1f}",
+                             f"{runs.cv():.6f}"])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,197 @@
+"""Data generators for the paper's figures 4-10.
+
+Each ``figN_*`` function runs the experiments behind one figure and
+returns plain data structures (dicts keyed by workload / mode / size),
+plus a ``render_*`` helper that prints the same rows/series the figure
+shows. Benchmarks under ``benchmarks/`` call these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.configs import ALL_MODES, TransferMode
+from ..core.experiment import Experiment
+from ..core.results import ModeComparison
+from ..core.stats import coefficient_of_variation, geomean, mean
+from ..workloads.registry import APP_NAMES, MICRO_NAMES
+from ..workloads.sizes import SizeClass
+from .report import render_table
+
+COUNTER_WORKLOADS = ("gemm", "lud", "yolov3")
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 / Fig. 5: execution-time distributions vs input size
+# ----------------------------------------------------------------------
+def fig4_distributions(iterations: int = 30,
+                       sizes: Sequence[SizeClass] = SizeClass.ordered(),
+                       workloads: Sequence[str] = MICRO_NAMES,
+                       modes: Sequence[TransferMode] = ALL_MODES,
+                       base_seed: int = 1234) -> Dict:
+    """30-run total-time distributions per size/workload/mode (Fig. 4)."""
+    data: Dict = {}
+    for size in sizes:
+        data[size.label] = {}
+        for name in workloads:
+            experiment = Experiment(workload=name, size=size, modes=modes,
+                                    iterations=iterations,
+                                    base_seed=base_seed)
+            data[size.label][name] = {
+                mode.value: experiment.run_mode(mode).totals()
+                for mode in modes
+            }
+    return data
+
+
+def fig5_stability(distributions: Dict) -> Dict[str, Dict[str, float]]:
+    """std/mean per workload per size, averaged over the 5 setups (Fig. 5).
+
+    Adds a ``Geo-mean`` pseudo-workload row, as the paper plots.
+    """
+    stability: Dict[str, Dict[str, float]] = {}
+    sizes = list(distributions)
+    workloads: List[str] = list(next(iter(distributions.values())))
+    for name in workloads:
+        stability[name] = {}
+        for size in sizes:
+            cvs = [coefficient_of_variation(totals)
+                   for totals in distributions[size][name].values()]
+            stability[name][size] = mean(cvs)
+    stability["Geo-mean"] = {
+        size: geomean([stability[name][size] for name in workloads])
+        for size in sizes
+    }
+    return stability
+
+
+def render_fig5(stability: Dict[str, Dict[str, float]]) -> str:
+    """Figure 5's std/mean-per-size table."""
+    sizes = list(next(iter(stability.values())))
+    rows = [(name, *(f"{stability[name][size]:.4f}" for size in sizes))
+            for name in stability]
+    return render_table(("workload", *sizes), rows,
+                        title="Fig. 5: std/mean of 30 runs per input size")
+
+
+# ----------------------------------------------------------------------
+# Fig. 6: Mega-input breakdown instability
+# ----------------------------------------------------------------------
+def fig6_mega_breakdown(iterations: int = 30, workload: str = "vector_seq",
+                        mode: TransferMode = TransferMode.STANDARD,
+                        base_seed: int = 1234) -> List[Dict[str, float]]:
+    """Per-run breakdown for the Mega input (Fig. 6)."""
+    experiment = Experiment(workload=workload, size=SizeClass.MEGA,
+                            modes=(mode,), iterations=iterations,
+                            base_seed=base_seed)
+    runs = experiment.run_mode(mode)
+    return [run.breakdown() for run in runs.runs]
+
+
+def render_fig6(breakdowns: List[Dict[str, float]]) -> str:
+    """Figure 6's per-run Mega breakdown table."""
+    rows = [(index, f"{b['gpu_kernel'] / 1e6:.1f}",
+             f"{b['allocation'] / 1e6:.1f}", f"{b['memcpy'] / 1e6:.1f}")
+            for index, b in enumerate(breakdowns)]
+    return render_table(("run", "gpu_kernel (ms)", "allocation (ms)",
+                         "memcpy (ms)"), rows,
+                        title="Fig. 6: Mega-input breakdown per run")
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 / Fig. 8: normalized comparisons
+# ----------------------------------------------------------------------
+def comparison_sweep(workloads: Sequence[str], size: SizeClass,
+                     iterations: int = 30,
+                     base_seed: int = 1234) -> Dict[str, ModeComparison]:
+    """Five-config comparison for each named workload at one size."""
+    return {
+        name: Experiment(workload=name, size=size, iterations=iterations,
+                         base_seed=base_seed).run()
+        for name in workloads
+    }
+
+
+def fig7_micro(size: SizeClass = SizeClass.SUPER, iterations: int = 30,
+               base_seed: int = 1234) -> Dict[str, ModeComparison]:
+    """Micro comparison at one stable size (Fig. 7a = Large, 7b = Super)."""
+    return comparison_sweep(MICRO_NAMES, size, iterations, base_seed)
+
+
+def fig8_apps(iterations: int = 30,
+              base_seed: int = 1234) -> Dict[str, ModeComparison]:
+    """Real-world application comparison at Super (Fig. 8)."""
+    return comparison_sweep(APP_NAMES, SizeClass.SUPER, iterations, base_seed)
+
+
+def render_comparison(comparisons: Dict[str, ModeComparison],
+                      title: str) -> str:
+    """Figure 7/8-style normalized-total table with a geo-mean row."""
+    headers = ["workload"] + [m.value for m in ALL_MODES]
+    rows = []
+    for name, comparison in comparisons.items():
+        rows.append((name, *(f"{comparison.normalized_total(m):.3f}"
+                             for m in ALL_MODES)))
+    rows.append(("geo-mean", *(
+        f"{geomean([c.normalized_total(m) for c in comparisons.values()]):.3f}"
+        for m in ALL_MODES)))
+    return render_table(headers, rows, title=title)
+
+
+def geomean_improvements(comparisons: Dict[str, ModeComparison]) -> Dict[str, float]:
+    """Percent overall-time improvement over standard, geomean'd."""
+    out = {}
+    for mode in ALL_MODES:
+        ratio = geomean([c.normalized_total(mode)
+                         for c in comparisons.values()])
+        out[mode.value] = (1.0 - ratio) * 100.0
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 / Fig. 10: performance counters
+# ----------------------------------------------------------------------
+def counter_sweep(workloads: Sequence[str] = COUNTER_WORKLOADS,
+                  size: SizeClass = SizeClass.SUPER,
+                  base_seed: int = 1234) -> Dict[str, Dict[str, Dict]]:
+    """One run per mode per workload; counters are deterministic."""
+    data: Dict[str, Dict[str, Dict]] = {}
+    for name in workloads:
+        experiment = Experiment(workload=name, size=size, iterations=1,
+                                base_seed=base_seed)
+        data[name] = {}
+        for mode in ALL_MODES:
+            run = experiment.run_mode(mode).runs[0]
+            mix = run.counters.instructions
+            misses = run.counters.mean_miss_rates()
+            data[name][mode.value] = {
+                "control": mix.control,
+                "integer": mix.integer,
+                "fp": mix.fp,
+                "memory": mix.memory,
+                "load_miss": misses.load,
+                "store_miss": misses.store,
+            }
+    return data
+
+
+def fig9_instruction_mix(**kwargs) -> Dict[str, Dict[str, Dict]]:
+    """Control / integer instruction counts (Fig. 9)."""
+    return counter_sweep(**kwargs)
+
+
+def fig10_cache_miss(**kwargs) -> Dict[str, Dict[str, Dict]]:
+    """Unified-L1 global load/store miss rates (Fig. 10)."""
+    return counter_sweep(**kwargs)
+
+
+def render_counters(data: Dict[str, Dict[str, Dict]], keys: Sequence[str],
+                    title: str) -> str:
+    """Figure 9/10-style counter table for the selected counter keys."""
+    headers = ["workload", "mode", *keys]
+    rows = []
+    for name, by_mode in data.items():
+        for mode, counters in by_mode.items():
+            rows.append((name, mode,
+                         *(f"{counters[key]:.4g}" for key in keys)))
+    return render_table(headers, rows, title=title)

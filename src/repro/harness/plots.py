@@ -1,0 +1,63 @@
+"""ASCII stacked-bar rendering in the style of the paper's figures.
+
+Figures 7, 8 and 11-13 plot stacked bars - gpu_kernel (darkest) at the
+bottom, then memcpy, then allocation (lightest) - normalized to the
+standard configuration. This module renders the same encoding in text:
+``K`` for kernel, ``M`` for memcpy, ``A`` for allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.configs import ALL_MODES, TransferMode
+from ..core.results import ModeComparison
+
+GLYPHS = (("gpu_kernel", "K"), ("memcpy", "M"), ("allocation", "A"))
+
+
+def stacked_bar(shares: Dict[str, float], width: int = 50) -> str:
+    """One horizontal stacked bar; `shares` are in units of the
+    normalization baseline (so they may sum above 1.0)."""
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    cells: List[str] = []
+    for key, glyph in GLYPHS:
+        length = int(round(shares.get(key, 0.0) * width))
+        cells.append(glyph * length)
+    return "".join(cells)
+
+
+def render_stacked_comparison(comparison: ModeComparison,
+                              width: int = 50,
+                              modes: Sequence[TransferMode] = ALL_MODES
+                              ) -> str:
+    """Figure-7-style bar group for one workload.
+
+    Bars are normalized to the standard configuration's total; a ``|``
+    marks the 1.0 line.
+    """
+    lines = [f"{comparison.workload} @ {comparison.size} "
+             f"(K=gpu_kernel M=memcpy A=allocation, | = standard total)"]
+    for mode in modes:
+        if mode not in comparison.by_mode:
+            continue
+        shares = comparison.normalized_breakdown(mode)
+        bar = stacked_bar(shares, width)
+        marker_pos = width
+        if len(bar) >= marker_pos:
+            bar = bar[:marker_pos] + "|" + bar[marker_pos:]
+        else:
+            bar = bar + " " * (marker_pos - len(bar)) + "|"
+        total = comparison.normalized_total(mode)
+        lines.append(f"  {mode.value:>20} {bar} {total:.3f}")
+    return "\n".join(lines)
+
+
+def render_stacked_suite(comparisons: Dict[str, ModeComparison],
+                         width: int = 50) -> str:
+    """The full figure: one bar group per workload."""
+    return "\n\n".join(
+        render_stacked_comparison(comparison, width=width)
+        for comparison in comparisons.values()
+    )

@@ -1,0 +1,61 @@
+"""Plain-text rendering helpers for tables and figure data."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row]
+                                      for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def render_series(label: str, xs: Sequence[object],
+                  ys: Sequence[float], unit: str = "") -> str:
+    """Render one figure series as 'x: y' lines with a bar sketch."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    peak = max(ys) if ys else 1.0
+    lines = [label]
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(30 * y / peak)) if peak > 0 else ""
+        lines.append(f"  {str(x):>12}: {y:12.4g}{unit} {bar}")
+    return "\n".join(lines)
+
+
+def format_ns(value_ns: float) -> str:
+    """Human-readable duration."""
+    if value_ns >= 1e9:
+        return f"{value_ns / 1e9:.2f} s"
+    if value_ns >= 1e6:
+        return f"{value_ns / 1e6:.2f} ms"
+    if value_ns >= 1e3:
+        return f"{value_ns / 1e3:.2f} us"
+    return f"{value_ns:.0f} ns"
+
+
+def format_pct(fraction: float, signed: bool = False) -> str:
+    """Format a fraction as a percentage string."""
+    sign = "+" if signed and fraction >= 0 else ""
+    return f"{sign}{fraction * 100:.2f} %"

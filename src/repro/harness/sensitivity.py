@@ -1,0 +1,115 @@
+"""Sensitivity studies (Sec. 5 / Figs. 11-13).
+
+All three sweeps use vector_seq, as the paper does: it partitions
+flexibly and benefits from both Async Memcpy and UVM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.configs import ALL_MODES, TransferMode
+from ..core.execution import execute_program
+from ..core.experiment import run_seed
+from ..core.results import RunSet
+from ..workloads.micro.vectors import VectorSeq
+from ..workloads.sizes import SizeClass
+from .report import render_table
+
+BLOCK_SWEEP = (4096, 2048, 1024, 512, 256, 128, 64, 32, 16)
+THREAD_SWEEP = (1024, 512, 256, 128, 64, 32)
+THREAD_SWEEP_BLOCKS = 64  # "total number of cores is fixed (set as 64)"
+CARVEOUT_SWEEP_KB = (2, 4, 8, 16, 32, 64, 128)
+
+
+def _run_program(program, mode: TransferMode, iterations: int,
+                 base_seed: int, size: SizeClass,
+                 smem_carveout_bytes: Optional[int] = None) -> RunSet:
+    runs = RunSet(workload=program.name, mode=mode, size=size.label)
+    for iteration in range(iterations):
+        seed_seq = run_seed(base_seed, f"{program.name}:sweep",
+                            size.label, mode, iteration)
+        runs.add(execute_program(
+            program, mode, rng=np.random.default_rng(seed_seq),
+            seed=iteration, smem_carveout_bytes=smem_carveout_bytes,
+            size_label=size.label))
+    return runs
+
+
+def blocks_sensitivity(blocks: Sequence[int] = BLOCK_SWEEP,
+                       size: SizeClass = SizeClass.LARGE,
+                       iterations: int = 10, base_seed: int = 1234,
+                       modes: Sequence[TransferMode] = ALL_MODES,
+                       threads: int = 256) -> Dict[int, Dict[str, RunSet]]:
+    """Fig. 11: vary the number of blocks at fixed threads/block."""
+    workload = VectorSeq()
+    data: Dict[int, Dict[str, RunSet]] = {}
+    for count in blocks:
+        program = workload.program_with_geometry(size, blocks=count,
+                                                 threads=threads)
+        data[count] = {mode.value: _run_program(program, mode, iterations,
+                                                base_seed, size)
+                       for mode in modes}
+    return data
+
+
+def threads_sensitivity(threads: Sequence[int] = THREAD_SWEEP,
+                        size: SizeClass = SizeClass.LARGE,
+                        iterations: int = 10, base_seed: int = 1234,
+                        modes: Sequence[TransferMode] = ALL_MODES,
+                        blocks: int = THREAD_SWEEP_BLOCKS
+                        ) -> Dict[int, Dict[str, RunSet]]:
+    """Fig. 12: vary threads per block at a fixed 64-block grid."""
+    workload = VectorSeq()
+    data: Dict[int, Dict[str, RunSet]] = {}
+    for count in threads:
+        program = workload.program_with_geometry(size, blocks=blocks,
+                                                 threads=count)
+        data[count] = {mode.value: _run_program(program, mode, iterations,
+                                                base_seed, size)
+                       for mode in modes}
+    return data
+
+
+def carveout_sensitivity(carveouts_kb: Sequence[int] = CARVEOUT_SWEEP_KB,
+                         size: SizeClass = SizeClass.LARGE,
+                         iterations: int = 10, base_seed: int = 1234,
+                         modes: Sequence[TransferMode] = ALL_MODES
+                         ) -> Dict[int, Dict[str, RunSet]]:
+    """Fig. 13: vary the shared-memory carveout (rest becomes L1)."""
+    workload = VectorSeq()
+    program = workload.program(size)
+    data: Dict[int, Dict[str, RunSet]] = {}
+    for carveout_kb in carveouts_kb:
+        data[carveout_kb] = {
+            mode.value: _run_program(program, mode, iterations, base_seed,
+                                     size,
+                                     smem_carveout_bytes=carveout_kb * 1024)
+            for mode in modes
+        }
+    return data
+
+
+def normalized_sweep(data: Dict[int, Dict[str, RunSet]],
+                     baseline_mode: str = "standard",
+                     baseline_key: Optional[int] = None) -> Dict[int, Dict[str, float]]:
+    """Normalize mean totals to one baseline cell (paper's Figs. 11-13)."""
+    keys = list(data)
+    baseline_key = baseline_key if baseline_key is not None else keys[0]
+    baseline = data[baseline_key][baseline_mode].mean_total_ns()
+    return {
+        key: {mode: runs.mean_total_ns() / baseline
+              for mode, runs in by_mode.items()}
+        for key, by_mode in data.items()
+    }
+
+
+def render_sweep(normalized: Dict[int, Dict[str, float]], axis_label: str,
+                 title: str) -> str:
+    """Figure 11-13-style normalized sweep table."""
+    modes = list(next(iter(normalized.values())))
+    rows = [(key, *(f"{normalized[key][mode]:.3f}" for mode in modes))
+            for key in normalized]
+    return render_table((axis_label, *modes), rows, title=title)

@@ -1,0 +1,135 @@
+"""Persistent result store for long-running studies.
+
+The paper's protocol (30 iterations x 21 workloads x 5 configs x
+several sweeps) takes hours on real hardware; losing measurements to a
+crash is expensive. This store appends every run to a JSON-lines file
+and reloads them into the same result types the rest of the library
+consumes, so studies can be resumed, merged, and re-analyzed offline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from ..core.configs import TransferMode
+from ..core.results import ModeComparison, RunResult, RunSet
+from ..sim.counters import CounterReport
+
+SCHEMA_VERSION = 1
+
+
+def _run_to_record(run: RunResult) -> Dict:
+    return {
+        "v": SCHEMA_VERSION,
+        "workload": run.workload,
+        "mode": run.mode.value,
+        "size": run.size,
+        "seed": run.seed,
+        "alloc_ns": run.alloc_ns,
+        "memcpy_ns": run.memcpy_ns,
+        "kernel_ns": run.kernel_ns,
+        "wall_ns": run.wall_ns,
+        "occupancy": run.occupancy,
+        "gpu_busy_fraction": run.gpu_busy_fraction,
+    }
+
+
+def _record_to_run(record: Dict) -> RunResult:
+    if record.get("v") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported record version {record.get('v')!r}")
+    return RunResult(
+        workload=record["workload"],
+        mode=TransferMode.from_label(record["mode"]),
+        size=record["size"],
+        seed=record["seed"],
+        alloc_ns=record["alloc_ns"],
+        memcpy_ns=record["memcpy_ns"],
+        kernel_ns=record["kernel_ns"],
+        wall_ns=record["wall_ns"],
+        counters=CounterReport(),  # counters are not persisted
+        occupancy=record.get("occupancy", 0.0),
+        gpu_busy_fraction=record.get("gpu_busy_fraction", 0.0),
+    )
+
+
+class ResultStore:
+    """Append-only JSON-lines store of :class:`RunResult` records."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, run: RunResult) -> None:
+        with self.path.open("a") as stream:
+            stream.write(json.dumps(_run_to_record(run)) + "\n")
+
+    def append_many(self, runs: Iterable[RunResult]) -> int:
+        count = 0
+        with self.path.open("a") as stream:
+            for run in runs:
+                stream.write(json.dumps(_run_to_record(run)) + "\n")
+                count += 1
+        return count
+
+    def append_runset(self, runs: RunSet) -> int:
+        return self.append_many(runs.runs)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[RunResult]:
+        if not self.path.exists():
+            return
+        with self.path.open() as stream:
+            for line_number, line in enumerate(stream, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ValueError(
+                        f"{self.path}:{line_number}: corrupt record "
+                        f"({error})") from error
+                yield _record_to_run(record)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def query(self, workload: Optional[str] = None,
+              mode: Optional[TransferMode] = None,
+              size: Optional[str] = None) -> List[RunResult]:
+        """All stored runs matching the given filters."""
+        matches = []
+        for run in self:
+            if workload is not None and run.workload != workload:
+                continue
+            if mode is not None and run.mode is not mode:
+                continue
+            if size is not None and run.size != size:
+                continue
+            matches.append(run)
+        return matches
+
+    def load_runset(self, workload: str, mode: TransferMode,
+                    size: str) -> RunSet:
+        runs = RunSet(workload=workload, mode=mode, size=size)
+        for run in self.query(workload=workload, mode=mode, size=size):
+            runs.add(run)
+        return runs
+
+    def load_comparison(self, workload: str, size: str) -> ModeComparison:
+        """Rebuild a five-config comparison from stored runs."""
+        comparison = ModeComparison(workload=workload, size=size)
+        for mode in TransferMode:
+            runs = self.load_runset(workload, mode, size)
+            if len(runs):
+                comparison.add(runs)
+        return comparison
+
+    def workloads(self) -> List[str]:
+        return sorted({run.workload for run in self})

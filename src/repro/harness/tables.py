@@ -1,0 +1,61 @@
+"""Regenerators for the paper's tables 1-3."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim.hardware import SystemSpec, default_system
+from ..workloads.registry import all_workloads
+from ..workloads.sizes import SizeClass
+from .report import render_table
+
+
+def table1_hardware(system: SystemSpec = None) -> str:
+    """Table 1: hardware configurations used in the study."""
+    system = system or default_system()
+    return system.describe()
+
+
+def table2_rows() -> List[Sequence[str]]:
+    """Table 2: benchmark programs (suite, source, name, description)."""
+    suite_label = {"micro": "Micro", "rodinia": "Apps", "uvmbench": "Apps",
+                   "darknet": "Apps"}
+    source_label = {"micro": "Svedin et al. / PolyBench",
+                    "rodinia": "Rodinia", "uvmbench": "UVMBench",
+                    "darknet": "Darknet"}
+    rows = []
+    for workload in all_workloads():
+        rows.append((suite_label[workload.suite],
+                     source_label[workload.suite], workload.name,
+                     workload.input_kind.upper(), workload.description))
+    return rows
+
+
+def table2_suite() -> str:
+    """Render Table 2 (the benchmark suite)."""
+    return render_table(
+        ("Suite", "Source", "Program", "Input", "Description"),
+        table2_rows(), title="Table 2: Benchmark programs")
+
+
+def table3_rows() -> List[Sequence[str]]:
+    """Table 3's rows: one per size class."""
+    rows = []
+    for size in SizeClass.ordered():
+        rows.append((
+            size.label.capitalize(),
+            f"{size.mem_bytes // (1024 * 1024)} MB"
+            if size.mem_bytes < 1024 ** 3
+            else f"{size.mem_bytes // 1024 ** 3} GB",
+            f"{size.elements_1d:,}",
+            f"{size.side_2d}^2",
+            f"{size.side_3d}^3",
+        ))
+    return rows
+
+
+def table3_sizes() -> str:
+    """Render Table 3 (parameter configurations)."""
+    return render_table(
+        ("Class", "Mem", "1D grid", "2D grid", "3D grid"),
+        table3_rows(), title="Table 3: Parameter configurations")

@@ -1,0 +1,116 @@
+"""CUPTI-style performance-counter collection.
+
+The paper reads two counter families off the GPU (Sec. 4.2): the
+dynamic instruction mix (memory / FP / integer / control) and the
+global load/store miss rates of the unified L1. This module derives
+both from a kernel descriptor under a given configuration, applying
+the same structural effects the paper identifies:
+
+* cp.async adds control and integer instructions per issued copy
+  (address generation, commit/wait bookkeeping) - Fig. 9;
+* cp.async replaces ld.global/st.shared pairs, trimming the memory
+  instruction count;
+* UVM leaves the instruction mix essentially untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .cache import MissRates, l1_miss_rates
+from .calibration import Calibration
+from .hardware import GpuSpec
+from .kernel import InstructionMix, KernelDescriptor
+
+# Fraction of staging memory instructions eliminated by cp.async
+# (one async copy replaces a load-to-register plus a store-to-shared).
+ASYNC_MEMORY_INST_FACTOR = 0.82
+
+
+@dataclass(frozen=True)
+class KernelCounters:
+    """Counters for one kernel invocation."""
+
+    kernel_name: str
+    instructions: InstructionMix
+    l1: MissRates
+    dram_load_bytes: float
+    dram_store_bytes: float
+    occupancy: float
+
+    @property
+    def total_instructions(self) -> float:
+        return self.instructions.total
+
+
+def collect_counters(desc: KernelDescriptor, gpu: GpuSpec, calib: Calibration,
+                     smem_carveout_bytes: int, use_async: bool,
+                     managed: bool, prefetched: bool,
+                     occupancy: float) -> KernelCounters:
+    """Derive the CUPTI-visible counters for one kernel invocation."""
+    mix = desc.base_instructions()
+    if use_async:
+        copies = desc.async_copies() * desc.total_tiles
+        mix = InstructionMix(
+            memory=mix.memory * ASYNC_MEMORY_INST_FACTOR,
+            fp=mix.fp,
+            integer=mix.integer + copies * calib.kernel.async_int_per_copy,
+            control=mix.control + copies * calib.kernel.async_ctrl_per_copy,
+        )
+
+    misses = l1_miss_rates(desc, gpu, smem_carveout_bytes,
+                           use_async=use_async, managed=managed,
+                           prefetched=prefetched)
+    unique_loads = desc.load_bytes / desc.reuse
+    return KernelCounters(
+        kernel_name=desc.name,
+        instructions=mix,
+        l1=misses,
+        dram_load_bytes=unique_loads,
+        dram_store_bytes=float(desc.write_bytes),
+        occupancy=occupancy,
+    )
+
+
+@dataclass
+class CounterReport:
+    """Aggregated counters across every kernel of a run."""
+
+    kernels: List[KernelCounters] = field(default_factory=list)
+
+    def add(self, counters: KernelCounters) -> None:
+        self.kernels.append(counters)
+
+    @property
+    def instructions(self) -> InstructionMix:
+        total = InstructionMix()
+        for entry in self.kernels:
+            total = total.plus(entry.instructions)
+        return total
+
+    def mean_miss_rates(self) -> MissRates:
+        """Traffic-weighted average L1 miss rates across kernels."""
+        if not self.kernels:
+            return MissRates(load=0.0, store=0.0)
+        load_traffic = sum(k.dram_load_bytes for k in self.kernels)
+        store_traffic = sum(k.dram_store_bytes for k in self.kernels)
+        load = (sum(k.l1.load * k.dram_load_bytes for k in self.kernels)
+                / load_traffic) if load_traffic else 0.0
+        store = (sum(k.l1.store * k.dram_store_bytes for k in self.kernels)
+                 / store_traffic) if store_traffic else 0.0
+        return MissRates(load=load, store=store)
+
+    def mean_occupancy(self) -> float:
+        if not self.kernels:
+            return 0.0
+        return sum(k.occupancy for k in self.kernels) / len(self.kernels)
+
+    def by_category(self) -> Dict[str, float]:
+        mix = self.instructions
+        return {
+            "memory": mix.memory,
+            "fp": mix.fp,
+            "integer": mix.integer,
+            "control": mix.control,
+        }

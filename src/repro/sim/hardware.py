@@ -1,0 +1,138 @@
+"""Hardware description of the simulated CPU-GPU heterogeneous system.
+
+The default system mirrors Table 1 of the paper: a 64-core AMD EPYC
+7742 host with 16 x 64 GB DDR4-3200 DIMMs, attached to an NVIDIA A100
+(40 GB HBM2) over PCIe gen4 x16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Host CPU and DRAM parameters."""
+
+    name: str = "AMD EPYC 7742"
+    cores: int = 64
+    frequency_ghz: float = 3.2
+    dram_channels: int = 16
+    dram_chip_bytes: int = 64 * GIB
+    dram_chip_bandwidth: float = 25.6e9  # bytes/s per channel (DDR4-3200)
+    remote_chip_penalty: float = 0.45    # bandwidth factor when data spills to another chip
+
+    @property
+    def dram_total_bytes(self) -> int:
+        return self.dram_channels * self.dram_chip_bytes
+
+    @property
+    def dram_bandwidth(self) -> float:
+        return self.dram_channels * self.dram_chip_bandwidth
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """GPU device parameters (defaults: NVIDIA A100-40GB, SXM)."""
+
+    name: str = "NVIDIA A100"
+    sm_count: int = 108
+    cores_per_sm: int = 64            # FP32 CUDA cores per SM
+    frequency_ghz: float = 1.41
+    hbm_bytes: int = 40 * GIB
+    hbm_bandwidth: float = 1555e9     # bytes/s
+    l2_bytes: int = 40 * MIB
+    unified_l1_bytes: int = 192 * KIB  # unified L1/texture/shared per SM
+    max_shared_mem_bytes: int = 164 * KIB  # max shared-memory carveout per SM
+    default_shared_mem_bytes: int = 32 * KIB
+    max_threads_per_sm: int = 2048
+    max_threads_per_block: int = 1024
+    max_blocks_per_sm: int = 32
+    register_file_bytes: int = 256 * KIB
+    warp_size: int = 32
+
+    @property
+    def total_cores(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def clock_ns(self) -> float:
+        """Nanoseconds per GPU cycle."""
+        return 1.0 / self.frequency_ghz
+
+    def l1_bytes(self, shared_mem_bytes: int) -> int:
+        """L1/texture capacity left after the shared-memory carveout."""
+        if shared_mem_bytes < 0 or shared_mem_bytes > self.max_shared_mem_bytes:
+            raise ValueError(
+                f"shared-memory carveout {shared_mem_bytes} outside "
+                f"[0, {self.max_shared_mem_bytes}]"
+            )
+        return self.unified_l1_bytes - shared_mem_bytes
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Host-device interconnect (PCIe gen4 x16 by default)."""
+
+    name: str = "PCIe 4.0 x16"
+    bandwidth: float = 25.0e9        # effective bytes/s for large copies
+    latency_ns: float = 1_500.0      # per-transfer initiation latency
+    copy_engines: int = 2            # concurrent DMA engines
+    chunk_bytes: int = 2 * MIB       # DMA chunk granularity
+
+
+@dataclass(frozen=True)
+class UvmSpec:
+    """Unified-virtual-memory driver parameters."""
+
+    page_bytes: int = 4 * KIB
+    migration_block_bytes: int = 64 * KIB  # driver "vablock" granularity
+    fault_batch_size: int = 64             # vablocks serviced per fault batch
+    fault_service_ns: float = 4_200.0      # CPU-side servicing per batch
+    fault_stall_ns: float = 1_100.0        # SM-side pipeline drain per batch
+    migration_bandwidth_factor: float = 0.78  # demand migration vs peak link bw
+    prefetch_bandwidth_factor: float = 0.96   # bulk prefetch vs peak link bw
+    writeback_fraction: float = 1.0        # dirty output pages migrated back on host touch
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """The full heterogeneous system under study (Table 1)."""
+
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    gpu: GpuSpec = field(default_factory=GpuSpec)
+    link: LinkSpec = field(default_factory=LinkSpec)
+    uvm: UvmSpec = field(default_factory=UvmSpec)
+
+    def with_gpu(self, **kwargs) -> "SystemSpec":
+        return replace(self, gpu=replace(self.gpu, **kwargs))
+
+    def with_link(self, **kwargs) -> "SystemSpec":
+        return replace(self, link=replace(self.link, **kwargs))
+
+    def with_uvm(self, **kwargs) -> "SystemSpec":
+        return replace(self, uvm=replace(self.uvm, **kwargs))
+
+    def describe(self) -> str:
+        """Render a Table-1-style description of the system."""
+        cpu, gpu = self.cpu, self.gpu
+        lines = [
+            f"CPU   {cpu.cores}x {cpu.name} @ {cpu.frequency_ghz:.1f} GHz",
+            f"      {cpu.dram_channels}x {cpu.dram_chip_bytes // GIB} GB DDR4 "
+            f"({cpu.dram_bandwidth / 1e9:.0f} GB/s aggregate)",
+            f"GPU   {gpu.name} @ {int(gpu.frequency_ghz * 1000)} MHz, "
+            f"{gpu.sm_count} SMs x {gpu.cores_per_sm} cores",
+            f"      {gpu.hbm_bytes // GIB} GB HBM2 @ {gpu.hbm_bandwidth / 1e9:.0f} GB/s, "
+            f"L2 {gpu.l2_bytes // MIB} MB, unified L1 {gpu.unified_l1_bytes // KIB} KB/SM",
+            f"Link  {self.link.name} @ {self.link.bandwidth / 1e9:.0f} GB/s",
+        ]
+        return "\n".join(lines)
+
+
+def default_system() -> SystemSpec:
+    """The paper's evaluation platform (Table 1)."""
+    return SystemSpec()

@@ -1,0 +1,59 @@
+"""Host DRAM placement model.
+
+Reproduces the Fig. 6 effect: once a workload's host footprint
+approaches the capacity of a single DRAM chip, part of the data lands
+on another chip, and host-side transfer bandwidth becomes a per-run
+random variable. This is why the paper rejects the Mega input size
+for its main experiments (Takeaway 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .calibration import NoiseModel
+from .hardware import CpuSpec
+
+
+@dataclass(frozen=True)
+class HostPlacement:
+    """Where a run's host data landed, and what it costs."""
+
+    footprint_bytes: int
+    spill_fraction: float      # fraction of data on a remote chip
+    time_multiplier: float     # >= 1.0 applied to host-side transfer time
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spill_fraction <= 1.0:
+            raise ValueError("spill fraction outside [0, 1]")
+        if self.time_multiplier < 1.0:
+            raise ValueError("time multiplier below 1")
+
+
+def place_host_data(footprint_bytes: int, cpu: CpuSpec, noise: NoiseModel,
+                    rng: np.random.Generator) -> HostPlacement:
+    """Assign host data to DRAM chips for one run.
+
+    Below ``noise.spill_threshold`` of a chip's capacity, allocation
+    always fits locally. Above it, a uniformly random fraction of the
+    excess lands remote, where bandwidth drops by
+    ``cpu.remote_chip_penalty``.
+    """
+    if footprint_bytes < 0:
+        raise ValueError("negative footprint")
+    capacity = cpu.dram_chip_bytes
+    ratio = footprint_bytes / capacity
+    headroom = noise.spill_threshold
+    if ratio <= headroom:
+        return HostPlacement(footprint_bytes, 0.0, 1.0)
+
+    # The closer the footprint is to chip capacity, the larger the
+    # possible remote share. Draw the realized share per run.
+    max_spill = min(1.0, (ratio - headroom) / max(1.0 - headroom, 1e-9))
+    spill = float(rng.uniform(0.0, max_spill))
+    # Remote portion moves at penalty bandwidth; the blended transfer
+    # time multiplier follows from splitting the bytes.
+    multiplier = (1.0 - spill) + spill / cpu.remote_chip_penalty
+    return HostPlacement(footprint_bytes, spill, multiplier)

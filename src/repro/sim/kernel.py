@@ -1,0 +1,277 @@
+"""Kernel characterization descriptors.
+
+A :class:`KernelDescriptor` captures the structural facts about one
+CUDA kernel that determine how it responds to the five data-transfer
+configurations: its launch geometry, its tiling of global memory into
+shared memory, its compute density, its access regularity, and its
+instruction mix. Workloads produce descriptors; the timing and counter
+models consume them.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class AsyncMechanism(enum.Enum):
+    """How a kernel synchronizes its cp.async copies.
+
+    Sec. 3.2.1: the suite uses the CUDA Pipeline API "since it showed
+    better performance than Arrive/Wait Barriers" (both are modelled so
+    that claim is checkable). Arrive/wait barriers synchronize whole
+    thread groups per stage, costing extra cycles per copy batch.
+    """
+
+    PIPELINE = "pipeline"
+    ARRIVE_WAIT = "arrive_wait"
+
+
+class AccessPattern(enum.Enum):
+    """Global-memory access regularity classes used throughout the paper.
+
+    * ``SEQUENTIAL`` - fully coalesced streaming (vector_seq, saxpy).
+    * ``STRIDED`` - regular but with stride > 1 line (gemv columns, stencils).
+    * ``RANDOM`` - data-dependent scatter/gather (vector_rand).
+    * ``IRREGULAR`` - input-dependent, partially local (lud, kmeans).
+    """
+
+    SEQUENTIAL = "sequential"
+    STRIDED = "strided"
+    RANDOM = "random"
+    IRREGULAR = "irregular"
+
+    @property
+    def prefetch_friendly(self) -> bool:
+        """Whether the UVM/L2 prefetcher can predict this pattern."""
+        return self in (AccessPattern.SEQUENTIAL, AccessPattern.STRIDED)
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Dynamic instruction counts for one kernel invocation (whole grid)."""
+
+    memory: float = 0.0
+    fp: float = 0.0
+    integer: float = 0.0
+    control: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("memory", "fp", "integer", "control"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"instruction count {name} must be >= 0")
+
+    @property
+    def total(self) -> float:
+        return self.memory + self.fp + self.integer + self.control
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        return InstructionMix(
+            memory=self.memory * factor,
+            fp=self.fp * factor,
+            integer=self.integer * factor,
+            control=self.control * factor,
+        )
+
+    def plus(self, other: "InstructionMix") -> "InstructionMix":
+        return InstructionMix(
+            memory=self.memory + other.memory,
+            fp=self.fp + other.fp,
+            integer=self.integer + other.integer,
+            control=self.control + other.control,
+        )
+
+
+@dataclass(frozen=True)
+class KernelDescriptor:
+    """Structural characterization of one GPU kernel.
+
+    Sizes describe the *whole grid*: the kernel loads
+    ``blocks * tiles_per_block * tile_bytes`` bytes from global memory
+    (before reuse through caches) and writes ``write_bytes`` back.
+    """
+
+    name: str
+    blocks: int
+    threads_per_block: int
+    tiles_per_block: int
+    tile_bytes: int
+    # GPU cycles one block spends computing on one tile (at full
+    # thread utilization within the block).
+    compute_cycles_per_tile: float
+    access_pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    write_bytes: int = 0
+    write_pattern: Optional[AccessPattern] = None  # defaults to access_pattern
+    # Shared memory statically used per block *excluding* the staging
+    # buffers (which are tile_bytes for sync staging, 2x for async
+    # double buffering).
+    smem_static_bytes: int = 0
+    registers_per_thread: int = 32
+    # Number of cp.async instructions needed per tile per block. Small
+    # scattered rows (conv halos) need many; bulk vectors need few.
+    async_copies_per_tile: Optional[int] = None
+    # SM cycles of front-end work per cp.async copy; defaults to the
+    # calibration value. Kernels staging tiny, misaligned segments
+    # (stencil halo rows) pay far more per copy than bulk copies.
+    async_control_cycles_per_copy: Optional[float] = None
+    # Set when the kernel's staging loop must barrier per copy batch
+    # (halo exchanges): cp.async then pays its control cost without
+    # gaining overlap, regardless of buffer capacity.
+    async_serializes: bool = False
+    # Which cp.async synchronization primitive the kernel uses
+    # (Sec. 3.2.1 compares them; Pipeline is the suite's default).
+    async_mechanism: AsyncMechanism = AsyncMechanism.PIPELINE
+    # Fraction of peak HBM bandwidth this kernel achieves, overriding
+    # the pattern-derived default. Set for tuned kernels (the paper's
+    # CUTLASS-validated gemm) whose loads are wide and pipelined; such
+    # kernels are not limited by per-thread memory-level parallelism.
+    bandwidth_efficiency: Optional[float] = None
+    # Average number of times each staged global byte is consumed.
+    reuse: float = 1.0
+    # Fraction of the kernel's nominal input footprint actually touched
+    # (drives UVM demand-migration volume).
+    touched_fraction: float = 1.0
+    # Unique bytes of input data the kernel reads (the demand-paging
+    # footprint). Defaults to load_bytes / reuse; kernels whose tiling
+    # re-streams data many times (gemm) must set it to the actual
+    # buffer size so UVM does not re-migrate every re-read.
+    data_footprint_bytes: Optional[int] = None
+    # Baseline unified-L1 miss rates under the standard config; if
+    # None they are derived from the access pattern.
+    l1_load_miss: Optional[float] = None
+    l1_store_miss: Optional[float] = None
+    # Instruction mix per *tile per block* (grid totals are derived).
+    insts_per_tile: InstructionMix = field(default_factory=InstructionMix)
+    # How much of min(load, compute) the *synchronous* staging version
+    # already hides via warp scheduling / manual double buffering.
+    # 0.0 = barrier-bound naive staging (the Svedin-style vector
+    # kernels); 1.0 = fully software-pipelined (the paper's gemm, which
+    # they validated against CUTLASS).
+    sync_overlap: float = 0.0
+    # Set when a later kernel re-reads this kernel's working set; a
+    # bulk prefetch for the *other* kernel then invalidates locality
+    # (the paper's nw case).
+    shares_data_with_next: bool = False
+    # Prefetcher accuracy override (defaults derived from pattern).
+    prefetch_accuracy: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1:
+            raise ValueError(f"kernel {self.name!r}: blocks must be >= 1")
+        if not 1 <= self.threads_per_block <= 1024:
+            raise ValueError(
+                f"kernel {self.name!r}: threads_per_block must be in [1, 1024], "
+                f"got {self.threads_per_block}"
+            )
+        if self.tiles_per_block < 1:
+            raise ValueError(f"kernel {self.name!r}: tiles_per_block must be >= 1")
+        if self.tile_bytes < 1:
+            raise ValueError(f"kernel {self.name!r}: tile_bytes must be >= 1")
+        if self.compute_cycles_per_tile < 0:
+            raise ValueError(f"kernel {self.name!r}: negative compute cycles")
+        if self.write_bytes < 0:
+            raise ValueError(f"kernel {self.name!r}: negative write bytes")
+        if self.reuse < 1.0:
+            raise ValueError(f"kernel {self.name!r}: reuse must be >= 1")
+        if not 0.0 < self.touched_fraction <= 1.0:
+            raise ValueError(
+                f"kernel {self.name!r}: touched_fraction must be in (0, 1]"
+            )
+        if not 0.0 <= self.sync_overlap <= 1.0:
+            raise ValueError(f"kernel {self.name!r}: sync_overlap must be in [0, 1]")
+        if self.bandwidth_efficiency is not None and not 0.0 < self.bandwidth_efficiency <= 1.0:
+            raise ValueError(
+                f"kernel {self.name!r}: bandwidth_efficiency must be in (0, 1]"
+            )
+        for attr in ("l1_load_miss", "l1_store_miss", "prefetch_accuracy"):
+            value = getattr(self, attr)
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise ValueError(f"kernel {self.name!r}: {attr} must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def footprint_bytes(self) -> float:
+        """Unique input bytes (what UVM must migrate on first touch)."""
+        if self.data_footprint_bytes is not None:
+            return float(self.data_footprint_bytes)
+        return self.load_bytes / self.reuse
+
+    @property
+    def load_bytes(self) -> int:
+        """Total global-memory load traffic staged through shared memory."""
+        return self.blocks * self.tiles_per_block * self.tile_bytes
+
+    @property
+    def total_tiles(self) -> int:
+        return self.blocks * self.tiles_per_block
+
+    @property
+    def compute_cycles(self) -> float:
+        """Total block-level compute cycles across the grid."""
+        return self.total_tiles * self.compute_cycles_per_tile
+
+    @property
+    def effective_write_pattern(self) -> AccessPattern:
+        return self.write_pattern or self.access_pattern
+
+    def async_copies(self) -> int:
+        """cp.async instructions issued per tile per block."""
+        if self.async_copies_per_tile is not None:
+            return self.async_copies_per_tile
+        # Default: one 16-byte cp.async per thread strip-mined over the tile.
+        per_copy = 16
+        return max(1, math.ceil(self.tile_bytes / per_copy / self.threads_per_block))
+
+    def base_instructions(self) -> InstructionMix:
+        """Grid-total dynamic instruction mix (standard configuration)."""
+        return self.insts_per_tile.scaled(self.total_tiles)
+
+    def derived_prefetch_accuracy(self) -> float:
+        """Fraction of this kernel's pages a bulk prefetcher stages usefully."""
+        if self.prefetch_accuracy is not None:
+            return self.prefetch_accuracy
+        return {
+            AccessPattern.SEQUENTIAL: 0.98,
+            AccessPattern.STRIDED: 0.90,
+            AccessPattern.RANDOM: 0.55,
+            AccessPattern.IRREGULAR: 0.35,
+        }[self.access_pattern]
+
+    def with_geometry(self, blocks: Optional[int] = None,
+                      threads_per_block: Optional[int] = None) -> "KernelDescriptor":
+        """Re-tile the same total work onto a different launch geometry.
+
+        Used by the sensitivity studies (Figs. 11 and 12): the total
+        element count, byte traffic, and compute are preserved while the
+        grid/block shape changes.
+        """
+        new_blocks = blocks if blocks is not None else self.blocks
+        new_threads = (threads_per_block if threads_per_block is not None
+                       else self.threads_per_block)
+        if new_blocks < 1:
+            raise ValueError("blocks must be >= 1")
+        total_tiles = self.total_tiles
+        new_tiles_per_block = max(1, round(total_tiles / new_blocks))
+        # Preserve total traffic: adjust tile_bytes so that
+        # blocks * tiles * tile_bytes stays constant.
+        total_bytes = self.load_bytes
+        new_tile_bytes = max(1, round(total_bytes / (new_blocks * new_tiles_per_block)))
+        # Compute per tile scales with tile size; thread shortfall is
+        # handled by the SM utilization model, not here.
+        cycles_per_byte = (self.compute_cycles_per_tile / self.tile_bytes
+                           if self.tile_bytes else 0.0)
+        insts_scale = new_tile_bytes / self.tile_bytes
+        return replace(
+            self,
+            blocks=new_blocks,
+            threads_per_block=new_threads,
+            tiles_per_block=new_tiles_per_block,
+            tile_bytes=new_tile_bytes,
+            compute_cycles_per_tile=cycles_per_byte * new_tile_bytes,
+            insts_per_tile=self.insts_per_tile.scaled(insts_scale),
+            async_copies_per_tile=None,
+        )

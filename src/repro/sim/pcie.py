@@ -1,0 +1,98 @@
+"""Host-device interconnect model.
+
+The link is a counted resource (one slot per DMA copy engine); each
+transfer holds an engine for its duration. Durations follow the
+bandwidth model of the active path:
+
+* explicit ``cudaMemcpy`` from pageable host memory pays the pageable
+  staging penalty,
+* UVM demand migration moves 64 KiB blocks at fault-limited bandwidth,
+* UVM bulk prefetch streams at close to peak link bandwidth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .calibration import Calibration
+from .engine import Environment, Resource
+from .hardware import SystemSpec
+
+
+class TransferKind(enum.Enum):
+    """The host-device transfer paths, each with its own bandwidth."""
+
+    H2D = "h2d"
+    D2H = "d2h"
+    H2D_PINNED = "h2d_pinned"
+    D2H_PINNED = "d2h_pinned"
+    MIGRATE_H2D = "uvm_migrate_h2d"
+    MIGRATE_D2H = "uvm_migrate_d2h"
+    PREFETCH = "uvm_prefetch"
+
+
+@dataclass(frozen=True)
+class TransferTiming:
+    kind: TransferKind
+    bytes: int
+    duration_ns: float
+
+
+class PcieLink:
+    """The PCIe link with its DMA copy engines."""
+
+    def __init__(self, env: Environment, system: SystemSpec, calib: Calibration):
+        self.env = env
+        self.system = system
+        self.calib = calib
+        self.engines = Resource(env, capacity=system.link.copy_engines, name="pcie")
+
+    def effective_bandwidth(self, kind: TransferKind) -> float:
+        """Bytes/s for one transfer kind (before host-placement effects)."""
+        link = self.system.link
+        uvm = self.system.uvm
+        transfer = self.calib.transfer
+        bandwidth = link.bandwidth
+        if kind is TransferKind.H2D:
+            bandwidth *= transfer.pageable_factor
+        elif kind is TransferKind.D2H:
+            bandwidth *= transfer.pageable_factor * transfer.d2h_bandwidth_factor
+        elif kind is TransferKind.D2H_PINNED:
+            # Page-locked memory: full DMA bandwidth, no staging copy.
+            bandwidth *= transfer.d2h_bandwidth_factor
+        elif kind in (TransferKind.MIGRATE_H2D, TransferKind.MIGRATE_D2H):
+            bandwidth *= uvm.migration_bandwidth_factor
+        elif kind is TransferKind.PREFETCH:
+            bandwidth *= uvm.prefetch_bandwidth_factor
+        return bandwidth
+
+    def duration_ns(self, kind: TransferKind, num_bytes: int,
+                    host_multiplier: float = 1.0) -> float:
+        """Predicted duration of a transfer (excluding queueing)."""
+        if num_bytes < 0:
+            raise ValueError("negative transfer size")
+        if num_bytes == 0:
+            return 0.0
+        link = self.system.link
+        bandwidth = self.effective_bandwidth(kind)
+        wire_ns = num_bytes / bandwidth * 1e9 * host_multiplier
+        explicit = kind in (TransferKind.H2D, TransferKind.D2H,
+                            TransferKind.H2D_PINNED,
+                            TransferKind.D2H_PINNED)
+        call_ns = self.calib.transfer.memcpy_call_ns if explicit else 0.0
+        return link.latency_ns + call_ns + wire_ns
+
+    def transfer(self, kind: TransferKind, num_bytes: int,
+                 host_multiplier: float = 1.0):
+        """Process fragment: run one transfer through a copy engine.
+
+        Returns (via the process protocol) a :class:`TransferTiming`.
+        """
+        duration = self.duration_ns(kind, num_bytes, host_multiplier)
+        yield self.engines.request()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.engines.release()
+        return TransferTiming(kind=kind, bytes=num_bytes, duration_ns=duration)

@@ -1,0 +1,275 @@
+"""CUDA-like runtime executing on the discrete-event engine.
+
+:class:`CudaRuntime` exposes the primitives the paper's five
+configurations are built from - ``cudaMalloc``/``cudaMallocManaged``,
+``cudaMemcpy``, ``cudaMemPrefetchAsync``, kernel launch, ``cudaFree`` -
+as process fragments over shared resources (host allocator thread,
+PCIe copy engines, GPU compute). Every operation lands in a
+:class:`~repro.sim.trace.Timeline` under the paper's three accounting
+categories: ``allocation``, ``memcpy``, ``gpu_kernel``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .calibration import Calibration
+from .counters import CounterReport, KernelCounters
+from .engine import Environment, Resource
+from .hardware import SystemSpec
+from .hostmem import HostPlacement, place_host_data
+from .kernel import KernelDescriptor
+from .pcie import PcieLink, TransferKind
+from .timing import ConfigFlags, KernelExecution, simulate_kernel
+from .trace import Timeline
+from .uvm import ManagedSpace
+
+
+class CudaRuntime:
+    """One simulated process' view of the CUDA runtime."""
+
+    def __init__(self, system: SystemSpec, calib: Calibration,
+                 rng: np.random.Generator,
+                 footprint_bytes: int = 0,
+                 smem_carveout_bytes: Optional[int] = None,
+                 env: Optional[Environment] = None,
+                 host_cpu: Optional[Resource] = None):
+        self.system = system
+        self.calib = calib
+        self.rng = rng
+        self.env = env or Environment()
+        self.link = PcieLink(self.env, system, calib)
+        self.gpu_compute = Resource(self.env, capacity=1, name="gpu_compute")
+        # Multi-GPU setups share one host allocator thread across the
+        # per-device runtimes.
+        self.host_cpu = host_cpu if host_cpu is not None else Resource(
+            self.env, capacity=1, name="host_cpu")
+        self.timeline = Timeline()
+        self.counters = CounterReport()
+        self.managed = ManagedSpace(system.uvm, system.gpu.hbm_bytes)
+        self.smem_carveout_bytes = (smem_carveout_bytes
+                                    if smem_carveout_bytes is not None
+                                    else system.gpu.default_shared_mem_bytes)
+        self.placement: HostPlacement = place_host_data(
+            footprint_bytes, system.cpu, calib.noise, rng)
+        self.executions: list = []
+        self._jitter_charged = False
+
+    # ------------------------------------------------------------------
+    # Noise helpers
+    # ------------------------------------------------------------------
+    def _noisy(self, value_ns: float, sigma: float) -> float:
+        if sigma <= 0 or value_ns <= 0:
+            return value_ns
+        return value_ns * float(self.rng.lognormal(mean=0.0, sigma=sigma))
+
+    def _alloc_duration(self, base_ns: float, per_byte_ns: float,
+                        num_bytes: int) -> float:
+        duration = base_ns + per_byte_ns * num_bytes
+        if not self._jitter_charged:
+            # Once per run: OS scheduling / driver lock jitter.
+            duration += abs(float(self.rng.normal(0.0, self.calib.noise.os_jitter_ns)))
+            self._jitter_charged = True
+        noise = self.calib.noise
+        mib = max(1.0, num_bytes / (1024.0 * 1024.0))
+        sigma = noise.alloc_sigma + noise.small_alloc_sigma / mib ** 0.5
+        return self._noisy(duration, sigma)
+
+    # ------------------------------------------------------------------
+    # Allocation primitives (host-CPU resource, "allocation" category)
+    # ------------------------------------------------------------------
+    def _host_op(self, name: str, duration_ns: float, category: str = "allocation"):
+        yield self.host_cpu.request()
+        start = self.env.now
+        try:
+            yield self.env.timeout(duration_ns)
+        finally:
+            self.host_cpu.release()
+        self.timeline.record(name, category, start, self.env.now)
+
+    def malloc_host(self, name: str, num_bytes: int, pinned: bool = False):
+        """Host allocation: pageable ``malloc`` or page-locked
+        ``cudaMallocHost`` (required for async copies, costs pin time)."""
+        costs = self.calib.alloc
+        if pinned:
+            duration = (costs.pinned_base_ns
+                        + costs.pinned_per_byte_ns * num_bytes)
+            label = f"cudaMallocHost:{name}"
+        else:
+            duration = (costs.host_base_ns
+                        + costs.host_per_byte_ns * num_bytes)
+            label = f"malloc_host:{name}"
+        duration = self._noisy(duration, self.calib.noise.alloc_sigma)
+        yield from self._host_op(label, duration)
+
+    def malloc_device(self, name: str, num_bytes: int):
+        costs = self.calib.alloc
+        duration = self._alloc_duration(costs.device_base_ns,
+                                        costs.device_per_byte_ns, num_bytes)
+        yield from self._host_op(f"cudaMalloc:{name}", duration)
+
+    def malloc_managed(self, name: str, num_bytes: int,
+                       host_populated: bool = True):
+        """cudaMallocManaged. ``host_populated`` ranges are initialized
+        by the host, which faults in and populates every backing page;
+        device-only ranges (scratch, outputs) stay lazily mapped."""
+        costs = self.calib.alloc
+        per_byte = costs.managed_per_byte_ns if host_populated \
+            else costs.device_per_byte_ns
+        duration = self._alloc_duration(costs.managed_base_ns, per_byte,
+                                        num_bytes)
+        self.managed.allocate(name, num_bytes)
+        yield from self._host_op(f"cudaMallocManaged:{name}", duration)
+
+    def free(self, name: str, num_bytes: int, managed: bool = False):
+        costs = self.calib.alloc
+        duration = self._noisy(costs.free_base_ns + costs.free_per_byte_ns * num_bytes,
+                               self.calib.noise.alloc_sigma)
+        if managed:
+            self.managed.free(name)
+        yield from self._host_op(f"cudaFree:{name}", duration)
+
+    # ------------------------------------------------------------------
+    # Transfer primitives (PCIe link, "memcpy" category)
+    # ------------------------------------------------------------------
+    def _transfer(self, label: str, kind: TransferKind, num_bytes: int):
+        if num_bytes <= 0:
+            return None
+        start = self.env.now
+        timing = yield from self.link.transfer(
+            kind, num_bytes, host_multiplier=self.placement.time_multiplier)
+        # Re-time with measurement noise: the queueing already happened,
+        # noise perturbs the recorded duration symmetrically.
+        noisy_end = start + self._noisy(self.env.now - start,
+                                        self.calib.noise.memcpy_sigma)
+        self.timeline.record(label, "memcpy", start, max(noisy_end, start))
+        return timing
+
+    def memcpy_h2d(self, name: str, num_bytes: int):
+        yield from self._transfer(f"cudaMemcpy H2D:{name}", TransferKind.H2D,
+                                  num_bytes)
+
+    def memcpy_d2h(self, name: str, num_bytes: int):
+        yield from self._transfer(f"cudaMemcpy D2H:{name}", TransferKind.D2H,
+                                  num_bytes)
+
+    def uvm_prefetch(self, name: str, fraction: float = 1.0):
+        plan = self.managed.prefetch(name, fraction)
+        yield from self._transfer(f"cudaMemPrefetchAsync:{name}",
+                                  TransferKind.PREFETCH, plan.h2d_bytes)
+
+    def uvm_host_read(self, name: str, fraction: float):
+        plan = self.managed.host_read(name, fraction)
+        yield from self._transfer(f"uvm writeback:{name}",
+                                  TransferKind.MIGRATE_D2H, plan.d2h_bytes)
+
+    # ------------------------------------------------------------------
+    # Kernel launch ("gpu_kernel" category)
+    # ------------------------------------------------------------------
+    def launch(self, desc: KernelDescriptor, flags: ConfigFlags,
+               resident_fraction: float = 1.0):
+        execution = simulate_kernel(
+            desc, flags, self.system, self.calib,
+            smem_carveout_bytes=self.smem_carveout_bytes,
+            resident_fraction=resident_fraction,
+        )
+        duration = self._noisy(execution.duration_ns,
+                               self.calib.noise.kernel_sigma)
+
+        if execution.demand_migrated_bytes > 0:
+            # Demand migration streams over the link concurrently with
+            # the (stalling) kernel; it is accounted as memcpy time,
+            # exactly as nvprof reports "Unified Memory Memcpy".
+            self.env.process(
+                self._transfer(f"uvm migrate:{desc.name}",
+                               TransferKind.MIGRATE_H2D,
+                               execution.demand_migrated_bytes),
+                name=f"migrate:{desc.name}",
+            )
+
+        yield self.gpu_compute.request()
+        start = self.env.now
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.gpu_compute.release()
+        self.timeline.record(f"kernel:{desc.name}", "gpu_kernel", start,
+                             self.env.now)
+        self.counters.add(execution.counters)
+        self.executions.append(execution)
+        return execution
+
+    def launch_repeated(self, desc: KernelDescriptor, flags: ConfigFlags,
+                        count: int, resident_first: float = 1.0,
+                        resident_rest: float = 1.0):
+        """Launch the same kernel ``count`` times.
+
+        Iterative applications (kmeans, srad, pathfinder) launch one
+        kernel hundreds of times; only the first launch can fault on
+        cold data. The kernel is simulated at most twice (cold + warm)
+        and the GPU is held for the combined duration, so the cost of
+        simulating a run stays independent of the iteration count.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        first = simulate_kernel(desc, flags, self.system, self.calib,
+                                smem_carveout_bytes=self.smem_carveout_bytes,
+                                resident_fraction=resident_first)
+        rest = None
+        if count > 1:
+            if resident_rest == resident_first:
+                rest = first
+            else:
+                rest = simulate_kernel(desc, flags, self.system, self.calib,
+                                       smem_carveout_bytes=self.smem_carveout_bytes,
+                                       resident_fraction=resident_rest)
+
+        total_ns = first.duration_ns + (count - 1) * (rest.duration_ns if rest else 0.0)
+        duration = self._noisy(total_ns, self.calib.noise.kernel_sigma)
+
+        migrate_bytes = first.demand_migrated_bytes
+        if rest is not None:
+            migrate_bytes += (count - 1) * rest.demand_migrated_bytes
+        if migrate_bytes > 0:
+            self.env.process(
+                self._transfer(f"uvm migrate:{desc.name}",
+                               TransferKind.MIGRATE_H2D, migrate_bytes),
+                name=f"migrate:{desc.name}",
+            )
+
+        yield self.gpu_compute.request()
+        start = self.env.now
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.gpu_compute.release()
+        self.timeline.record(f"kernel:{desc.name} x{count}", "gpu_kernel",
+                             start, self.env.now)
+
+        # Aggregate counters across the repeats.
+        base = first.counters
+        repeats = (rest.counters if rest else base)
+        combined = KernelCounters(
+            kernel_name=base.kernel_name,
+            instructions=base.instructions.plus(
+                repeats.instructions.scaled(count - 1)),
+            l1=base.l1,
+            dram_load_bytes=base.dram_load_bytes * count,
+            dram_store_bytes=base.dram_store_bytes * count,
+            occupancy=base.occupancy,
+        )
+        self.counters.add(combined)
+        self.executions.append(first)
+        return first
+
+    # ------------------------------------------------------------------
+    # Run-level results
+    # ------------------------------------------------------------------
+    def run(self, process) -> None:
+        """Drive a composed program process to completion."""
+        self.env.run_process(process, name="program")
+
+    def breakdown(self) -> dict:
+        return self.timeline.breakdown()

@@ -1,0 +1,132 @@
+"""Streaming-multiprocessor occupancy and throughput model.
+
+Maps a kernel launch onto SMs: how many blocks are resident per SM
+(limited by threads, shared memory, registers, and the hardware block
+cap), how many SMs are active, the achievable memory-level parallelism
+(which depends on resident threads), and the occupancy metric the
+paper reports in Section 6.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .hardware import GpuSpec
+from .kernel import KernelDescriptor
+
+# Threads needed per SM to keep the FP32 pipes fully fed (two warps per
+# scheduler on A100-class parts).
+FULL_UTILIZATION_THREADS = 128
+
+# Per-SM load/store unit ceiling on sustained global-memory bandwidth.
+PER_SM_BANDWIDTH_CAP = 8.0e9  # bytes/s
+
+# Sustained global bandwidth one resident thread's outstanding loads
+# generate through the register-file path. The benchmark kernels issue
+# one dependent element at a time (Fig. 3's staging loop), so a thread
+# sustains far below the LSU peak; ~4096 resident threads saturate the
+# bandwidth these kernels can extract (this is what makes Fig. 11's
+# block sweep flat and Fig. 12's thread sweep steep).
+PER_THREAD_BANDWIDTH = 16.1e6  # bytes/s
+
+# cp.async lets each thread keep several copies in flight, multiplying
+# its effective memory-level parallelism.
+ASYNC_MLP_FACTOR = 4.0
+
+BYTES_PER_REGISTER = 4
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of one kernel on the GPU."""
+
+    blocks_per_sm: int
+    active_sms: int
+    resident_threads_per_sm: int
+    limiter: str
+
+    @property
+    def concurrent_blocks(self) -> int:
+        return self.blocks_per_sm * self.active_sms
+
+    def occupancy_fraction(self, gpu: GpuSpec) -> float:
+        """Resident warps / max warps, weighted by active SM share."""
+        per_sm = self.resident_threads_per_sm / gpu.max_threads_per_sm
+        return min(1.0, per_sm) * (self.active_sms / gpu.sm_count)
+
+    def compute_throughput(self) -> float:
+        """Block-cycles of work retired per GPU cycle per active SM."""
+        return min(1.0, self.resident_threads_per_sm / FULL_UTILIZATION_THREADS)
+
+    def memory_bandwidth(self, gpu: GpuSpec, pattern_efficiency: float,
+                         use_async: bool = False,
+                         thread_limited: bool = True) -> float:
+        """Achievable global-memory load bandwidth (bytes/s) for this launch.
+
+        ``thread_limited`` kernels (the naive one-element-per-thread
+        staging loops of the benchmark suite) are additionally bounded
+        by the memory-level parallelism their resident threads provide;
+        tuned kernels with wide, pipelined loads are not.
+        """
+        roofline = gpu.hbm_bandwidth * pattern_efficiency
+        if not thread_limited:
+            return roofline
+        per_thread = PER_THREAD_BANDWIDTH * (ASYNC_MLP_FACTOR if use_async else 1.0)
+        per_sm = min(PER_SM_BANDWIDTH_CAP, self.resident_threads_per_sm * per_thread)
+        return min(roofline, self.active_sms * per_sm)
+
+
+def smem_per_block(desc: KernelDescriptor, use_async: bool) -> int:
+    """Shared memory one block needs: static usage plus staging buffers.
+
+    Synchronous staging needs one tile buffer; the async pipeline needs
+    two (double buffering).
+    """
+    buffers = 2 if use_async else 1
+    return desc.smem_static_bytes + buffers * desc.tile_bytes
+
+
+def occupancy_for(desc: KernelDescriptor, gpu: GpuSpec,
+                  smem_carveout_bytes: int, use_async: bool) -> Occupancy:
+    """Compute block residency for a launch under a given smem carveout."""
+    limits = {
+        "threads": gpu.max_threads_per_sm // desc.threads_per_block,
+        "blocks": gpu.max_blocks_per_sm,
+    }
+    need_smem = smem_per_block(desc, use_async)
+    if need_smem > 0:
+        limits["shared_memory"] = smem_carveout_bytes // need_smem
+    reg_bytes = desc.registers_per_thread * desc.threads_per_block * BYTES_PER_REGISTER
+    if reg_bytes > 0:
+        limits["registers"] = gpu.register_file_bytes // reg_bytes
+
+    limiter, blocks_per_sm = min(limits.items(), key=lambda item: item[1])
+    # Even if a block's tile does not fit the carveout, the launch still
+    # runs (the real compiler would spill or the programmer would shrink
+    # tiles); residency bottoms out at one block per SM and the timing
+    # model separately disables double-buffering overlap.
+    blocks_per_sm = max(1, blocks_per_sm)
+
+    # The hardware scheduler spreads blocks across SMs round-robin, so a
+    # 64-block grid occupies 64 SMs with one block each - it never packs
+    # them onto a handful of SMs.
+    active_sms = min(gpu.sm_count, desc.blocks)
+    resident_blocks = min(blocks_per_sm, math.ceil(desc.blocks / active_sms))
+    resident_threads = resident_blocks * desc.threads_per_block
+    return Occupancy(
+        blocks_per_sm=blocks_per_sm,
+        active_sms=active_sms,
+        resident_threads_per_sm=resident_threads,
+        limiter=limiter,
+    )
+
+
+def pipeline_fits(desc: KernelDescriptor, gpu: GpuSpec,
+                  smem_carveout_bytes: int) -> bool:
+    """Whether the async double buffer fits the shared-memory carveout.
+
+    When it does not, cp.async degenerates to a single-buffer copy:
+    all overhead, no overlap (Takeaway 5).
+    """
+    return smem_per_block(desc, use_async=True) <= smem_carveout_bytes

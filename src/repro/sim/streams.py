@@ -1,0 +1,75 @@
+"""CUDA stream semantics on top of the runtime.
+
+The paper's related work (Gregg & Hazelwood; Hestness et al.) overlaps
+transfer and compute *explicitly*, with multiple streams and chunked
+``cudaMemcpyAsync`` - the hand-tuned baseline UVM aims to replace.
+This module adds stream objects to the runtime: per-stream FIFO
+ordering, cross-stream concurrency arbitrated by the hardware
+resources (copy engines, GPU queue), and event-style dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from .engine import Event, Process
+from .runtime import CudaRuntime
+
+
+class CudaStream:
+    """One in-order queue of asynchronous runtime operations.
+
+    Operations enqueued on the same stream execute in order; operations
+    on different streams overlap wherever the copy engines / GPU queue
+    allow - exactly CUDA's model.
+    """
+
+    def __init__(self, rt: CudaRuntime, name: str = "stream"):
+        self.rt = rt
+        self.name = name
+        self._tail: Optional[Process] = None
+        self._sequence = 0
+
+    def enqueue(self, fragment: Generator,
+                after: Optional[Event] = None) -> Process:
+        """Queue a runtime process fragment on this stream.
+
+        ``after`` adds a cross-stream dependency (cudaStreamWaitEvent):
+        the operation starts only once both the stream's previous
+        operation and ``after`` have completed.
+        """
+        self._sequence += 1
+        predecessor = self._tail
+
+        def op():
+            if predecessor is not None and not predecessor.processed:
+                yield predecessor
+            if after is not None and not after.processed:
+                yield after
+            result = yield from fragment
+            return result
+
+        process = self.rt.env.process(
+            op(), name=f"{self.name}:{self._sequence}")
+        self._tail = process
+        return process
+
+    def synchronize(self) -> Generator:
+        """Process fragment: wait until the stream drains
+        (cudaStreamSynchronize)."""
+        tail = self._tail
+        if tail is not None and not tail.processed:
+            yield tail
+        return None
+
+    @property
+    def pending(self) -> bool:
+        return self._tail is not None and not self._tail.processed
+
+
+def device_synchronize(rt: CudaRuntime, *streams: CudaStream) -> Generator:
+    """Process fragment: wait for every given stream
+    (cudaDeviceSynchronize over the streams in use)."""
+    for stream in streams:
+        yield from stream.synchronize()
+    return None

@@ -1,0 +1,242 @@
+"""Configuration-dependent kernel timing model.
+
+Given a :class:`~repro.sim.kernel.KernelDescriptor` and the active
+data-transfer configuration, this module predicts the SM-visible
+kernel duration, decomposed the way the paper reasons about it:
+
+* **Load stage** - global->shared staging traffic at the achievable
+  bandwidth for the kernel's access pattern and residency (occupancy
+  drives memory-level parallelism).
+* **Compute stage** - block-cycles retired by the active SMs, plus the
+  cp.async control-instruction overhead when the async pipeline is on.
+* **Overlap** - synchronous staging serializes load and compute inside
+  a block; cp.async overlaps them when the double buffer fits the
+  shared-memory carveout (Takeaway 5).
+* **UVM effects** - page-walk tax, far-fault stalls for bytes not yet
+  resident, L2-warming gains after an accurate bulk prefetch, and L1
+  pressure when the carveout squeezes the cache (Fig. 13).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .calibration import Calibration
+from .counters import KernelCounters, collect_counters
+from .hardware import SystemSpec
+from .kernel import AccessPattern, AsyncMechanism, KernelDescriptor
+from .sm import Occupancy, occupancy_for, pipeline_fits
+
+
+@dataclass(frozen=True)
+class ConfigFlags:
+    """How one kernel is executed under a transfer configuration."""
+
+    use_async: bool = False
+    managed: bool = False
+    prefetched: bool = False
+
+    def __post_init__(self) -> None:
+        if self.prefetched and not self.managed:
+            raise ValueError("prefetch only applies to managed (UVM) memory")
+
+
+@dataclass(frozen=True)
+class KernelExecution:
+    """Outcome of simulating one kernel launch."""
+
+    name: str
+    duration_ns: float          # SM-visible time, including fault stalls
+    load_ns: float              # memory-stage component
+    compute_ns: float           # compute + control component
+    fault_stall_ns: float       # far-fault servicing serialized into the kernel
+    fault_batches: int
+    demand_migrated_bytes: int  # bytes the UVM driver moves during this kernel
+    occupancy_fraction: float
+    counters: KernelCounters
+
+    def __post_init__(self) -> None:
+        if self.duration_ns < 0:
+            raise ValueError("negative kernel duration")
+
+
+def _memory_time_ns(desc: KernelDescriptor, occ: Occupancy, system: SystemSpec,
+                    calib: Calibration, flags: ConfigFlags,
+                    smem_carveout_bytes: int) -> tuple:
+    """(time to move the kernel's global-memory traffic, load bandwidth)."""
+    gpu = system.gpu
+    thread_limited = desc.bandwidth_efficiency is None
+    efficiency = (desc.bandwidth_efficiency if desc.bandwidth_efficiency is not None
+                  else calib.kernel.pattern_efficiency[desc.access_pattern])
+    bandwidth = occ.memory_bandwidth(gpu, efficiency, use_async=flags.use_async,
+                                     thread_limited=thread_limited)
+    if flags.use_async:
+        bandwidth *= calib.kernel.async_bandwidth_gain
+        if desc.access_pattern is AccessPattern.IRREGULAR:
+            # L1-bypass effect: irregular kernels keep their reusable
+            # lines resident once bulk fills stop evicting them.
+            bandwidth *= calib.kernel.async_irregular_gain
+
+    warm_l2 = (flags.managed and flags.prefetched
+               and desc.access_pattern.prefetch_friendly)
+    if warm_l2:
+        # Bulk prefetch leaves migrated pages warm in the L2, so
+        # staging loads stream from L2 rather than HBM. Strided
+        # patterns retain only part of the gain.
+        gain = calib.kernel.prefetch_l2_gain
+        if desc.access_pattern is AccessPattern.STRIDED:
+            gain = 1.0 + (gain - 1.0) * calib.kernel.strided_prefetch_retention
+        gain = 1.0 + (gain - 1.0) * desc.derived_prefetch_accuracy()
+        bandwidth *= gain
+
+    unique = desc.load_bytes / desc.reuse
+    reused = desc.load_bytes - unique
+    load_ns = unique / bandwidth * 1e9
+    if reused > 0:
+        load_ns += reused / (bandwidth * calib.kernel.cached_reuse_bandwidth_factor) * 1e9
+
+    if desc.write_bytes:
+        write_eff = (desc.bandwidth_efficiency
+                     if desc.bandwidth_efficiency is not None
+                     else calib.kernel.pattern_efficiency[desc.effective_write_pattern])
+        store_bw = occ.memory_bandwidth(gpu, write_eff, use_async=False,
+                                        thread_limited=thread_limited)
+        if warm_l2 and desc.effective_write_pattern.prefetch_friendly:
+            # Stores coalesce into L2-resident, freshly migrated pages.
+            store_bw *= calib.kernel.prefetch_l2_gain
+        load_ns += desc.write_bytes / store_bw * 1e9
+    return load_ns, bandwidth
+
+
+def _compute_time_ns(desc: KernelDescriptor, occ: Occupancy,
+                     system: SystemSpec) -> float:
+    throughput = occ.compute_throughput()  # block-cycles per cycle per SM
+    cycles = desc.compute_cycles / (occ.active_sms * max(throughput, 1e-9))
+    return cycles * system.gpu.clock_ns
+
+
+def _control_time_ns(desc: KernelDescriptor, occ: Occupancy, system: SystemSpec,
+                     calib: Calibration) -> float:
+    """SM time spent issuing/retiring cp.async control work."""
+    copies = desc.async_copies() * desc.total_tiles
+    per_copy = (desc.async_control_cycles_per_copy
+                if desc.async_control_cycles_per_copy is not None
+                else calib.kernel.async_control_cycles_per_copy)
+    cycles = copies * per_copy
+    throughput = occ.compute_throughput()
+    return cycles / (occ.active_sms * max(throughput, 1e-9)) * system.gpu.clock_ns
+
+
+def _barrier_time_ns(desc: KernelDescriptor, occ: Occupancy,
+                     system: SystemSpec, calib: Calibration) -> float:
+    """Serial arrive/wait-barrier stalls (Sec. 3.2.1).
+
+    Unlike Pipeline-API bookkeeping, a whole-group barrier arrival
+    cannot be hidden behind the copies - every thread blocks at the
+    phase boundary, so this cost adds to the critical path.
+    """
+    if desc.async_mechanism is not AsyncMechanism.ARRIVE_WAIT:
+        return 0.0
+    cycles = desc.total_tiles * calib.kernel.arrive_wait_extra_cycles_per_tile
+    throughput = occ.compute_throughput()
+    return cycles / (occ.active_sms * max(throughput, 1e-9)) * system.gpu.clock_ns
+
+
+def _fault_stalls(desc: KernelDescriptor, system: SystemSpec,
+                  resident_fraction: float) -> tuple:
+    """Far-fault batches and the SM stall they serialize into the kernel."""
+    uvm = system.uvm
+    footprint = desc.footprint_bytes * desc.touched_fraction
+    missing = footprint * (1.0 - resident_fraction)
+    if missing <= 0:
+        return 0, 0, 0.0
+    vablocks = math.ceil(missing / uvm.migration_block_bytes)
+    batches = math.ceil(vablocks / uvm.fault_batch_size)
+    stall_ns = batches * (uvm.fault_service_ns + uvm.fault_stall_ns)
+    return int(missing), batches, stall_ns
+
+
+def simulate_kernel(desc: KernelDescriptor, flags: ConfigFlags,
+                    system: SystemSpec, calib: Calibration,
+                    smem_carveout_bytes: int,
+                    resident_fraction: float = 0.0) -> KernelExecution:
+    """Predict the SM-visible execution of one kernel launch.
+
+    ``resident_fraction`` is the fraction of the kernel's touched
+    footprint already present in GPU memory when the kernel starts
+    (1.0 for explicitly copied data, the prefetch coverage for
+    uvm_prefetch, 0.0 for cold demand paging).
+    """
+    if not 0.0 <= resident_fraction <= 1.0:
+        raise ValueError(f"resident_fraction {resident_fraction} outside [0, 1]")
+    gpu = system.gpu
+    occ = occupancy_for(desc, gpu, smem_carveout_bytes, flags.use_async)
+
+    load_ns, load_bandwidth = _memory_time_ns(desc, occ, system, calib, flags,
+                                              smem_carveout_bytes)
+    compute_ns = _compute_time_ns(desc, occ, system)
+
+    if flags.use_async:
+        control_ns = _control_time_ns(desc, occ, system, calib)
+        compute_ns += control_ns
+        if pipeline_fits(desc, gpu, smem_carveout_bytes) and not desc.async_serializes:
+            # Double-buffered: load and compute overlap; pay a pipeline
+            # fill of one tile's load at loop start.
+            fill = (load_ns / desc.tiles_per_block
+                    * calib.kernel.async_pipeline_fill_tiles)
+            core_ns = max(load_ns, compute_ns) + fill
+        else:
+            # Buffers don't fit: all the control overhead, none of the
+            # overlap (Takeaway 5).
+            core_ns = load_ns + compute_ns
+        core_ns += _barrier_time_ns(desc, occ, system, calib)
+    else:
+        # Synchronous staging: barrier-separated load/compute phases.
+        # A kernel's own software pipelining (sync_overlap) hides part
+        # of the shorter phase.
+        overlapped = desc.sync_overlap * min(load_ns, compute_ns)
+        core_ns = load_ns + compute_ns - overlapped
+
+    demand_bytes, batches, stall_ns = 0, 0, 0.0
+    if flags.managed:
+        core_ns *= 1.0 + calib.kernel.uvm_page_walk_overhead
+        core_ns += calib.kernel.uvm_launch_sync_ns
+        # Squeezing the L1 (large carveout) hurts managed configs: the
+        # migration/prefetch streams evict demand lines (Takeaway 5).
+        l1_reference = gpu.l1_bytes(gpu.default_shared_mem_bytes)
+        l1_now = gpu.l1_bytes(smem_carveout_bytes)
+        pressure = max(0.0, 1.0 - l1_now / l1_reference)
+        core_ns *= 1.0 + calib.kernel.uvm_l1_pressure * pressure
+        # Demand paging interleaves fault handling with execution:
+        # every *first* touch of a page stalls for driver servicing,
+        # so the penalty scales with the time the kernel would need to
+        # pull its missing footprint through the memory system (pages
+        # fault once - re-reads of migrated data do not re-fault).
+        # This is the paper's 2.0-2.2x micro kernel-time inflation.
+        missing_bytes = (desc.footprint_bytes * desc.touched_fraction
+                         * (1.0 - resident_fraction))
+        footprint_ns = missing_bytes / load_bandwidth * 1e9
+        core_ns += ((calib.kernel.uvm_demand_kernel_multiplier - 1.0)
+                    * footprint_ns)
+        demand_bytes, batches, stall_ns = _fault_stalls(desc, system,
+                                                        resident_fraction)
+
+    duration = calib.kernel.launch_ns + core_ns + stall_ns
+    counters = collect_counters(
+        desc, gpu, calib, smem_carveout_bytes,
+        use_async=flags.use_async, managed=flags.managed,
+        prefetched=flags.prefetched,
+        occupancy=occ.occupancy_fraction(gpu),
+    )
+    return KernelExecution(
+        name=desc.name,
+        duration_ns=duration,
+        load_ns=load_ns,
+        compute_ns=compute_ns,
+        fault_stall_ns=stall_ns,
+        fault_batches=batches,
+        demand_migrated_bytes=demand_bytes,
+        occupancy_fraction=occ.occupancy_fraction(gpu),
+        counters=counters,
+    )

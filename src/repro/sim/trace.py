@@ -1,0 +1,96 @@
+"""Execution timeline recording.
+
+Every runtime operation records a :class:`TraceEvent`; the resulting
+:class:`Timeline` supports the per-category accounting the paper uses
+(allocation / memcpy / gpu_kernel) plus busy-interval queries used for
+the Section 6 occupancy analysis, and a small ASCII Gantt renderer for
+the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+CATEGORIES = ("allocation", "memcpy", "gpu_kernel", "host")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    name: str
+    category: str
+    start_ns: float
+    end_ns: float
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(f"unknown trace category {self.category!r}")
+        if self.end_ns < self.start_ns:
+            raise ValueError(f"event {self.name!r} ends before it starts")
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+def merge_intervals(intervals: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Union of possibly-overlapping [start, end) intervals."""
+    ordered = sorted(intervals)
+    merged: List[Tuple[float, float]] = []
+    for start, end in ordered:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+@dataclass
+class Timeline:
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, name: str, category: str, start_ns: float, end_ns: float) -> None:
+        self.events.append(TraceEvent(name, category, start_ns, end_ns))
+
+    def category_time(self, category: str) -> float:
+        """Summed durations of one category (paper-style accounting)."""
+        return sum(e.duration_ns for e in self.events if e.category == category)
+
+    def busy_time(self, category: str) -> float:
+        """Wall-clock time with >= 1 event of the category active."""
+        spans = merge_intervals(
+            (e.start_ns, e.end_ns) for e in self.events if e.category == category
+        )
+        return sum(end - start for start, end in spans)
+
+    def span(self) -> Tuple[float, float]:
+        if not self.events:
+            return (0.0, 0.0)
+        return (min(e.start_ns for e in self.events),
+                max(e.end_ns for e in self.events))
+
+    def wall_ns(self) -> float:
+        start, end = self.span()
+        return end - start
+
+    def breakdown(self) -> Dict[str, float]:
+        return {category: self.category_time(category) for category in CATEGORIES}
+
+    def render(self, width: int = 72) -> str:
+        """ASCII Gantt chart, one lane per category."""
+        start, end = self.span()
+        total = max(end - start, 1e-9)
+        glyphs = {"allocation": "A", "memcpy": "M", "gpu_kernel": "K", "host": "h"}
+        lines = []
+        for category in CATEGORIES:
+            lane = [" "] * width
+            for event in self.events:
+                if event.category != category:
+                    continue
+                lo = int((event.start_ns - start) / total * (width - 1))
+                hi = max(lo, int((event.end_ns - start) / total * (width - 1)))
+                for index in range(lo, hi + 1):
+                    lane[index] = glyphs[category]
+            lines.append(f"{category:>10} |{''.join(lane)}|")
+        lines.append(f"{'':>10}  0{'':{width - 10}}{total / 1e6:,.2f} ms")
+        return "\n".join(lines)

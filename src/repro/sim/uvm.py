@@ -1,0 +1,162 @@
+"""Unified-virtual-memory state tracking.
+
+Keeps the residency bookkeeping the UVM driver would: which fraction
+of each managed allocation currently lives in GPU memory, which pages
+are dirty on the device, and how much data each operation (demand
+fault storm, bulk prefetch, host read-back) has to move. The *costs*
+of those movements live in :mod:`repro.sim.pcie` and
+:mod:`repro.sim.timing`; this module decides the byte volumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .hardware import UvmSpec
+
+
+class UvmError(RuntimeError):
+    """Illegal managed-memory operation."""
+
+
+@dataclass
+class ManagedAllocation:
+    """One cudaMallocManaged range."""
+
+    name: str
+    size_bytes: int
+    resident_fraction: float = 0.0   # share currently in GPU memory
+    device_dirty_fraction: float = 0.0  # share written by GPU, not yet on host
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise UvmError(f"allocation {self.name!r} must have positive size")
+
+    @property
+    def resident_bytes(self) -> int:
+        return int(self.size_bytes * self.resident_fraction)
+
+
+@dataclass
+class MigrationPlan:
+    """Bytes a UVM operation must move, block-aligned."""
+
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    fault_blocks: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.h2d_bytes + self.d2h_bytes
+
+
+class ManagedSpace:
+    """Residency tracker for every managed allocation of one run."""
+
+    def __init__(self, spec: UvmSpec, gpu_capacity_bytes: int):
+        self.spec = spec
+        self.gpu_capacity_bytes = gpu_capacity_bytes
+        self.allocations: Dict[str, ManagedAllocation] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation lifecycle
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, size_bytes: int) -> ManagedAllocation:
+        if name in self.allocations:
+            raise UvmError(f"allocation {name!r} already exists")
+        allocation = ManagedAllocation(name=name, size_bytes=size_bytes)
+        self.allocations[name] = allocation
+        return allocation
+
+    def free(self, name: str) -> None:
+        if name not in self.allocations:
+            raise UvmError(f"free of unknown allocation {name!r}")
+        del self.allocations[name]
+
+    def __getitem__(self, name: str) -> ManagedAllocation:
+        try:
+            return self.allocations[name]
+        except KeyError:
+            raise UvmError(f"unknown managed allocation {name!r}") from None
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(a.resident_bytes for a in self.allocations.values())
+
+    def oversubscribed(self) -> bool:
+        total = sum(a.size_bytes for a in self.allocations.values())
+        return total > self.gpu_capacity_bytes
+
+    # ------------------------------------------------------------------
+    # Data movement planning
+    # ------------------------------------------------------------------
+    def _blocks(self, num_bytes: float) -> int:
+        return math.ceil(num_bytes / self.spec.migration_block_bytes)
+
+    def demand_access(self, name: str, touched_fraction: float) -> MigrationPlan:
+        """GPU touches ``touched_fraction`` of an allocation on demand.
+
+        Pages not yet resident fault over; already-resident pages cost
+        nothing. Residency grows to cover the touched range.
+        """
+        if not 0.0 < touched_fraction <= 1.0:
+            raise UvmError("touched_fraction must be in (0, 1]")
+        allocation = self[name]
+        missing = max(0.0, touched_fraction - allocation.resident_fraction)
+        moved = int(allocation.size_bytes * missing)
+        allocation.resident_fraction = max(allocation.resident_fraction,
+                                           touched_fraction)
+        return MigrationPlan(h2d_bytes=moved, fault_blocks=self._blocks(moved))
+
+    def prefetch(self, name: str, fraction: float = 1.0) -> MigrationPlan:
+        """cudaMemPrefetchAsync of a managed range to the device."""
+        if not 0.0 < fraction <= 1.0:
+            raise UvmError("prefetch fraction must be in (0, 1]")
+        allocation = self[name]
+        missing = max(0.0, fraction - allocation.resident_fraction)
+        moved = int(allocation.size_bytes * missing)
+        allocation.resident_fraction = max(allocation.resident_fraction, fraction)
+        return MigrationPlan(h2d_bytes=moved)
+
+    def device_wrote(self, name: str, fraction: float) -> None:
+        """Mark a device-side write (pages become host-stale)."""
+        allocation = self[name]
+        if not 0.0 <= fraction <= 1.0:
+            raise UvmError("written fraction must be in [0, 1]")
+        allocation.device_dirty_fraction = max(allocation.device_dirty_fraction,
+                                               fraction)
+        allocation.resident_fraction = max(allocation.resident_fraction, fraction)
+
+    def host_read(self, name: str, fraction: float) -> MigrationPlan:
+        """Host touches results: dirty device pages migrate back.
+
+        Only the intersection of the host-read range and the dirty
+        range has to move (UVM migrates at page granularity on host
+        faults).
+        """
+        allocation = self[name]
+        if not 0.0 <= fraction <= 1.0:
+            raise UvmError("host read fraction must be in [0, 1]")
+        migrate = min(fraction, allocation.device_dirty_fraction)
+        moved = int(allocation.size_bytes * migrate *
+                    self.spec.writeback_fraction)
+        allocation.device_dirty_fraction -= migrate
+        return MigrationPlan(d2h_bytes=moved, fault_blocks=self._blocks(moved))
+
+    def evict(self, name: str, fraction: float) -> MigrationPlan:
+        """Evict resident pages (prefetching another range displaced them).
+
+        Dirty pages must be written back; clean pages are dropped.
+        Used to model the paper's nw anomaly, where prefetching data
+        for one kernel displaces the shared working set of the next.
+        """
+        allocation = self[name]
+        if not 0.0 <= fraction <= 1.0:
+            raise UvmError("evict fraction must be in [0, 1]")
+        evicted = min(fraction, allocation.resident_fraction)
+        dirty_out = min(evicted, allocation.device_dirty_fraction)
+        allocation.resident_fraction -= evicted
+        allocation.device_dirty_fraction -= dirty_out
+        return MigrationPlan(d2h_bytes=int(allocation.size_bytes * dirty_out))

@@ -1,0 +1,9 @@
+"""The benchmark suite: 7 microbenchmarks + 14 real-world applications."""
+
+from .base import Workload, cycles_for_flops, cycles_for_int_ops
+from .sizes import STABLE_SIZES, SizeClass
+
+__all__ = [
+    "STABLE_SIZES", "SizeClass", "Workload", "cycles_for_flops",
+    "cycles_for_int_ops",
+]

@@ -1,0 +1,117 @@
+"""Workload base classes.
+
+Every benchmark in the suite provides two faces:
+
+* :meth:`Workload.program` - the performance-study face: a
+  :class:`~repro.sim.program.Program` (buffers + kernel phases) whose
+  kernel descriptors characterize the real CUDA kernels of the
+  benchmark at a given input-size class.
+* :meth:`Workload.reference` - the functional face: a small NumPy
+  implementation of the actual algorithm, checked against independent
+  oracles in the test suite. This keeps the suite honest: the
+  descriptors describe programs that exist and compute real results.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..sim.program import Program
+from .sizes import SizeClass
+
+
+class Workload(abc.ABC):
+    """One benchmark of the suite (Table 2)."""
+
+    #: unique registry key, e.g. ``"vector_seq"``
+    name: str = ""
+    #: source suite: "micro", "rodinia", "uvmbench", or "darknet"
+    suite: str = ""
+    #: application domain used in Table 2's description column
+    domain: str = ""
+    #: one-line description (Table 2)
+    description: str = ""
+    #: input dimensionality: "1d", "2d", or "3d"
+    input_kind: str = "1d"
+
+    def __init__(self) -> None:
+        for attr in ("name", "suite", "domain", "description"):
+            if not getattr(self, attr, ""):
+                raise TypeError(
+                    f"workload class {type(self).__name__} must define {attr!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Performance face
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def program(self, size: SizeClass) -> Program:
+        """Build the device program for one input-size class."""
+
+    def supports(self, size: SizeClass) -> bool:
+        """Whether this workload is defined at a size class.
+
+        Real-world applications in the paper run at Super only; a few
+        cannot scale to Mega. Default: everything.
+        """
+        return True
+
+    # ------------------------------------------------------------------
+    # Functional face
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        """Run a small functional instance; return named result arrays.
+
+        Implementations use a fixed, small problem size (milliseconds
+        of NumPy work) so the test suite can validate them against
+        independent oracles.
+        """
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"<Workload {self.name} ({self.suite})>"
+
+    @staticmethod
+    def _rng(rng: Optional[np.random.Generator], seed: int = 7) -> np.random.Generator:
+        return rng if rng is not None else np.random.default_rng(seed)
+
+
+def cycles_for_flops(flops: float) -> float:
+    """Block-cycles for a given FP32 op count.
+
+    The SM model retires one full-width block-cycle per cycle per SM:
+    64 FP32 cores x 2 ops (FMA) = 128 ops. Using this helper keeps
+    every workload's compute density on the A100 19.5-TFLOP/s roofline.
+    """
+    if flops < 0:
+        raise ValueError("negative flop count")
+    return flops / 128.0
+
+
+def cycles_for_latency_bound_ops(ops: float, stall_cycles: float = 20.0) -> float:
+    """Block-cycles for a dependent arithmetic chain.
+
+    The vector microbenchmarks execute a serial chain of dependent ops
+    per element (Fig. 3's loop body); each op stalls for most of its
+    pipeline latency because the resident warps cannot cover it. The
+    result is per-thread throughput of roughly ``1/stall_cycles`` ops
+    per cycle, normalized to the 128-lane block-cycle unit.
+    """
+    if ops < 0:
+        raise ValueError("negative op count")
+    if stall_cycles < 1:
+        raise ValueError("stall_cycles must be >= 1")
+    return ops * stall_cycles / 128.0
+
+
+def cycles_for_int_ops(ops: float) -> float:
+    """Block-cycles for integer-dominated work (64 INT32 lanes/SM)."""
+    if ops < 0:
+        raise ValueError("negative op count")
+    return ops / 64.0

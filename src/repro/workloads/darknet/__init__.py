@@ -1,0 +1,30 @@
+"""Darknet substrate: NumPy layer zoo, network container, model builders."""
+
+from .layers import (ACTIVATIONS, AvgPoolLayer, ConnectedLayer, ConvLayer,
+                     Layer, MaxPoolLayer, RouteLayer, ShortcutLayer,
+                     SoftmaxLayer, UpsampleLayer, YoloAnchors, YoloLayer,
+                     im2col, leaky_relu, linear, relu)
+from .detection import (Detection, box_iou, decode_yolo_output, detect,
+                        non_max_suppression, top_k_classes)
+from .models import (build_resnet18, build_resnet50, build_yolov3,
+                     build_yolov3_tiny)
+from .network import Network, elementwise_kernel
+from .weights import (WeightsFormatError, load_weights, save_weights)
+from .workloads import (DarknetWorkload, Resnet18, Resnet50, Yolov3,
+                        Yolov3Tiny)
+
+DARKNET_WORKLOADS = (Resnet50, Yolov3Tiny, Resnet18, Yolov3)
+
+__all__ = [
+    "Detection", "WeightsFormatError", "box_iou", "decode_yolo_output",
+    "detect",
+    "load_weights", "non_max_suppression", "save_weights",
+    "top_k_classes",
+    "ACTIVATIONS", "AvgPoolLayer", "ConnectedLayer", "ConvLayer",
+    "DARKNET_WORKLOADS", "DarknetWorkload", "Layer", "MaxPoolLayer",
+    "Network", "Resnet18", "Resnet50", "RouteLayer", "ShortcutLayer",
+    "SoftmaxLayer", "UpsampleLayer", "YoloAnchors", "YoloLayer", "Yolov3",
+    "Yolov3Tiny", "build_resnet18", "build_resnet50", "build_yolov3",
+    "build_yolov3_tiny", "elementwise_kernel", "im2col", "leaky_relu",
+    "linear", "relu",
+]

@@ -1,0 +1,156 @@
+"""YOLO detection decoding: box extraction and non-max suppression.
+
+Completes the darknet substrate's inference path: the network's raw
+head tensors become (x, y, w, h, confidence, class) detections, exactly
+as darknet's ``get_yolo_detections`` + ``do_nms_sort`` do. Boxes use
+normalized [0, 1] image coordinates with (x, y) at the box center.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .layers import YoloAnchors
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One decoded detection (normalized center-format box)."""
+
+    x: float
+    y: float
+    w: float
+    h: float
+    confidence: float
+    class_id: int
+    class_prob: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("confidence outside [0, 1]")
+        if self.w < 0 or self.h < 0:
+            raise ValueError("negative box size")
+
+    @property
+    def score(self) -> float:
+        """Objectness x class probability (darknet's ranking key)."""
+        return self.confidence * self.class_prob
+
+    def corners(self) -> tuple:
+        """(x1, y1, x2, y2) corner-format box."""
+        return (self.x - self.w / 2.0, self.y - self.h / 2.0,
+                self.x + self.w / 2.0, self.y + self.h / 2.0)
+
+
+def box_iou(a: Detection, b: Detection) -> float:
+    """Intersection-over-union of two detections."""
+    ax1, ay1, ax2, ay2 = a.corners()
+    bx1, by1, bx2, by2 = b.corners()
+    inter_w = max(0.0, min(ax2, bx2) - max(ax1, bx1))
+    inter_h = max(0.0, min(ay2, by2) - max(ay1, by1))
+    intersection = inter_w * inter_h
+    union = a.w * a.h + b.w * b.h - intersection
+    if union <= 0.0:
+        return 0.0
+    return intersection / union
+
+
+def decode_yolo_output(output: np.ndarray, anchors: YoloAnchors,
+                       input_size: int,
+                       confidence_threshold: float = 0.5) -> List[Detection]:
+    """Decode one YOLO head's output tensor (single image, CHW).
+
+    The head already applied sigmoids to x/y/objectness/classes; w and
+    h are raw and pass through exp() against the anchor priors, per
+    darknet's ``get_yolo_box``.
+    """
+    if output.ndim != 3:
+        raise ValueError("expected a CHW tensor for one image")
+    boxes = len(anchors.anchors)
+    attrs = 5 + anchors.classes
+    channels, grid_h, grid_w = output.shape
+    if channels != boxes * attrs:
+        raise ValueError(
+            f"channel count {channels} does not match {boxes} anchors x "
+            f"{attrs} attributes")
+    tensor = output.reshape(boxes, attrs, grid_h, grid_w)
+
+    detections: List[Detection] = []
+    for box in range(boxes):
+        anchor_w, anchor_h = anchors.anchors[box]
+        objectness = tensor[box, 4]
+        candidates = np.argwhere(objectness >= confidence_threshold)
+        for row, col in candidates:
+            x = (col + tensor[box, 0, row, col]) / grid_w
+            y = (row + tensor[box, 1, row, col]) / grid_h
+            w = float(np.exp(np.clip(tensor[box, 2, row, col], -20, 20))
+                      * anchor_w / input_size)
+            h = float(np.exp(np.clip(tensor[box, 3, row, col], -20, 20))
+                      * anchor_h / input_size)
+            class_probs = tensor[box, 5:, row, col]
+            class_id = int(class_probs.argmax())
+            detections.append(Detection(
+                x=float(x), y=float(y), w=w, h=h,
+                confidence=float(objectness[row, col]),
+                class_id=class_id,
+                class_prob=float(class_probs[class_id]),
+            ))
+    return detections
+
+
+def non_max_suppression(detections: Sequence[Detection],
+                        iou_threshold: float = 0.45) -> List[Detection]:
+    """Per-class greedy NMS (darknet's ``do_nms_sort``)."""
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ValueError("iou_threshold outside [0, 1]")
+    kept: List[Detection] = []
+    by_class: dict = {}
+    for detection in detections:
+        by_class.setdefault(detection.class_id, []).append(detection)
+    for candidates in by_class.values():
+        candidates = sorted(candidates, key=lambda d: d.score,
+                            reverse=True)
+        while candidates:
+            best = candidates.pop(0)
+            kept.append(best)
+            candidates = [d for d in candidates
+                          if box_iou(best, d) <= iou_threshold]
+    kept.sort(key=lambda d: d.score, reverse=True)
+    return kept
+
+
+def detect(network, images: np.ndarray,
+           confidence_threshold: float = 0.5,
+           iou_threshold: float = 0.45) -> List[List[Detection]]:
+    """End-to-end detection: forward pass, multi-scale decode, NMS.
+
+    Returns one NMS'd detection list per input image. The network's
+    YOLO layers supply the anchors for each scale.
+    """
+    heads = network.yolo_heads()
+    if not heads:
+        raise ValueError(f"network {network.name!r} has no YOLO heads")
+    input_size = network.input_shape[1]
+    outputs = network.forward_heads(images)
+    results: List[List[Detection]] = []
+    for image_index in range(images.shape[0]):
+        candidates: List[Detection] = []
+        for head, output in zip(heads, outputs):
+            candidates.extend(decode_yolo_output(
+                output[image_index], head.anchors, input_size,
+                confidence_threshold=confidence_threshold))
+        results.append(non_max_suppression(candidates,
+                                           iou_threshold=iou_threshold))
+    return results
+
+
+def top_k_classes(probabilities: np.ndarray, k: int = 5) -> List[tuple]:
+    """Classification post-processing: (class_id, prob) pairs, best first."""
+    flat = probabilities.reshape(-1)
+    if k < 1 or k > flat.size:
+        raise ValueError(f"k must be in [1, {flat.size}]")
+    order = np.argsort(flat)[::-1][:k]
+    return [(int(index), float(flat[index])) for index in order]

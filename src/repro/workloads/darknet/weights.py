@@ -1,0 +1,106 @@
+"""Darknet-style binary weight serialization.
+
+Implements the layout of darknet's ``.weights`` files: a 20-byte
+header (major, minor, revision as int32 plus a seen-images counter as
+int64), followed by each layer's parameters in network order - for a
+batch-normalized convolution: bias, bn gamma, bn running mean, bn
+running variance, then the weights; for plain conv/connected layers:
+bias then weights. All values are little-endian float32/int32.
+
+This lets the reproduction round-trip its randomly initialized
+networks to disk, and would load real darknet weight files whose
+architecture matches the builders.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Tuple, Union
+
+import numpy as np
+
+from .layers import ConnectedLayer, ConvLayer
+from .network import Network
+
+HEADER_FORMAT = "<iiiq"   # major, minor, revision, images seen
+HEADER_BYTES = struct.calcsize(HEADER_FORMAT)
+VERSION = (0, 2, 5)
+
+
+class WeightsFormatError(RuntimeError):
+    """Raised for malformed weight files."""
+
+
+def _write_array(stream: BinaryIO, array: np.ndarray) -> None:
+    stream.write(np.ascontiguousarray(array, dtype="<f4").tobytes())
+
+
+def _read_array(stream: BinaryIO, count: int, what: str) -> np.ndarray:
+    data = stream.read(4 * count)
+    if len(data) != 4 * count:
+        raise WeightsFormatError(
+            f"truncated weight file while reading {what} "
+            f"({len(data)} of {4 * count} bytes)")
+    return np.frombuffer(data, dtype="<f4", count=count).copy()
+
+
+def save_weights(network: Network, path: Union[str, Path],
+                 seen_images: int = 0) -> Path:
+    """Serialize a network's parameters in darknet order."""
+    path = Path(path)
+    with path.open("wb") as stream:
+        stream.write(struct.pack(HEADER_FORMAT, *VERSION, seen_images))
+        for layer in network.layers:
+            if isinstance(layer, ConvLayer):
+                _write_array(stream, layer.bias)
+                if layer.batch_normalize:
+                    _write_array(stream, layer.bn_gamma)
+                    _write_array(stream, layer.bn_mean)
+                    _write_array(stream, layer.bn_var)
+                _write_array(stream, layer.weights)
+            elif isinstance(layer, ConnectedLayer):
+                _write_array(stream, layer.bias)
+                _write_array(stream, layer.weights)
+    return path
+
+
+def load_weights(network: Network, path: Union[str, Path]) -> Tuple[int, int]:
+    """Load parameters into a network; returns (version_major, seen).
+
+    The network's architecture defines the expected layout; mismatched
+    files raise :class:`WeightsFormatError`.
+    """
+    path = Path(path)
+    with path.open("rb") as stream:
+        header = stream.read(HEADER_BYTES)
+        if len(header) != HEADER_BYTES:
+            raise WeightsFormatError("file too short for a weights header")
+        major, _minor, _revision, seen = struct.unpack(HEADER_FORMAT,
+                                                       header)
+        for index, layer in enumerate(network.layers):
+            label = f"layer {index} ({layer.kind})"
+            if isinstance(layer, ConvLayer):
+                layer.bias = _read_array(stream, layer.bias.size,
+                                         f"{label} bias")
+                if layer.batch_normalize:
+                    layer.bn_gamma = _read_array(
+                        stream, layer.bn_gamma.size, f"{label} bn gamma")
+                    layer.bn_mean = _read_array(
+                        stream, layer.bn_mean.size, f"{label} bn mean")
+                    layer.bn_var = _read_array(
+                        stream, layer.bn_var.size, f"{label} bn var")
+                weights = _read_array(stream, layer.weights.size,
+                                      f"{label} weights")
+                layer.weights = weights.reshape(layer.weights.shape)
+            elif isinstance(layer, ConnectedLayer):
+                layer.bias = _read_array(stream, layer.bias.size,
+                                         f"{label} bias")
+                weights = _read_array(stream, layer.weights.size,
+                                      f"{label} weights")
+                layer.weights = weights.reshape(layer.weights.shape)
+        trailing = stream.read(1)
+        if trailing:
+            raise WeightsFormatError(
+                "weight file has trailing data; architecture mismatch?")
+    return major, seen

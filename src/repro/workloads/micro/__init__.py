@@ -1,0 +1,13 @@
+"""The 7-workload microbenchmark suite (Table 2, top half)."""
+
+from .blas import Gemm, Gemv, gemm_kernel
+from .conv import Conv2D, Conv3D, conv2d_reference, conv3d_reference
+from .vectors import Saxpy, VectorRand, VectorSeq, vector_kernel
+
+MICRO_WORKLOADS = (VectorSeq, VectorRand, Saxpy, Gemv, Gemm, Conv2D, Conv3D)
+
+__all__ = [
+    "Conv2D", "Conv3D", "Gemm", "Gemv", "MICRO_WORKLOADS", "Saxpy",
+    "VectorRand", "VectorSeq", "conv2d_reference", "conv3d_reference",
+    "gemm_kernel", "vector_kernel",
+]

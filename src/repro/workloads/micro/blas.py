@@ -1,0 +1,146 @@
+"""PolyBench BLAS microbenchmarks: gemv and gemm.
+
+``gemv`` is a memory-bound BLAS-2 kernel; ``gemm`` is the compute-bound
+BLAS-3 kernel the paper validated against CUTLASS (Sec. 3.2.1, fn. 2).
+The gemm baseline is therefore already software-pipelined
+(``sync_overlap = 1``): cp.async adds control overhead but no overlap
+benefit, which is exactly the +7.86 % kernel-time cost Fig. 9/Sec. 4.1.1
+attribute to its extra control instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+from ...sim.program import (BufferDirection, BufferSpec, KernelPhase, Program)
+from ..base import Workload, cycles_for_flops
+from ..sizes import FLOAT_BYTES, SizeClass
+
+GEMV_TILE_BYTES = 4096
+
+# gemm tiling: 128x128 output blocks advanced in k-steps of 16, so each
+# step stages two 128x16 fp32 panels = 16 KiB into shared memory. The
+# double buffer exactly fills the default 32 KiB carveout.
+GEMM_TILE_BYTES = 16 * 1024
+GEMM_BLOCK_DIM = 128
+GEMM_K_STEP = 16
+# Panel rows are copied row-by-row: 2 panels x 2 rows-per-copy batches.
+GEMM_ASYNC_COPIES_PER_TILE = 64
+
+
+class Gemv(Workload):
+    """General matrix-vector multiplication: y = A @ x."""
+
+    name = "gemv"
+    suite = "micro"
+    domain = "linear algebra"
+    description = "general Matrix-to-Vector multiplication"
+    input_kind = "2d"
+
+    def program(self, size: SizeClass) -> Program:
+        side = size.side_2d
+        matrix_bytes = side * side * FLOAT_BYTES
+        vector_bytes = side * FLOAT_BYTES
+        total_tiles = max(1, matrix_bytes // GEMV_TILE_BYTES)
+        blocks = min(4096, total_tiles)
+        tiles_per_block = max(1, round(total_tiles / blocks))
+        elements_per_tile = GEMV_TILE_BYTES // FLOAT_BYTES
+        descriptor = KernelDescriptor(
+            name=self.name,
+            blocks=blocks,
+            threads_per_block=256,
+            tiles_per_block=tiles_per_block,
+            tile_bytes=GEMV_TILE_BYTES,
+            compute_cycles_per_tile=cycles_for_flops(2 * elements_per_tile),
+            access_pattern=AccessPattern.SEQUENTIAL,
+            write_bytes=vector_bytes,
+            insts_per_tile=InstructionMix(
+                memory=1.25 * elements_per_tile,
+                fp=2.0 * elements_per_tile,
+                integer=2.0 * elements_per_tile,
+                control=0.5 * elements_per_tile,
+            ),
+        )
+        buffers = (
+            BufferSpec("A", matrix_bytes, BufferDirection.IN),
+            BufferSpec("x", vector_bytes, BufferDirection.IN),
+            BufferSpec("y", vector_bytes, BufferDirection.OUT,
+                       host_read_fraction=1.0),
+        )
+        return Program(name=self.name, buffers=buffers,
+                       phases=(KernelPhase(descriptor),))
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        matrix = rng.standard_normal((96, 96)).astype(np.float32)
+        x = rng.standard_normal(96).astype(np.float32)
+        return {"A": matrix, "x": x, "output": matrix @ x}
+
+
+def gemm_kernel(name: str, m: int, n: int, k: int,
+                threads: int = 256) -> KernelDescriptor:
+    """Descriptor for a tiled C[m,n] += A[m,k] @ B[k,n] kernel.
+
+    Shared by the gemm microbenchmark and the darknet convolution
+    layers (which lower convolution to gemm via im2col).
+    """
+    blocks_m = max(1, m // GEMM_BLOCK_DIM)
+    blocks_n = max(1, n // GEMM_BLOCK_DIM)
+    blocks = blocks_m * blocks_n
+    k_steps = max(1, k // GEMM_K_STEP)
+    flops = 2.0 * m * n * k
+    total_tiles = blocks * k_steps
+    elements_per_tile = GEMM_TILE_BYTES // FLOAT_BYTES
+    return KernelDescriptor(
+        name=name,
+        blocks=blocks,
+        threads_per_block=threads,
+        tiles_per_block=k_steps,
+        tile_bytes=GEMM_TILE_BYTES,
+        compute_cycles_per_tile=cycles_for_flops(flops / total_tiles),
+        access_pattern=AccessPattern.SEQUENTIAL,
+        write_bytes=m * n * FLOAT_BYTES,
+        data_footprint_bytes=(m * k + k * n) * FLOAT_BYTES,
+        bandwidth_efficiency=0.65,
+        smem_static_bytes=0,
+        async_copies_per_tile=GEMM_ASYNC_COPIES_PER_TILE,
+        sync_overlap=1.0,
+        insts_per_tile=InstructionMix(
+            memory=1.0 * elements_per_tile,
+            fp=flops / total_tiles,
+            integer=1.5 * elements_per_tile,
+            control=960.0,
+        ),
+    )
+
+
+class Gemm(Workload):
+    """General matrix-matrix multiplication: C = A @ B."""
+
+    name = "gemm"
+    suite = "micro"
+    domain = "linear algebra"
+    description = "general Matrix-to-Matrix multiplication"
+    input_kind = "2d"
+
+    def program(self, size: SizeClass) -> Program:
+        side = size.side_2d
+        matrix_bytes = side * side * FLOAT_BYTES
+        descriptor = gemm_kernel(self.name, side, side, side)
+        buffers = (
+            BufferSpec("A", matrix_bytes, BufferDirection.IN),
+            BufferSpec("B", matrix_bytes, BufferDirection.IN),
+            BufferSpec("C", matrix_bytes, BufferDirection.OUT,
+                       host_read_fraction=0.25),
+        )
+        return Program(name=self.name, buffers=buffers,
+                       phases=(KernelPhase(descriptor),))
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        a = rng.standard_normal((64, 48)).astype(np.float32)
+        b = rng.standard_normal((48, 80)).astype(np.float32)
+        return {"A": a, "B": b, "output": a @ b}

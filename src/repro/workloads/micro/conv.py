@@ -1,0 +1,178 @@
+"""PolyBench convolution microbenchmarks: 2DCONV and 3DCONV.
+
+Stencil kernels with compact per-tile compute but awkward cp.async
+staging: halo tiles decompose into many short row copies, so the async
+pipeline pays a large control-instruction bill per tile (the +146 %
+kernel-time blowup of Sec. 4.1.1). Their regular access makes them the
+biggest uvm_prefetch winners instead (up to 2.63x, Takeaway 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+from ...sim.program import (BufferDirection, BufferSpec, KernelPhase, Program)
+from ..base import Workload, cycles_for_flops
+from ..sizes import FLOAT_BYTES, SizeClass
+
+# 2D: 32x32 output tiles with a 1-element halo.
+CONV2D_TILE_SIDE = 32
+CONV2D_HALO_SIDE = CONV2D_TILE_SIDE + 2
+CONV2D_TILE_BYTES = CONV2D_HALO_SIDE * CONV2D_HALO_SIDE * FLOAT_BYTES
+# Each halo row is a separate short cp.async; double-buffering copies
+# both halves of the stage, plus ragged edge segments.
+CONV2D_ASYNC_COPIES = 130
+# Tiny, misaligned row segments pay heavy per-copy front-end work.
+CONV_ASYNC_CONTROL_CYCLES = 90.0
+
+# 3D: 8x8x8 output tiles with a 1-element halo (10^3 staging volume).
+CONV3D_TILE_SIDE = 8
+CONV3D_HALO_SIDE = CONV3D_TILE_SIDE + 2
+CONV3D_TILE_BYTES = CONV3D_HALO_SIDE ** 3 * FLOAT_BYTES
+CONV3D_ASYNC_COPIES = 150
+
+CONV2D_WEIGHTS = np.array(
+    [[0.05, 0.10, 0.05],
+     [0.10, 0.40, 0.10],
+     [0.05, 0.10, 0.05]], dtype=np.float32)
+
+
+def conv2d_reference(grid: np.ndarray,
+                     weights: np.ndarray = CONV2D_WEIGHTS) -> np.ndarray:
+    """Direct 'valid' 2D convolution (flipped-kernel convention not
+    needed: the stencil is symmetric)."""
+    if grid.ndim != 2:
+        raise ValueError("conv2d_reference expects a 2D grid")
+    kh, kw = weights.shape
+    out_h = grid.shape[0] - kh + 1
+    out_w = grid.shape[1] - kw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("grid smaller than the stencil")
+    out = np.zeros((out_h, out_w), dtype=np.float64)
+    for dy in range(kh):
+        for dx in range(kw):
+            out += weights[dy, dx] * grid[dy:dy + out_h, dx:dx + out_w]
+    return out.astype(np.float32)
+
+
+def conv3d_reference(grid: np.ndarray, weight: float = 1.0 / 27.0) -> np.ndarray:
+    """27-point box-filter 3D convolution ('valid')."""
+    if grid.ndim != 3:
+        raise ValueError("conv3d_reference expects a 3D grid")
+    shape = tuple(s - 2 for s in grid.shape)
+    if min(shape) <= 0:
+        raise ValueError("grid smaller than the stencil")
+    out = np.zeros(shape, dtype=np.float64)
+    for dz in range(3):
+        for dy in range(3):
+            for dx in range(3):
+                out += grid[dz:dz + shape[0], dy:dy + shape[1],
+                            dx:dx + shape[2]]
+    return (out * weight).astype(np.float32)
+
+
+class Conv2D(Workload):
+    """PolyBench general 2D convolution."""
+
+    name = "2DCONV"
+    suite = "micro"
+    domain = "image processing"
+    description = "general 2D convolution"
+    input_kind = "2d"
+
+    def program(self, size: SizeClass) -> Program:
+        side = size.side_2d
+        grid_bytes = side * side * FLOAT_BYTES
+        outputs_per_tile = CONV2D_TILE_SIDE * CONV2D_TILE_SIDE
+        total_tiles = max(1, (side * side) // outputs_per_tile)
+        blocks = min(8192, total_tiles)
+        tiles_per_block = max(1, round(total_tiles / blocks))
+        descriptor = KernelDescriptor(
+            name=self.name,
+            blocks=blocks,
+            threads_per_block=256,
+            tiles_per_block=tiles_per_block,
+            tile_bytes=CONV2D_TILE_BYTES,
+            compute_cycles_per_tile=cycles_for_flops(18 * outputs_per_tile),
+            access_pattern=AccessPattern.SEQUENTIAL,
+            bandwidth_efficiency=0.093,
+            write_bytes=grid_bytes,
+            data_footprint_bytes=grid_bytes,
+            async_copies_per_tile=CONV2D_ASYNC_COPIES,
+            async_control_cycles_per_copy=CONV_ASYNC_CONTROL_CYCLES,
+            async_serializes=True,
+            sync_overlap=1.0,
+            insts_per_tile=InstructionMix(
+                memory=2.2 * outputs_per_tile,
+                fp=18.0 * outputs_per_tile,
+                integer=4.0 * outputs_per_tile,
+                control=1.0 * outputs_per_tile,
+            ),
+        )
+        buffers = (
+            BufferSpec("input", grid_bytes, BufferDirection.IN),
+            BufferSpec("output", grid_bytes, BufferDirection.OUT,
+                       host_read_fraction=0.25),
+        )
+        return Program(name=self.name, buffers=buffers,
+                       phases=(KernelPhase(descriptor),))
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        grid = rng.standard_normal((64, 64)).astype(np.float32)
+        return {"input": grid, "output": conv2d_reference(grid)}
+
+
+class Conv3D(Workload):
+    """PolyBench general 3D convolution."""
+
+    name = "3DCONV"
+    suite = "micro"
+    domain = "image processing"
+    description = "general 3D convolution"
+    input_kind = "3d"
+
+    def program(self, size: SizeClass) -> Program:
+        side = size.side_3d
+        grid_bytes = side ** 3 * FLOAT_BYTES
+        outputs_per_tile = CONV3D_TILE_SIDE ** 3
+        total_tiles = max(1, side ** 3 // outputs_per_tile)
+        blocks = min(8192, total_tiles)
+        tiles_per_block = max(1, round(total_tiles / blocks))
+        descriptor = KernelDescriptor(
+            name=self.name,
+            blocks=blocks,
+            threads_per_block=256,
+            tiles_per_block=tiles_per_block,
+            tile_bytes=CONV3D_TILE_BYTES,
+            compute_cycles_per_tile=cycles_for_flops(54 * outputs_per_tile),
+            access_pattern=AccessPattern.STRIDED,
+            bandwidth_efficiency=0.075,
+            write_bytes=grid_bytes,
+            data_footprint_bytes=grid_bytes,
+            async_copies_per_tile=CONV3D_ASYNC_COPIES,
+            async_control_cycles_per_copy=CONV_ASYNC_CONTROL_CYCLES,
+            async_serializes=True,
+            sync_overlap=1.0,
+            insts_per_tile=InstructionMix(
+                memory=2.8 * outputs_per_tile,
+                fp=54.0 * outputs_per_tile,
+                integer=6.0 * outputs_per_tile,
+                control=1.5 * outputs_per_tile,
+            ),
+        )
+        buffers = (
+            BufferSpec("input", grid_bytes, BufferDirection.IN),
+            BufferSpec("output", grid_bytes, BufferDirection.OUT,
+                       host_read_fraction=0.25),
+        )
+        return Program(name=self.name, buffers=buffers,
+                       phases=(KernelPhase(descriptor),))
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        grid = rng.standard_normal((20, 20, 20)).astype(np.float32)
+        return {"input": grid, "output": conv3d_reference(grid)}

@@ -1,0 +1,190 @@
+"""Vector microbenchmarks: vector_seq, vector_rand (Svedin et al.), saxpy.
+
+``vector_seq``/``vector_rand`` apply a chain of element-wise arithmetic
+operations to a vector (sequential vs gather-indexed access); ``saxpy``
+is the PolyBench y = a*x + y. These are the memory-bound end of the
+microbenchmark suite, where cp.async staging shows its largest kernel
+time wins (Sec. 4.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+from ...sim.program import (BufferDirection, BufferSpec, KernelPhase, Program)
+from ..base import Workload, cycles_for_flops, cycles_for_latency_bound_ops
+from ..sizes import FLOAT_BYTES, SizeClass
+
+# Launch geometry shared by the 1D microbenchmarks (Sec. 5 uses
+# vector_seq at 4096 blocks x 256 threads as the reference point).
+DEFAULT_BLOCKS = 4096
+DEFAULT_THREADS = 256
+TILE_BYTES = 2048  # 512 floats staged per block iteration
+
+# The Svedin vector kernels run a chain of arithmetic ops per element.
+OPS_PER_ELEMENT = 48
+
+
+def _vector_geometry(total_bytes: int) -> Dict[str, int]:
+    """Split a vector across blocks/tiles, shrinking the grid for
+    footprints smaller than the default launch can cover."""
+    total_tiles = max(1, total_bytes // TILE_BYTES)
+    blocks = min(DEFAULT_BLOCKS, total_tiles)
+    tiles_per_block = max(1, round(total_tiles / blocks))
+    return {"blocks": blocks, "tiles_per_block": tiles_per_block}
+
+
+def vector_kernel(name: str, total_bytes: int, pattern: AccessPattern,
+                  blocks: Optional[int] = None,
+                  threads: Optional[int] = None,
+                  write_bytes: Optional[int] = None) -> KernelDescriptor:
+    """Descriptor for a vector-to-constant kernel over ``total_bytes``."""
+    geometry = _vector_geometry(total_bytes)
+    if blocks is not None:
+        geometry["blocks"] = blocks
+        geometry["tiles_per_block"] = max(
+            1, round(max(1, total_bytes // TILE_BYTES) / blocks))
+    elements_per_tile = TILE_BYTES // FLOAT_BYTES
+    return KernelDescriptor(
+        name=name,
+        blocks=geometry["blocks"],
+        threads_per_block=threads or DEFAULT_THREADS,
+        tiles_per_block=geometry["tiles_per_block"],
+        tile_bytes=TILE_BYTES,
+        compute_cycles_per_tile=cycles_for_latency_bound_ops(
+            elements_per_tile * OPS_PER_ELEMENT),
+        access_pattern=pattern,
+        write_bytes=total_bytes if write_bytes is None else write_bytes,
+        write_pattern=AccessPattern.SEQUENTIAL,
+        insts_per_tile=InstructionMix(
+            memory=2.0 * elements_per_tile,                 # ld + st per element
+            fp=float(elements_per_tile * OPS_PER_ELEMENT),
+            integer=4.0 * elements_per_tile,                # addressing
+            control=1.0 * elements_per_tile,                # loop bookkeeping
+        ),
+    )
+
+
+class VectorSeq(Workload):
+    """Vector-to-Constant with sequential access (Svedin et al. [30])."""
+
+    name = "vector_seq"
+    suite = "micro"
+    domain = "linear algebra"
+    description = ("Vector-to-Constant, element-wise arithmetic operations "
+                   "on a vector (sequential access)")
+    input_kind = "1d"
+
+    pattern = AccessPattern.SEQUENTIAL
+
+    def program(self, size: SizeClass) -> Program:
+        return self.program_with_geometry(size)
+
+    def program_with_geometry(self, size: SizeClass,
+                              blocks: Optional[int] = None,
+                              threads: Optional[int] = None) -> Program:
+        """The same workload on an explicit launch geometry (Sec. 5)."""
+        total_bytes = size.mem_bytes
+        descriptor = vector_kernel(self.name, total_bytes, self.pattern,
+                                   blocks=blocks, threads=threads)
+        buffers = (
+            BufferSpec("vector", total_bytes, BufferDirection.INOUT,
+                       host_read_fraction=0.25),
+        )
+        return Program(name=self.name, buffers=buffers,
+                       phases=(KernelPhase(descriptor),))
+
+    @staticmethod
+    def apply_chain(values: np.ndarray, ops: int = 8) -> np.ndarray:
+        """The element-wise arithmetic chain the kernel applies."""
+        result = values.astype(np.float64)
+        for step in range(ops):
+            result = result * 1.000001 + float(step % 3)
+        return result
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        vector = rng.standard_normal(4096).astype(np.float32)
+        out = self.apply_chain(vector)
+        return {"input": vector, "output": out}
+
+
+class VectorRand(VectorSeq):
+    """Vector-to-Constant with random (gather-indexed) access."""
+
+    name = "vector_rand"
+    description = ("Vector-to-Constant, element-wise arithmetic operations "
+                   "on a vector (random access)")
+    pattern = AccessPattern.RANDOM
+
+    def program(self, size: SizeClass) -> Program:
+        # Two buffers (data + permutation indices) split the footprint;
+        # the kernel streams both (gathered data + sequential indices).
+        half_bytes = size.mem_bytes // 2
+        descriptor = vector_kernel(self.name, size.mem_bytes, self.pattern,
+                                   write_bytes=half_bytes)
+        buffers = (
+            BufferSpec("vector", half_bytes, BufferDirection.INOUT,
+                       host_read_fraction=0.25),
+            BufferSpec("indices", half_bytes, BufferDirection.IN),
+        )
+        return Program(name=self.name, buffers=buffers,
+                       phases=(KernelPhase(descriptor),))
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        vector = rng.standard_normal(4096).astype(np.float32)
+        indices = rng.permutation(vector.size)
+        gathered = vector[indices]
+        out = self.apply_chain(gathered)
+        return {"input": vector, "indices": indices, "output": out}
+
+
+class Saxpy(Workload):
+    """PolyBench saxpy: y = a * x + y."""
+
+    name = "saxpy"
+    suite = "micro"
+    domain = "linear algebra"
+    description = "Vector-to-Vector multiplication and addition"
+    input_kind = "1d"
+
+    ALPHA = 2.5
+
+    def program(self, size: SizeClass) -> Program:
+        half_bytes = size.mem_bytes // 2
+        elements_per_tile = TILE_BYTES // FLOAT_BYTES
+        geometry = _vector_geometry(2 * half_bytes)  # streams x and y
+        descriptor = KernelDescriptor(
+            name=self.name,
+            blocks=geometry["blocks"],
+            threads_per_block=DEFAULT_THREADS,
+            tiles_per_block=geometry["tiles_per_block"],
+            tile_bytes=TILE_BYTES,
+            compute_cycles_per_tile=cycles_for_flops(2 * elements_per_tile),
+            access_pattern=AccessPattern.SEQUENTIAL,
+            write_bytes=half_bytes,
+            insts_per_tile=InstructionMix(
+                memory=1.5 * elements_per_tile,
+                fp=2.0 * elements_per_tile,
+                integer=3.0 * elements_per_tile,
+                control=0.5 * elements_per_tile,
+            ),
+        )
+        buffers = (
+            BufferSpec("x", half_bytes, BufferDirection.IN),
+            BufferSpec("y", half_bytes, BufferDirection.INOUT,
+                       host_read_fraction=0.25),
+        )
+        return Program(name=self.name, buffers=buffers,
+                       phases=(KernelPhase(descriptor),))
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        x = rng.standard_normal(4096).astype(np.float32)
+        y = rng.standard_normal(4096).astype(np.float32)
+        out = self.ALPHA * x + y
+        return {"x": x, "y": y, "output": out}

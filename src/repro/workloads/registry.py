@@ -1,0 +1,72 @@
+"""Workload registry: the 21 benchmarks of Table 2.
+
+``MICRO_NAMES`` and ``APP_NAMES`` preserve the orderings of Figures 7
+and 8 so the harness regenerates the plots' x-axes verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Workload
+from .darknet import DARKNET_WORKLOADS
+from .micro import MICRO_WORKLOADS
+from .rodinia import RODINIA_WORKLOADS
+from .uvmbench import UVMBENCH_WORKLOADS
+
+_ALL_CLASSES = (MICRO_WORKLOADS + RODINIA_WORKLOADS + UVMBENCH_WORKLOADS
+                + DARKNET_WORKLOADS)
+
+_REGISTRY: Dict[str, Workload] = {}
+for _cls in _ALL_CLASSES:
+    _instance = _cls()
+    if _instance.name in _REGISTRY:
+        raise RuntimeError(f"duplicate workload name {_instance.name!r}")
+    _REGISTRY[_instance.name] = _instance
+
+# Figure 7 x-axis order.
+MICRO_NAMES = ("vector_seq", "vector_rand", "saxpy", "gemv", "gemm",
+               "2DCONV", "3DCONV")
+
+# Figure 8 x-axis order ("BN" is the paper's label for bayesian).
+APP_NAMES = ("pathfinder", "backprop", "lud", "kmeans", "knn", "srad",
+             "lavaMD", "resnet50", "yolov3-tiny", "resnet18", "yolov3",
+             "bayesian", "nw", "hotspot")
+
+ALL_NAMES = MICRO_NAMES + APP_NAMES
+
+assert set(ALL_NAMES) == set(_REGISTRY), (
+    sorted(set(ALL_NAMES) ^ set(_REGISTRY)))
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by its Table 2 name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_workloads() -> List[Workload]:
+    """Every Table 2 workload, in figure order (micro then apps)."""
+    return [_REGISTRY[name] for name in ALL_NAMES]
+
+
+def micro_workloads() -> List[Workload]:
+    """The 7 microbenchmarks, in Fig. 7 order."""
+    return [_REGISTRY[name] for name in MICRO_NAMES]
+
+
+def app_workloads() -> List[Workload]:
+    """The 14 real-world applications, in Fig. 8 order."""
+    return [_REGISTRY[name] for name in APP_NAMES]
+
+
+def workloads_by_suite(suite: str) -> List[Workload]:
+    """Workloads of one source suite (micro/rodinia/uvmbench/darknet)."""
+    matches = [w for w in all_workloads() if w.suite == suite]
+    if not matches:
+        raise KeyError(f"unknown suite {suite!r}")
+    return matches

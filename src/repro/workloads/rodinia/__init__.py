@@ -1,0 +1,25 @@
+"""The 8 Rodinia applications selected by the paper (Table 2)."""
+
+from .backprop import Backprop, backprop_reference, sigmoid
+from .hotspot import HotSpot, hotspot_reference, hotspot_step
+from .kmeans import (Kmeans, kmeans_assign, kmeans_plusplus_init,
+                     kmeans_reference, kmeans_update)
+from .lavamd import LavaMD, lavamd_reference
+from .lud import (Lud, diagonally_dominant, lud_blocked_reference,
+                  lud_reference)
+from .nw import NeedlemanWunsch, nw_reference, nw_traceback
+from .pathfinder import Pathfinder, pathfinder_reference
+from .srad import Srad, srad_reference, srad_step
+
+RODINIA_WORKLOADS = (LavaMD, NeedlemanWunsch, Kmeans, Srad, Backprop,
+                     Pathfinder, HotSpot, Lud)
+
+__all__ = [
+    "Backprop", "HotSpot", "Kmeans", "LavaMD", "Lud", "NeedlemanWunsch",
+    "Pathfinder", "RODINIA_WORKLOADS", "Srad", "backprop_reference",
+    "diagonally_dominant", "hotspot_reference", "hotspot_step",
+    "kmeans_assign", "kmeans_plusplus_init", "kmeans_reference",
+    "kmeans_update", "lud_blocked_reference", "nw_traceback",
+    "lavamd_reference", "lud_reference", "nw_reference",
+    "pathfinder_reference", "sigmoid", "srad_reference", "srad_step",
+]

@@ -1,0 +1,116 @@
+"""Rodinia Backprop: training pass of a layered neural network.
+
+Two kernels - forward propagation and weight adjustment - stream a
+large input-to-hidden weight matrix once each. Both are coalesced
+streaming kernels with modest compute, so the workload responds to the
+transfer configurations much like a wide saxpy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+from ...sim.program import (BufferDirection, BufferSpec, KernelPhase, Program)
+from ..base import Workload, cycles_for_latency_bound_ops
+from ..sizes import FLOAT_BYTES, SizeClass
+
+HIDDEN_UNITS = 16
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic activation used throughout Rodinia backprop."""
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def backprop_reference(inputs: np.ndarray, w_ih: np.ndarray, w_ho: np.ndarray,
+                       target: float, eta: float = 0.3) -> Dict[str, np.ndarray]:
+    """One Rodinia-style training step (single sample, one output unit).
+
+    Returns hidden/output activations, error deltas, and updated weights.
+    """
+    hidden = sigmoid(inputs @ w_ih)          # (hidden_units,)
+    output = float(sigmoid(hidden @ w_ho))   # scalar output unit
+    # Output and hidden error terms (standard backprop deltas).
+    delta_out = output * (1.0 - output) * (target - output)
+    delta_hidden = hidden * (1.0 - hidden) * (w_ho * delta_out)
+    new_w_ho = w_ho + eta * hidden * delta_out
+    new_w_ih = w_ih + eta * np.outer(inputs, delta_hidden)
+    return {
+        "hidden": hidden,
+        "output": output,
+        "delta_out": delta_out,
+        "delta_hidden": delta_hidden,
+        "w_ih": new_w_ih,
+        "w_ho": new_w_ho,
+    }
+
+
+class Backprop(Workload):
+    """Back Propagation trains the weights of a layered neural network."""
+
+    name = "backprop"
+    suite = "rodinia"
+    domain = "machine learning"
+    description = ("Back Propagation is an ML algorithm that trains the "
+                   "weights of connecting nodes on a layered neural network.")
+    input_kind = "1d"
+
+    def _weight_kernel(self, name: str, weight_bytes: int,
+                       writes: bool) -> KernelDescriptor:
+        tile_bytes = 4096
+        total_tiles = max(1, weight_bytes // tile_bytes)
+        blocks = min(4096, total_tiles)
+        elements_per_tile = tile_bytes // FLOAT_BYTES
+        return KernelDescriptor(
+            name=name,
+            blocks=blocks,
+            threads_per_block=256,
+            tiles_per_block=max(1, round(total_tiles / blocks)),
+            tile_bytes=tile_bytes,
+            compute_cycles_per_tile=cycles_for_latency_bound_ops(
+                4 * elements_per_tile, stall_cycles=12),
+            access_pattern=AccessPattern.SEQUENTIAL,
+            write_bytes=weight_bytes if writes else 0,
+            smem_static_bytes=HIDDEN_UNITS * FLOAT_BYTES,
+            insts_per_tile=InstructionMix(
+                memory=2.0 * elements_per_tile,
+                fp=4.0 * elements_per_tile,
+                integer=3.0 * elements_per_tile,
+                control=1.0 * elements_per_tile,
+            ),
+        )
+
+    def program(self, size: SizeClass) -> Program:
+        # The input-to-hidden weight matrix dominates: input_n x 16.
+        input_nodes = size.elements_1d // (HIDDEN_UNITS + 1)
+        weight_bytes = input_nodes * HIDDEN_UNITS * FLOAT_BYTES
+        input_bytes = input_nodes * FLOAT_BYTES
+        forward = self._weight_kernel("bpnn_layerforward", weight_bytes,
+                                      writes=False)
+        adjust = self._weight_kernel("bpnn_adjust_weights", weight_bytes,
+                                     writes=True)
+        buffers = (
+            BufferSpec("input_units", input_bytes, BufferDirection.IN),
+            BufferSpec("input_weights", weight_bytes, BufferDirection.INOUT,
+                       host_read_fraction=0.05),
+            BufferSpec("hidden_partial", input_bytes, BufferDirection.OUT,
+                       host_read_fraction=0.1),
+        )
+        return Program(
+            name=self.name,
+            buffers=buffers,
+            phases=(KernelPhase(forward), KernelPhase(adjust)),
+        )
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        inputs = rng.random(64).astype(np.float64)
+        w_ih = rng.standard_normal((64, HIDDEN_UNITS)) * 0.1
+        w_ho = rng.standard_normal(HIDDEN_UNITS) * 0.1
+        target = 0.8
+        result = backprop_reference(inputs, w_ih, w_ho, target)
+        result.update({"inputs": inputs, "target": target})
+        return result

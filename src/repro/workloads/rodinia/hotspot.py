@@ -1,0 +1,108 @@
+"""Rodinia HotSpot: processor-temperature estimation.
+
+An iterative 5-point thermal stencil over temperature and power grids.
+Regular access, moderate compute: behaves like the SRAD family under
+the transfer configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+from ...sim.program import (BufferDirection, BufferSpec, KernelPhase, Program)
+from ..base import Workload, cycles_for_flops
+from ..sizes import FLOAT_BYTES, SizeClass
+
+ITERATIONS = 20
+
+# Rodinia's physical constants (scaled for a unit chip).
+CAP = 0.5
+RX = 1.0
+RY = 1.0
+RZ = 4.0
+AMBIENT = 80.0
+STEP = 0.0625
+
+
+def hotspot_step(temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+    """One explicit Euler step of the HotSpot heat equation."""
+    north = np.vstack([temp[:1, :], temp[:-1, :]])
+    south = np.vstack([temp[1:, :], temp[-1:, :]])
+    west = np.hstack([temp[:, :1], temp[:, :-1]])
+    east = np.hstack([temp[:, 1:], temp[:, -1:]])
+    delta = (STEP / CAP) * (
+        power
+        + (south + north - 2.0 * temp) / RY
+        + (east + west - 2.0 * temp) / RX
+        + (AMBIENT - temp) / RZ
+    )
+    return temp + delta
+
+
+def hotspot_reference(temp: np.ndarray, power: np.ndarray,
+                      iterations: int = 8) -> np.ndarray:
+    """Iterate the HotSpot thermal update."""
+    out = temp.astype(np.float64)
+    for _ in range(iterations):
+        out = hotspot_step(out, power)
+    return out
+
+
+class HotSpot(Workload):
+    """Estimate processor temperature from a floorplan and power trace."""
+
+    name = "hotspot"
+    suite = "rodinia"
+    domain = "physics simulation"
+    description = ("A widely used tool to estimate processor temperature "
+                   "based on an architectural floorplan and simulated power "
+                   "measurements.")
+    input_kind = "2d"
+
+    def program(self, size: SizeClass) -> Program:
+        side = size.side_2d
+        grid_bytes = side * side * FLOAT_BYTES
+        tile_side = 16
+        tile_bytes = 2 * (tile_side + 2) ** 2 * FLOAT_BYTES  # temp + power
+        outputs_per_tile = tile_side * tile_side
+        total_tiles = max(1, (side * side) // outputs_per_tile)
+        blocks = min(8192, total_tiles)
+        descriptor = KernelDescriptor(
+            name="calculate_temp",
+            blocks=blocks,
+            threads_per_block=256,
+            tiles_per_block=max(1, round(total_tiles / blocks)),
+            tile_bytes=tile_bytes,
+            compute_cycles_per_tile=cycles_for_flops(15 * outputs_per_tile),
+            access_pattern=AccessPattern.STRIDED,
+            bandwidth_efficiency=0.30,
+            write_bytes=grid_bytes,
+            data_footprint_bytes=2 * grid_bytes,
+            smem_static_bytes=tile_bytes,
+            insts_per_tile=InstructionMix(
+                memory=2.5 * outputs_per_tile,
+                fp=15.0 * outputs_per_tile,
+                integer=4.0 * outputs_per_tile,
+                control=1.5 * outputs_per_tile,
+            ),
+        )
+        buffers = (
+            BufferSpec("temperature", grid_bytes, BufferDirection.INOUT,
+                       host_read_fraction=0.05),
+            BufferSpec("power", grid_bytes, BufferDirection.IN),
+        )
+        return Program(
+            name=self.name,
+            buffers=buffers,
+            phases=(KernelPhase(descriptor, count=ITERATIONS),),
+        )
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        temp = AMBIENT + rng.random((40, 40)) * 40.0
+        power = rng.random((40, 40)) * 5.0
+        return {"temperature": temp, "power": power,
+                "output": hotspot_reference(temp, power)}

@@ -1,0 +1,150 @@
+"""Rodinia Kmeans: iterative clustering over a large point set.
+
+Every iteration re-streams the full point array while gathering
+centroids data-dependently - an irregular pattern the paper calls out
+as an Async Memcpy winner (~20 % atop UVM, Abstract / Takeaway 2).
+The kernel repeats over the *same* data, so UVM pays faults only on
+the first pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+from ...sim.program import (BufferDirection, BufferSpec, KernelPhase, Program)
+from ..base import Workload, cycles_for_latency_bound_ops
+from ..sizes import FLOAT_BYTES, SizeClass
+
+FEATURES = 32
+CLUSTERS = 8
+ITERATIONS = 20
+
+
+def kmeans_assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment (squared Euclidean distance)."""
+    distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    return distances.argmin(axis=1)
+
+
+def kmeans_update(points: np.ndarray, labels: np.ndarray,
+                  k: int) -> np.ndarray:
+    """Recompute centroids; empty clusters keep their previous mean of 0."""
+    centroids = np.zeros((k, points.shape[1]), dtype=points.dtype)
+    for cluster in range(k):
+        members = points[labels == cluster]
+        if len(members):
+            centroids[cluster] = members.mean(axis=0)
+    return centroids
+
+
+def kmeans_plusplus_init(points: np.ndarray, k: int,
+                         rng: Optional[np.random.Generator] = None
+                         ) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii): each next centroid
+    is drawn with probability proportional to its squared distance from
+    the nearest centroid chosen so far."""
+    if k < 1 or k > len(points):
+        raise ValueError(f"k must be in [1, {len(points)}]")
+    rng = rng or np.random.default_rng(0)
+    centroids = [points[rng.integers(len(points))]]
+    for _ in range(k - 1):
+        distances = np.min(
+            ((points[:, None, :] - np.asarray(centroids)[None, :, :]) ** 2)
+            .sum(axis=2), axis=1)
+        total = distances.sum()
+        if total <= 0:
+            # All points coincide with chosen centroids; pick uniformly.
+            centroids.append(points[rng.integers(len(points))])
+            continue
+        choice = rng.choice(len(points), p=distances / total)
+        centroids.append(points[choice])
+    return np.asarray(centroids)
+
+
+def kmeans_reference(points: np.ndarray, k: int = CLUSTERS,
+                     iterations: int = 10,
+                     rng: Optional[np.random.Generator] = None,
+                     plusplus: bool = False) -> Dict[str, Any]:
+    """Full Lloyd iteration loop (optionally k-means++-seeded)."""
+    rng = rng or np.random.default_rng(0)
+    if plusplus:
+        centroids = kmeans_plusplus_init(points, k, rng=rng)
+    else:
+        centroids = points[rng.choice(len(points), size=k,
+                                      replace=False)].copy()
+    labels = np.zeros(len(points), dtype=np.int64)
+    for _ in range(iterations):
+        new_labels = kmeans_assign(points, centroids)
+        if np.array_equal(new_labels, labels):
+            labels = new_labels
+            break
+        labels = new_labels
+        centroids = kmeans_update(points, labels, k)
+    return {"labels": labels, "centroids": centroids}
+
+
+class Kmeans(Workload):
+    """K-means clustering (data mining)."""
+
+    name = "kmeans"
+    suite = "rodinia"
+    domain = "data mining"
+    description = ("K-means is a clustering algorithm used extensively in "
+                   "data-mining and elsewhere, important primarily for its "
+                   "simplicity.")
+    input_kind = "1d"
+
+    def program(self, size: SizeClass) -> Program:
+        point_bytes = size.mem_bytes
+        points = point_bytes // (FEATURES * FLOAT_BYTES)
+        labels_bytes = points * FLOAT_BYTES
+        tile_bytes = FEATURES * FLOAT_BYTES * 64  # 64 points per stage
+        total_tiles = max(1, point_bytes // tile_bytes)
+        blocks = min(4096, total_tiles)
+        points_per_tile = 64
+        descriptor = KernelDescriptor(
+            name="kmeans_kernel",
+            blocks=blocks,
+            threads_per_block=256,
+            tiles_per_block=max(1, round(total_tiles / blocks)),
+            tile_bytes=tile_bytes,
+            # Distance to every centroid: k * features MACs per point,
+            # latency-bound through the gathered centroid table.
+            compute_cycles_per_tile=cycles_for_latency_bound_ops(
+                points_per_tile * CLUSTERS * FEATURES * 2, stall_cycles=6),
+            access_pattern=AccessPattern.IRREGULAR,
+            write_bytes=labels_bytes,
+            data_footprint_bytes=point_bytes,
+            smem_static_bytes=CLUSTERS * FEATURES * FLOAT_BYTES,
+            insts_per_tile=InstructionMix(
+                memory=2.0 * points_per_tile * FEATURES,
+                fp=2.0 * points_per_tile * CLUSTERS * FEATURES,
+                integer=1.0 * points_per_tile * FEATURES,
+                control=0.5 * points_per_tile * FEATURES,
+            ),
+        )
+        buffers = (
+            BufferSpec("points", point_bytes, BufferDirection.IN),
+            BufferSpec("labels", labels_bytes, BufferDirection.OUT,
+                       host_read_fraction=1.0),
+        )
+        return Program(
+            name=self.name,
+            buffers=buffers,
+            phases=(KernelPhase(descriptor, count=ITERATIONS,
+                                host_sync_bytes=labels_bytes * ITERATIONS),),
+        )
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        # Three well-separated blobs: the assignment must recover them.
+        centers = np.array([[0.0] * 4, [10.0] * 4, [-10.0] * 4])
+        points = np.concatenate([
+            center + rng.standard_normal((40, 4)) for center in centers
+        ]).astype(np.float64)
+        result = kmeans_reference(points, k=3, rng=rng)
+        result["points"] = points
+        return result

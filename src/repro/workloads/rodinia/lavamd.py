@@ -1,0 +1,101 @@
+"""Rodinia lavaMD: particle potentials in a 3D box decomposition.
+
+Each home box computes pairwise interactions with its 26 neighbor
+boxes - heavy floating-point work per staged byte, with neighbor-box
+gathers that stride unpredictably through memory. Compute-dominated,
+so the transfer configurations move it less than the streaming
+workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+from ...sim.program import (BufferDirection, BufferSpec, KernelPhase, Program)
+from ..base import Workload, cycles_for_flops
+from ..sizes import FLOAT_BYTES, SizeClass
+
+PARTICLES_PER_BOX = 100
+NEIGHBORS = 27  # home box + 26 neighbors
+ALPHA = 0.5
+
+
+def lavamd_reference(positions: np.ndarray, charges: np.ndarray,
+                     alpha: float = ALPHA) -> Dict[str, np.ndarray]:
+    """Dense all-pairs version of the lavaMD kernel math.
+
+    For every particle i: v_i = sum_j exp(-alpha^2 * |r_i - r_j|^2) * q_j,
+    and the force f_i accumulates the gradient direction terms.
+    (Rodinia restricts j to neighbor boxes; the dense form is the
+    correct oracle for a single-box instance.)
+    """
+    deltas = positions[:, None, :] - positions[None, :, :]   # (n, n, 3)
+    dist2 = (deltas ** 2).sum(axis=2)
+    weights = np.exp(-alpha * alpha * dist2) * charges[None, :]
+    potential = weights.sum(axis=1)
+    force = (weights[:, :, None] * 2.0 * alpha * alpha * deltas).sum(axis=1)
+    return {"potential": potential, "force": force}
+
+
+class LavaMD(Workload):
+    """Particle potential and relocation within a large 3D space."""
+
+    name = "lavaMD"
+    suite = "rodinia"
+    domain = "molecular dynamics"
+    description = ("The code calculates particle potential and relocation "
+                   "due to mutual forces between particles within a large "
+                   "3D space.")
+    input_kind = "3d"
+
+    def program(self, size: SizeClass) -> Program:
+        # Boxes scale with the 3D grid; each box holds 100 particles of
+        # 4 floats position/charge + 4 floats output.
+        boxes = max(1, size.side_3d ** 3 // 512)
+        particle_bytes = boxes * PARTICLES_PER_BOX * 4 * FLOAT_BYTES
+        output_bytes = particle_bytes
+        # One tile = one neighbor box of particles staged to smem.
+        tile_bytes = PARTICLES_PER_BOX * 4 * FLOAT_BYTES
+        blocks = min(8192, boxes)
+        tiles_per_block = max(1, round(boxes * NEIGHBORS / blocks))
+        # Each staged neighbor box interacts with the 100 home
+        # particles: 100 x 100 pairs x ~10 flops each.
+        pair_flops = PARTICLES_PER_BOX * PARTICLES_PER_BOX * 10
+        descriptor = KernelDescriptor(
+            name="kernel_gpu_cuda",
+            blocks=blocks,
+            threads_per_block=128,
+            tiles_per_block=tiles_per_block,
+            tile_bytes=tile_bytes,
+            compute_cycles_per_tile=cycles_for_flops(pair_flops),
+            access_pattern=AccessPattern.IRREGULAR,
+            write_bytes=output_bytes,
+            data_footprint_bytes=particle_bytes,
+            reuse=max(1.0, NEIGHBORS / 2),
+            smem_static_bytes=tile_bytes,
+            sync_overlap=0.55,
+            insts_per_tile=InstructionMix(
+                memory=4.0 * PARTICLES_PER_BOX,
+                fp=float(pair_flops),
+                integer=6.0 * PARTICLES_PER_BOX,
+                control=2.0 * PARTICLES_PER_BOX,
+            ),
+        )
+        buffers = (
+            BufferSpec("boxes", particle_bytes, BufferDirection.IN),
+            BufferSpec("forces", output_bytes, BufferDirection.OUT,
+                       host_read_fraction=0.05),
+        )
+        return Program(name=self.name, buffers=buffers,
+                       phases=(KernelPhase(descriptor),))
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        positions = rng.random((PARTICLES_PER_BOX, 3))
+        charges = rng.random(PARTICLES_PER_BOX)
+        result = lavamd_reference(positions, charges)
+        result.update({"positions": positions, "charges": charges})
+        return result

@@ -1,0 +1,145 @@
+"""Rodinia NW: Needleman-Wunsch sequence alignment.
+
+Two wavefront kernels sweep the same DP matrix - first the upper-left
+triangle, then the lower-right. Because kernel 2 re-reads kernel 1's
+output, issuing a bulk prefetch between them displaces the shared
+working set: the paper's one workload where prefetch *hurts*
+(Sec. 4.1.2). The descriptor marks this with ``shares_data_with_next``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+from ...sim.program import (BufferDirection, BufferSpec, KernelPhase, Program)
+from ..base import Workload, cycles_for_int_ops
+from ..sizes import FLOAT_BYTES, SizeClass
+
+GAP_PENALTY = 1
+BLOSUM_MATCH = 3
+BLOSUM_MISMATCH = -2
+
+
+def nw_reference(seq_a: np.ndarray, seq_b: np.ndarray,
+                 penalty: int = GAP_PENALTY) -> Dict[str, Any]:
+    """Needleman-Wunsch DP score matrix for two integer sequences."""
+    la, lb = len(seq_a), len(seq_b)
+    score = np.zeros((la + 1, lb + 1), dtype=np.int64)
+    score[:, 0] = -penalty * np.arange(la + 1)
+    score[0, :] = -penalty * np.arange(lb + 1)
+    similarity = np.where(seq_a[:, None] == seq_b[None, :],
+                          BLOSUM_MATCH, BLOSUM_MISMATCH)
+    for i in range(1, la + 1):
+        for j in range(1, lb + 1):
+            score[i, j] = max(
+                score[i - 1, j - 1] + similarity[i - 1, j - 1],
+                score[i - 1, j] - penalty,
+                score[i, j - 1] - penalty,
+            )
+    return {"score": score, "alignment_score": int(score[la, lb])}
+
+
+def nw_traceback(seq_a: np.ndarray, seq_b: np.ndarray,
+                 score: np.ndarray,
+                 penalty: int = GAP_PENALTY) -> Dict[str, Any]:
+    """Reconstruct one optimal alignment from a filled score matrix.
+
+    Returns gapped sequences (``-1`` marks a gap) plus match/gap
+    counts. The traceback prefers diagonal moves, as Rodinia's
+    reference output does.
+    """
+    similarity = np.where(seq_a[:, None] == seq_b[None, :],
+                          BLOSUM_MATCH, BLOSUM_MISMATCH)
+    aligned_a: list = []
+    aligned_b: list = []
+    i, j = len(seq_a), len(seq_b)
+    while i > 0 or j > 0:
+        if (i > 0 and j > 0
+                and score[i, j] == score[i - 1, j - 1]
+                + similarity[i - 1, j - 1]):
+            aligned_a.append(int(seq_a[i - 1]))
+            aligned_b.append(int(seq_b[j - 1]))
+            i -= 1
+            j -= 1
+        elif i > 0 and score[i, j] == score[i - 1, j] - penalty:
+            aligned_a.append(int(seq_a[i - 1]))
+            aligned_b.append(-1)
+            i -= 1
+        else:
+            aligned_a.append(-1)
+            aligned_b.append(int(seq_b[j - 1]))
+            j -= 1
+    aligned_a.reverse()
+    aligned_b.reverse()
+    matches = sum(1 for a, b in zip(aligned_a, aligned_b)
+                  if a == b and a != -1)
+    gaps = aligned_a.count(-1) + aligned_b.count(-1)
+    return {"aligned_a": aligned_a, "aligned_b": aligned_b,
+            "matches": matches, "gaps": gaps}
+
+
+class NeedlemanWunsch(Workload):
+    """Nonlinear global optimization for DNA sequence alignment."""
+
+    name = "nw"
+    suite = "rodinia"
+    domain = "bioinformatics"
+    description = ("Needleman-Wunsch, a nonlinear global optimization "
+                   "method for DNA sequence alignments.")
+    input_kind = "2d"
+
+    def _wavefront_kernel(self, name: str, matrix_bytes: int,
+                          shares_next: bool) -> KernelDescriptor:
+        tile_side = 16
+        tile_bytes = (tile_side + 1) ** 2 * FLOAT_BYTES * 2  # score + reference
+        outputs_per_tile = tile_side * tile_side
+        half_traffic = matrix_bytes  # each pass touches the whole matrix once
+        total_tiles = max(1, half_traffic // (outputs_per_tile * FLOAT_BYTES))
+        # Wavefront parallelism: limited blocks per diagonal.
+        blocks = min(2048, total_tiles)
+        return KernelDescriptor(
+            name=name,
+            blocks=blocks,
+            threads_per_block=tile_side * tile_side // 16 * 16,
+            tiles_per_block=max(1, round(total_tiles / blocks)),
+            tile_bytes=tile_bytes,
+            compute_cycles_per_tile=cycles_for_int_ops(8 * outputs_per_tile),
+            access_pattern=AccessPattern.STRIDED,
+            write_bytes=half_traffic,
+            data_footprint_bytes=matrix_bytes,
+            reuse=2.0,
+            smem_static_bytes=tile_bytes,
+            shares_data_with_next=shares_next,
+            insts_per_tile=InstructionMix(
+                memory=3.0 * outputs_per_tile,
+                fp=0.0,
+                integer=8.0 * outputs_per_tile,
+                control=3.0 * outputs_per_tile,
+            ),
+        )
+
+    def program(self, size: SizeClass) -> Program:
+        side = size.side_2d
+        matrix_bytes = side * side * FLOAT_BYTES
+        kernel1 = self._wavefront_kernel("needle_cuda_1", matrix_bytes,
+                                         shares_next=True)
+        kernel2 = self._wavefront_kernel("needle_cuda_2", matrix_bytes,
+                                         shares_next=False)
+        buffers = (
+            BufferSpec("score_matrix", matrix_bytes, BufferDirection.INOUT,
+                       host_read_fraction=0.05),
+            BufferSpec("reference", matrix_bytes, BufferDirection.IN),
+        )
+        return Program(name=self.name, buffers=buffers,
+                       phases=(KernelPhase(kernel1), KernelPhase(kernel2)))
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        seq_a = rng.integers(0, 4, size=48)
+        seq_b = rng.integers(0, 4, size=40)
+        result = nw_reference(seq_a, seq_b)
+        result.update({"seq_a": seq_a, "seq_b": seq_b})
+        return result

@@ -1,0 +1,92 @@
+"""Rodinia PathFinder: dynamic programming on a 2D grid.
+
+The CUDA version sweeps the grid one pyramid of rows at a time,
+launching a small kernel per row band - hundreds of launches over one
+large read-only wall array. Access is fully coalesced; the per-launch
+UVM page-table sync is what hurts its managed configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+from ...sim.program import (BufferDirection, BufferSpec, KernelPhase, Program)
+from ..base import Workload, cycles_for_int_ops
+from ..sizes import FLOAT_BYTES, SizeClass
+
+# Rows folded into one kernel launch (the Rodinia "pyramid height").
+PYRAMID_HEIGHT = 20
+
+
+def pathfinder_reference(wall: np.ndarray) -> np.ndarray:
+    """Minimum-cost path sums: returns the final DP row.
+
+    Each step moves down one row to the same, left, or right column.
+    """
+    if wall.ndim != 2:
+        raise ValueError("pathfinder expects a 2D wall")
+    dp = wall[0].astype(np.int64)
+    for row in wall[1:]:
+        left = np.concatenate(([np.iinfo(np.int64).max], dp[:-1]))
+        right = np.concatenate((dp[1:], [np.iinfo(np.int64).max]))
+        dp = row + np.minimum(dp, np.minimum(left, right))
+    return dp
+
+
+class Pathfinder(Workload):
+    """PathFinder uses dynamic programming to find a path on a 2-D grid."""
+
+    name = "pathfinder"
+    suite = "rodinia"
+    domain = "grid traversal"
+    description = ("PathFinder uses dynamic programming to find a path "
+                   "on a 2-D grid.")
+    input_kind = "2d"
+
+    def program(self, size: SizeClass) -> Program:
+        side = size.side_2d
+        wall_bytes = side * side * FLOAT_BYTES
+        result_bytes = side * FLOAT_BYTES
+        launches = max(1, side // PYRAMID_HEIGHT)
+        band_bytes = side * PYRAMID_HEIGHT * FLOAT_BYTES
+        tile_bytes = 4096
+        band_tiles = max(1, band_bytes // tile_bytes)
+        blocks = min(1024, band_tiles)
+        elements_per_tile = tile_bytes // FLOAT_BYTES
+        descriptor = KernelDescriptor(
+            name="dynproc_kernel",
+            blocks=blocks,
+            threads_per_block=256,
+            tiles_per_block=max(1, round(band_tiles / blocks)),
+            tile_bytes=tile_bytes,
+            # 3-way min + add per element, integer-dominated.
+            compute_cycles_per_tile=cycles_for_int_ops(5 * elements_per_tile),
+            access_pattern=AccessPattern.SEQUENTIAL,
+            write_bytes=result_bytes,
+            data_footprint_bytes=band_bytes,
+            insts_per_tile=InstructionMix(
+                memory=1.5 * elements_per_tile,
+                fp=0.0,
+                integer=5.0 * elements_per_tile,
+                control=2.0 * elements_per_tile,
+            ),
+        )
+        buffers = (
+            BufferSpec("wall", wall_bytes, BufferDirection.IN),
+            BufferSpec("result", result_bytes, BufferDirection.OUT,
+                       host_read_fraction=1.0),
+        )
+        return Program(
+            name=self.name,
+            buffers=buffers,
+            # Each launch consumes a *new* band of the wall.
+            phases=(KernelPhase(descriptor, count=launches, fresh_data=True),),
+        )
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        wall = rng.integers(0, 10, size=(64, 128)).astype(np.int64)
+        return {"wall": wall, "result": pathfinder_reference(wall)}

@@ -1,0 +1,132 @@
+"""Rodinia SRAD: speckle-reducing anisotropic diffusion.
+
+Two stencil kernels per iteration over a large 2D image: kernel 1
+computes the diffusion coefficients, kernel 2 applies the divergence
+update. Regular strided access makes it a UVM-prefetch winner.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+from ...sim.program import (BufferDirection, BufferSpec, KernelPhase, Program)
+from ..base import Workload, cycles_for_flops
+from ..sizes import FLOAT_BYTES, SizeClass
+
+ITERATIONS = 10
+LAMBDA = 0.5
+
+
+def _shift(image: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Neighbor with clamped (replicated) boundaries, as Rodinia does."""
+    out = np.roll(image, shift=(dy, dx), axis=(0, 1))
+    if dy == 1:
+        out[0, :] = image[0, :]
+    elif dy == -1:
+        out[-1, :] = image[-1, :]
+    if dx == 1:
+        out[:, 0] = image[:, 0]
+    elif dx == -1:
+        out[:, -1] = image[:, -1]
+    return out
+
+
+def srad_step(image: np.ndarray, lam: float = LAMBDA) -> np.ndarray:
+    """One SRAD iteration (both kernels) on the whole image."""
+    north = _shift(image, 1, 0)
+    south = _shift(image, -1, 0)
+    west = _shift(image, 0, 1)
+    east = _shift(image, 0, -1)
+
+    # Kernel 1: diffusion coefficient from the instantaneous
+    # coefficient of variation (Yu & Acton's q0 formulation).
+    mean = image.mean()
+    q0_squared = image.var() / max(mean * mean, 1e-12)
+    laplacian = north + south + west + east - 4.0 * image
+    gradient2 = ((north - image) ** 2 + (south - image) ** 2 +
+                 (west - image) ** 2 + (east - image) ** 2)
+    denom = np.maximum(image, 1e-12)
+    num = (0.5 * gradient2) / (denom * denom) \
+        - (1.0 / 16.0) * (laplacian / denom) ** 2
+    den = 1.0 + 0.25 * laplacian / denom
+    q_squared = num / np.maximum(den * den, 1e-12)
+    coeff = 1.0 / (1.0 + (q_squared - q0_squared)
+                   / np.maximum(q0_squared * (1.0 + q0_squared), 1e-12))
+    coeff = np.clip(coeff, 0.0, 1.0)
+
+    # Kernel 2: divergence update.
+    c_south = _shift(coeff, -1, 0)
+    c_east = _shift(coeff, 0, -1)
+    divergence = (c_south * (south - image) + coeff * (north - image) +
+                  c_east * (east - image) + coeff * (west - image))
+    return image + 0.25 * lam * divergence
+
+
+def srad_reference(image: np.ndarray, iterations: int = 4,
+                   lam: float = LAMBDA) -> np.ndarray:
+    """Iterate SRAD diffusion on an image."""
+    out = image.astype(np.float64)
+    for _ in range(iterations):
+        out = srad_step(out, lam)
+    return out
+
+
+class Srad(Workload):
+    """Speckle Reducing Anisotropic Diffusion for ultrasound imaging."""
+
+    name = "srad"
+    suite = "rodinia"
+    domain = "image processing"
+    description = ("Speckle Reducing Anisotropic Diffusion is a diffusion "
+                   "method for ultrasonic and radar imaging applications "
+                   "based on partial differential equations (PDEs).")
+    input_kind = "2d"
+
+    def _stencil_kernel(self, name: str, grid_bytes: int) -> KernelDescriptor:
+        tile_side = 32
+        tile_bytes = (tile_side + 2) ** 2 * FLOAT_BYTES
+        outputs_per_tile = tile_side * tile_side
+        total_tiles = max(1, grid_bytes // (outputs_per_tile * FLOAT_BYTES))
+        blocks = min(8192, total_tiles)
+        return KernelDescriptor(
+            name=name,
+            blocks=blocks,
+            threads_per_block=256,
+            tiles_per_block=max(1, round(total_tiles / blocks)),
+            tile_bytes=tile_bytes,
+            compute_cycles_per_tile=cycles_for_flops(30 * outputs_per_tile),
+            access_pattern=AccessPattern.STRIDED,
+            bandwidth_efficiency=0.30,
+            write_bytes=grid_bytes,
+            data_footprint_bytes=grid_bytes,
+            insts_per_tile=InstructionMix(
+                memory=3.0 * outputs_per_tile,
+                fp=30.0 * outputs_per_tile,
+                integer=5.0 * outputs_per_tile,
+                control=2.0 * outputs_per_tile,
+            ),
+        )
+
+    def program(self, size: SizeClass) -> Program:
+        side = size.side_2d
+        grid_bytes = side * side * FLOAT_BYTES
+        srad1 = self._stencil_kernel("srad_cuda_1", grid_bytes)
+        srad2 = self._stencil_kernel("srad_cuda_2", grid_bytes)
+        buffers = (
+            BufferSpec("image", grid_bytes, BufferDirection.INOUT,
+                       host_read_fraction=0.05),
+            BufferSpec("coeff", grid_bytes, BufferDirection.SCRATCH),
+        )
+        phases = []
+        for _ in range(ITERATIONS):
+            phases.append(KernelPhase(srad1))
+            phases.append(KernelPhase(srad2))
+        return Program(name=self.name, buffers=buffers, phases=tuple(phases))
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        image = np.exp(rng.standard_normal((48, 48)) * 0.2) + 1.0
+        return {"image": image, "output": srad_reference(image)}

@@ -1,0 +1,87 @@
+"""Input-size classes (Table 3).
+
+Six size classes from 1 MB to 32 GB memory footprint, with reference
+dimensions for 1D vectors, 2D grids, and 3D grids (float32 elements).
+Workloads with several buffers scale dimensions down so the *total*
+footprint stays in class (e.g. two vectors of 128 K elements for a
+Tiny 1D workload), exactly as the paper's Table 3 footnote describes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class SizeSpec:
+    label: str
+    mem_bytes: int
+    elements_1d: int
+    side_2d: int
+    side_3d: int
+
+
+class SizeClass(enum.Enum):
+    """The six input-size classes of Table 3."""
+
+    TINY = SizeSpec("tiny", 1 * MIB, 256 * KIB, 512, 64)
+    SMALL = SizeSpec("small", 8 * MIB, 2 * MIB, 1 * KIB, 128)
+    MEDIUM = SizeSpec("medium", 64 * MIB, 16 * MIB, 4 * KIB, 256)
+    LARGE = SizeSpec("large", 512 * MIB, 128 * MIB, 8 * KIB, 512)
+    SUPER = SizeSpec("super", 4 * GIB, 1 * GIB, 32 * KIB, 1 * KIB)
+    MEGA = SizeSpec("mega", 32 * GIB, 8 * GIB, 64 * KIB, 2 * KIB)
+
+    @property
+    def label(self) -> str:
+        return self.value.label
+
+    @property
+    def mem_bytes(self) -> int:
+        return self.value.mem_bytes
+
+    @property
+    def elements_1d(self) -> int:
+        return self.value.elements_1d
+
+    @property
+    def side_2d(self) -> int:
+        return self.value.side_2d
+
+    @property
+    def side_3d(self) -> int:
+        return self.value.side_3d
+
+    def elements_for_buffers(self, buffer_count: int) -> int:
+        """1D element count per buffer when the footprint is split.
+
+        Table 3's footnote: with 2 vectors, each Tiny vector holds
+        128 K elements so the total stays at 1 MB.
+        """
+        if buffer_count < 1:
+            raise ValueError("buffer_count must be >= 1")
+        return max(1, self.elements_1d // buffer_count)
+
+    @classmethod
+    def from_label(cls, label: str) -> "SizeClass":
+        for size in cls:
+            if size.label == label.lower():
+                return size
+        raise ValueError(
+            f"unknown size class {label!r}; expected one of "
+            f"{[s.label for s in cls]}"
+        )
+
+    @classmethod
+    def ordered(cls) -> tuple:
+        return (cls.TINY, cls.SMALL, cls.MEDIUM, cls.LARGE, cls.SUPER, cls.MEGA)
+
+
+# The sizes the paper settles on for its main experiments (Takeaway 1).
+STABLE_SIZES = (SizeClass.LARGE, SizeClass.SUPER)

@@ -1,0 +1,11 @@
+"""UVMBench workloads not overlapping PolyBench/Rodinia (Table 2)."""
+
+from .bayesian import Bayesian, best_parent, family_counts, k2_score
+from .knn import Knn, knn_reference
+
+UVMBENCH_WORKLOADS = (Bayesian, Knn)
+
+__all__ = [
+    "Bayesian", "Knn", "UVMBENCH_WORKLOADS", "best_parent", "family_counts",
+    "k2_score", "knn_reference",
+]

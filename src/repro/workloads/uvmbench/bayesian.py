@@ -1,0 +1,118 @@
+"""UVMBench bayesian: Bayesian network structure-learning scores.
+
+Scores candidate parent sets by counting co-occurrences in a large
+sample table - gather-heavy, integer-dominated work with modest
+streaming traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+from ...sim.program import (BufferDirection, BufferSpec, KernelPhase, Program)
+from ..base import Workload, cycles_for_int_ops
+from ..sizes import FLOAT_BYTES, SizeClass
+
+VARIABLES = 16
+
+
+def family_counts(samples: np.ndarray, child: int,
+                  parents: Tuple[int, ...]) -> Dict[tuple, np.ndarray]:
+    """Joint counts N(child_value, parent_config) over binary samples."""
+    counts: Dict[tuple, np.ndarray] = {}
+    for row in samples:
+        config = tuple(int(row[p]) for p in parents)
+        if config not in counts:
+            counts[config] = np.zeros(2, dtype=np.int64)
+        counts[config][int(row[child])] += 1
+    return counts
+
+
+def k2_score(samples: np.ndarray, child: int,
+             parents: Tuple[int, ...]) -> float:
+    """Log K2 score of a family (Cooper & Herskovits, binary variables)."""
+    counts = family_counts(samples, child, parents)
+    score = 0.0
+    for config_counts in counts.values():
+        total = int(config_counts.sum())
+        # log [ (r-1)! / (N + r - 1)! * prod N_k! ] with r = 2.
+        score += math.lgamma(2) - math.lgamma(total + 2)
+        for count in config_counts:
+            score += math.lgamma(count + 1)
+    return score
+
+
+def best_parent(samples: np.ndarray, child: int,
+                candidates: List[int]) -> Tuple[Optional[int], float]:
+    """Greedy K2: the single parent that most improves the child's score."""
+    base = k2_score(samples, child, ())
+    best, best_score = None, base
+    for candidate in candidates:
+        if candidate == child:
+            continue
+        score = k2_score(samples, child, (candidate,))
+        if score > best_score:
+            best, best_score = candidate, score
+    return best, best_score
+
+
+class Bayesian(Workload):
+    """Bayesian network learning algorithm (UVMBench)."""
+
+    name = "bayesian"
+    suite = "uvmbench"
+    domain = "machine learning"
+    description = "Bayesian network learning algorithm"
+    input_kind = "1d"
+
+    def program(self, size: SizeClass) -> Program:
+        sample_bytes = size.mem_bytes
+        samples = sample_bytes // (VARIABLES * FLOAT_BYTES)
+        score_bytes = VARIABLES * VARIABLES * FLOAT_BYTES
+        tile_bytes = VARIABLES * FLOAT_BYTES * 128  # 128 samples per stage
+        total_tiles = max(1, sample_bytes // tile_bytes)
+        blocks = min(4096, total_tiles)
+        samples_per_tile = 128
+        descriptor = KernelDescriptor(
+            name="bayesian_score",
+            blocks=blocks,
+            threads_per_block=256,
+            tiles_per_block=max(1, round(total_tiles / blocks)),
+            tile_bytes=tile_bytes,
+            # Histogram updates per sample per candidate family.
+            compute_cycles_per_tile=cycles_for_int_ops(
+                samples_per_tile * VARIABLES * 6),
+            access_pattern=AccessPattern.IRREGULAR,
+            write_bytes=score_bytes,
+            data_footprint_bytes=sample_bytes,
+            smem_static_bytes=4096,
+            insts_per_tile=InstructionMix(
+                memory=2.0 * samples_per_tile * VARIABLES,
+                fp=1.0 * samples_per_tile,
+                integer=6.0 * samples_per_tile * VARIABLES,
+                control=2.0 * samples_per_tile * VARIABLES,
+            ),
+        )
+        buffers = (
+            BufferSpec("samples", sample_bytes, BufferDirection.IN),
+            BufferSpec("scores", score_bytes, BufferDirection.OUT,
+                       host_read_fraction=1.0),
+        )
+        return Program(name=self.name, buffers=buffers,
+                       phases=(KernelPhase(descriptor, count=VARIABLES),))
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        # Ground truth: X0 ~ Bernoulli, X1 strongly depends on X0,
+        # X2 independent. Greedy K2 must pick X0 as X1's parent.
+        n = 400
+        x0 = rng.integers(0, 2, size=n)
+        x1 = np.where(rng.random(n) < 0.9, x0, 1 - x0)
+        x2 = rng.integers(0, 2, size=n)
+        samples = np.stack([x0, x1, x2], axis=1)
+        parent, score = best_parent(samples, child=1, candidates=[0, 2])
+        return {"samples": samples, "best_parent": parent, "score": score}

@@ -1,0 +1,81 @@
+"""UVMBench KNN: k-nearest-neighbors search.
+
+One streaming pass computing distances from every reference point to
+the query, then a top-k selection - coalesced and memory-bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+from ...sim.program import (BufferDirection, BufferSpec, KernelPhase, Program)
+from ..base import Workload, cycles_for_latency_bound_ops
+from ..sizes import FLOAT_BYTES, SizeClass
+
+FEATURES = 8
+K = 16
+
+
+def knn_reference(points: np.ndarray, query: np.ndarray,
+                  k: int = 5) -> Dict[str, np.ndarray]:
+    """Exact k nearest neighbors by full sort (the test oracle)."""
+    if points.ndim != 2:
+        raise ValueError("points must be 2D (n, features)")
+    distances = np.sqrt(((points - query[None, :]) ** 2).sum(axis=1))
+    order = np.argsort(distances, kind="stable")[:k]
+    return {"indices": order, "distances": distances[order]}
+
+
+class Knn(Workload):
+    """K-Nearest Neighbors (UVMBench)."""
+
+    name = "knn"
+    suite = "uvmbench"
+    domain = "data mining"
+    description = "K-Nearest Neighbors Algorithm"
+    input_kind = "1d"
+
+    def program(self, size: SizeClass) -> Program:
+        point_bytes = size.mem_bytes
+        points = point_bytes // (FEATURES * FLOAT_BYTES)
+        distance_bytes = points * FLOAT_BYTES
+        points_per_tile = 128
+        tile_bytes = points_per_tile * FEATURES * FLOAT_BYTES
+        total_tiles = max(1, point_bytes // tile_bytes)
+        blocks = min(4096, total_tiles)
+        descriptor = KernelDescriptor(
+            name="knn_distances",
+            blocks=blocks,
+            threads_per_block=256,
+            tiles_per_block=max(1, round(total_tiles / blocks)),
+            tile_bytes=tile_bytes,
+            compute_cycles_per_tile=cycles_for_latency_bound_ops(
+                points_per_tile * FEATURES * 3, stall_cycles=8),
+            access_pattern=AccessPattern.SEQUENTIAL,
+            write_bytes=distance_bytes,
+            data_footprint_bytes=point_bytes,
+            insts_per_tile=InstructionMix(
+                memory=1.5 * points_per_tile * FEATURES,
+                fp=3.0 * points_per_tile * FEATURES,
+                integer=2.0 * points_per_tile,
+                control=1.0 * points_per_tile,
+            ),
+        )
+        buffers = (
+            BufferSpec("points", point_bytes, BufferDirection.IN),
+            BufferSpec("distances", distance_bytes, BufferDirection.OUT,
+                       host_read_fraction=0.05),
+        )
+        return Program(name=self.name, buffers=buffers,
+                       phases=(KernelPhase(descriptor),))
+
+    def reference(self, rng: Optional[np.random.Generator] = None) -> Dict[str, Any]:
+        rng = self._rng(rng)
+        points = rng.standard_normal((256, 4))
+        query = rng.standard_normal(4)
+        result = knn_reference(points, query, k=K)
+        result.update({"points": points, "query": query})
+        return result

@@ -1,0 +1,28 @@
+"""Shared fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.sim.calibration import default_calibration
+from repro.sim.engine import Environment
+from repro.sim.hardware import default_system
+
+
+@pytest.fixture
+def system():
+    return default_system()
+
+
+@pytest.fixture
+def calib():
+    return default_calibration()
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

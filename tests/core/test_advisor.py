@@ -1,0 +1,75 @@
+"""Advisor (takeaways-as-code) tests."""
+
+from repro.core.advisor import (check_carveout, check_input_size,
+                                check_launch_geometry, recommend_mode)
+from repro.core.configs import TransferMode
+from repro.workloads.registry import get_workload
+from repro.workloads.sizes import SizeClass
+
+SUPER = SizeClass.SUPER
+
+
+class TestRecommendMode:
+    def test_memory_bound_regular_gets_prefetch_async(self):
+        program = get_workload("vector_seq").program(SUPER)
+        recommendation = recommend_mode(program)
+        assert recommendation.mode is TransferMode.UVM_PREFETCH_ASYNC
+
+    def test_shared_working_set_avoids_prefetch(self):
+        program = get_workload("nw").program(SUPER)
+        recommendation = recommend_mode(program)
+        assert recommendation.mode is TransferMode.UVM
+        assert any("nw" in reason or "share" in reason
+                   for reason in recommendation.reasons)
+
+    def test_irregular_workload_gets_async(self):
+        program = get_workload("lud").program(SUPER)
+        recommendation = recommend_mode(program)
+        assert recommendation.mode in (TransferMode.ASYNC,
+                                       TransferMode.UVM_PREFETCH_ASYNC)
+
+    def test_tuned_gemm_avoids_async(self):
+        program = get_workload("gemm").program(SUPER)
+        recommendation = recommend_mode(program)
+        assert not recommendation.mode.uses_async
+
+    def test_small_footprint_stays_standard(self):
+        program = get_workload("vector_seq").program(SizeClass.TINY)
+        recommendation = recommend_mode(program)
+        assert recommendation.mode is TransferMode.STANDARD
+
+    def test_render_mentions_mode(self):
+        program = get_workload("vector_seq").program(SUPER)
+        text = recommend_mode(program).render()
+        assert "uvm_prefetch_async" in text
+
+
+class TestChecks:
+    def test_input_size_warns_small(self):
+        notes = check_input_size(SizeClass.TINY)
+        assert any("overhead" in note for note in notes)
+
+    def test_input_size_warns_mega(self):
+        notes = check_input_size(SizeClass.MEGA)
+        assert any("chip" in note for note in notes)
+
+    def test_input_size_blesses_large(self):
+        notes = check_input_size(SizeClass.LARGE)
+        assert any("stable" in note for note in notes)
+
+    def test_geometry_warns_few_threads(self):
+        kernel = get_workload("vector_seq").program(SUPER).descriptors()[0]
+        import dataclasses
+        starved = dataclasses.replace(kernel, threads_per_block=32)
+        notes = check_launch_geometry(starved)
+        assert any("underutilizes" in note for note in notes)
+
+    def test_carveout_warnings(self):
+        kernel = get_workload("vector_seq").program(SUPER).descriptors()[0]
+        too_small = check_carveout(kernel, 2 * 1024,
+                                   TransferMode.UVM_PREFETCH_ASYNC)
+        assert any("double buffer" in note for note in too_small)
+        too_large = check_carveout(kernel, 160 * 1024, TransferMode.UVM)
+        assert any("L1" in note for note in too_large)
+        balanced = check_carveout(kernel, 32 * 1024, TransferMode.STANDARD)
+        assert any("balanced" in note for note in balanced)

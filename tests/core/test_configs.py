@@ -1,0 +1,40 @@
+"""TransferMode tests."""
+
+import pytest
+
+from repro.core.configs import ALL_MODES, TransferMode
+
+
+class TestModes:
+    def test_five_configurations(self):
+        assert len(ALL_MODES) == 5
+        assert [m.value for m in ALL_MODES] == [
+            "standard", "async", "uvm", "uvm_prefetch",
+            "uvm_prefetch_async"]
+
+    @pytest.mark.parametrize("mode,managed,prefetch,uses_async", [
+        (TransferMode.STANDARD, False, False, False),
+        (TransferMode.ASYNC, False, False, True),
+        (TransferMode.UVM, True, False, False),
+        (TransferMode.UVM_PREFETCH, True, True, False),
+        (TransferMode.UVM_PREFETCH_ASYNC, True, True, True),
+    ])
+    def test_property_matrix(self, mode, managed, prefetch, uses_async):
+        assert mode.managed is managed
+        assert mode.prefetch is prefetch
+        assert mode.uses_async is uses_async
+
+    def test_kernel_flags_consistent(self):
+        for mode in ALL_MODES:
+            flags = mode.kernel_flags()
+            assert flags.managed is mode.managed
+            assert flags.prefetched is mode.prefetch
+            assert flags.use_async is mode.uses_async
+
+    def test_from_label_roundtrip(self):
+        for mode in ALL_MODES:
+            assert TransferMode.from_label(mode.value) is mode
+
+    def test_from_label_unknown(self):
+        with pytest.raises(ValueError):
+            TransferMode.from_label("warp_speed")

@@ -1,0 +1,42 @@
+"""Section 6.1 share-summary tests."""
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.core.discussion import ShareSummary, section6_shares
+
+
+@pytest.fixture(scope="module")
+def summary():
+    # A few representative apps, 1 iteration: shares are stable.
+    return section6_shares(workloads=("vector_seq", "srad", "knn"),
+                           iterations=1)
+
+
+class TestShareSummary:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ShareSummary(mode=TransferMode.STANDARD, memcpy_share=1.2,
+                         allocation_share=0.1, kernel_share=0.1,
+                         gpu_busy=0.1)
+
+
+class TestSection6:
+    def test_shares_sum_to_one(self, summary):
+        for shares in (summary.standard, summary.optimized):
+            total = (shares.memcpy_share + shares.allocation_share
+                     + shares.kernel_share)
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_transfer_share_drops(self, summary):
+        """Paper: 55.86 % -> 24.55 %."""
+        assert summary.transfer_share_drop > 0
+
+    def test_allocation_share_rises(self, summary):
+        """Paper: 18.99 % -> 37.66 %."""
+        assert summary.allocation_share_rise > 0
+
+    def test_render_mentions_both_modes(self, summary):
+        text = summary.render()
+        assert "standard" in text
+        assert "uvm_prefetch_async" in text

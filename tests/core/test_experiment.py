@@ -1,0 +1,71 @@
+"""Experiment runner tests."""
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.core.experiment import (Experiment, compare_workload, run_seed,
+                                   run_workload)
+from repro.workloads.sizes import SizeClass
+
+
+class TestSeeds:
+    def test_seed_stable_across_calls(self):
+        a = run_seed(1, "w", "super", TransferMode.UVM, 3)
+        b = run_seed(1, "w", "super", TransferMode.UVM, 3)
+        assert a.entropy == b.entropy
+
+    def test_seed_distinguishes_every_axis(self):
+        base = run_seed(1, "w", "super", TransferMode.UVM, 3).entropy
+        assert run_seed(2, "w", "super", TransferMode.UVM, 3).entropy != base
+        assert run_seed(1, "x", "super", TransferMode.UVM, 3).entropy != base
+        assert run_seed(1, "w", "large", TransferMode.UVM, 3).entropy != base
+        assert run_seed(1, "w", "super", TransferMode.ASYNC,
+                        3).entropy != base
+        assert run_seed(1, "w", "super", TransferMode.UVM, 4).entropy != base
+
+
+class TestExperiment:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Experiment(workload="vector_seq", iterations=0)
+        with pytest.raises(ValueError):
+            Experiment(workload="vector_seq", modes=())
+
+    def test_run_mode_produces_runset(self):
+        experiment = Experiment(workload="vector_seq",
+                                size=SizeClass.SMALL, iterations=4)
+        runs = experiment.run_mode(TransferMode.STANDARD)
+        assert len(runs) == 4
+        assert runs.workload == "vector_seq"
+        assert all(run.total_ns > 0 for run in runs.runs)
+
+    def test_runs_reproducible(self):
+        def totals():
+            experiment = Experiment(workload="saxpy", size=SizeClass.SMALL,
+                                    iterations=3, base_seed=77)
+            return experiment.run_mode(TransferMode.UVM).totals()
+
+        assert totals() == totals()
+
+    def test_run_collects_all_modes(self):
+        experiment = Experiment(workload="vector_seq",
+                                size=SizeClass.SMALL, iterations=2)
+        comparison = experiment.run()
+        assert set(comparison.by_mode) == set(TransferMode)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            Experiment(workload="nonexistent").run_mode(
+                TransferMode.STANDARD)
+
+
+class TestConveniences:
+    def test_run_workload_accepts_labels(self):
+        runs = run_workload("vector_seq", size="small",
+                            mode=TransferMode.ASYNC, iterations=2)
+        assert runs.mode is TransferMode.ASYNC
+        assert runs.size == "small"
+
+    def test_compare_workload(self):
+        comparison = compare_workload("saxpy", "small", iterations=2)
+        assert comparison.normalized_total(TransferMode.STANDARD) == 1.0

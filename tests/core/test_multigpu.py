@@ -1,0 +1,85 @@
+"""Multi-GPU extension tests."""
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.core.multigpu import (run_multi_gpu, scaling_study,
+                                 shard_descriptor, shard_program)
+from repro.workloads.registry import get_workload
+from repro.workloads.sizes import SizeClass
+
+from ..sim.test_kernel import make_descriptor
+
+
+@pytest.fixture(scope="module")
+def program():
+    # Super-sized: small shards are dominated by fixed per-device costs
+    # and would not scale (which is itself a finding the scaling study
+    # exposes).
+    return get_workload("vector_seq").program(SizeClass.SUPER)
+
+
+class TestSharding:
+    def test_shard_descriptor_divides_blocks(self):
+        descriptor = make_descriptor(blocks=128)
+        shard = shard_descriptor(descriptor, 4)
+        assert shard.blocks == 32
+        assert shard.load_bytes == descriptor.load_bytes // 4
+
+    def test_shard_descriptor_scales_footprint_and_writes(self):
+        descriptor = make_descriptor(blocks=128, write_bytes=4096,
+                                     data_footprint_bytes=1 << 20)
+        shard = shard_descriptor(descriptor, 4)
+        assert shard.write_bytes == 1024
+        assert shard.data_footprint_bytes == (1 << 20) // 4
+
+    def test_single_gpu_shard_is_identity(self):
+        descriptor = make_descriptor()
+        assert shard_descriptor(descriptor, 1) == descriptor
+
+    def test_shard_program_splits_buffers(self, program):
+        shard = shard_program(program, 4, 0)
+        assert shard.footprint_bytes == pytest.approx(
+            program.footprint_bytes / 4, rel=0.01)
+
+    def test_shard_validation(self, program):
+        with pytest.raises(ValueError):
+            shard_program(program, 2, 2)
+        with pytest.raises(ValueError):
+            shard_descriptor(make_descriptor(), 0)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("mode", [TransferMode.STANDARD,
+                                      TransferMode.UVM_PREFETCH_ASYNC])
+    def test_runs_on_two_gpus(self, program, mode):
+        result = run_multi_gpu(program, mode, gpus=2)
+        assert result.gpus == 2
+        assert result.wall_ns > 0
+        assert len(result.per_gpu_totals_ns) == 2
+
+    def test_two_gpus_faster_than_one(self, program):
+        one = run_multi_gpu(program, TransferMode.STANDARD, gpus=1)
+        two = run_multi_gpu(program, TransferMode.STANDARD, gpus=2)
+        assert two.wall_ns < one.wall_ns
+
+    def test_scaling_is_sublinear(self, program):
+        """The shared host allocator limits scaling - the Sec. 6
+        observation extended to multiple devices."""
+        study = scaling_study(program, TransferMode.STANDARD,
+                              gpu_counts=(1, 4))
+        assert 1.0 < study[4]["speedup"] < 4.0
+        assert study[4]["efficiency"] < 1.0
+
+    def test_alloc_bound_config_scales_worse(self, program):
+        """uvm configs are more allocation-bound, so they gain less
+        from extra devices than standard does."""
+        standard = scaling_study(program, TransferMode.STANDARD,
+                                 gpu_counts=(1, 4))
+        managed = scaling_study(program, TransferMode.UVM_PREFETCH,
+                                gpu_counts=(1, 4))
+        assert managed[4]["speedup"] < standard[4]["speedup"]
+
+    def test_invalid_gpu_count(self, program):
+        with pytest.raises(ValueError):
+            run_multi_gpu(program, TransferMode.STANDARD, gpus=0)

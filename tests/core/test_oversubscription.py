@@ -1,0 +1,80 @@
+"""UVM oversubscription tests (footprint > GPU memory)."""
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.core.execution import (UVM_USABLE_HBM_FRACTION, execute_program,
+                                  managed_capacity_ratio)
+from repro.sim.hardware import GIB
+from repro.sim.program import (BufferDirection, BufferSpec, KernelPhase,
+                               Program)
+
+from ..sim.test_kernel import make_descriptor
+
+
+def big_program(footprint_gib: float, iterations: int = 4) -> Program:
+    size = int(footprint_gib * GIB)
+    descriptor = make_descriptor(blocks=4096, tiles_per_block=64,
+                                 data_footprint_bytes=size)
+    return Program(
+        name="big",
+        buffers=(BufferSpec("data", size, BufferDirection.IN),),
+        phases=(KernelPhase(descriptor, count=iterations),),
+    )
+
+
+class TestCapacityRatio:
+    def test_fits_when_under_capacity(self):
+        result = execute_program(big_program(8), TransferMode.UVM, seed=0)
+        assert result.total_ns > 0
+
+    def test_ratio_math(self, system, calib):
+        import numpy as np
+        from repro.sim.runtime import CudaRuntime
+        program = big_program(80)  # 2x the 40 GB HBM
+        rt = CudaRuntime(system, calib, np.random.default_rng(0))
+        ratio = managed_capacity_ratio(program, rt)
+        assert ratio == pytest.approx(40 * UVM_USABLE_HBM_FRACTION / 80,
+                                      rel=0.01)
+
+    def test_in_capacity_program_has_ratio_one(self, system, calib):
+        import numpy as np
+        from repro.sim.runtime import CudaRuntime
+        rt = CudaRuntime(system, calib, np.random.default_rng(0))
+        assert managed_capacity_ratio(big_program(8), rt) == 1.0
+
+
+class TestThrashing:
+    def test_oversubscribed_uvm_refaults_every_pass(self):
+        """Beyond capacity, each iteration re-migrates the evicted
+        excess: memcpy no longer amortizes across passes."""
+        fits = execute_program(big_program(8, iterations=6),
+                               TransferMode.UVM, seed=1)
+        oversub = execute_program(big_program(60, iterations=6),
+                                  TransferMode.UVM, seed=1)
+        # In-capacity: one cold pass; oversubscribed: excess migrates
+        # every pass, so memcpy grows super-linearly vs the 7.5x size.
+        assert oversub.memcpy_ns > 7.5 * fits.memcpy_ns
+
+    def test_oversubscription_slows_kernels(self):
+        per_gib_fit = execute_program(big_program(10, iterations=6),
+                                      TransferMode.UVM, seed=2)
+        per_gib_over = execute_program(big_program(60, iterations=6),
+                                       TransferMode.UVM, seed=2)
+        # Kernel ns per GiB of footprint grows under thrash.
+        assert per_gib_over.kernel_ns / 60 > per_gib_fit.kernel_ns / 10
+
+    def test_prefetch_configs_also_capped(self):
+        oversub = execute_program(big_program(60, iterations=6),
+                                  TransferMode.UVM_PREFETCH, seed=3)
+        fits = execute_program(big_program(8, iterations=6),
+                               TransferMode.UVM_PREFETCH, seed=3)
+        assert oversub.kernel_ns / 60 > fits.kernel_ns / 8
+
+    def test_explicit_configs_unaffected_by_cap(self):
+        """cudaMalloc'd programs never demand-migrate, so the capacity
+        model leaves them alone (the simulator does not model explicit
+        OOM failures)."""
+        result = execute_program(big_program(60), TransferMode.STANDARD,
+                                 seed=4)
+        assert result.total_ns > 0

@@ -1,0 +1,61 @@
+"""Inter-job pipeline (Sec. 6 / Fig. 14) tests."""
+
+import pytest
+
+from repro.core.configs import ALL_MODES, TransferMode
+from repro.core.pipeline_model import interjob_speedup, run_job_batch
+from repro.workloads.registry import get_workload
+from repro.workloads.sizes import SizeClass
+
+
+@pytest.fixture(scope="module")
+def program():
+    return get_workload("vector_seq").program(SizeClass.LARGE)
+
+
+class TestJobBatch:
+    def test_single_job_runs(self, program):
+        result = run_job_batch(program, TransferMode.STANDARD, jobs=1)
+        assert result.wall_ns > 0
+        assert result.jobs == 1
+
+    def test_invalid_job_count(self, program):
+        with pytest.raises(ValueError):
+            run_job_batch(program, TransferMode.STANDARD, jobs=0)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_all_modes_supported(self, program, mode):
+        result = run_job_batch(program, mode, jobs=2)
+        assert result.wall_ns > 0
+
+    def test_sequential_scales_linearly(self, program):
+        one = run_job_batch(program, TransferMode.UVM_PREFETCH, jobs=1)
+        three = run_job_batch(program, TransferMode.UVM_PREFETCH, jobs=3)
+        assert three.wall_ns == pytest.approx(3 * one.wall_ns, rel=0.1)
+
+    def test_overlap_beats_sequential(self, program):
+        sequential = run_job_batch(program, TransferMode.UVM_PREFETCH_ASYNC,
+                                   jobs=6, overlapped=False)
+        pipelined = run_job_batch(program, TransferMode.UVM_PREFETCH_ASYNC,
+                                  jobs=6, overlapped=True)
+        assert pipelined.wall_ns < sequential.wall_ns
+
+    def test_overlap_preserves_total_work(self, program):
+        sequential = run_job_batch(program, TransferMode.UVM_PREFETCH,
+                                   jobs=4, overlapped=False, seed=3)
+        pipelined = run_job_batch(program, TransferMode.UVM_PREFETCH,
+                                  jobs=4, overlapped=True, seed=3)
+        for category in ("allocation", "gpu_kernel"):
+            assert pipelined.breakdown[category] == pytest.approx(
+                sequential.breakdown[category], rel=0.05)
+
+
+class TestSpeedupHeadline:
+    def test_improvement_in_paper_band(self, program):
+        """Sec. 6.2 projects a >30 % gain in the ideal case; the
+        simulated pipeline lands well into double digits."""
+        result = interjob_speedup(program, TransferMode.UVM_PREFETCH_ASYNC,
+                                  jobs=8)
+        assert result["improvement_pct"] > 15.0
+        assert result["speedup"] > 1.15
+        assert result["pipelined_wall_ns"] < result["sequential_wall_ns"]

@@ -1,0 +1,111 @@
+"""RunResult / RunSet / ModeComparison tests."""
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.core.results import ModeComparison, RunResult, RunSet
+from repro.sim.counters import CounterReport
+
+
+def make_run(mode=TransferMode.STANDARD, alloc=100.0, memcpy=200.0,
+             kernel=50.0, workload="w", seed=0, occupancy=0.4,
+             gpu_busy=0.2):
+    return RunResult(workload=workload, mode=mode, size="super", seed=seed,
+                     alloc_ns=alloc, memcpy_ns=memcpy, kernel_ns=kernel,
+                     wall_ns=alloc + memcpy + kernel,
+                     counters=CounterReport(), occupancy=occupancy,
+                     gpu_busy_fraction=gpu_busy)
+
+
+class TestRunResult:
+    def test_total_is_sum_of_components(self):
+        run = make_run()
+        assert run.total_ns == 350.0
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            make_run(alloc=-1.0)
+
+    def test_share(self):
+        run = make_run()
+        assert run.share("memcpy") == pytest.approx(200.0 / 350.0)
+        assert run.share("allocation") + run.share("memcpy") \
+            + run.share("gpu_kernel") == pytest.approx(1.0)
+
+    def test_breakdown_keys(self):
+        assert set(make_run().breakdown()) == {"gpu_kernel", "memcpy",
+                                               "allocation"}
+
+
+class TestRunSet:
+    def _runs(self):
+        runs = RunSet(workload="w", mode=TransferMode.STANDARD, size="super")
+        for seed, kernel in enumerate((50.0, 60.0, 70.0)):
+            runs.add(make_run(kernel=kernel, seed=seed))
+        return runs
+
+    def test_mean_total(self):
+        assert self._runs().mean_total_ns() == pytest.approx(360.0)
+
+    def test_add_foreign_run_rejected(self):
+        runs = self._runs()
+        with pytest.raises(ValueError):
+            runs.add(make_run(mode=TransferMode.UVM))
+        with pytest.raises(ValueError):
+            runs.add(make_run(workload="other"))
+
+    def test_mean_breakdown(self):
+        breakdown = self._runs().mean_breakdown()
+        assert breakdown["gpu_kernel"] == pytest.approx(60.0)
+        assert breakdown["memcpy"] == pytest.approx(200.0)
+
+    def test_cv_of_identical_runs_is_zero(self):
+        runs = RunSet(workload="w", mode=TransferMode.STANDARD, size="super")
+        runs.add(make_run())
+        runs.add(make_run(seed=1))
+        assert runs.cv() == 0.0
+
+    def test_empty_runset_raises(self):
+        runs = RunSet(workload="w", mode=TransferMode.STANDARD, size="super")
+        with pytest.raises(ValueError):
+            runs.mean_breakdown()
+
+
+class TestModeComparison:
+    def _comparison(self):
+        comparison = ModeComparison(workload="w", size="super")
+        standard = RunSet(workload="w", mode=TransferMode.STANDARD,
+                          size="super")
+        standard.add(make_run())
+        uvm = RunSet(workload="w", mode=TransferMode.UVM, size="super")
+        uvm.add(make_run(mode=TransferMode.UVM, memcpy=100.0, kernel=110.0))
+        comparison.add(standard)
+        comparison.add(uvm)
+        return comparison
+
+    def test_normalized_total(self):
+        comparison = self._comparison()
+        assert comparison.normalized_total(TransferMode.STANDARD) == 1.0
+        assert comparison.normalized_total(TransferMode.UVM) == \
+            pytest.approx(310.0 / 350.0)
+
+    def test_improvement_pct(self):
+        comparison = self._comparison()
+        assert comparison.improvement_pct(TransferMode.UVM) == \
+            pytest.approx((1 - 310.0 / 350.0) * 100)
+
+    def test_component_saving(self):
+        comparison = self._comparison()
+        assert comparison.component_saving_pct(TransferMode.UVM,
+                                               "memcpy") == pytest.approx(50.0)
+
+    def test_normalized_breakdown_sums_to_normalized_total(self):
+        comparison = self._comparison()
+        breakdown = comparison.normalized_breakdown(TransferMode.UVM)
+        assert sum(breakdown.values()) == pytest.approx(
+            comparison.normalized_total(TransferMode.UVM))
+
+    def test_missing_baseline_raises(self):
+        comparison = ModeComparison(workload="w", size="super")
+        with pytest.raises(ValueError):
+            comparison.baseline()

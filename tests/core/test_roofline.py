@@ -1,0 +1,69 @@
+"""Roofline classification tests."""
+
+import pytest
+
+from repro.core.roofline import (Bottleneck, render_roofline,
+                                 roofline_point, suite_roofline)
+from repro.workloads.registry import get_workload
+from repro.workloads.sizes import SizeClass
+
+SUPER = SizeClass.SUPER
+
+
+@pytest.fixture(scope="module")
+def points():
+    return suite_roofline(SUPER, names=("vector_seq", "gemm", "lud",
+                                        "yolov3", "knn"))
+
+
+class TestClassification:
+    """The classification must back the paper's per-workload stories."""
+
+    def test_vector_seq_is_host_transfer_bound(self, points):
+        assert points["vector_seq"].bottleneck is Bottleneck.HOST_TRANSFER
+
+    def test_gemm_is_compute_bound(self, points):
+        assert points["gemm"].bottleneck is Bottleneck.COMPUTE
+
+    def test_lud_is_staging_bound(self, points):
+        """Why lud is the Async Memcpy poster child (Takeaway 2)."""
+        assert points["lud"].bottleneck is Bottleneck.STAGING
+
+    def test_yolov3_is_allocation_bound(self, points):
+        """Why its kernels are a small share and the Sec. 6 model is
+        what would actually help it."""
+        assert points["yolov3"].bottleneck is Bottleneck.ALLOCATION
+
+    def test_intensity_ordering(self, points):
+        """gemm's arithmetic intensity dwarfs the streaming kernels'."""
+        assert points["gemm"].arithmetic_intensity > \
+            points["knn"].arithmetic_intensity
+
+    def test_hints_mention_the_right_feature(self, points):
+        assert "UVM prefetch" in points["vector_seq"].recommendation_hint()
+        assert "Async Memcpy" in points["lud"].recommendation_hint()
+        assert "inter-job" in points["yolov3"].recommendation_hint()
+
+
+class TestMechanics:
+    def test_point_components_positive(self, points):
+        for point in points.values():
+            assert point.host_transfer_ns > 0
+            assert point.staging_ns > 0
+            assert point.compute_ns >= 0
+            assert point.allocation_ns > 0
+            assert point.total_ns > 0
+
+    def test_single_program_entry(self):
+        point = roofline_point(get_workload("saxpy").program(SUPER))
+        assert point.workload == "saxpy"
+        assert point.arithmetic_intensity > 0
+
+    def test_render(self, points):
+        text = render_roofline(points)
+        assert "bottleneck" in text
+        assert "gemm" in text
+
+    def test_suite_roofline_all(self):
+        points = suite_roofline(SizeClass.LARGE)
+        assert len(points) == 21

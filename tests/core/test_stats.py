@@ -1,0 +1,178 @@
+"""Statistics helper tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (Summary, coefficient_of_variation,
+                              confidence_interval_95, geomean,
+                              improvement_pct, mean, normalize_to,
+                              percentile, speedup, std)
+
+positive_floats = st.lists(
+    st.floats(min_value=0.1, max_value=1e6, allow_nan=False), min_size=1,
+    max_size=50)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_std_sample_formula(self):
+        assert std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == \
+            pytest.approx(math.sqrt(32.0 / 7.0))
+
+    def test_std_single_value_is_zero(self):
+        assert std([5.0]) == 0.0
+
+    def test_cv(self):
+        assert coefficient_of_variation([10.0, 10.0]) == 0.0
+
+    def test_cv_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([1.0, -1.0])
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(positive_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_between_min_and_max(self, values):
+        result = geomean(values)
+        assert min(values) * (1 - 1e-9) <= result <= max(values) * (1 + 1e-9)
+
+    @given(positive_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_arithmetic_mean(self, values):
+        assert geomean(values) <= mean(values) * (1 + 1e-9)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(positive_floats, st.floats(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_within_range(self, values, q):
+        result = percentile(values, q)
+        assert min(values) * (1 - 1e-12) <= result <= \
+            max(values) * (1 + 1e-12)
+
+
+class TestSpeedupImprovement:
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+
+    def test_improvement_pct(self):
+        assert improvement_pct(100.0, 79.0) == pytest.approx(21.0)
+        assert improvement_pct(100.0, 113.0) == pytest.approx(-13.0)
+
+    def test_invalid_baselines(self):
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+        with pytest.raises(ValueError):
+            improvement_pct(0.0, 1.0)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = Summary.of([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.p50 == 2.5
+
+    def test_cv_property(self):
+        summary = Summary.of([10.0, 10.0, 10.0])
+        assert summary.cv == 0.0
+
+    @given(positive_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_ordering_invariants(self, values):
+        summary = Summary.of(values)
+        epsilon = 1e-9 * max(summary.maximum, 1.0)
+        assert summary.minimum - epsilon <= summary.p50 \
+            <= summary.maximum + epsilon
+        assert summary.minimum - epsilon <= summary.mean \
+            <= summary.maximum + epsilon
+
+
+class TestHelpers:
+    def test_confidence_interval_contains_mean(self):
+        low, high = confidence_interval_95([1.0, 2.0, 3.0])
+        assert low <= 2.0 <= high
+
+    def test_normalize_to(self):
+        assert normalize_to(2.0, [2.0, 4.0, 1.0]) == [1.0, 2.0, 0.5]
+
+    def test_normalize_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            normalize_to(0.0, [1.0])
+
+
+class TestSignificance:
+    def test_clear_improvement_detected(self):
+        from repro.core.stats import significantly_faster
+        baseline = [100.0 + i % 3 for i in range(15)]
+        candidate = [80.0 + i % 3 for i in range(15)]
+        result = significantly_faster(baseline, candidate)
+        assert result.faster
+        assert result.significant
+        assert result.median_speedup > 1.2
+
+    def test_identical_distributions_not_significant(self):
+        from repro.core.stats import significantly_faster
+        sample = [100.0, 101.0, 99.0, 100.5, 99.5] * 3
+        result = significantly_faster(sample, list(sample))
+        assert not result.significant
+
+    def test_small_samples_fall_back_to_medians(self):
+        from repro.core.stats import significantly_faster
+        result = significantly_faster([10.0, 11.0], [8.0, 9.0])
+        assert result.faster
+        assert not result.significant
+
+    def test_validation(self):
+        from repro.core.stats import significantly_faster
+        with pytest.raises(ValueError):
+            significantly_faster([], [1.0])
+        with pytest.raises(ValueError):
+            significantly_faster([1.0], [1.0], alpha=2.0)
+
+    def test_on_real_runsets(self):
+        from repro.core.configs import TransferMode
+        from repro.core.experiment import Experiment
+        from repro.core.stats import significantly_faster
+        from repro.workloads.sizes import SizeClass
+        experiment = Experiment(workload="vector_seq",
+                                size=SizeClass.SUPER,
+                                modes=(TransferMode.STANDARD,
+                                       TransferMode.UVM_PREFETCH),
+                                iterations=8)
+        standard = experiment.run_mode(TransferMode.STANDARD)
+        prefetch = experiment.run_mode(TransferMode.UVM_PREFETCH)
+        result = significantly_faster(standard.totals(), prefetch.totals())
+        assert result.faster
+        assert result.significant

@@ -1,0 +1,52 @@
+"""Artifact-appendix workflow tests."""
+
+import pytest
+
+from repro.harness.artifact import (ARTIFACT_SCRIPTS, ArtifactResult,
+                                    process_perf, run_micro_all,
+                                    run_micro_sensitivity,
+                                    run_micro_shared, run_real_all)
+
+
+class TestScripts:
+    def test_registry_matches_appendix(self):
+        assert set(ARTIFACT_SCRIPTS) == {
+            "run_micro_all", "run_real_all", "process_perf",
+            "run_micro_sensitivity", "run_micro_shared"}
+
+    def test_run_micro_all_profiling_mode(self):
+        result = run_micro_all(iterations=2, profiling=True)
+        assert "figure4+5" in result.figures
+        assert "figure6" in result.figures
+        # --profiling collects only; Fig. 7 rendering is the parse step.
+        assert "figure7a" not in result.figures
+
+    def test_run_micro_all_full(self):
+        result = run_micro_all(iterations=2)
+        assert {"figure4+5", "figure6", "figure7a",
+                "figure7b"} <= set(result.figures)
+
+    def test_process_perf(self):
+        result = process_perf()
+        assert "Fig. 9" in result.figures["figure9"]
+        assert "Fig. 10" in result.figures["figure10"]
+
+    def test_run_micro_sensitivity(self):
+        result = run_micro_sensitivity(iterations=2)
+        assert "figure11" in result.figures
+        assert "figure12" in result.figures
+
+    def test_run_micro_shared(self):
+        result = run_micro_shared(iterations=2)
+        assert "figure13" in result.figures
+
+    @pytest.mark.slow
+    def test_run_real_all(self):
+        result = run_real_all(iterations=1)
+        assert "figure8" in result.figures
+
+    def test_render(self):
+        result = ArtifactResult("demo.py", {"figureX": "content"})
+        text = result.render()
+        assert "demo.py" in text
+        assert "content" in text

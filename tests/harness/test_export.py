@@ -1,0 +1,70 @@
+"""CSV export tests."""
+
+import csv
+import io
+
+from repro.core.configs import TransferMode
+from repro.core.experiment import Experiment
+from repro.harness.export import (comparison_to_csv, runset_to_csv,
+                                  sweep_to_csv)
+from repro.harness.sensitivity import carveout_sensitivity
+from repro.workloads.sizes import SizeClass
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return Experiment(workload="saxpy", size=SizeClass.SMALL, iterations=3)
+
+
+class TestRunsetCsv:
+    def test_one_row_per_run(self, experiment):
+        runs = experiment.run_mode(TransferMode.STANDARD)
+        text = runset_to_csv(runs)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 3
+        assert rows[0]["workload"] == "saxpy"
+        assert float(rows[0]["total_ns"]) > 0
+
+    def test_total_is_component_sum(self, experiment):
+        runs = experiment.run_mode(TransferMode.UVM)
+        rows = list(csv.DictReader(io.StringIO(runset_to_csv(runs))))
+        for row in rows:
+            total = (float(row["alloc_ns"]) + float(row["memcpy_ns"])
+                     + float(row["kernel_ns"]))
+            assert float(row["total_ns"]) == pytest.approx(total, abs=1.0)
+
+    def test_writes_file(self, experiment, tmp_path):
+        runs = experiment.run_mode(TransferMode.STANDARD)
+        path = tmp_path / "runs.csv"
+        runset_to_csv(runs, path)
+        assert path.read_text().startswith("workload,")
+
+
+class TestComparisonCsv:
+    def test_five_rows(self, experiment):
+        comparison = experiment.run()
+        rows = list(csv.DictReader(io.StringIO(
+            comparison_to_csv(comparison))))
+        assert len(rows) == 5
+        modes = {row["mode"] for row in rows}
+        assert modes == {m.value for m in TransferMode}
+
+    def test_standard_normalized_to_one(self, experiment):
+        comparison = experiment.run()
+        rows = list(csv.DictReader(io.StringIO(
+            comparison_to_csv(comparison))))
+        standard = next(r for r in rows if r["mode"] == "standard")
+        assert float(standard["normalized_total"]) == pytest.approx(1.0)
+
+
+class TestSweepCsv:
+    def test_sweep_rows(self):
+        data = carveout_sensitivity(carveouts_kb=(8, 32), iterations=2,
+                                    modes=(TransferMode.STANDARD,
+                                           TransferMode.ASYNC))
+        text = sweep_to_csv(data, "smem_kb")
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 4
+        assert {row["smem_kb"] for row in rows} == {"8", "32"}

@@ -1,0 +1,100 @@
+"""Figure data-generator tests (small iteration counts)."""
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.harness.figures import (comparison_sweep, counter_sweep,
+                                   fig4_distributions, fig5_stability,
+                                   fig6_mega_breakdown, geomean_improvements,
+                                   render_comparison, render_counters,
+                                   render_fig5, render_fig6)
+from repro.workloads.sizes import SizeClass
+
+
+@pytest.fixture(scope="module")
+def distributions():
+    return fig4_distributions(
+        iterations=3,
+        sizes=(SizeClass.TINY, SizeClass.LARGE),
+        workloads=("vector_seq", "saxpy"),
+        modes=(TransferMode.STANDARD, TransferMode.UVM),
+    )
+
+
+class TestFig4And5:
+    def test_distribution_shape(self, distributions):
+        assert set(distributions) == {"tiny", "large"}
+        assert set(distributions["tiny"]) == {"vector_seq", "saxpy"}
+        assert len(distributions["tiny"]["vector_seq"]["standard"]) == 3
+
+    def test_totals_positive(self, distributions):
+        for by_workload in distributions.values():
+            for by_mode in by_workload.values():
+                for totals in by_mode.values():
+                    assert all(t > 0 for t in totals)
+
+    def test_stability_includes_geomean_row(self, distributions):
+        stability = fig5_stability(distributions)
+        assert "Geo-mean" in stability
+        assert set(stability["vector_seq"]) == {"tiny", "large"}
+
+    def test_large_more_stable_than_tiny(self, distributions):
+        """Takeaway 1's core claim, on the geomean row."""
+        stability = fig5_stability(
+            fig4_distributions(iterations=8,
+                               sizes=(SizeClass.TINY, SizeClass.LARGE),
+                               workloads=("vector_seq",),
+                               modes=(TransferMode.STANDARD,)))
+        assert stability["Geo-mean"]["large"] < \
+            stability["Geo-mean"]["tiny"]
+
+    def test_render_fig5(self, distributions):
+        assert "std/mean" in render_fig5(fig5_stability(distributions))
+
+
+class TestFig6:
+    def test_mega_memcpy_varies_more_than_kernel(self):
+        breakdowns = fig6_mega_breakdown(iterations=10)
+        memcpys = [b["memcpy"] for b in breakdowns]
+        kernels = [b["gpu_kernel"] for b in breakdowns]
+
+        def cv(values):
+            mean = sum(values) / len(values)
+            var = sum((v - mean) ** 2 for v in values) / len(values)
+            return var ** 0.5 / mean
+
+        assert cv(memcpys) > cv(kernels)
+
+    def test_render_fig6(self):
+        text = render_fig6(fig6_mega_breakdown(iterations=2))
+        assert "memcpy" in text
+
+
+class TestComparisons:
+    def test_comparison_sweep_and_render(self):
+        comparisons = comparison_sweep(("vector_seq",), SizeClass.LARGE,
+                                       iterations=2)
+        assert comparisons["vector_seq"].normalized_total(
+            TransferMode.STANDARD) == 1.0
+        text = render_comparison(comparisons, "demo")
+        assert "geo-mean" in text
+
+    def test_geomean_improvements(self):
+        comparisons = comparison_sweep(("vector_seq",), SizeClass.LARGE,
+                                       iterations=2)
+        improvements = geomean_improvements(comparisons)
+        assert improvements["standard"] == pytest.approx(0.0)
+        assert "uvm_prefetch" in improvements
+
+
+class TestCounters:
+    def test_counter_sweep_keys(self):
+        data = counter_sweep(workloads=("gemm",), size=SizeClass.LARGE)
+        entry = data["gemm"]["standard"]
+        assert {"control", "integer", "fp", "memory", "load_miss",
+                "store_miss"} <= set(entry)
+
+    def test_render_counters(self):
+        data = counter_sweep(workloads=("gemm",), size=SizeClass.LARGE)
+        text = render_counters(data, ("control", "integer"), "Fig 9")
+        assert "gemm" in text

@@ -1,0 +1,54 @@
+"""ASCII stacked-bar plot tests."""
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.core.experiment import Experiment
+from repro.harness.plots import (render_stacked_comparison,
+                                 render_stacked_suite, stacked_bar)
+from repro.workloads.sizes import SizeClass
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return Experiment(workload="saxpy", size=SizeClass.LARGE,
+                      iterations=2).run()
+
+
+class TestStackedBar:
+    def test_glyph_lengths_proportional(self):
+        bar = stacked_bar({"gpu_kernel": 0.2, "memcpy": 0.4,
+                           "allocation": 0.4}, width=50)
+        assert bar.count("K") == 10
+        assert bar.count("M") == 20
+        assert bar.count("A") == 20
+
+    def test_overlong_bars_allowed(self):
+        """uvm bars can exceed 1.0x standard."""
+        bar = stacked_bar({"gpu_kernel": 0.8, "memcpy": 0.5,
+                           "allocation": 0.2}, width=40)
+        assert len(bar) > 40
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            stacked_bar({}, width=5)
+
+
+class TestRenderComparison:
+    def test_contains_all_modes_and_marker(self, comparison):
+        text = render_stacked_comparison(comparison)
+        for mode in TransferMode:
+            assert mode.value in text
+        assert "|" in text
+        assert "K" in text and "M" in text and "A" in text
+
+    def test_standard_bar_ends_at_marker(self, comparison):
+        text = render_stacked_comparison(comparison, width=50)
+        standard_line = next(line for line in text.splitlines()
+                             if line.strip().startswith("standard "))
+        glyphs = sum(standard_line.count(g) for g in "KMA")
+        assert glyphs == pytest.approx(50, abs=2)
+
+    def test_suite_render(self, comparison):
+        text = render_stacked_suite({"saxpy": comparison})
+        assert "saxpy @ large" in text

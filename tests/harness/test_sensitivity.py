@@ -1,0 +1,74 @@
+"""Sensitivity sweep tests (Figs. 11-13)."""
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.harness.sensitivity import (blocks_sensitivity,
+                                       carveout_sensitivity,
+                                       normalized_sweep, render_sweep,
+                                       threads_sensitivity)
+
+MODES = (TransferMode.STANDARD, TransferMode.ASYNC,
+         TransferMode.UVM_PREFETCH)
+
+
+class TestBlocksSweep:
+    def test_blocks_insensitive_in_saturated_band(self):
+        """Fig. 11 / Takeaway 4: block count barely matters once the
+        grid saturates the GPU."""
+        data = blocks_sensitivity(blocks=(4096, 1024), iterations=3,
+                                  modes=(TransferMode.STANDARD,))
+        normalized = normalized_sweep(data)
+        assert normalized[1024]["standard"] == pytest.approx(1.0, abs=0.05)
+
+
+class TestThreadsSweep:
+    def test_threads_sensitive_below_128(self):
+        """Fig. 12 / Takeaway 4: few threads per block slow the kernel
+        by integer factors."""
+        data = threads_sensitivity(threads=(256, 32), iterations=3,
+                                   modes=(TransferMode.STANDARD,))
+        normalized = normalized_sweep(data, baseline_key=256)
+        assert normalized[32]["standard"] > 1.2
+
+    def test_async_benefit_grows_at_low_threads(self):
+        """Paper: async gains 1.01 % at 1024 threads, 16.51 % at 32."""
+        data = threads_sensitivity(threads=(1024, 32), iterations=3,
+                                   modes=(TransferMode.STANDARD,
+                                          TransferMode.ASYNC))
+        gain_high = 1 - (data[1024]["async"].mean_total_ns()
+                         / data[1024]["standard"].mean_total_ns())
+        gain_low = 1 - (data[32]["async"].mean_total_ns()
+                        / data[32]["standard"].mean_total_ns())
+        assert gain_low > gain_high
+
+
+class TestCarveoutSweep:
+    def test_tiny_carveout_hurts_async(self):
+        """Takeaway 5: no room to double-buffer."""
+        data = carveout_sensitivity(carveouts_kb=(2, 32), iterations=3,
+                                    modes=(TransferMode.ASYNC,))
+        assert data[2]["async"].mean_total_ns() > \
+            data[32]["async"].mean_total_ns()
+
+    def test_huge_carveout_hurts_uvm(self):
+        """Takeaway 5: too little L1 left for the prefetch streams."""
+        data = carveout_sensitivity(carveouts_kb=(32, 128), iterations=3,
+                                    modes=(TransferMode.UVM_PREFETCH,))
+        assert data[128]["uvm_prefetch"].mean_total_ns() > \
+            data[32]["uvm_prefetch"].mean_total_ns()
+
+    def test_standard_insensitive_to_carveout(self):
+        data = carveout_sensitivity(carveouts_kb=(4, 64), iterations=3,
+                                    modes=(TransferMode.STANDARD,))
+        ratio = (data[64]["standard"].mean_total_ns()
+                 / data[4]["standard"].mean_total_ns())
+        assert ratio == pytest.approx(1.0, abs=0.05)
+
+
+class TestRender:
+    def test_render_sweep(self):
+        data = blocks_sensitivity(blocks=(4096,), iterations=2, modes=MODES)
+        text = render_sweep(normalized_sweep(data), "#blocks", "Fig 11")
+        assert "#blocks" in text
+        assert "4096" in text

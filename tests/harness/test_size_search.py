@@ -1,0 +1,48 @@
+"""Input-size search (Sec. 3.3) tests."""
+
+import pytest
+
+from repro.harness.size_search import (SizeAssessment, assess_sizes,
+                                       recommend_sizes, render_size_search)
+from repro.workloads.sizes import SizeClass
+
+
+@pytest.fixture(scope="module")
+def assessments():
+    return assess_sizes("vector_seq", iterations=6)
+
+
+class TestSearch:
+    def test_covers_all_sizes(self, assessments):
+        assert [a.size for a in assessments] == \
+            [s.label for s in SizeClass.ordered()]
+
+    def test_takeaway1_band(self, assessments):
+        """The search must land on the paper's Large/Super band."""
+        usable = recommend_sizes(assessments)
+        assert "large" in usable
+        assert "super" in usable
+        assert "tiny" not in usable
+
+    def test_mega_is_not_usable(self, assessments):
+        mega = next(a for a in assessments if a.size == "mega")
+        assert not a_usable(mega)
+
+    def test_small_sizes_are_noisy(self, assessments):
+        tiny = next(a for a in assessments if a.size == "tiny")
+        super_ = next(a for a in assessments if a.size == "super")
+        assert tiny.cv > super_.cv
+
+    def test_spread_grows_with_size(self, assessments):
+        tiny = next(a for a in assessments if a.size == "tiny")
+        super_ = next(a for a in assessments if a.size == "super")
+        assert super_.config_spread > tiny.config_spread
+
+    def test_render(self, assessments):
+        text = render_size_search("vector_seq", assessments)
+        assert "recommended band" in text
+        assert "large" in text
+
+
+def a_usable(assessment: SizeAssessment) -> bool:
+    return assessment.usable

@@ -1,0 +1,80 @@
+"""Result-store tests."""
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.core.experiment import Experiment
+from repro.harness.store import ResultStore
+from repro.workloads.sizes import SizeClass
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return Experiment(workload="saxpy", size=SizeClass.SMALL,
+                      iterations=3).run()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "runs.jsonl")
+
+
+class TestRoundTrip:
+    def test_append_and_reload_runset(self, store, comparison):
+        original = comparison.by_mode[TransferMode.UVM]
+        assert store.append_runset(original) == 3
+        loaded = store.load_runset("saxpy", TransferMode.UVM, "small")
+        assert len(loaded) == 3
+        assert loaded.mean_total_ns() == pytest.approx(
+            original.mean_total_ns())
+        assert loaded.mean_breakdown() == pytest.approx(
+            original.mean_breakdown())
+
+    def test_reload_full_comparison(self, store, comparison):
+        for runs in comparison.by_mode.values():
+            store.append_runset(runs)
+        loaded = store.load_comparison("saxpy", "small")
+        for mode in TransferMode:
+            assert loaded.normalized_total(mode) == pytest.approx(
+                comparison.normalized_total(mode))
+
+    def test_incremental_appends_accumulate(self, store, comparison):
+        runs = comparison.by_mode[TransferMode.STANDARD]
+        store.append(runs.runs[0])
+        store.append(runs.runs[1])
+        assert len(store) == 2
+
+
+class TestQuery:
+    def test_filters(self, store, comparison):
+        for runs in comparison.by_mode.values():
+            store.append_runset(runs)
+        assert len(store.query(mode=TransferMode.ASYNC)) == 3
+        assert len(store.query(workload="saxpy")) == 15
+        assert store.query(workload="other") == []
+        assert store.workloads() == ["saxpy"]
+
+    def test_empty_store(self, store):
+        assert len(store) == 0
+        assert store.query() == []
+
+
+class TestRobustness:
+    def test_corrupt_line_reported_with_location(self, store, comparison):
+        store.append(comparison.by_mode[TransferMode.UVM].runs[0])
+        with store.path.open("a") as stream:
+            stream.write("{not json\n")
+        with pytest.raises(ValueError, match=":2"):
+            list(store)
+
+    def test_blank_lines_skipped(self, store, comparison):
+        store.append(comparison.by_mode[TransferMode.UVM].runs[0])
+        with store.path.open("a") as stream:
+            stream.write("\n\n")
+        assert len(store) == 1
+
+    def test_version_checked(self, store):
+        with store.path.open("a") as stream:
+            stream.write('{"v": 99}\n')
+        with pytest.raises(ValueError, match="version"):
+            list(store)

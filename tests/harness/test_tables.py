@@ -1,0 +1,59 @@
+"""Table regenerator tests."""
+
+from repro.harness.report import format_ns, format_pct, render_series, render_table
+from repro.harness.tables import (table1_hardware, table2_rows, table2_suite,
+                                  table3_rows, table3_sizes)
+
+import pytest
+
+
+class TestReport:
+    def test_render_table_aligns(self):
+        text = render_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [("1",)])
+
+    def test_render_series(self):
+        text = render_series("demo", [1, 2], [10.0, 20.0])
+        assert "demo" in text
+        assert "#" in text
+
+    def test_format_ns(self):
+        assert format_ns(1.5e9) == "1.50 s"
+        assert format_ns(2.5e6) == "2.50 ms"
+        assert format_ns(3.5e3) == "3.50 us"
+        assert format_ns(999) == "999 ns"
+
+    def test_format_pct(self):
+        assert format_pct(0.21) == "21.00 %"
+        assert format_pct(0.21, signed=True) == "+21.00 %"
+
+
+class TestTables:
+    def test_table1_mentions_hardware(self):
+        text = table1_hardware()
+        assert "A100" in text and "EPYC" in text
+
+    def test_table2_has_21_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 21
+        names = [row[2] for row in rows]
+        assert "vector_seq" in names and "yolov3" in names
+
+    def test_table2_renders(self):
+        assert "Needleman-Wunsch" in table2_suite()
+
+    def test_table3_has_6_rows(self):
+        rows = table3_rows()
+        assert len(rows) == 6
+        assert rows[0][0] == "Tiny"
+        assert rows[-1][1] == "32 GB"
+
+    def test_table3_renders(self):
+        text = table3_sizes()
+        assert "1D grid" in text

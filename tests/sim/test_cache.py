@@ -1,0 +1,99 @@
+"""Unified-L1 miss-rate model tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import (ASYNC_LOAD_MISS_FACTOR, ASYNC_STORE_MISS_FACTOR,
+                             REFERENCE_CARVEOUT, MissRates, capacity_factor,
+                             l1_miss_rates)
+from repro.sim.hardware import GpuSpec
+from repro.sim.kernel import AccessPattern
+
+from .test_kernel import make_descriptor
+
+
+class TestMissRates:
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            MissRates(load=1.5, store=0.0)
+        with pytest.raises(ValueError):
+            MissRates(load=0.5, store=-0.1)
+
+
+class TestCapacityFactor:
+    def test_reference_is_unity(self):
+        assert capacity_factor(GpuSpec(), REFERENCE_CARVEOUT) == \
+            pytest.approx(1.0)
+
+    def test_smaller_l1_raises_misses(self):
+        gpu = GpuSpec()
+        assert capacity_factor(gpu, 128 * 1024) > 1.0
+
+    def test_larger_l1_lowers_misses(self):
+        gpu = GpuSpec()
+        assert capacity_factor(gpu, 2 * 1024) < 1.0
+
+
+class TestL1MissRates:
+    def _rates(self, pattern, use_async=False, managed=False,
+               prefetched=False, carveout=REFERENCE_CARVEOUT):
+        descriptor = make_descriptor(access_pattern=pattern)
+        return l1_miss_rates(descriptor, GpuSpec(), carveout,
+                             use_async=use_async, managed=managed,
+                             prefetched=prefetched)
+
+    @pytest.mark.parametrize("pattern", list(AccessPattern))
+    def test_rates_in_unit_interval(self, pattern):
+        rates = self._rates(pattern)
+        assert 0.0 <= rates.load <= 1.0
+        assert 0.0 <= rates.store <= 1.0
+
+    def test_random_misses_more_than_sequential(self):
+        assert self._rates(AccessPattern.RANDOM).load > \
+            self._rates(AccessPattern.SEQUENTIAL).load
+
+    def test_async_helps_irregular_most(self):
+        """The paper's lud result: -35.96 % load, -69.99 % store."""
+        base = self._rates(AccessPattern.IRREGULAR)
+        with_async = self._rates(AccessPattern.IRREGULAR, use_async=True)
+        assert with_async.load / base.load == pytest.approx(
+            ASYNC_LOAD_MISS_FACTOR[AccessPattern.IRREGULAR])
+        assert with_async.store / base.store == pytest.approx(
+            ASYNC_STORE_MISS_FACTOR[AccessPattern.IRREGULAR])
+
+    def test_async_leaves_sequential_unchanged(self):
+        base = self._rates(AccessPattern.SEQUENTIAL)
+        with_async = self._rates(AccessPattern.SEQUENTIAL, use_async=True)
+        assert with_async.load == pytest.approx(base.load)
+
+    def test_prefetch_pollution_is_small_additive(self):
+        base = self._rates(AccessPattern.SEQUENTIAL)
+        polluted = self._rates(AccessPattern.SEQUENTIAL, managed=True,
+                               prefetched=True)
+        assert polluted.load > base.load
+        assert polluted.load - base.load < 0.05
+
+    def test_descriptor_overrides_take_precedence(self):
+        descriptor = make_descriptor(l1_load_miss=0.123, l1_store_miss=0.456)
+        rates = l1_miss_rates(descriptor, GpuSpec(), REFERENCE_CARVEOUT,
+                              use_async=False, managed=False,
+                              prefetched=False)
+        assert rates.load == pytest.approx(0.123)
+        assert rates.store == pytest.approx(0.456)
+
+    @given(carveout_kb=st.sampled_from([2, 4, 8, 16, 32, 64, 128]),
+           pattern=st.sampled_from(list(AccessPattern)),
+           use_async=st.booleans(), managed=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_rates_always_valid(self, carveout_kb, pattern, use_async,
+                                managed):
+        rates = self._rates(pattern, use_async=use_async, managed=managed,
+                            prefetched=managed, carveout=carveout_kb * 1024)
+        assert 0.0 <= rates.load <= 1.0
+        assert 0.0 <= rates.store <= 1.0
+
+    def test_bigger_carveout_means_higher_misses(self):
+        small_l1 = self._rates(AccessPattern.STRIDED, carveout=128 * 1024)
+        big_l1 = self._rates(AccessPattern.STRIDED, carveout=2 * 1024)
+        assert small_l1.load > big_l1.load

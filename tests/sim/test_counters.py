@@ -1,0 +1,107 @@
+"""CUPTI-style counter collection tests."""
+
+import pytest
+
+from repro.sim.counters import (ASYNC_MEMORY_INST_FACTOR, CounterReport,
+                                collect_counters)
+from repro.sim.hardware import GpuSpec
+from repro.sim.kernel import AccessPattern, InstructionMix
+
+from .test_kernel import make_descriptor
+
+CARVEOUT = 32 * 1024
+
+
+def collect(descriptor, calib, **flags):
+    defaults = dict(use_async=False, managed=False, prefetched=False,
+                    occupancy=0.5)
+    defaults.update(flags)
+    return collect_counters(descriptor, GpuSpec(), calib, CARVEOUT,
+                            **defaults)
+
+
+class TestCollect:
+    def test_standard_matches_base_instructions(self, calib):
+        mix = InstructionMix(memory=100, fp=200, integer=50, control=25)
+        descriptor = make_descriptor(insts_per_tile=mix)
+        counters = collect(descriptor, calib)
+        assert counters.instructions.control == pytest.approx(
+            25 * descriptor.total_tiles)
+
+    def test_async_adds_control_and_integer(self, calib):
+        mix = InstructionMix(memory=100, fp=200, integer=50, control=25)
+        descriptor = make_descriptor(insts_per_tile=mix,
+                                     async_copies_per_tile=8)
+        base = collect(descriptor, calib)
+        with_async = collect(descriptor, calib, use_async=True)
+        copies = 8 * descriptor.total_tiles
+        assert with_async.instructions.control == pytest.approx(
+            base.instructions.control
+            + copies * calib.kernel.async_ctrl_per_copy)
+        assert with_async.instructions.integer == pytest.approx(
+            base.instructions.integer
+            + copies * calib.kernel.async_int_per_copy)
+
+    def test_async_trims_memory_instructions(self, calib):
+        mix = InstructionMix(memory=100, fp=1, integer=1, control=1)
+        descriptor = make_descriptor(insts_per_tile=mix)
+        base = collect(descriptor, calib)
+        with_async = collect(descriptor, calib, use_async=True)
+        assert with_async.instructions.memory == pytest.approx(
+            base.instructions.memory * ASYNC_MEMORY_INST_FACTOR)
+
+    def test_uvm_leaves_instruction_mix_unchanged(self, calib):
+        """Fig. 9: UVM does not noticeably change instruction counts."""
+        mix = InstructionMix(memory=100, fp=200, integer=50, control=25)
+        descriptor = make_descriptor(insts_per_tile=mix)
+        base = collect(descriptor, calib)
+        managed = collect(descriptor, calib, managed=True)
+        assert managed.instructions.total == pytest.approx(
+            base.instructions.total)
+
+    def test_dram_bytes_respect_reuse(self, calib):
+        descriptor = make_descriptor(reuse=4.0)
+        counters = collect(descriptor, calib)
+        assert counters.dram_load_bytes == pytest.approx(
+            descriptor.load_bytes / 4.0)
+        assert counters.dram_store_bytes == descriptor.write_bytes
+
+
+class TestCounterReport:
+    def test_aggregates_instruction_mix(self, calib):
+        report = CounterReport()
+        descriptor = make_descriptor(
+            insts_per_tile=InstructionMix(memory=1, fp=2, integer=3,
+                                          control=4))
+        report.add(collect(descriptor, calib))
+        report.add(collect(descriptor, calib))
+        assert report.instructions.fp == pytest.approx(
+            2 * 2 * descriptor.total_tiles)
+        assert report.by_category()["control"] == pytest.approx(
+            2 * 4 * descriptor.total_tiles)
+
+    def test_traffic_weighted_miss_rates(self, calib):
+        report = CounterReport()
+        heavy = make_descriptor(access_pattern=AccessPattern.RANDOM,
+                                tiles_per_block=64)
+        light = make_descriptor(access_pattern=AccessPattern.SEQUENTIAL,
+                                tiles_per_block=1)
+        report.add(collect(heavy, calib))
+        report.add(collect(light, calib))
+        blended = report.mean_miss_rates()
+        heavy_only = collect(heavy, calib).l1
+        light_only = collect(light, calib).l1
+        assert light_only.load < blended.load <= heavy_only.load
+
+    def test_empty_report_is_zero(self):
+        report = CounterReport()
+        assert report.mean_miss_rates().load == 0.0
+        assert report.mean_occupancy() == 0.0
+        assert report.instructions.total == 0.0
+
+    def test_mean_occupancy(self, calib):
+        report = CounterReport()
+        descriptor = make_descriptor()
+        report.add(collect(descriptor, calib, occupancy=0.2))
+        report.add(collect(descriptor, calib, occupancy=0.6))
+        assert report.mean_occupancy() == pytest.approx(0.4)

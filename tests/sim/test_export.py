@@ -1,0 +1,59 @@
+"""Chrome-trace export tests."""
+
+import json
+
+from repro.sim.export import export_chrome_trace, timeline_to_trace_events
+from repro.sim.trace import Timeline
+
+
+def make_timeline():
+    timeline = Timeline()
+    timeline.record("cudaMalloc:a", "allocation", 0.0, 1000.0)
+    timeline.record("cudaMemcpy H2D:a", "memcpy", 1000.0, 5000.0)
+    timeline.record("kernel:k", "gpu_kernel", 5000.0, 9000.0)
+    return timeline
+
+
+class TestTraceEvents:
+    def test_metadata_rows_present(self):
+        events = timeline_to_trace_events(make_timeline())
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert {"CPU (driver)", "PCIe copy engines", "GPU SMs"} <= names
+
+    def test_durations_in_microseconds(self):
+        events = timeline_to_trace_events(make_timeline())
+        kernel = next(e for e in events if e.get("cat") == "gpu_kernel")
+        assert kernel["ts"] == 5.0
+        assert kernel["dur"] == 4.0
+        assert kernel["ph"] == "X"
+
+    def test_categories_map_to_distinct_tracks(self):
+        events = timeline_to_trace_events(make_timeline())
+        pids = {e.get("cat"): e["pid"] for e in events if "cat" in e}
+        assert len(set(pids.values())) == 3
+
+
+class TestExport:
+    def test_writes_valid_json(self, tmp_path):
+        path = export_chrome_trace(make_timeline(), tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) >= 3
+
+    def test_real_run_exports(self, tmp_path, system, calib):
+        import numpy as np
+        from repro.core.configs import TransferMode
+        from repro.core.execution import _managed_process
+        from repro.sim.runtime import CudaRuntime
+        from repro.workloads.registry import get_workload
+        from repro.workloads.sizes import SizeClass
+
+        program = get_workload("saxpy").program(SizeClass.SMALL)
+        rt = CudaRuntime(system, calib, np.random.default_rng(0),
+                         footprint_bytes=program.footprint_bytes)
+        rt.run(_managed_process(rt, program, TransferMode.UVM_PREFETCH))
+        path = export_chrome_trace(rt.timeline, tmp_path / "run.json")
+        payload = json.loads(path.read_text())
+        kinds = {e.get("cat") for e in payload["traceEvents"]}
+        assert "gpu_kernel" in kinds
+        assert "memcpy" in kinds

@@ -1,0 +1,73 @@
+"""Host DRAM placement (Fig. 6 mechanism) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.calibration import NoiseModel
+from repro.sim.hardware import GIB, CpuSpec
+from repro.sim.hostmem import HostPlacement, place_host_data
+
+CPU = CpuSpec()
+NOISE = NoiseModel()
+
+
+class TestHostPlacement:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostPlacement(10, spill_fraction=1.5, time_multiplier=1.0)
+        with pytest.raises(ValueError):
+            HostPlacement(10, spill_fraction=0.5, time_multiplier=0.9)
+
+    def test_negative_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            place_host_data(-1, CPU, NOISE, np.random.default_rng(0))
+
+
+class TestPlacement:
+    def test_small_footprints_never_spill(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            placement = place_host_data(4 * GIB, CPU, NOISE, rng)
+            assert placement.spill_fraction == 0.0
+            assert placement.time_multiplier == 1.0
+
+    def test_mega_footprints_can_spill(self):
+        """32 GB against a 64 GB chip: the Fig. 6 instability."""
+        rng = np.random.default_rng(7)
+        multipliers = [place_host_data(32 * GIB, CPU, NOISE, rng)
+                       .time_multiplier for _ in range(50)]
+        assert max(multipliers) > 1.05
+        assert min(multipliers) >= 1.0
+
+    def test_spill_is_random_per_run(self):
+        rng = np.random.default_rng(3)
+        fractions = {place_host_data(32 * GIB, CPU, NOISE, rng)
+                     .spill_fraction for _ in range(20)}
+        assert len(fractions) > 10
+
+    def test_threshold_boundary(self):
+        rng = np.random.default_rng(0)
+        at_threshold = int(NOISE.spill_threshold * CPU.dram_chip_bytes)
+        placement = place_host_data(at_threshold, CPU, NOISE, rng)
+        assert placement.spill_fraction == 0.0
+
+    def test_multiplier_consistent_with_spill(self):
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            placement = place_host_data(40 * GIB, CPU, NOISE, rng)
+            expected = (1.0 - placement.spill_fraction) \
+                + placement.spill_fraction / CPU.remote_chip_penalty
+            assert placement.time_multiplier == pytest.approx(expected)
+
+    @given(footprint_gb=st.integers(min_value=0, max_value=64),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_placement_always_valid(self, footprint_gb, seed):
+        rng = np.random.default_rng(seed)
+        placement = place_host_data(footprint_gb * GIB, CPU, NOISE, rng)
+        assert 0.0 <= placement.spill_fraction <= 1.0
+        assert placement.time_multiplier >= 1.0
+        # Worst case: everything remote.
+        assert placement.time_multiplier <= 1.0 / CPU.remote_chip_penalty

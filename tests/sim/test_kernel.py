@@ -1,0 +1,150 @@
+"""Kernel descriptor tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import AccessPattern, InstructionMix, KernelDescriptor
+
+
+def make_descriptor(**overrides):
+    base = dict(
+        name="k",
+        blocks=128,
+        threads_per_block=256,
+        tiles_per_block=16,
+        tile_bytes=2048,
+        compute_cycles_per_tile=100.0,
+        access_pattern=AccessPattern.SEQUENTIAL,
+        write_bytes=1024,
+    )
+    base.update(overrides)
+    return KernelDescriptor(**base)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("blocks", 0),
+        ("threads_per_block", 0),
+        ("threads_per_block", 2048),
+        ("tiles_per_block", 0),
+        ("tile_bytes", 0),
+        ("compute_cycles_per_tile", -1.0),
+        ("write_bytes", -1),
+        ("reuse", 0.5),
+        ("touched_fraction", 0.0),
+        ("touched_fraction", 1.5),
+        ("sync_overlap", -0.1),
+        ("sync_overlap", 1.1),
+        ("l1_load_miss", 1.5),
+        ("prefetch_accuracy", -0.2),
+        ("bandwidth_efficiency", 0.0),
+        ("bandwidth_efficiency", 1.2),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            make_descriptor(**{field: value})
+
+    def test_valid_descriptor_builds(self):
+        descriptor = make_descriptor()
+        assert descriptor.name == "k"
+
+
+class TestDerived:
+    def test_load_bytes(self):
+        descriptor = make_descriptor()
+        assert descriptor.load_bytes == 128 * 16 * 2048
+
+    def test_total_tiles_and_compute(self):
+        descriptor = make_descriptor()
+        assert descriptor.total_tiles == 2048
+        assert descriptor.compute_cycles == pytest.approx(2048 * 100.0)
+
+    def test_footprint_defaults_to_unique_bytes(self):
+        descriptor = make_descriptor(reuse=4.0)
+        assert descriptor.footprint_bytes == pytest.approx(
+            descriptor.load_bytes / 4.0)
+
+    def test_footprint_override(self):
+        descriptor = make_descriptor(data_footprint_bytes=12345)
+        assert descriptor.footprint_bytes == 12345
+
+    def test_write_pattern_defaults_to_access_pattern(self):
+        descriptor = make_descriptor(access_pattern=AccessPattern.RANDOM)
+        assert descriptor.effective_write_pattern is AccessPattern.RANDOM
+        explicit = make_descriptor(write_pattern=AccessPattern.STRIDED)
+        assert explicit.effective_write_pattern is AccessPattern.STRIDED
+
+    def test_async_copies_default_strip_mines_tile(self):
+        descriptor = make_descriptor(tile_bytes=16 * 256 * 4)
+        # 16 bytes per copy per thread: 4 copies per thread strip.
+        assert descriptor.async_copies() == 4
+
+    def test_async_copies_override(self):
+        assert make_descriptor(async_copies_per_tile=7).async_copies() == 7
+
+    def test_base_instructions_scale_with_tiles(self):
+        mix = InstructionMix(memory=10, fp=20, integer=5, control=2)
+        descriptor = make_descriptor(insts_per_tile=mix)
+        total = descriptor.base_instructions()
+        assert total.fp == pytest.approx(20 * descriptor.total_tiles)
+        assert total.total == pytest.approx(37 * descriptor.total_tiles)
+
+    @pytest.mark.parametrize("pattern,friendly", [
+        (AccessPattern.SEQUENTIAL, True),
+        (AccessPattern.STRIDED, True),
+        (AccessPattern.RANDOM, False),
+        (AccessPattern.IRREGULAR, False),
+    ])
+    def test_prefetch_friendliness(self, pattern, friendly):
+        assert pattern.prefetch_friendly is friendly
+
+    def test_derived_prefetch_accuracy_ordering(self):
+        accuracies = {
+            pattern: make_descriptor(
+                access_pattern=pattern).derived_prefetch_accuracy()
+            for pattern in AccessPattern
+        }
+        assert accuracies[AccessPattern.SEQUENTIAL] > \
+            accuracies[AccessPattern.STRIDED] > \
+            accuracies[AccessPattern.RANDOM] > \
+            accuracies[AccessPattern.IRREGULAR]
+
+
+class TestInstructionMix:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix(memory=-1)
+
+    def test_scaled_and_plus(self):
+        mix = InstructionMix(memory=1, fp=2, integer=3, control=4)
+        doubled = mix.scaled(2.0)
+        assert doubled.control == 8
+        combined = mix.plus(doubled)
+        assert combined.total == pytest.approx(30)
+
+
+class TestWithGeometry:
+    @given(blocks=st.sampled_from([16, 64, 256, 1024, 4096]),
+           threads=st.sampled_from([32, 128, 256, 1024]))
+    @settings(max_examples=25, deadline=None)
+    def test_total_traffic_preserved(self, blocks, threads):
+        base = make_descriptor(blocks=4096, tiles_per_block=64)
+        regeared = base.with_geometry(blocks=blocks,
+                                      threads_per_block=threads)
+        assert regeared.blocks == blocks
+        assert regeared.threads_per_block == threads
+        # Total bytes preserved within rounding of tile granularity.
+        assert regeared.load_bytes == pytest.approx(base.load_bytes,
+                                                    rel=0.05)
+
+    def test_compute_density_preserved(self):
+        base = make_descriptor()
+        regeared = base.with_geometry(blocks=16)
+        base_density = base.compute_cycles / base.load_bytes
+        new_density = regeared.compute_cycles / regeared.load_bytes
+        assert new_density == pytest.approx(base_density, rel=1e-6)
+
+    def test_invalid_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            make_descriptor().with_geometry(blocks=0)

@@ -1,0 +1,124 @@
+"""Model-wide property tests over randomized kernel descriptors.
+
+Hypothesis generates kernels across the whole descriptor space and
+checks the relations that must hold for *any* kernel - the simulator's
+contract, independent of calibration values.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.calibration import default_calibration
+from repro.sim.hardware import default_system
+from repro.sim.kernel import (AccessPattern, InstructionMix,
+                              KernelDescriptor)
+from repro.sim.timing import ConfigFlags, simulate_kernel
+
+SYSTEM = default_system()
+CALIB = default_calibration()
+CARVEOUT = 32 * 1024
+
+STANDARD = ConfigFlags()
+ASYNC = ConfigFlags(use_async=True)
+UVM = ConfigFlags(managed=True)
+UVM_PREFETCH = ConfigFlags(managed=True, prefetched=True)
+
+
+@st.composite
+def descriptors(draw):
+    tile_bytes = draw(st.sampled_from([512, 2048, 8192, 16384]))
+    return KernelDescriptor(
+        name="hyp",
+        blocks=draw(st.integers(1, 8192)),
+        threads_per_block=draw(st.sampled_from([32, 64, 128, 256, 1024])),
+        tiles_per_block=draw(st.integers(1, 256)),
+        tile_bytes=tile_bytes,
+        compute_cycles_per_tile=draw(st.floats(0.0, 1e5)),
+        access_pattern=draw(st.sampled_from(list(AccessPattern))),
+        write_bytes=draw(st.integers(0, 1 << 28)),
+        smem_static_bytes=draw(st.sampled_from([0, 256, 4096])),
+        reuse=draw(st.floats(1.0, 16.0)),
+        sync_overlap=draw(st.floats(0.0, 1.0)),
+        insts_per_tile=InstructionMix(memory=10, fp=100, integer=20,
+                                      control=5),
+    )
+
+
+def run(desc, flags, resident=1.0, carveout=CARVEOUT):
+    return simulate_kernel(desc, flags, SYSTEM, CALIB,
+                           smem_carveout_bytes=carveout,
+                           resident_fraction=resident)
+
+
+class TestUniversalInvariants:
+    @given(descriptors())
+    @settings(max_examples=80, deadline=None)
+    def test_all_configs_finite_and_positive(self, desc):
+        for flags in (STANDARD, ASYNC, UVM, UVM_PREFETCH):
+            result = run(desc, flags,
+                         resident=0.0 if flags.managed else 1.0)
+            assert 0.0 < result.duration_ns < 1e15
+            assert result.load_ns >= 0.0
+            assert result.compute_ns >= 0.0
+
+    @given(descriptors())
+    @settings(max_examples=60, deadline=None)
+    def test_async_never_beats_the_longer_stage(self, desc):
+        """Overlap is bounded: async cannot finish faster than its own
+        memory stage (which is itself >= the best-case bandwidth)."""
+        result = run(desc, ASYNC)
+        lower_bound = min(result.load_ns, result.compute_ns)
+        assert result.duration_ns >= lower_bound
+
+    @given(descriptors())
+    @settings(max_examples=60, deadline=None)
+    def test_cold_uvm_never_faster_than_warm(self, desc):
+        cold = run(desc, UVM, resident=0.0)
+        warm = run(desc, UVM, resident=1.0)
+        assert cold.duration_ns >= warm.duration_ns - 1e-6
+        assert cold.demand_migrated_bytes >= warm.demand_migrated_bytes
+
+    @given(descriptors())
+    @settings(max_examples=60, deadline=None)
+    def test_warm_uvm_never_faster_than_explicit(self, desc):
+        """Managed memory always pays at least the page-walk tax."""
+        explicit = run(desc, STANDARD)
+        warm = run(desc, UVM, resident=1.0)
+        assert warm.duration_ns >= explicit.duration_ns * 0.999
+
+    @given(descriptors())
+    @settings(max_examples=60, deadline=None)
+    def test_prefetched_never_slower_than_cold_demand(self, desc):
+        cold = run(desc, UVM, resident=0.0)
+        prefetched = run(desc, UVM_PREFETCH, resident=1.0)
+        assert prefetched.duration_ns <= cold.duration_ns + 1e-6
+
+    @given(descriptors())
+    @settings(max_examples=60, deadline=None)
+    def test_counters_consistent_across_configs(self, desc):
+        """FP work is config-invariant; async may only add instructions
+        to integer/control and trim memory."""
+        base = run(desc, STANDARD).counters.instructions
+        with_async = run(desc, ASYNC).counters.instructions
+        assert with_async.fp == base.fp
+        assert with_async.integer >= base.integer
+        assert with_async.control >= base.control
+        assert with_async.memory <= base.memory
+
+    @given(descriptors(), st.sampled_from([2, 8, 32, 64, 128]))
+    @settings(max_examples=60, deadline=None)
+    def test_carveout_never_breaks_the_model(self, desc, carveout_kb):
+        for flags in (STANDARD, ASYNC, UVM_PREFETCH):
+            result = run(desc, flags,
+                         resident=1.0, carveout=carveout_kb * 1024)
+            assert result.duration_ns > 0
+            assert 0.0 <= result.counters.l1.load <= 1.0
+
+    @given(descriptors())
+    @settings(max_examples=40, deadline=None)
+    def test_determinism_across_repeated_calls(self, desc):
+        first = run(desc, ASYNC)
+        second = run(desc, ASYNC)
+        assert first.duration_ns == second.duration_ns
+        assert first.counters.instructions.total == \
+            second.counters.instructions.total

@@ -1,0 +1,83 @@
+"""PCIe link model tests."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.pcie import PcieLink, TransferKind
+
+
+@pytest.fixture
+def link(system, calib):
+    return PcieLink(Environment(), system, calib)
+
+
+class TestBandwidths:
+    def test_explicit_copies_pay_pageable_penalty(self, link, system):
+        assert link.effective_bandwidth(TransferKind.H2D) < \
+            system.link.bandwidth
+
+    def test_d2h_slower_than_h2d(self, link):
+        assert link.effective_bandwidth(TransferKind.D2H) < \
+            link.effective_bandwidth(TransferKind.H2D)
+
+    def test_prefetch_is_fastest_path(self, link):
+        prefetch = link.effective_bandwidth(TransferKind.PREFETCH)
+        for kind in (TransferKind.H2D, TransferKind.D2H,
+                     TransferKind.MIGRATE_H2D):
+            assert prefetch > link.effective_bandwidth(kind)
+
+    def test_migration_slower_than_prefetch(self, link):
+        assert link.effective_bandwidth(TransferKind.MIGRATE_H2D) < \
+            link.effective_bandwidth(TransferKind.PREFETCH)
+
+
+class TestDurations:
+    def test_zero_bytes_is_free(self, link):
+        assert link.duration_ns(TransferKind.H2D, 0) == 0.0
+
+    def test_negative_bytes_rejected(self, link):
+        with pytest.raises(ValueError):
+            link.duration_ns(TransferKind.H2D, -1)
+
+    def test_duration_scales_linearly(self, link):
+        one = link.duration_ns(TransferKind.H2D, 1 << 30)
+        two = link.duration_ns(TransferKind.H2D, 2 << 30)
+        fixed = link.system.link.latency_ns + link.calib.transfer.memcpy_call_ns
+        assert two - fixed == pytest.approx(2 * (one - fixed), rel=1e-9)
+
+    def test_host_multiplier_stretches_wire_time(self, link):
+        base = link.duration_ns(TransferKind.H2D, 1 << 30)
+        stretched = link.duration_ns(TransferKind.H2D, 1 << 30,
+                                     host_multiplier=2.0)
+        assert stretched > 1.8 * base
+
+    def test_migration_has_no_api_call_cost(self, link):
+        explicit = link.duration_ns(TransferKind.H2D, 1)
+        migration = link.duration_ns(TransferKind.MIGRATE_H2D, 1)
+        assert migration < explicit
+
+
+class TestTransferProcess:
+    def test_transfer_advances_clock(self, system, calib):
+        env = Environment()
+        link = PcieLink(env, system, calib)
+        timing = env.run_process(link.transfer(TransferKind.H2D, 1 << 30))
+        assert env.now == pytest.approx(timing.duration_ns)
+        assert timing.bytes == 1 << 30
+
+    def test_copy_engines_limit_concurrency(self, system, calib):
+        env = Environment()
+        link = PcieLink(env, system, calib)
+        done = []
+
+        def copy():
+            yield from link.transfer(TransferKind.H2D, 1 << 30)
+            done.append(env.now)
+
+        engines = system.link.copy_engines
+        for _ in range(engines + 1):
+            env.process(copy())
+        env.run()
+        single = link.duration_ns(TransferKind.H2D, 1 << 30)
+        # First `engines` finish together; the extra one queues.
+        assert done[engines] == pytest.approx(2 * single)

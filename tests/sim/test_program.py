@@ -1,0 +1,107 @@
+"""Program / buffer specification tests."""
+
+import pytest
+
+from repro.sim.program import (BufferDirection, BufferSpec, KernelPhase,
+                               Program, simple_program)
+
+from .test_kernel import make_descriptor
+
+
+class TestBufferSpec:
+    def test_directions(self):
+        assert BufferDirection.IN.host_to_device
+        assert not BufferDirection.IN.device_to_host
+        assert BufferDirection.INOUT.host_to_device
+        assert BufferDirection.INOUT.device_to_host
+        assert not BufferDirection.SCRATCH.host_to_device
+        assert not BufferDirection.SCRATCH.device_to_host
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(size_bytes=0),
+        dict(size_bytes=-5),
+        dict(device_touched_fraction=0.0),
+        dict(device_touched_fraction=1.5),
+        dict(host_read_fraction=-0.1),
+        dict(host_read_fraction=1.1),
+    ])
+    def test_validation(self, kwargs):
+        base = dict(name="b", size_bytes=1024)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            BufferSpec(**base)
+
+
+class TestKernelPhase:
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            KernelPhase(make_descriptor(), count=0)
+
+    def test_host_sync_validated(self):
+        with pytest.raises(ValueError):
+            KernelPhase(make_descriptor(), host_sync_bytes=-1)
+
+
+class TestProgram:
+    def _program(self, buffers=None):
+        buffers = buffers or (
+            BufferSpec("in", 1000, BufferDirection.IN),
+            BufferSpec("out", 500, BufferDirection.OUT,
+                       host_read_fraction=0.5),
+            BufferSpec("scratch", 200, BufferDirection.SCRATCH),
+            BufferSpec("both", 300, BufferDirection.INOUT,
+                       device_touched_fraction=0.5),
+        )
+        return Program(name="p", buffers=buffers,
+                       phases=(KernelPhase(make_descriptor()),))
+
+    def test_footprint(self):
+        assert self._program().footprint_bytes == 2000
+
+    def test_h2d_excludes_out_and_scratch(self):
+        assert self._program().h2d_bytes == 1300
+
+    def test_d2h_excludes_in_and_scratch(self):
+        assert self._program().d2h_bytes == 800
+
+    def test_managed_input_respects_touched_fraction(self):
+        assert self._program().managed_input_bytes == 1000 + 150
+
+    def test_managed_writeback_respects_host_reads(self):
+        assert self._program().managed_writeback_bytes == 250 + 300
+
+    def test_empty_buffers_rejected(self):
+        with pytest.raises(ValueError):
+            Program(name="p", buffers=(),
+                    phases=(KernelPhase(make_descriptor()),))
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            Program(name="p",
+                    buffers=(BufferSpec("a", 1, BufferDirection.IN),),
+                    phases=())
+
+    def test_duplicate_buffer_names_rejected(self):
+        with pytest.raises(ValueError):
+            Program(name="p",
+                    buffers=(BufferSpec("a", 1, BufferDirection.IN),
+                             BufferSpec("a", 2, BufferDirection.IN)),
+                    phases=(KernelPhase(make_descriptor()),))
+
+    def test_total_kernel_launches(self):
+        program = Program(
+            name="p",
+            buffers=(BufferSpec("a", 1, BufferDirection.IN),),
+            phases=(KernelPhase(make_descriptor(), count=3),
+                    KernelPhase(make_descriptor(), count=2)))
+        assert program.total_kernel_launches == 5
+
+
+class TestSimpleProgram:
+    def test_builds_two_buffers(self):
+        program = simple_program("demo", make_descriptor(), in_bytes=1000,
+                                 out_bytes=400)
+        assert program.footprint_bytes == 1400
+        assert program.h2d_bytes == 1000
+        assert program.d2h_bytes == 400
+        assert len(program.phases) == 1

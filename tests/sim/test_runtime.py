@@ -1,0 +1,135 @@
+"""CUDA runtime facade tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.runtime import CudaRuntime
+from repro.sim.timing import ConfigFlags
+
+from .test_kernel import make_descriptor
+
+
+def make_runtime(system, calib, seed=0, footprint=0):
+    return CudaRuntime(system, calib, np.random.default_rng(seed),
+                       footprint_bytes=footprint)
+
+
+class TestAllocation:
+    def test_malloc_device_records_allocation_time(self, system, calib):
+        rt = make_runtime(system, calib)
+        rt.run(rt.malloc_device("a", 1 << 30))
+        assert rt.timeline.category_time("allocation") > 0
+        assert rt.timeline.category_time("memcpy") == 0
+
+    def test_managed_registers_allocation(self, system, calib):
+        rt = make_runtime(system, calib)
+        rt.run(rt.malloc_managed("a", 1 << 20))
+        assert rt.managed["a"].size_bytes == 1 << 20
+
+    def test_unpopulated_managed_is_cheaper(self, system, calib):
+        rt1 = make_runtime(system, calib)
+        rt1.run(rt1.malloc_managed("a", 1 << 30, host_populated=True))
+        rt2 = make_runtime(system, calib)
+        rt2.run(rt2.malloc_managed("a", 1 << 30, host_populated=False))
+        assert rt2.timeline.category_time("allocation") < \
+            rt1.timeline.category_time("allocation")
+
+    def test_free_managed_releases(self, system, calib):
+        rt = make_runtime(system, calib)
+        rt.run(rt.malloc_managed("a", 1 << 20))
+        rt.run(rt.free("a", 1 << 20, managed=True))
+        assert "a" not in rt.managed.allocations
+
+
+class TestTransfers:
+    def test_memcpy_records_memcpy_category(self, system, calib):
+        rt = make_runtime(system, calib)
+        rt.run(rt.memcpy_h2d("a", 1 << 30))
+        assert rt.timeline.category_time("memcpy") > 0
+
+    def test_zero_byte_copy_is_free(self, system, calib):
+        rt = make_runtime(system, calib)
+        rt.run(rt.memcpy_h2d("a", 0))
+        assert rt.timeline.category_time("memcpy") == 0
+
+    def test_prefetch_marks_range_resident(self, system, calib):
+        rt = make_runtime(system, calib)
+        rt.run(rt.malloc_managed("a", 1 << 20))
+        rt.run(rt.uvm_prefetch("a"))
+        assert rt.managed["a"].resident_fraction == 1.0
+
+    def test_host_read_writes_back_dirty_pages(self, system, calib):
+        rt = make_runtime(system, calib)
+        rt.run(rt.malloc_managed("a", 1 << 26))
+        rt.managed.device_wrote("a", 1.0)
+        before = rt.timeline.category_time("memcpy")
+        rt.run(rt.uvm_host_read("a", 0.5))
+        assert rt.timeline.category_time("memcpy") > before
+
+
+class TestLaunch:
+    def test_launch_records_kernel_and_counters(self, system, calib):
+        rt = make_runtime(system, calib)
+        rt.run(rt.launch(make_descriptor(), ConfigFlags(),
+                         resident_fraction=1.0))
+        assert rt.timeline.category_time("gpu_kernel") > 0
+        assert len(rt.counters.kernels) == 1
+
+    def test_managed_cold_launch_spawns_migration(self, system, calib):
+        rt = make_runtime(system, calib)
+        rt.run(rt.launch(make_descriptor(), ConfigFlags(managed=True),
+                         resident_fraction=0.0))
+        migrations = [e for e in rt.timeline.events
+                      if "migrate" in e.name]
+        assert migrations
+        assert rt.timeline.category_time("memcpy") > 0
+
+    def test_launch_repeated_counts_scale(self, system, calib):
+        descriptor = make_descriptor()
+        rt1 = make_runtime(system, calib)
+        rt1.run(rt1.launch_repeated(descriptor, ConfigFlags(), count=1))
+        rt5 = make_runtime(system, calib)
+        rt5.run(rt5.launch_repeated(descriptor, ConfigFlags(), count=5))
+        assert rt5.timeline.category_time("gpu_kernel") == pytest.approx(
+            5 * rt1.timeline.category_time("gpu_kernel"), rel=0.05)
+        assert rt5.counters.kernels[0].instructions.total == pytest.approx(
+            5 * rt1.counters.kernels[0].instructions.total)
+
+    def test_launch_repeated_warm_rest_cheaper(self, system, calib):
+        descriptor = make_descriptor()
+        flags = ConfigFlags(managed=True)
+        rt_cold = make_runtime(system, calib)
+        rt_cold.run(rt_cold.launch_repeated(descriptor, flags, count=5,
+                                            resident_first=0.0,
+                                            resident_rest=0.0))
+        rt_warm = make_runtime(system, calib)
+        rt_warm.run(rt_warm.launch_repeated(descriptor, flags, count=5,
+                                            resident_first=0.0,
+                                            resident_rest=1.0))
+        assert rt_warm.timeline.category_time("gpu_kernel") < \
+            rt_cold.timeline.category_time("gpu_kernel")
+
+    def test_invalid_count_rejected(self, system, calib):
+        rt = make_runtime(system, calib)
+        with pytest.raises(ValueError):
+            rt.run(rt.launch_repeated(make_descriptor(), ConfigFlags(),
+                                      count=0))
+
+
+class TestNoiseDeterminism:
+    def test_same_seed_same_times(self, system, calib):
+        times = []
+        for _ in range(2):
+            rt = make_runtime(system, calib, seed=42)
+            rt.run(rt.malloc_device("a", 1 << 30))
+            rt.run(rt.memcpy_h2d("a", 1 << 30))
+            times.append(rt.timeline.wall_ns())
+        assert times[0] == times[1]
+
+    def test_different_seeds_differ(self, system, calib):
+        times = set()
+        for seed in range(5):
+            rt = make_runtime(system, calib, seed=seed)
+            rt.run(rt.malloc_device("a", 1 << 30))
+            times.add(rt.timeline.wall_ns())
+        assert len(times) == 5

@@ -1,0 +1,237 @@
+"""Kernel timing model tests: the config-dependent behaviours."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import AccessPattern
+from repro.sim.timing import ConfigFlags, simulate_kernel
+
+from .test_kernel import make_descriptor
+
+CARVEOUT = 32 * 1024
+
+STANDARD = ConfigFlags()
+ASYNC = ConfigFlags(use_async=True)
+UVM = ConfigFlags(managed=True)
+UVM_PREFETCH = ConfigFlags(managed=True, prefetched=True)
+UVM_PREFETCH_ASYNC = ConfigFlags(use_async=True, managed=True,
+                                 prefetched=True)
+
+
+def run(descriptor, flags, system, calib, resident=None, carveout=CARVEOUT):
+    if resident is None:
+        resident = 0.0 if flags.managed else 1.0
+    return simulate_kernel(descriptor, flags, system, calib,
+                           smem_carveout_bytes=carveout,
+                           resident_fraction=resident)
+
+
+def memory_bound_descriptor(**overrides):
+    """Large streaming tile load, modest compute."""
+    base = dict(blocks=4096, tiles_per_block=64, tile_bytes=2048,
+                compute_cycles_per_tile=60.0, write_bytes=0)
+    base.update(overrides)
+    return make_descriptor(**base)
+
+
+def compute_bound_descriptor(**overrides):
+    base = dict(blocks=4096, tiles_per_block=64, tile_bytes=2048,
+                compute_cycles_per_tile=50_000.0, write_bytes=0)
+    base.update(overrides)
+    return make_descriptor(**base)
+
+
+class TestConfigFlags:
+    def test_prefetch_requires_managed(self):
+        with pytest.raises(ValueError):
+            ConfigFlags(prefetched=True, managed=False)
+
+    def test_resident_fraction_validated(self, system, calib):
+        with pytest.raises(ValueError):
+            run(make_descriptor(), UVM, system, calib, resident=1.5)
+
+
+class TestAsyncOverlap:
+    def test_async_speeds_up_memory_bound_kernels(self, system, calib):
+        descriptor = memory_bound_descriptor()
+        standard = run(descriptor, STANDARD, system, calib)
+        with_async = run(descriptor, ASYNC, system, calib)
+        assert with_async.duration_ns < standard.duration_ns
+
+    def test_async_overlap_bounded_by_stage_times(self, system, calib):
+        descriptor = memory_bound_descriptor()
+        standard = run(descriptor, STANDARD, system, calib)
+        with_async = run(descriptor, ASYNC, system, calib)
+        # Overlap cannot beat the longer stage.
+        assert with_async.duration_ns >= max(standard.load_ns / 2.0, 1.0)
+
+    def test_async_hurts_pipelined_compute_bound_kernels(self, system, calib):
+        descriptor = compute_bound_descriptor(sync_overlap=1.0,
+                                              async_copies_per_tile=64)
+        standard = run(descriptor, STANDARD, system, calib)
+        with_async = run(descriptor, ASYNC, system, calib)
+        assert with_async.duration_ns > standard.duration_ns
+
+    def test_misfit_pipeline_degenerates_to_overhead(self, system, calib):
+        # Balanced load/compute so double-buffer overlap actually pays.
+        descriptor = memory_bound_descriptor(tile_bytes=24 * 1024,
+                                             compute_cycles_per_tile=30_000.0)
+        fits = run(descriptor, ASYNC, system, calib, carveout=64 * 1024)
+        misfit = run(descriptor, ASYNC, system, calib, carveout=32 * 1024)
+        assert misfit.duration_ns > fits.duration_ns
+
+    def test_serialized_staging_never_overlaps(self, system, calib):
+        overlapping = memory_bound_descriptor()
+        serialized = memory_bound_descriptor(async_serializes=True)
+        fast = run(overlapping, ASYNC, system, calib)
+        slow = run(serialized, ASYNC, system, calib)
+        assert slow.duration_ns > fast.duration_ns
+
+    def test_control_cycles_override_scales_cost(self, system, calib):
+        cheap = memory_bound_descriptor(async_copies_per_tile=100,
+                                        async_control_cycles_per_copy=1.0,
+                                        async_serializes=True)
+        dear = memory_bound_descriptor(async_copies_per_tile=100,
+                                       async_control_cycles_per_copy=200.0,
+                                       async_serializes=True)
+        assert run(dear, ASYNC, system, calib).duration_ns > \
+            run(cheap, ASYNC, system, calib).duration_ns
+
+    def test_sync_overlap_reduces_standard_time(self, system, calib):
+        naive = memory_bound_descriptor(sync_overlap=0.0,
+                                        compute_cycles_per_tile=5_000.0)
+        pipelined = memory_bound_descriptor(sync_overlap=1.0,
+                                            compute_cycles_per_tile=5_000.0)
+        assert run(pipelined, STANDARD, system, calib).duration_ns < \
+            run(naive, STANDARD, system, calib).duration_ns
+
+
+class TestUvmEffects:
+    def test_cold_uvm_slower_than_standard(self, system, calib):
+        descriptor = memory_bound_descriptor()
+        standard = run(descriptor, STANDARD, system, calib)
+        cold = run(descriptor, UVM, system, calib, resident=0.0)
+        assert cold.duration_ns > 1.5 * standard.duration_ns
+
+    def test_warm_uvm_close_to_standard(self, system, calib):
+        descriptor = memory_bound_descriptor()
+        standard = run(descriptor, STANDARD, system, calib)
+        warm = run(descriptor, UVM, system, calib, resident=1.0)
+        assert warm.duration_ns < 1.25 * standard.duration_ns
+        assert warm.fault_batches == 0
+
+    def test_demand_migration_volume_matches_missing(self, system, calib):
+        descriptor = memory_bound_descriptor()
+        cold = run(descriptor, UVM, system, calib, resident=0.0)
+        half = run(descriptor, UVM, system, calib, resident=0.5)
+        assert cold.demand_migrated_bytes == pytest.approx(
+            descriptor.footprint_bytes, rel=0.01)
+        assert half.demand_migrated_bytes == pytest.approx(
+            descriptor.footprint_bytes / 2, rel=0.01)
+
+    def test_fault_batches_follow_migration_blocks(self, system, calib):
+        descriptor = memory_bound_descriptor()
+        cold = run(descriptor, UVM, system, calib, resident=0.0)
+        blocks = descriptor.footprint_bytes / system.uvm.migration_block_bytes
+        expected = -(-blocks // system.uvm.fault_batch_size)
+        assert cold.fault_batches == expected
+
+    def test_prefetch_l2_gain_for_regular_patterns(self, system, calib):
+        descriptor = memory_bound_descriptor()
+        standard = run(descriptor, STANDARD, system, calib)
+        prefetched = run(descriptor, UVM_PREFETCH, system, calib,
+                         resident=1.0)
+        assert prefetched.duration_ns < standard.duration_ns
+
+    def test_no_prefetch_gain_for_irregular_patterns(self, system, calib):
+        descriptor = memory_bound_descriptor(
+            access_pattern=AccessPattern.IRREGULAR)
+        standard = run(descriptor, STANDARD, system, calib)
+        prefetched = run(descriptor, UVM_PREFETCH, system, calib,
+                         resident=1.0)
+        assert prefetched.duration_ns >= standard.duration_ns
+
+    def test_large_carveout_penalizes_managed_configs(self, system, calib):
+        descriptor = memory_bound_descriptor()
+        balanced = run(descriptor, UVM_PREFETCH, system, calib,
+                       resident=1.0, carveout=32 * 1024)
+        squeezed = run(descriptor, UVM_PREFETCH, system, calib,
+                       resident=1.0, carveout=128 * 1024)
+        assert squeezed.duration_ns > balanced.duration_ns
+
+    def test_explicit_configs_never_migrate(self, system, calib):
+        descriptor = memory_bound_descriptor()
+        result = run(descriptor, STANDARD, system, calib)
+        assert result.demand_migrated_bytes == 0
+        assert result.fault_stall_ns == 0.0
+
+
+class TestInvariants:
+    # Module-level specs: hypothesis forbids function-scoped fixtures.
+    SYSTEM = None
+    CALIB = None
+
+    @classmethod
+    def setup_class(cls):
+        from repro.sim.calibration import default_calibration
+        from repro.sim.hardware import default_system
+        cls.SYSTEM = default_system()
+        cls.CALIB = default_calibration()
+
+    @given(resident=st.floats(min_value=0.0, max_value=1.0),
+           pattern=st.sampled_from(list(AccessPattern)),
+           use_async=st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_durations_positive_and_finite(self, resident, pattern,
+                                           use_async):
+        descriptor = memory_bound_descriptor(access_pattern=pattern)
+        flags = ConfigFlags(use_async=use_async, managed=True,
+                            prefetched=False)
+        result = run(descriptor, flags, self.SYSTEM, self.CALIB,
+                     resident=resident)
+        assert result.duration_ns > 0
+        assert result.duration_ns < 1e12
+
+    @given(resident=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_more_residency_never_slower(self, resident):
+        descriptor = memory_bound_descriptor()
+        cold = run(descriptor, UVM, self.SYSTEM, self.CALIB,
+                   resident=resident)
+        warm = run(descriptor, UVM, self.SYSTEM, self.CALIB, resident=1.0)
+        assert warm.duration_ns <= cold.duration_ns + 1e-6
+
+    def test_deterministic(self, system, calib):
+        descriptor = memory_bound_descriptor()
+        first = run(descriptor, ASYNC, system, calib)
+        second = run(descriptor, ASYNC, system, calib)
+        assert first.duration_ns == second.duration_ns
+
+
+class TestAsyncMechanism:
+    """Sec. 3.2.1: the Pipeline API beats Arrive/Wait Barriers."""
+
+    def test_arrive_wait_is_slower(self, system, calib):
+        import dataclasses
+        from repro.sim.kernel import AsyncMechanism
+        descriptor = memory_bound_descriptor()
+        barrier = dataclasses.replace(
+            descriptor, async_mechanism=AsyncMechanism.ARRIVE_WAIT)
+        pipeline_time = run(descriptor, ASYNC, system, calib).duration_ns
+        barrier_time = run(barrier, ASYNC, system, calib).duration_ns
+        assert barrier_time > pipeline_time
+
+    def test_mechanism_irrelevant_without_async(self, system, calib):
+        import dataclasses
+        from repro.sim.kernel import AsyncMechanism
+        descriptor = memory_bound_descriptor()
+        barrier = dataclasses.replace(
+            descriptor, async_mechanism=AsyncMechanism.ARRIVE_WAIT)
+        assert run(descriptor, STANDARD, system, calib).duration_ns == \
+            run(barrier, STANDARD, system, calib).duration_ns
+
+    def test_pipeline_is_the_default(self):
+        from repro.sim.kernel import AsyncMechanism
+        assert memory_bound_descriptor().async_mechanism is \
+            AsyncMechanism.PIPELINE

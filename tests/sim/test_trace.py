@@ -1,0 +1,84 @@
+"""Timeline / trace tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import Timeline, TraceEvent, merge_intervals
+
+
+class TestTraceEvent:
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent("x", "bogus", 0.0, 1.0)
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent("x", "memcpy", 10.0, 5.0)
+
+    def test_duration(self):
+        assert TraceEvent("x", "memcpy", 5.0, 15.0).duration_ns == 10.0
+
+
+class TestMergeIntervals:
+    def test_disjoint_stay_separate(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_overlapping_merge(self):
+        assert merge_intervals([(0, 5), (3, 8), (10, 12)]) == \
+            [(0, 8), (10, 12)]
+
+    def test_touching_merge(self):
+        assert merge_intervals([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_unordered_input(self):
+        assert merge_intervals([(10, 12), (0, 5)]) == [(0, 5), (10, 12)]
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 100))
+                    .map(lambda p: (min(p), max(p))), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_merged_intervals_are_disjoint_and_cover(self, intervals):
+        merged = merge_intervals(intervals)
+        for (a_start, a_end), (b_start, b_end) in zip(merged, merged[1:]):
+            assert a_end < b_start
+        total_input = sum(end - start for start, end in intervals)
+        total_merged = sum(end - start for start, end in merged)
+        assert total_merged <= total_input + 1e-9
+
+
+class TestTimeline:
+    def _timeline(self):
+        timeline = Timeline()
+        timeline.record("alloc", "allocation", 0.0, 10.0)
+        timeline.record("copy", "memcpy", 10.0, 30.0)
+        timeline.record("kernel1", "gpu_kernel", 30.0, 50.0)
+        timeline.record("kernel2", "gpu_kernel", 40.0, 60.0)
+        return timeline
+
+    def test_category_time_sums_durations(self):
+        assert self._timeline().category_time("gpu_kernel") == 40.0
+
+    def test_busy_time_merges_overlap(self):
+        assert self._timeline().busy_time("gpu_kernel") == 30.0
+
+    def test_wall_and_span(self):
+        timeline = self._timeline()
+        assert timeline.span() == (0.0, 60.0)
+        assert timeline.wall_ns() == 60.0
+
+    def test_breakdown_has_all_categories(self):
+        breakdown = self._timeline().breakdown()
+        assert set(breakdown) == {"allocation", "memcpy", "gpu_kernel",
+                                  "host"}
+        assert breakdown["host"] == 0.0
+
+    def test_empty_timeline(self):
+        timeline = Timeline()
+        assert timeline.wall_ns() == 0.0
+        assert timeline.category_time("memcpy") == 0.0
+
+    def test_render_contains_lanes(self):
+        art = self._timeline().render(width=40)
+        assert "allocation" in art
+        assert "K" in art
+        assert "M" in art

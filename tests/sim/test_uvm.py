@@ -1,0 +1,152 @@
+"""Managed-memory residency tracking tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.hardware import GIB, UvmSpec
+from repro.sim.uvm import ManagedSpace, UvmError
+
+
+@pytest.fixture
+def space():
+    return ManagedSpace(UvmSpec(), gpu_capacity_bytes=40 * GIB)
+
+
+class TestAllocationLifecycle:
+    def test_allocate_and_free(self, space):
+        space.allocate("a", 1 << 20)
+        assert space["a"].size_bytes == 1 << 20
+        space.free("a")
+        with pytest.raises(UvmError):
+            space["a"]
+
+    def test_duplicate_name_rejected(self, space):
+        space.allocate("a", 1024)
+        with pytest.raises(UvmError):
+            space.allocate("a", 1024)
+
+    def test_free_unknown_rejected(self, space):
+        with pytest.raises(UvmError):
+            space.free("missing")
+
+    def test_zero_size_rejected(self, space):
+        with pytest.raises(UvmError):
+            space.allocate("empty", 0)
+
+    def test_oversubscription_detection(self, space):
+        space.allocate("big", 39 * GIB)
+        assert not space.oversubscribed()
+        space.allocate("more", 2 * GIB)
+        assert space.oversubscribed()
+
+
+class TestDemandAccess:
+    def test_first_touch_migrates_everything(self, space):
+        space.allocate("a", 1 << 20)
+        plan = space.demand_access("a", 1.0)
+        assert plan.h2d_bytes == 1 << 20
+        assert space["a"].resident_fraction == 1.0
+
+    def test_second_touch_is_free(self, space):
+        space.allocate("a", 1 << 20)
+        space.demand_access("a", 1.0)
+        plan = space.demand_access("a", 1.0)
+        assert plan.h2d_bytes == 0
+
+    def test_partial_then_full(self, space):
+        space.allocate("a", 1 << 20)
+        first = space.demand_access("a", 0.25)
+        second = space.demand_access("a", 1.0)
+        assert first.h2d_bytes + second.h2d_bytes == 1 << 20
+
+    def test_fault_blocks_are_64k_aligned(self, space):
+        space.allocate("a", 100 * 1024)
+        plan = space.demand_access("a", 1.0)
+        assert plan.fault_blocks == 2  # ceil(100 KiB / 64 KiB)
+
+    def test_invalid_fraction_rejected(self, space):
+        space.allocate("a", 1024)
+        with pytest.raises(UvmError):
+            space.demand_access("a", 0.0)
+        with pytest.raises(UvmError):
+            space.demand_access("a", 1.1)
+
+
+class TestPrefetch:
+    def test_prefetch_moves_missing_range(self, space):
+        space.allocate("a", 1 << 20)
+        plan = space.prefetch("a")
+        assert plan.h2d_bytes == 1 << 20
+        assert space.demand_access("a", 1.0).h2d_bytes == 0
+
+    def test_prefetch_after_partial_residency(self, space):
+        space.allocate("a", 1 << 20)
+        space.demand_access("a", 0.5)
+        plan = space.prefetch("a")
+        assert plan.h2d_bytes == (1 << 20) // 2
+
+
+class TestWriteback:
+    def test_host_read_migrates_only_dirty_intersection(self, space):
+        space.allocate("out", 1 << 20)
+        space.device_wrote("out", 0.5)
+        plan = space.host_read("out", 1.0)
+        assert plan.d2h_bytes == (1 << 20) // 2
+
+    def test_clean_pages_do_not_move(self, space):
+        space.allocate("out", 1 << 20)
+        plan = space.host_read("out", 1.0)
+        assert plan.d2h_bytes == 0
+
+    def test_repeated_host_read_is_free(self, space):
+        space.allocate("out", 1 << 20)
+        space.device_wrote("out", 1.0)
+        space.host_read("out", 1.0)
+        assert space.host_read("out", 1.0).d2h_bytes == 0
+
+    def test_device_write_makes_resident(self, space):
+        space.allocate("out", 1 << 20)
+        space.device_wrote("out", 1.0)
+        assert space["out"].resident_fraction == 1.0
+
+
+class TestEviction:
+    def test_evict_clean_pages_costs_nothing(self, space):
+        space.allocate("a", 1 << 20)
+        space.demand_access("a", 1.0)
+        plan = space.evict("a", 1.0)
+        assert plan.d2h_bytes == 0
+        assert space["a"].resident_fraction == 0.0
+
+    def test_evict_dirty_pages_writes_back(self, space):
+        space.allocate("a", 1 << 20)
+        space.device_wrote("a", 1.0)
+        plan = space.evict("a", 0.5)
+        assert plan.d2h_bytes == (1 << 20) // 2
+
+
+class TestInvariants:
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["touch", "prefetch", "write", "read",
+                                   "evict"]),
+                  st.floats(min_value=0.01, max_value=1.0)),
+        max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_residency_fractions_stay_bounded(self, ops):
+        space = ManagedSpace(UvmSpec(), gpu_capacity_bytes=40 * GIB)
+        space.allocate("a", 1 << 20)
+        for op, fraction in ops:
+            if op == "touch":
+                space.demand_access("a", fraction)
+            elif op == "prefetch":
+                space.prefetch("a", fraction)
+            elif op == "write":
+                space.device_wrote("a", fraction)
+            elif op == "read":
+                space.host_read("a", fraction)
+            elif op == "evict":
+                space.evict("a", fraction)
+            allocation = space["a"]
+            assert 0.0 <= allocation.resident_fraction <= 1.0
+            assert 0.0 <= allocation.device_dirty_fraction <= 1.0

@@ -1,0 +1,92 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+class TestStaticCommands:
+    def test_list(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "vector_seq" in out
+        assert "yolov3" in out
+
+    def test_sizes(self, capsys):
+        out = run_cli(capsys, "sizes")
+        assert "Mega" in out
+
+    def test_hardware(self, capsys):
+        out = run_cli(capsys, "hardware")
+        assert "A100" in out
+
+
+class TestRunCommands:
+    def test_run(self, capsys):
+        out = run_cli(capsys, "run", "saxpy", "--size", "small",
+                      "--iterations", "2", "--mode", "uvm")
+        assert "gpu_kernel" in out
+        assert "std/mean" in out
+
+    def test_compare(self, capsys):
+        out = run_cli(capsys, "compare", "saxpy", "--size", "small",
+                      "--iterations", "2")
+        assert "uvm_prefetch_async" in out
+        assert "vs standard" in out
+
+    def test_advise(self, capsys):
+        out = run_cli(capsys, "advise", "nw")
+        assert "recommended configuration" in out
+
+    def test_interjob(self, capsys):
+        out = run_cli(capsys, "interjob", "saxpy", "--size", "large",
+                      "--jobs", "3", "--iterations", "2")
+        assert "improvement" in out
+
+
+class TestFigures:
+    @pytest.mark.parametrize("figure", ["6", "9", "10", "13"])
+    def test_figure_commands(self, capsys, figure):
+        out = run_cli(capsys, "figure", figure, "--iterations", "2")
+        assert out.strip()
+
+    def test_unknown_figure_exits(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "99", "--iterations", "2"])
+
+    def test_figure_7a(self, capsys):
+        out = run_cli(capsys, "figure", "7a", "--iterations", "2")
+        assert "large" in out
+
+
+class TestArtifact:
+    def test_run_micro_shared(self, capsys):
+        out = run_cli(capsys, "artifact", "run_micro_shared", "-i", "2")
+        assert "figure13" in out
+
+    def test_process_perf(self, capsys):
+        out = run_cli(capsys, "artifact", "process_perf")
+        assert "figure9" in out and "figure10" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quake3"])
+
+
+class TestRoofline:
+    def test_roofline_subset(self, capsys):
+        out = run_cli(capsys, "roofline", "lud", "gemm", "--size", "super")
+        assert "staging" in out
+        assert "compute" in out

@@ -1,0 +1,97 @@
+"""Cross-hardware integration: the findings respond sensibly to the
+platform, not just to the calibration defaults.
+
+These are the what-if studies a simulator exists for: faster links,
+smaller GPUs, different driver parameters.
+"""
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.core.execution import execute_program
+from repro.sim.hardware import GIB, default_system
+from repro.workloads.registry import get_workload
+from repro.workloads.sizes import SizeClass
+
+
+@pytest.fixture(scope="module")
+def program():
+    return get_workload("vector_seq").program(SizeClass.SUPER)
+
+
+def run(program, mode, system, seed=7):
+    return execute_program(program, mode, system=system, seed=seed)
+
+
+class TestLinkSpeed:
+    def test_faster_link_shrinks_memcpy(self, program):
+        base = default_system()
+        nvlink = base.with_link(bandwidth=300e9, name="NVLink-ish")
+        slow = run(program, TransferMode.STANDARD, base)
+        fast = run(program, TransferMode.STANDARD, nvlink)
+        assert fast.memcpy_ns < slow.memcpy_ns / 5
+        # Kernels don't care about the host link.
+        assert fast.kernel_ns == pytest.approx(slow.kernel_ns, rel=0.05)
+
+    def test_uvm_prefetch_gain_shrinks_with_faster_link(self, program):
+        """On an NVLink-class interconnect the transfer stage stops
+        dominating, so prefetch's end-to-end win compresses - the
+        paper's conclusions are PCIe-era conclusions."""
+        def improvement(system):
+            standard = run(program, TransferMode.STANDARD, system)
+            prefetch = run(program, TransferMode.UVM_PREFETCH, system)
+            return 1 - prefetch.total_ns / standard.total_ns
+
+        pcie = improvement(default_system())
+        nvlink = improvement(default_system().with_link(bandwidth=300e9))
+        assert nvlink < pcie
+
+
+class TestGpuScale:
+    def test_fewer_sms_slow_kernels_only(self, program):
+        base = default_system()
+        half = base.with_gpu(sm_count=54)
+        full_run = run(program, TransferMode.STANDARD, base)
+        half_run = run(program, TransferMode.STANDARD, half)
+        assert half_run.kernel_ns > full_run.kernel_ns
+        assert half_run.memcpy_ns == pytest.approx(full_run.memcpy_ns,
+                                                   rel=0.05)
+
+    def test_smaller_hbm_triggers_oversubscription(self):
+        """An iterative 8 GB working set on a 2 GB device: UVM keeps
+        working but re-faults the evicted excess every pass."""
+        program = get_workload("hotspot").program(SizeClass.SUPER)
+        base = default_system()
+        tiny_gpu = base.with_gpu(hbm_bytes=2 * GIB)
+        fits = run(program, TransferMode.UVM, base)
+        thrash = run(program, TransferMode.UVM, tiny_gpu)
+        assert thrash.total_ns > 1.2 * fits.total_ns
+        assert thrash.memcpy_ns > 2 * fits.memcpy_ns
+
+
+class TestDriverParameters:
+    def test_bigger_fault_batches_help_uvm(self, program):
+        base = default_system()
+        fine = base.with_uvm(fault_batch_size=8)
+        coarse = base.with_uvm(fault_batch_size=256)
+        fine_run = run(program, TransferMode.UVM, fine)
+        coarse_run = run(program, TransferMode.UVM, coarse)
+        assert coarse_run.kernel_ns < fine_run.kernel_ns
+
+    def test_migration_bandwidth_moves_uvm_memcpy(self, program):
+        base = default_system()
+        slow = base.with_uvm(migration_bandwidth_factor=0.3)
+        fast = base.with_uvm(migration_bandwidth_factor=0.95)
+        slow_run = run(program, TransferMode.UVM, slow)
+        fast_run = run(program, TransferMode.UVM, fast)
+        assert fast_run.memcpy_ns < slow_run.memcpy_ns
+
+    def test_findings_hold_on_80gb_a100(self, program):
+        """The prefetch win is not an artifact of the 40 GB part."""
+        a100_80 = default_system().with_gpu(hbm_bytes=80 * GIB,
+                                            hbm_bandwidth=2039e9)
+        standard = run(program, TransferMode.STANDARD, a100_80)
+        uvm = run(program, TransferMode.UVM, a100_80)
+        prefetch = run(program, TransferMode.UVM_PREFETCH, a100_80)
+        assert prefetch.total_ns < standard.total_ns
+        assert prefetch.total_ns < uvm.total_ns

@@ -1,0 +1,78 @@
+"""Full-grid integration: every workload under every configuration.
+
+One run per (workload, mode) cell at a reduced size, checking the
+invariants that must hold everywhere: positive component times,
+plausible breakdowns, UVM accounting consistency, and counter sanity.
+"""
+
+import pytest
+
+from repro.core.configs import ALL_MODES, TransferMode
+from repro.core.execution import execute_program
+from repro.workloads.registry import ALL_NAMES, get_workload
+from repro.workloads.sizes import SizeClass
+
+SIZE = SizeClass.LARGE
+
+_CACHE = {}
+
+
+def run_cell(name, mode):
+    key = (name, mode)
+    if key not in _CACHE:
+        program = get_workload(name).program(SIZE)
+        _CACHE[key] = execute_program(program, mode, seed=11,
+                                      size_label=SIZE.label)
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("mode", ALL_MODES)
+class TestGridInvariants:
+    def test_components_positive(self, name, mode):
+        result = run_cell(name, mode)
+        assert result.alloc_ns > 0
+        assert result.kernel_ns > 0
+        assert result.total_ns == pytest.approx(
+            result.alloc_ns + result.memcpy_ns + result.kernel_ns)
+
+    def test_wall_time_consistent(self, name, mode):
+        result = run_cell(name, mode)
+        assert 0 < result.wall_ns <= result.total_ns * 1.1
+
+    def test_counters_collected(self, name, mode):
+        result = run_cell(name, mode)
+        assert result.counters.kernels
+        assert result.counters.instructions.total > 0
+        misses = result.counters.mean_miss_rates()
+        assert 0.0 <= misses.load <= 1.0
+        assert 0.0 <= misses.store <= 1.0
+
+    def test_occupancy_bounded(self, name, mode):
+        result = run_cell(name, mode)
+        assert 0.0 <= result.occupancy <= 1.0
+        assert 0.0 <= result.gpu_busy_fraction <= 1.0
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestCrossModeInvariants:
+    def test_explicit_modes_share_copy_volume(self, name):
+        standard = run_cell(name, TransferMode.STANDARD)
+        async_ = run_cell(name, TransferMode.ASYNC)
+        # async changes kernels, never the explicit copies.
+        assert async_.memcpy_ns == pytest.approx(standard.memcpy_ns,
+                                                 rel=0.10)
+        assert async_.alloc_ns == pytest.approx(standard.alloc_ns,
+                                                rel=0.10)
+
+    def test_prefetch_moves_transfer_out_of_kernels(self, name):
+        uvm = run_cell(name, TransferMode.UVM)
+        prefetch = run_cell(name, TransferMode.UVM_PREFETCH)
+        # With a bulk prefetch, kernels no longer fault: kernel time
+        # must not increase.
+        assert prefetch.kernel_ns <= uvm.kernel_ns * 1.05
+
+    def test_every_mode_differs_somewhere(self, name):
+        totals = {mode: run_cell(name, mode).total_ns
+                  for mode in ALL_MODES}
+        assert len({round(v, 3) for v in totals.values()}) >= 3

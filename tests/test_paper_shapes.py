@@ -1,0 +1,260 @@
+"""The reproduction contract: the paper's headline shapes must hold.
+
+These tests assert the *qualitative* findings (who wins, orderings,
+crossovers) and the rough factors of the paper's evaluation, with
+loose tolerances. EXPERIMENTS.md records the exact paper-vs-measured
+numbers; this file keeps the suite honest against regressions in the
+calibration.
+
+Everything runs at reduced iteration counts (the simulator is
+deterministic up to small seeded noise).
+"""
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.core.experiment import Experiment
+from repro.core.stats import geomean
+from repro.harness.figures import comparison_sweep, counter_sweep
+from repro.workloads.registry import APP_NAMES, MICRO_NAMES
+from repro.workloads.sizes import SizeClass
+
+ITERATIONS = 3
+
+MODES = list(TransferMode)
+
+
+@pytest.fixture(scope="module")
+def micro_super():
+    return comparison_sweep(MICRO_NAMES, SizeClass.SUPER,
+                            iterations=ITERATIONS)
+
+
+@pytest.fixture(scope="module")
+def apps_super():
+    return comparison_sweep(APP_NAMES, SizeClass.SUPER,
+                            iterations=ITERATIONS)
+
+
+def mode_geomean(comparisons, mode):
+    return geomean([c.normalized_total(mode) for c in comparisons.values()])
+
+
+class TestMicroGeomeans:
+    """Sec. 4.1.1: async ~ standard; uvm slower; prefetch configs win."""
+
+    def test_async_close_to_standard(self, micro_super):
+        assert mode_geomean(micro_super, TransferMode.ASYNC) == \
+            pytest.approx(1.0, abs=0.10)
+
+    def test_uvm_without_prefetch_is_slower(self, micro_super):
+        """Paper: +13.2 % slower at Super."""
+        ratio = mode_geomean(micro_super, TransferMode.UVM)
+        assert 1.02 < ratio < 1.35
+
+    def test_uvm_prefetch_wins_big(self, micro_super):
+        """Paper: 28.4 % faster at Super."""
+        ratio = mode_geomean(micro_super, TransferMode.UVM_PREFETCH)
+        assert ratio < 0.90
+
+    def test_combination_close_behind_prefetch(self, micro_super):
+        """Paper: uvm_prefetch_async slightly below uvm_prefetch on the
+        micro geomean (27.0 vs 28.4 %)."""
+        prefetch = mode_geomean(micro_super, TransferMode.UVM_PREFETCH)
+        combined = mode_geomean(micro_super,
+                                TransferMode.UVM_PREFETCH_ASYNC)
+        assert combined > prefetch          # slightly worse...
+        assert combined < 0.95              # ...but still a clear win
+
+    def test_combination_best_for_vector_workloads(self, micro_super):
+        """Paper: upa beats uvm_prefetch on vector_seq and vector_rand."""
+        for name in ("vector_seq", "vector_rand"):
+            comparison = micro_super[name]
+            assert comparison.normalized_total(
+                TransferMode.UVM_PREFETCH_ASYNC) < \
+                comparison.normalized_total(TransferMode.UVM_PREFETCH)
+
+    def test_combination_hurts_gemm_and_3dconv(self, micro_super):
+        """Paper Fig. 7 caption: the combination does not benefit
+        3DCONV and gemm."""
+        for name in ("gemm", "3DCONV"):
+            comparison = micro_super[name]
+            assert comparison.normalized_total(
+                TransferMode.UVM_PREFETCH_ASYNC) > \
+                comparison.normalized_total(TransferMode.UVM_PREFETCH)
+
+
+class TestMicroKernelEffects:
+    def test_async_cuts_vector_seq_kernel_sharply(self, micro_super):
+        """Paper: -41.78 % kernel time on vector_seq."""
+        comparison = micro_super["vector_seq"]
+        kernel_ratio = (comparison.by_mode[TransferMode.ASYNC]
+                        .mean_component("gpu_kernel")
+                        / comparison.baseline()
+                        .mean_component("gpu_kernel"))
+        assert 0.45 < kernel_ratio < 0.75
+
+    def test_async_blows_up_2dconv_kernel(self, micro_super):
+        """Paper: +146 % kernel time on 2DCONV."""
+        comparison = micro_super["2DCONV"]
+        kernel_ratio = (comparison.by_mode[TransferMode.ASYNC]
+                        .mean_component("gpu_kernel")
+                        / comparison.baseline()
+                        .mean_component("gpu_kernel"))
+        assert kernel_ratio > 1.7
+
+    def test_uvm_doubles_kernels(self, micro_super):
+        """Paper: 2.0-2.2x geomean kernel inflation under plain uvm."""
+        ratios = []
+        for comparison in micro_super.values():
+            ratios.append(comparison.by_mode[TransferMode.UVM]
+                          .mean_component("gpu_kernel")
+                          / comparison.baseline()
+                          .mean_component("gpu_kernel"))
+        assert 1.5 < geomean(ratios) < 3.0
+
+    def test_uvm_memcpy_savings(self, micro_super):
+        """Paper: 31-35 % memcpy savings under uvm."""
+        base = sum(c.baseline().mean_component("memcpy")
+                   for c in micro_super.values())
+        uvm = sum(c.by_mode[TransferMode.UVM].mean_component("memcpy")
+                  for c in micro_super.values())
+        saving = 1 - uvm / base
+        assert 0.20 < saving < 0.45
+
+    def test_gemm_async_kernel_overhead_moderate(self, micro_super):
+        """Paper: gemm's async kernel pays ~8 % control overhead."""
+        comparison = micro_super["gemm"]
+        kernel_ratio = (comparison.by_mode[TransferMode.ASYNC]
+                        .mean_component("gpu_kernel")
+                        / comparison.baseline()
+                        .mean_component("gpu_kernel"))
+        assert 1.02 < kernel_ratio < 1.35
+
+
+class TestAppGeomeans:
+    """Sec. 4.1.2: +2.81 / -4.41 / +20.96 / +22.52 % for async / uvm /
+    uvm_prefetch / uvm_prefetch_async."""
+
+    def test_ordering_of_configurations(self, apps_super):
+        ratios = {mode: mode_geomean(apps_super, mode) for mode in MODES}
+        # uvm is the only config slower than standard.
+        assert ratios[TransferMode.UVM] > 1.0
+        assert ratios[TransferMode.ASYNC] < 1.0
+        # The combination is the overall winner on apps.
+        assert ratios[TransferMode.UVM_PREFETCH_ASYNC] < \
+            ratios[TransferMode.UVM_PREFETCH] < 1.0
+        assert ratios[TransferMode.UVM_PREFETCH_ASYNC] == \
+            min(ratios.values())
+
+    def test_combination_improvement_band(self, apps_super):
+        """Paper: 22.52 %; accept a generous band."""
+        improvement = 1 - mode_geomean(apps_super,
+                                       TransferMode.UVM_PREFETCH_ASYNC)
+        assert 0.12 < improvement < 0.35
+
+    def test_memcpy_savings_ordering(self, apps_super):
+        """Paper: 32.7 % (uvm) / 64.2 % (prefetch configs)."""
+        base = sum(c.baseline().mean_component("memcpy")
+                   for c in apps_super.values())
+
+        def saving(mode):
+            return 1 - sum(c.by_mode[mode].mean_component("memcpy")
+                           for c in apps_super.values()) / base
+
+        assert saving(TransferMode.UVM_PREFETCH) > \
+            saving(TransferMode.UVM) > 0.15
+
+
+class TestAppAnomalies:
+    def test_lud_prefers_async_over_uvm(self, apps_super):
+        """Paper: lud gains ~1.24x from Async Memcpy over UVM and gets
+        nothing from prefetch."""
+        lud = apps_super["lud"]
+        async_ratio = lud.normalized_total(TransferMode.ASYNC)
+        prefetch_ratio = lud.normalized_total(TransferMode.UVM_PREFETCH)
+        assert async_ratio < 0.90
+        assert prefetch_ratio > 0.95  # prefetch buys ~nothing
+        # Speedup of async over uvm_prefetch in the paper's 1.24x band.
+        assert prefetch_ratio / async_ratio > 1.10
+
+    def test_lud_combination_keeps_async_speedup(self, apps_super):
+        lud = apps_super["lud"]
+        assert lud.normalized_total(TransferMode.UVM_PREFETCH_ASYNC) == \
+            pytest.approx(lud.normalized_total(TransferMode.ASYNC),
+                          abs=0.10)
+
+    def test_nw_prefetch_hurts(self, apps_super):
+        """Paper: prefetch downgrades nw regardless of async."""
+        nw = apps_super["nw"]
+        assert nw.normalized_total(TransferMode.UVM_PREFETCH) > \
+            nw.normalized_total(TransferMode.UVM)
+
+    def test_yolov3_combination_worse_than_prefetch(self, apps_super):
+        """Paper: uvm_prefetch_async performs worse than uvm_prefetch
+        on yolov3."""
+        yolo = apps_super["yolov3"]
+        assert yolo.normalized_total(TransferMode.UVM_PREFETCH_ASYNC) > \
+            yolo.normalized_total(TransferMode.UVM_PREFETCH)
+
+    def test_kmeans_gains_from_async_atop_uvm(self, apps_super):
+        """Abstract: ~20 % benefit for kmeans from async atop UVM."""
+        kmeans = apps_super["kmeans"]
+        combined = kmeans.normalized_total(TransferMode.UVM_PREFETCH_ASYNC)
+        prefetch_only = kmeans.normalized_total(TransferMode.UVM_PREFETCH)
+        assert (prefetch_only - combined) / prefetch_only > 0.10
+
+
+class TestCounterShapes:
+    """Figs. 9-10."""
+
+    @pytest.fixture(scope="class")
+    def counters(self):
+        return counter_sweep(workloads=("gemm", "lud", "yolov3"),
+                             size=SizeClass.SUPER)
+
+    def test_gemm_async_control_instructions(self, counters):
+        """Paper: +39.98 % control instructions."""
+        gemm = counters["gemm"]
+        increase = gemm["async"]["control"] / gemm["standard"]["control"] - 1
+        assert increase == pytest.approx(0.40, abs=0.10)
+
+    def test_yolov3_async_control_instructions(self, counters):
+        """Paper: +30.13 % control instructions."""
+        yolo = counters["yolov3"]
+        increase = yolo["async"]["control"] / yolo["standard"]["control"] - 1
+        assert 0.15 < increase < 0.55
+
+    def test_uvm_does_not_change_instruction_mix(self, counters):
+        for name in ("gemm", "lud", "yolov3"):
+            entry = counters[name]
+            assert entry["uvm"]["control"] == pytest.approx(
+                entry["standard"]["control"], rel=0.01)
+            assert entry["uvm"]["integer"] == pytest.approx(
+                entry["standard"]["integer"], rel=0.01)
+
+    def test_lud_miss_rates_collapse_under_async(self, counters):
+        """Paper: -35.96 % load, -69.99 % store miss rate."""
+        lud = counters["lud"]
+        load_drop = 1 - lud["async"]["load_miss"] / lud["standard"]["load_miss"]
+        store_drop = 1 - lud["async"]["store_miss"] / lud["standard"]["store_miss"]
+        assert load_drop == pytest.approx(0.36, abs=0.08)
+        assert store_drop == pytest.approx(0.70, abs=0.08)
+
+    def test_gemm_miss_rates_unchanged_under_async(self, counters):
+        gemm = counters["gemm"]
+        assert gemm["async"]["load_miss"] == pytest.approx(
+            gemm["standard"]["load_miss"], rel=0.05)
+
+
+class TestInputSizeStability:
+    def test_mega_less_stable_than_super(self):
+        """Takeaway 1: Mega is noisier than Large/Super despite being
+        bigger."""
+        cvs = {}
+        for size in (SizeClass.SUPER, SizeClass.MEGA):
+            experiment = Experiment(workload="vector_seq", size=size,
+                                    modes=(TransferMode.STANDARD,),
+                                    iterations=12)
+            cvs[size] = experiment.run_mode(TransferMode.STANDARD).cv()
+        assert cvs[SizeClass.MEGA] > cvs[SizeClass.SUPER]

@@ -1,0 +1,23 @@
+"""Every workload's functional face runs and returns named results."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.registry import ALL_NAMES, get_workload
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_reference_runs_and_returns_dict(name):
+    result = get_workload(name).reference(np.random.default_rng(123))
+    assert isinstance(result, dict)
+    assert result
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_reference_deterministic_for_fixed_rng(name):
+    workload = get_workload(name)
+    first = workload.reference(np.random.default_rng(5))
+    second = workload.reference(np.random.default_rng(5))
+    for key, value in first.items():
+        if isinstance(value, np.ndarray):
+            np.testing.assert_array_equal(value, second[key])

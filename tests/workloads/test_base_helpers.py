@@ -1,0 +1,59 @@
+"""Workload base-class helper tests."""
+
+import pytest
+
+from repro.workloads.base import (Workload, cycles_for_flops,
+                                  cycles_for_int_ops,
+                                  cycles_for_latency_bound_ops)
+
+
+class TestCycleHelpers:
+    def test_flops_on_roofline(self):
+        # 128 FLOP per block-cycle (64 FP32 cores x FMA).
+        assert cycles_for_flops(128.0) == 1.0
+        assert cycles_for_flops(0.0) == 0.0
+
+    def test_int_ops_half_rate(self):
+        assert cycles_for_int_ops(64.0) == 1.0
+
+    def test_latency_bound_scales_with_stalls(self):
+        fast = cycles_for_latency_bound_ops(128.0, stall_cycles=1.0)
+        slow = cycles_for_latency_bound_ops(128.0, stall_cycles=20.0)
+        assert slow == 20 * fast
+
+    @pytest.mark.parametrize("helper", [cycles_for_flops,
+                                        cycles_for_int_ops,
+                                        cycles_for_latency_bound_ops])
+    def test_negative_rejected(self, helper):
+        with pytest.raises(ValueError):
+            helper(-1.0)
+
+    def test_latency_stall_validated(self):
+        with pytest.raises(ValueError):
+            cycles_for_latency_bound_ops(10.0, stall_cycles=0.5)
+
+
+class TestWorkloadBase:
+    def test_missing_metadata_rejected(self):
+        class Incomplete(Workload):
+            name = "x"  # suite/domain/description missing
+
+            def program(self, size):
+                raise NotImplementedError
+
+            def reference(self, rng=None):
+                raise NotImplementedError
+
+        with pytest.raises(TypeError):
+            Incomplete()
+
+    def test_default_supports_every_size(self):
+        from repro.workloads.registry import get_workload
+        from repro.workloads.sizes import SizeClass
+        workload = get_workload("saxpy")
+        assert all(workload.supports(size)
+                   for size in SizeClass.ordered())
+
+    def test_repr(self):
+        from repro.workloads.registry import get_workload
+        assert "vector_seq" in repr(get_workload("vector_seq"))

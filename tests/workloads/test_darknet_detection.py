@@ -1,0 +1,215 @@
+"""YOLO decoding / NMS tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.darknet.detection import (Detection, box_iou,
+                                               decode_yolo_output,
+                                               non_max_suppression,
+                                               top_k_classes)
+from repro.workloads.darknet.layers import YoloAnchors
+
+ANCHORS = YoloAnchors(anchors=((10, 14), (23, 27), (37, 58)), classes=3)
+
+
+def make_detection(x=0.5, y=0.5, w=0.2, h=0.2, confidence=0.9,
+                   class_id=0, class_prob=0.8):
+    return Detection(x=x, y=y, w=w, h=h, confidence=confidence,
+                     class_id=class_id, class_prob=class_prob)
+
+
+class TestDetection:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_detection(confidence=1.5)
+        with pytest.raises(ValueError):
+            make_detection(w=-0.1)
+
+    def test_corners_roundtrip(self):
+        detection = make_detection(x=0.5, y=0.4, w=0.2, h=0.1)
+        x1, y1, x2, y2 = detection.corners()
+        assert (x1, y1) == pytest.approx((0.4, 0.35))
+        assert (x2, y2) == pytest.approx((0.6, 0.45))
+
+    def test_score_is_product(self):
+        assert make_detection(confidence=0.5,
+                              class_prob=0.4).score == pytest.approx(0.2)
+
+
+class TestIou:
+    def test_identical_boxes(self):
+        a = make_detection()
+        assert box_iou(a, a) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        a = make_detection(x=0.1)
+        b = make_detection(x=0.9)
+        assert box_iou(a, b) == 0.0
+
+    def test_half_overlap(self):
+        a = make_detection(x=0.5, w=0.2, h=0.2)
+        b = make_detection(x=0.6, w=0.2, h=0.2)
+        # Intersection 0.1x0.2, union 0.08 - 0.02.
+        assert box_iou(a, b) == pytest.approx(0.02 / 0.06)
+
+    @given(ax=st.floats(0.2, 0.8), bx=st.floats(0.2, 0.8),
+           w=st.floats(0.05, 0.3))
+    @settings(max_examples=40, deadline=None)
+    def test_iou_symmetric_and_bounded(self, ax, bx, w):
+        a = make_detection(x=ax, w=w)
+        b = make_detection(x=bx, w=w)
+        iou = box_iou(a, b)
+        assert 0.0 <= iou <= 1.0 + 1e-9
+        assert iou == pytest.approx(box_iou(b, a))
+
+
+class TestDecode:
+    def _tensor(self, objectness=-10.0):
+        boxes = len(ANCHORS.anchors)
+        attrs = 5 + ANCHORS.classes
+        tensor = np.zeros((boxes, attrs, 4, 4), dtype=np.float32)
+        tensor[:, 4] = objectness
+        # Decoder consumes *post-sigmoid* head output for x/y/obj/cls.
+        return 1.0 / (1.0 + np.exp(-tensor))
+
+    def test_empty_below_threshold(self):
+        tensor = self._tensor(objectness=-10.0)
+        tensor = tensor.reshape(-1, 4, 4)
+        assert decode_yolo_output(tensor, ANCHORS, 416) == []
+
+    def test_confident_cell_decodes(self):
+        raw = np.full((3, 8, 4, 4), -10.0, dtype=np.float32)
+        raw[1, 4, 2, 3] = 10.0       # objectness at row 2, col 3
+        raw[1, 5 + 2, 2, 3] = 10.0   # class 2
+        raw[1, 0, 2, 3] = 0.0        # x offset -> sigmoid 0.5
+        raw[1, 1, 2, 3] = 0.0
+        tensor = 1.0 / (1.0 + np.exp(-raw))
+        # w/h stay raw in the head output.
+        tensor[1, 2] = 0.0
+        tensor[1, 3] = 0.0
+        detections = decode_yolo_output(
+            tensor.reshape(-1, 4, 4), ANCHORS, 416,
+            confidence_threshold=0.5)
+        assert len(detections) == 1
+        det = detections[0]
+        assert det.class_id == 2
+        assert det.x == pytest.approx((3 + 0.5) / 4)
+        assert det.y == pytest.approx((2 + 0.5) / 4)
+        # exp(0) * anchor / input.
+        assert det.w == pytest.approx(23 / 416)
+        assert det.h == pytest.approx(27 / 416)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            decode_yolo_output(np.zeros((7, 4, 4)), ANCHORS, 416)
+
+    def test_batch_tensor_rejected(self):
+        with pytest.raises(ValueError):
+            decode_yolo_output(np.zeros((1, 24, 4, 4)), ANCHORS, 416)
+
+
+class TestNms:
+    def test_keeps_best_of_overlapping_pair(self):
+        strong = make_detection(confidence=0.9)
+        weak = make_detection(x=0.52, confidence=0.6)
+        kept = non_max_suppression([strong, weak], iou_threshold=0.45)
+        assert kept == [strong]
+
+    def test_keeps_disjoint_boxes(self):
+        a = make_detection(x=0.2)
+        b = make_detection(x=0.8)
+        assert len(non_max_suppression([a, b])) == 2
+
+    def test_classes_suppressed_independently(self):
+        a = make_detection(class_id=0)
+        b = make_detection(class_id=1)  # same box, other class
+        assert len(non_max_suppression([a, b])) == 2
+
+    def test_result_sorted_by_score(self):
+        detections = [make_detection(x=0.1, confidence=0.5),
+                      make_detection(x=0.5, confidence=0.9),
+                      make_detection(x=0.9, confidence=0.7)]
+        kept = non_max_suppression(detections)
+        scores = [d.score for d in kept]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            non_max_suppression([], iou_threshold=1.5)
+
+    @given(st.lists(st.tuples(st.floats(0.1, 0.9), st.floats(0.3, 1.0)),
+                    max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_nms_never_grows_and_keeps_best(self, specs):
+        detections = [make_detection(x=x, confidence=c)
+                      for x, c in specs]
+        kept = non_max_suppression(detections)
+        assert len(kept) <= len(detections)
+        if detections:
+            best = max(detections, key=lambda d: d.score)
+            assert best in kept
+
+
+class TestTopK:
+    def test_orders_descending(self):
+        probs = np.array([0.1, 0.6, 0.3])
+        assert top_k_classes(probs, k=2) == [(1, pytest.approx(0.6)),
+                                             (2, pytest.approx(0.3))]
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            top_k_classes(np.array([0.5]), k=2)
+
+    def test_end_to_end_with_resnet(self):
+        from repro.workloads.darknet import build_resnet18
+        net = build_resnet18(64)
+        x = np.random.default_rng(0).random((1, 3, 64, 64)).astype(
+            np.float32)
+        probs = net.forward(x)
+        top = top_k_classes(probs[0], k=5)
+        assert len(top) == 5
+        assert all(0 <= cid < 1000 for cid, _ in top)
+        assert top[0][1] >= top[-1][1]
+
+
+class TestEndToEndDetect:
+    def test_detect_on_tiny_yolo(self):
+        import numpy as np
+        from repro.workloads.darknet import build_yolov3_tiny, detect
+        net = build_yolov3_tiny(96)
+        images = np.random.default_rng(0).random(
+            (2, 3, 96, 96)).astype(np.float32)
+        # Random weights give ~0.5 objectness everywhere; threshold low
+        # enough to exercise the full decode + NMS path.
+        results = detect(net, images, confidence_threshold=0.55,
+                         iou_threshold=0.45)
+        assert len(results) == 2
+        for detections in results:
+            scores = [d.score for d in detections]
+            assert scores == sorted(scores, reverse=True)
+            for d in detections:
+                assert 0 <= d.class_id < 80
+
+    def test_detect_rejects_classifier(self):
+        import numpy as np
+        from repro.workloads.darknet import build_resnet18
+        from repro.workloads.darknet.detection import detect
+        net = build_resnet18(64)
+        with pytest.raises(ValueError, match="YOLO"):
+            detect(net, np.zeros((1, 3, 64, 64), dtype=np.float32))
+
+    def test_forward_heads_counts(self):
+        import numpy as np
+        from repro.workloads.darknet import (build_resnet18,
+                                             build_yolov3_tiny)
+        tiny = build_yolov3_tiny(96)
+        x = np.random.default_rng(1).random((1, 3, 96, 96)).astype(
+            np.float32)
+        heads = tiny.forward_heads(x)
+        assert len(heads) == 2
+        resnet = build_resnet18(64)
+        y = np.random.default_rng(1).random((1, 3, 64, 64)).astype(
+            np.float32)
+        assert len(resnet.forward_heads(y)) == 1

@@ -1,0 +1,224 @@
+"""Darknet layer-zoo tests against scipy/NumPy oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import signal
+
+from repro.workloads.darknet.layers import (AvgPoolLayer, ConnectedLayer,
+                                            ConvLayer, MaxPoolLayer,
+                                            RouteLayer, ShortcutLayer,
+                                            SoftmaxLayer, UpsampleLayer,
+                                            YoloAnchors, YoloLayer, im2col,
+                                            leaky_relu, relu)
+
+RNG = np.random.default_rng(99)
+
+
+class TestActivations:
+    def test_leaky_relu(self):
+        x = np.array([-10.0, 0.0, 10.0])
+        np.testing.assert_allclose(leaky_relu(x), [-1.0, 0.0, 10.0])
+
+    def test_relu(self):
+        np.testing.assert_allclose(relu(np.array([-5.0, 5.0])), [0.0, 5.0])
+
+
+class TestIm2col:
+    def test_shapes(self):
+        x = RNG.random((2, 3, 8, 8)).astype(np.float32)
+        cols = im2col(x, ksize=3, stride=1, pad=1)
+        assert cols.shape == (2, 27, 64)
+
+    def test_stride_two(self):
+        x = RNG.random((1, 1, 8, 8)).astype(np.float32)
+        cols = im2col(x, ksize=2, stride=2, pad=0)
+        assert cols.shape == (1, 4, 16)
+
+    def test_1x1_is_flatten(self):
+        x = RNG.random((1, 4, 5, 5)).astype(np.float32)
+        cols = im2col(x, ksize=1, stride=1, pad=0)
+        np.testing.assert_allclose(cols[0], x[0].reshape(4, 25))
+
+    def test_kernel_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 1, 2, 2), dtype=np.float32), ksize=5,
+                   stride=1, pad=0)
+
+
+class TestConvLayer:
+    def test_matches_scipy_correlation(self):
+        layer = ConvLayer(2, 3, ksize=3, stride=1, batch_normalize=False,
+                          activation="linear", rng=np.random.default_rng(1))
+        x = RNG.random((1, 2, 10, 10)).astype(np.float32)
+        out = layer.configure((2, 10, 10)) and None
+        out = layer.forward(x, [])
+        # Oracle: scipy correlate2d per (out_channel, in_channel) pair.
+        weights = layer.weights.reshape(3, 3, 3, 2)  # (out, ky, kx, in)
+        for oc in range(3):
+            expected = np.zeros((10, 10))
+            for ic in range(2):
+                kernel = np.array(
+                    [[weights[oc, ky, kx, ic] for kx in range(3)]
+                     for ky in range(3)])
+                expected += signal.correlate2d(x[0, ic], kernel,
+                                               mode="same")
+            np.testing.assert_allclose(out[0, oc], expected, rtol=1e-3,
+                                       atol=1e-4)
+
+    def test_stride_halves_spatial_dims(self):
+        layer = ConvLayer(3, 8, ksize=3, stride=2)
+        assert layer.configure((3, 32, 32)) == (8, 16, 16)
+
+    def test_channel_mismatch_rejected(self):
+        layer = ConvLayer(3, 8)
+        with pytest.raises(ValueError):
+            layer.configure((4, 32, 32))
+
+    def test_batchnorm_identity_at_init(self):
+        """BN starts as identity (mean 0, var 1, gamma 1)."""
+        with_bn = ConvLayer(1, 1, batch_normalize=True,
+                            activation="linear",
+                            rng=np.random.default_rng(3))
+        without = ConvLayer(1, 1, batch_normalize=False,
+                            activation="linear",
+                            rng=np.random.default_rng(3))
+        x = RNG.random((1, 1, 6, 6)).astype(np.float32)
+        with_bn.configure((1, 6, 6))
+        without.configure((1, 6, 6))
+        np.testing.assert_allclose(with_bn.forward(x, []),
+                                   without.forward(x, []), rtol=1e-3,
+                                   atol=1e-5)
+
+    def test_weight_bytes_counts_bn_params(self):
+        layer = ConvLayer(4, 8, ksize=3, batch_normalize=True)
+        expected = 4 * (8 * 4 * 9 + 8 + 3 * 8)
+        assert layer.weight_bytes() == expected
+
+    def test_gemm_shape(self):
+        layer = ConvLayer(16, 32, ksize=3)
+        layer.configure((16, 20, 20))
+        assert layer.gemm_shape() == (32, 400, 144)
+
+
+class TestPooling:
+    def test_maxpool_2x2(self):
+        layer = MaxPoolLayer(size=2)
+        layer.configure((1, 4, 4))
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = layer.forward(x, [])
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_stride1_keeps_size(self):
+        layer = MaxPoolLayer(size=2, stride=1)
+        assert layer.configure((8, 13, 13)) == (8, 13, 13)
+        x = RNG.random((1, 8, 13, 13)).astype(np.float32)
+        out = layer.forward(x, [])
+        assert out.shape == (1, 8, 13, 13)
+        assert np.all(out >= x)  # max over a window including self
+
+    def test_global_avgpool(self):
+        layer = AvgPoolLayer()
+        assert layer.configure((16, 8, 8)) == (16, 1, 1)
+        x = RNG.random((2, 16, 8, 8)).astype(np.float32)
+        out = layer.forward(x, [])
+        np.testing.assert_allclose(out[:, :, 0, 0], x.mean(axis=(2, 3)),
+                                   rtol=1e-6)
+
+
+class TestUpsampleRouteShortcut:
+    def test_upsample_repeats_pixels(self):
+        layer = UpsampleLayer(stride=2)
+        assert layer.configure((1, 2, 2)) == (1, 4, 4)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = layer.forward(x, [])
+        np.testing.assert_allclose(out[0, 0, :2, :2],
+                                   [[1.0, 1.0], [1.0, 1.0]])
+        np.testing.assert_allclose(out[0, 0, 2:, 2:],
+                                   [[4.0, 4.0], [4.0, 4.0]])
+
+    def test_route_concatenates_channels(self):
+        layer = RouteLayer((0, 1))
+        layer.configure_from([(2, 4, 4), (3, 4, 4)])
+        assert layer.out_shape == (5, 4, 4)
+        a = np.ones((1, 2, 4, 4), dtype=np.float32)
+        b = np.zeros((1, 3, 4, 4), dtype=np.float32)
+        out = layer.forward(None, [a, b])
+        assert out.shape == (1, 5, 4, 4)
+        np.testing.assert_allclose(out[0, :2], 1.0)
+        np.testing.assert_allclose(out[0, 2:], 0.0)
+
+    def test_route_rejects_mismatched_spatial(self):
+        layer = RouteLayer((0, 1))
+        with pytest.raises(ValueError):
+            layer.configure_from([(2, 4, 4), (3, 8, 8)])
+
+    def test_shortcut_adds_source(self):
+        layer = ShortcutLayer(source=0)
+        layer.configure((2, 3, 3))
+        a = np.full((1, 2, 3, 3), 2.0, dtype=np.float32)
+        x = np.full((1, 2, 3, 3), 5.0, dtype=np.float32)
+        np.testing.assert_allclose(layer.forward(x, [a]), 7.0)
+
+
+class TestHeads:
+    def test_connected_is_affine(self):
+        layer = ConnectedLayer(12, 4, rng=np.random.default_rng(0))
+        layer.configure((3, 2, 2))
+        x = RNG.random((2, 3, 2, 2)).astype(np.float32)
+        out = layer.forward(x, [])
+        expected = x.reshape(2, 12) @ layer.weights.T + layer.bias
+        np.testing.assert_allclose(out[:, :, 0, 0], expected, rtol=1e-5)
+
+    def test_connected_rejects_wrong_fan_in(self):
+        layer = ConnectedLayer(10, 4)
+        with pytest.raises(ValueError):
+            layer.configure((3, 2, 2))
+
+    def test_softmax_sums_to_one(self):
+        layer = SoftmaxLayer()
+        layer.configure((10, 1, 1))
+        x = RNG.standard_normal((3, 10, 1, 1)).astype(np.float32)
+        out = layer.forward(x, [])
+        np.testing.assert_allclose(out.reshape(3, -1).sum(axis=1), 1.0,
+                                   rtol=1e-5)
+
+    def test_softmax_invariant_to_shift(self):
+        layer = SoftmaxLayer()
+        layer.configure((5, 1, 1))
+        x = RNG.standard_normal((1, 5, 1, 1)).astype(np.float32)
+        np.testing.assert_allclose(layer.forward(x, []),
+                                   layer.forward(x + 100.0, []), rtol=1e-4)
+
+    def test_yolo_sigmoids_right_attributes(self):
+        anchors = YoloAnchors(anchors=((10, 13), (16, 30), (33, 23)),
+                              classes=80)
+        layer = YoloLayer(anchors)
+        layer.configure((255, 4, 4))
+        x = np.clip(RNG.standard_normal((1, 255, 4, 4)) * 3, -8, 8) \
+            .astype(np.float32)
+        out = layer.forward(x, []).reshape(1, 3, 85, 4, 4)
+        # x, y, objectness, classes in (0, 1); w/h raw.
+        assert np.all((out[:, :, 0:2] > 0) & (out[:, :, 0:2] < 1))
+        assert np.all((out[:, :, 4:] > 0) & (out[:, :, 4:] < 1))
+        raw = x.reshape(1, 3, 85, 4, 4)
+        np.testing.assert_allclose(out[:, :, 2:4], raw[:, :, 2:4])
+
+    def test_yolo_rejects_wrong_channels(self):
+        anchors = YoloAnchors(anchors=((1, 1),), classes=2)
+        with pytest.raises(ValueError):
+            YoloLayer(anchors).configure((10, 4, 4))
+
+
+class TestProperties:
+    @given(channels=st.integers(1, 4), side=st.integers(4, 12),
+           ksize=st.sampled_from([1, 3]))
+    @settings(max_examples=20, deadline=None)
+    def test_conv_output_shape_formula(self, channels, side, ksize):
+        layer = ConvLayer(channels, 2, ksize=ksize, stride=1)
+        out_shape = layer.configure((channels, side, side))
+        assert out_shape == (2, side, side)  # same padding
+        x = np.random.default_rng(0).random(
+            (1, channels, side, side)).astype(np.float32)
+        assert layer.forward(x, []).shape == (1, 2, side, side)

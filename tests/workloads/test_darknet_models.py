@@ -1,0 +1,133 @@
+"""Darknet model-builder and network-lowering tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.darknet import (Network, build_resnet18, build_resnet50,
+                                     build_yolov3, build_yolov3_tiny)
+from repro.workloads.darknet.layers import ConvLayer, YoloLayer
+from repro.workloads.darknet.workloads import (Resnet18, Resnet50, Yolov3,
+                                               Yolov3Tiny)
+from repro.workloads.sizes import SizeClass
+
+
+class TestResnets:
+    def test_resnet18_has_18_convolutions_plus_projections(self):
+        net = build_resnet18(64)
+        convs = net.conv_layers()
+        # 1 stem + 16 block convs + 3 projection shortcuts.
+        assert len(convs) == 20
+
+    def test_resnet18_output_is_imagenet_distribution(self):
+        net = build_resnet18(64)
+        assert net.out_shape == (1000, 1, 1)
+        x = np.random.default_rng(0).random((2, 3, 64, 64)).astype(
+            np.float32)
+        out = net.forward(x)
+        np.testing.assert_allclose(out.reshape(2, -1).sum(axis=1), 1.0,
+                                   rtol=1e-4)
+
+    def test_resnet50_parameter_count_in_expected_band(self):
+        net = build_resnet50(64)
+        params = net.weight_bytes() / 4
+        # Torch resnet50 has ~25.6 M parameters; the darknet layout
+        # (conv-only, folded BN) lands in the same band.
+        assert 20e6 < params < 35e6
+
+    def test_resnet18_parameter_count(self):
+        params = build_resnet18(64).weight_bytes() / 4
+        assert 10e6 < params < 14e6  # ~11.7 M
+
+    def test_resnet_works_at_multiple_input_sizes(self):
+        for size in (64, 128):
+            net = build_resnet18(size)
+            assert net.out_shape == (1000, 1, 1)
+
+
+class TestYolo:
+    def test_yolov3_has_three_detection_heads(self):
+        net = build_yolov3(96)
+        heads = [l for l in net.layers if isinstance(l, YoloLayer)]
+        assert len(heads) == 3
+
+    def test_yolov3_has_75_convolutions(self):
+        net = build_yolov3(96)
+        assert len(net.conv_layers()) == 75  # darknet-53 (52) + head (23)
+
+    def test_yolov3_parameter_count(self):
+        params = build_yolov3(96).weight_bytes() / 4
+        assert 55e6 < params < 70e6  # ~62 M
+
+    def test_yolov3_grid_scales(self):
+        net = build_yolov3(96)
+        head_shapes = [l.out_shape for l in net.layers
+                       if isinstance(l, YoloLayer)]
+        assert head_shapes[0][1:] == (3, 3)    # 96 / 32
+        assert head_shapes[1][1:] == (6, 6)    # 96 / 16
+        assert head_shapes[2][1:] == (12, 12)  # 96 / 8
+
+    def test_yolov3_tiny_structure(self):
+        net = build_yolov3_tiny(96)
+        heads = [l for l in net.layers if isinstance(l, YoloLayer)]
+        assert len(heads) == 2
+        assert len(net.conv_layers()) == 13
+
+    def test_forward_pass_finite(self):
+        net = build_yolov3_tiny(96)
+        x = np.random.default_rng(1).random((1, 3, 96, 96)).astype(
+            np.float32)
+        out = net.forward(x)
+        assert np.all(np.isfinite(out))
+
+    def test_input_size_must_be_multiple_of_32(self):
+        with pytest.raises(ValueError):
+            build_yolov3(100)
+
+
+class TestNetworkLowering:
+    def test_program_has_phase_per_layer(self):
+        net = build_yolov3_tiny(96)
+        program = net.build_program(batch=4)
+        assert len(program.phases) == len(net.layers)
+
+    def test_conv_layers_become_gemm_kernels(self):
+        net = build_resnet18(64)
+        program = net.build_program(batch=2)
+        conv_phases = [p for p in program.phases
+                       if ".conv" in p.descriptor.name]
+        assert len(conv_phases) == len(net.conv_layers())
+        for phase in conv_phases:
+            assert phase.descriptor.sync_overlap == 1.0  # gemm family
+
+    def test_program_buffers(self):
+        net = build_yolov3_tiny(96)
+        program = net.build_program(batch=2)
+        names = {b.name for b in program.buffers}
+        assert names == {"weights", "images", "activations", "predictions"}
+
+    def test_wrong_batch_rejected(self):
+        with pytest.raises(ValueError):
+            build_yolov3_tiny(96).build_program(batch=0)
+
+    def test_flops_scale_quadratically_with_resolution(self):
+        small = build_yolov3_tiny(96).total_flops_per_image()
+        large = build_yolov3_tiny(192).total_flops_per_image()
+        assert large == pytest.approx(4 * small, rel=0.05)
+
+
+class TestWorkloadWrappers:
+    @pytest.mark.parametrize("cls", [Resnet18, Resnet50, Yolov3Tiny, Yolov3])
+    def test_programs_build_at_super(self, cls):
+        workload = cls()
+        program = workload.program(SizeClass.SUPER)
+        assert program.name == workload.name
+        assert program.footprint_bytes > 0
+
+    def test_batch_scales_with_size_class(self):
+        workload = Yolov3Tiny()
+        assert workload.batch_for(SizeClass.SUPER) > \
+            workload.batch_for(SizeClass.MEDIUM)
+
+    def test_references_run_inference(self):
+        result = Yolov3Tiny().reference()
+        assert result["predictions"].shape[0] == 2

@@ -1,0 +1,66 @@
+"""Darknet weight-file round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.darknet import build_resnet18, build_yolov3_tiny
+from repro.workloads.darknet.weights import (HEADER_BYTES,
+                                             WeightsFormatError,
+                                             load_weights, save_weights)
+
+
+@pytest.fixture
+def tiny_net():
+    return build_yolov3_tiny(96)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_outputs(self, tmp_path, tiny_net):
+        rng = np.random.default_rng(0)
+        image = rng.random((1, 3, 96, 96)).astype(np.float32)
+        before = tiny_net.forward(image)
+
+        path = save_weights(tiny_net, tmp_path / "net.weights", seen_images=7)
+        # Perturb in memory, then restore from disk.
+        conv = tiny_net.conv_layers()[0][1]
+        conv.weights = conv.weights + 1.0
+        assert not np.allclose(tiny_net.forward(image), before)
+
+        major, seen = load_weights(tiny_net, path)
+        assert seen == 7
+        np.testing.assert_allclose(tiny_net.forward(image), before,
+                                   rtol=1e-6)
+
+    def test_file_size_matches_parameter_count(self, tmp_path, tiny_net):
+        path = save_weights(tiny_net, tmp_path / "net.weights")
+        expected = HEADER_BYTES + tiny_net.weight_bytes()
+        assert path.stat().st_size == expected
+
+    def test_resnet_roundtrip(self, tmp_path):
+        net = build_resnet18(64)
+        path = save_weights(net, tmp_path / "resnet.weights")
+        major, seen = load_weights(net, path)
+        assert major == 0
+        assert seen == 0
+
+
+class TestErrorHandling:
+    def test_truncated_file_rejected(self, tmp_path, tiny_net):
+        path = save_weights(tiny_net, tmp_path / "net.weights")
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.raises(WeightsFormatError, match="truncated"):
+            load_weights(tiny_net, path)
+
+    def test_empty_file_rejected(self, tmp_path, tiny_net):
+        path = tmp_path / "empty.weights"
+        path.write_bytes(b"")
+        with pytest.raises(WeightsFormatError, match="header"):
+            load_weights(tiny_net, path)
+
+    def test_architecture_mismatch_detected(self, tmp_path, tiny_net):
+        """Loading a bigger net's file leaves trailing data."""
+        big = build_resnet18(64)
+        path = save_weights(big, tmp_path / "resnet.weights")
+        with pytest.raises(WeightsFormatError):
+            load_weights(tiny_net, path)

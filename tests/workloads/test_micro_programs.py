@@ -1,0 +1,87 @@
+"""Structural tests for the microbenchmark device programs."""
+
+import pytest
+
+from repro.sim.kernel import AccessPattern
+from repro.sim.sm import pipeline_fits
+from repro.workloads.registry import MICRO_NAMES, get_workload
+from repro.workloads.sizes import SizeClass
+
+
+class TestFootprints:
+    @pytest.mark.parametrize("name", MICRO_NAMES)
+    @pytest.mark.parametrize("size", [SizeClass.TINY, SizeClass.LARGE,
+                                      SizeClass.SUPER])
+    def test_footprint_in_size_class_band(self, name, size):
+        """Buffers stay within ~3x of the class footprint (gemm keeps
+        three matrices, so its footprint is 3x the per-grid size)."""
+        program = get_workload(name).program(size)
+        assert size.mem_bytes * 0.4 <= program.footprint_bytes \
+            <= size.mem_bytes * 3.5
+
+    @pytest.mark.parametrize("name", MICRO_NAMES)
+    def test_footprints_scale_with_size(self, name):
+        workload = get_workload(name)
+        small = workload.program(SizeClass.SMALL).footprint_bytes
+        large = workload.program(SizeClass.LARGE).footprint_bytes
+        # 8 MB -> 512 MB; side vectors (gemv's x/y) scale sublinearly.
+        assert large == pytest.approx(64 * small, rel=0.05)
+
+
+class TestDescriptors:
+    def test_vector_seq_is_sequential(self):
+        program = get_workload("vector_seq").program(SizeClass.LARGE)
+        assert program.descriptors()[0].access_pattern is \
+            AccessPattern.SEQUENTIAL
+
+    def test_vector_rand_is_random(self):
+        program = get_workload("vector_rand").program(SizeClass.LARGE)
+        assert program.descriptors()[0].access_pattern is \
+            AccessPattern.RANDOM
+
+    def test_vector_seq_reference_geometry(self):
+        """Sec. 5 baseline: 4096 blocks x 256 threads at Large."""
+        descriptor = get_workload("vector_seq").program(
+            SizeClass.LARGE).descriptors()[0]
+        assert descriptor.blocks == 4096
+        assert descriptor.threads_per_block == 256
+
+    def test_gemm_is_software_pipelined(self):
+        descriptor = get_workload("gemm").program(
+            SizeClass.SUPER).descriptors()[0]
+        assert descriptor.sync_overlap == 1.0
+        assert descriptor.bandwidth_efficiency is not None
+
+    def test_gemm_double_buffer_exactly_fills_default_carveout(self, system):
+        descriptor = get_workload("gemm").program(
+            SizeClass.SUPER).descriptors()[0]
+        assert pipeline_fits(descriptor, system.gpu,
+                             system.gpu.default_shared_mem_bytes)
+
+    def test_convs_serialize_async_staging(self):
+        for name in ("2DCONV", "3DCONV"):
+            descriptor = get_workload(name).program(
+                SizeClass.SUPER).descriptors()[0]
+            assert descriptor.async_serializes
+
+    def test_conv_footprint_matches_grid(self):
+        program = get_workload("2DCONV").program(SizeClass.SUPER)
+        descriptor = program.descriptors()[0]
+        grid_bytes = SizeClass.SUPER.side_2d ** 2 * 4
+        assert descriptor.data_footprint_bytes == grid_bytes
+
+    def test_gemm_flops_on_roofline(self):
+        """Compute cycles must encode 2*M^3 FLOPs at 128 FLOP/cycle."""
+        side = SizeClass.LARGE.side_2d
+        descriptor = get_workload("gemm").program(
+            SizeClass.LARGE).descriptors()[0]
+        expected_cycles = 2.0 * side ** 3 / 128.0
+        assert descriptor.compute_cycles == pytest.approx(expected_cycles,
+                                                          rel=0.01)
+
+    def test_tiny_sizes_still_valid(self):
+        for name in MICRO_NAMES:
+            program = get_workload(name).program(SizeClass.TINY)
+            for descriptor in program.descriptors():
+                assert descriptor.blocks >= 1
+                assert descriptor.tiles_per_block >= 1

@@ -1,0 +1,98 @@
+"""Functional correctness of the microbenchmark algorithms.
+
+Each reference implementation is validated against an independent
+oracle (NumPy closed forms or scipy).
+"""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.workloads.micro import (Conv2D, Conv3D, Gemm, Gemv, Saxpy,
+                                   VectorRand, VectorSeq, conv2d_reference,
+                                   conv3d_reference)
+from repro.workloads.micro.conv import CONV2D_WEIGHTS
+
+
+class TestVectorChains:
+    def test_vector_seq_matches_scalar_recurrence(self):
+        result = VectorSeq().reference()
+        x = result["input"].astype(np.float64)
+        expected = x.copy()
+        for step in range(8):
+            expected = expected * 1.000001 + float(step % 3)
+        np.testing.assert_allclose(result["output"], expected, rtol=1e-12)
+
+    def test_vector_rand_is_gathered_vector_seq(self):
+        result = VectorRand().reference()
+        gathered = result["input"][result["indices"]]
+        expected = VectorSeq.apply_chain(gathered)
+        np.testing.assert_allclose(result["output"], expected, rtol=1e-12)
+
+    def test_vector_rand_indices_are_permutation(self):
+        result = VectorRand().reference()
+        assert sorted(result["indices"]) == list(range(
+            result["input"].size))
+
+
+class TestSaxpy:
+    def test_matches_formula(self):
+        result = Saxpy().reference()
+        expected = Saxpy.ALPHA * result["x"] + result["y"]
+        np.testing.assert_allclose(result["output"], expected, rtol=1e-6)
+
+
+class TestBlas:
+    def test_gemv_matches_manual_dot(self):
+        result = Gemv().reference()
+        manual = np.array([row @ result["x"] for row in result["A"]])
+        np.testing.assert_allclose(result["output"], manual, rtol=1e-5)
+
+    def test_gemm_matches_numpy(self):
+        result = Gemm().reference()
+        np.testing.assert_allclose(result["output"],
+                                   result["A"] @ result["B"], rtol=1e-5)
+
+    def test_gemm_shapes(self):
+        result = Gemm().reference()
+        assert result["output"].shape == (result["A"].shape[0],
+                                          result["B"].shape[1])
+
+
+class TestConvolutions:
+    def test_conv2d_matches_scipy(self):
+        rng = np.random.default_rng(3)
+        grid = rng.standard_normal((40, 52)).astype(np.float32)
+        ours = conv2d_reference(grid)
+        scipy_result = signal.convolve2d(
+            grid, CONV2D_WEIGHTS[::-1, ::-1], mode="valid")
+        np.testing.assert_allclose(ours, scipy_result, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_conv2d_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            conv2d_reference(np.zeros(10))
+        with pytest.raises(ValueError):
+            conv2d_reference(np.zeros((2, 2)))
+
+    def test_conv3d_matches_scipy(self):
+        rng = np.random.default_rng(4)
+        grid = rng.standard_normal((12, 14, 10))
+        ours = conv3d_reference(grid)
+        kernel = np.full((3, 3, 3), 1.0 / 27.0)
+        scipy_result = signal.convolve(grid, kernel, mode="valid")
+        np.testing.assert_allclose(ours, scipy_result, rtol=1e-4,
+                                   atol=1e-6)
+
+    def test_conv3d_box_filter_preserves_constant(self):
+        grid = np.full((8, 8, 8), 5.0)
+        np.testing.assert_allclose(conv3d_reference(grid), 5.0, rtol=1e-6)
+
+    def test_conv3d_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            conv3d_reference(np.zeros((2, 2, 2)))
+
+    def test_workload_references_run(self):
+        for workload in (Conv2D(), Conv3D()):
+            result = workload.reference()
+            assert result["output"].size > 0

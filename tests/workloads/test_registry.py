@@ -1,0 +1,57 @@
+"""Registry / Table 2 completeness tests."""
+
+import pytest
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import (ALL_NAMES, APP_NAMES, MICRO_NAMES,
+                                      all_workloads, app_workloads,
+                                      get_workload, micro_workloads,
+                                      workloads_by_suite)
+
+
+class TestTable2Completeness:
+    def test_twentyone_workloads(self):
+        assert len(ALL_NAMES) == 21
+        assert len(MICRO_NAMES) == 7
+        assert len(APP_NAMES) == 14
+
+    def test_figure7_order(self):
+        assert MICRO_NAMES == ("vector_seq", "vector_rand", "saxpy", "gemv",
+                               "gemm", "2DCONV", "3DCONV")
+
+    def test_figure8_order(self):
+        assert APP_NAMES[:4] == ("pathfinder", "backprop", "lud", "kmeans")
+        assert APP_NAMES[-2:] == ("nw", "hotspot")
+
+    def test_every_entry_is_workload(self):
+        for workload in all_workloads():
+            assert isinstance(workload, Workload)
+            assert workload.name
+            assert workload.description
+            assert workload.suite in ("micro", "rodinia", "uvmbench",
+                                      "darknet")
+
+    def test_lookup(self):
+        assert get_workload("lud").name == "lud"
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_suite_partitions(self):
+        assert len(workloads_by_suite("micro")) == 7
+        assert len(workloads_by_suite("rodinia")) == 8
+        assert len(workloads_by_suite("uvmbench")) == 2
+        assert len(workloads_by_suite("darknet")) == 4
+        with pytest.raises(KeyError):
+            workloads_by_suite("spec2006")
+
+    def test_micro_and_app_helpers(self):
+        assert [w.name for w in micro_workloads()] == list(MICRO_NAMES)
+        assert [w.name for w in app_workloads()] == list(APP_NAMES)
+
+    def test_domains_cover_paper_claim(self):
+        """Table 2: linear algebra, physics, data mining, image
+        processing, and ML are all represented."""
+        domains = {w.domain for w in all_workloads()}
+        for expected in ("linear algebra", "data mining",
+                         "image processing", "machine learning"):
+            assert expected in domains

@@ -1,0 +1,73 @@
+"""Structural tests for the Rodinia/UVMBench device programs."""
+
+import pytest
+
+from repro.sim.kernel import AccessPattern
+from repro.workloads.registry import get_workload
+from repro.workloads.sizes import SizeClass
+
+SUPER = SizeClass.SUPER
+
+
+class TestAnomalyEncodings:
+    """The paper's three called-out behaviours live in the descriptors."""
+
+    def test_nw_first_kernel_shares_data(self):
+        program = get_workload("nw").program(SUPER)
+        descriptors = program.descriptors()
+        assert len(descriptors) == 2
+        assert descriptors[0].shares_data_with_next
+        assert not descriptors[1].shares_data_with_next
+
+    def test_lud_is_irregular(self):
+        descriptor = get_workload("lud").program(SUPER).descriptors()[0]
+        assert descriptor.access_pattern is AccessPattern.IRREGULAR
+        assert not descriptor.access_pattern.prefetch_friendly
+
+    def test_kmeans_iterates_over_same_data(self):
+        program = get_workload("kmeans").program(SUPER)
+        phase = program.phases[0]
+        assert phase.count > 1
+        assert not phase.fresh_data
+        assert phase.host_sync_bytes > 0  # per-iteration membership copies
+
+    def test_pathfinder_streams_fresh_bands(self):
+        program = get_workload("pathfinder").program(SUPER)
+        phase = program.phases[0]
+        assert phase.count > 100
+        assert phase.fresh_data
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", ["pathfinder", "backprop", "lud",
+                                      "kmeans", "knn", "srad", "lavaMD",
+                                      "bayesian", "nw", "hotspot"])
+    def test_programs_build_and_have_io(self, name):
+        program = get_workload(name).program(SUPER)
+        assert program.h2d_bytes > 0
+        assert program.footprint_bytes > 0
+        assert program.total_kernel_launches >= 1
+
+    def test_srad_alternates_two_kernels(self):
+        program = get_workload("srad").program(SUPER)
+        names = [phase.descriptor.name for phase in program.phases]
+        assert names[:2] == ["srad_cuda_1", "srad_cuda_2"]
+        assert len(names) == 20  # 10 iterations x 2 kernels
+
+    def test_hotspot_iterates(self):
+        program = get_workload("hotspot").program(SUPER)
+        assert program.phases[0].count == 20
+
+    def test_backprop_two_kernels(self):
+        program = get_workload("backprop").program(SUPER)
+        assert [p.descriptor.name for p in program.phases] == \
+            ["bpnn_layerforward", "bpnn_adjust_weights"]
+
+    def test_lud_footprint_is_matrix(self):
+        program = get_workload("lud").program(SUPER)
+        descriptor = program.descriptors()[0]
+        assert descriptor.data_footprint_bytes == program.footprint_bytes
+
+    def test_bayesian_launches_per_variable(self):
+        program = get_workload("bayesian").program(SUPER)
+        assert program.phases[0].count == 16

@@ -1,0 +1,343 @@
+"""Functional correctness of the Rodinia application algorithms."""
+
+import numpy as np
+import pytest
+from scipy import linalg
+
+from repro.workloads.rodinia import (backprop_reference,
+                                     diagonally_dominant, hotspot_reference,
+                                     hotspot_step, kmeans_assign,
+                                     kmeans_reference, lavamd_reference,
+                                     lud_reference, nw_reference,
+                                     pathfinder_reference, sigmoid,
+                                     srad_reference, srad_step)
+from repro.workloads.rodinia.hotspot import AMBIENT
+
+
+class TestPathfinder:
+    def test_matches_bruteforce_enumeration(self):
+        rng = np.random.default_rng(0)
+        wall = rng.integers(0, 9, size=(5, 4)).astype(np.int64)
+
+        def brute(col):
+            best = None
+            # Enumerate all paths ending at (last row, col).
+            def explore(row, c, cost):
+                nonlocal best
+                cost += wall[row, c]
+                if row == wall.shape[0] - 1:
+                    if c == col and (best is None or cost < best):
+                        best = cost
+                    return
+                for dc in (-1, 0, 1):
+                    nc = c + dc
+                    if 0 <= nc < wall.shape[1]:
+                        explore(row + 1, nc, cost)
+            for start in range(wall.shape[1]):
+                explore(0, start, 0)
+            return best
+
+        dp = pathfinder_reference(wall)
+        for col in range(wall.shape[1]):
+            assert dp[col] == brute(col)
+
+    def test_single_row_is_identity(self):
+        wall = np.array([[3, 1, 4]])
+        np.testing.assert_array_equal(pathfinder_reference(wall),
+                                      [3, 1, 4])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pathfinder_reference(np.array([1, 2, 3]))
+
+
+class TestBackprop:
+    def test_sigmoid_range_and_midpoint(self):
+        assert sigmoid(np.array(0.0)) == 0.5
+        values = sigmoid(np.linspace(-10, 10, 21))
+        assert np.all((values > 0) & (values < 1))
+
+    def test_training_step_reduces_error(self):
+        rng = np.random.default_rng(5)
+        inputs = rng.random(32)
+        w_ih = rng.standard_normal((32, 16)) * 0.1
+        w_ho = rng.standard_normal(16) * 0.1
+        target = 0.9
+        result = backprop_reference(inputs, w_ih, w_ho, target, eta=0.5)
+        new_output = float(sigmoid(sigmoid(inputs @ result["w_ih"])
+                                   @ result["w_ho"]))
+        assert abs(new_output - target) < abs(result["output"] - target)
+
+    def test_delta_out_matches_analytic_gradient(self):
+        rng = np.random.default_rng(6)
+        inputs = rng.random(8)
+        w_ih = rng.standard_normal((8, 16)) * 0.1
+        w_ho = rng.standard_normal(16) * 0.1
+        result = backprop_reference(inputs, w_ih, w_ho, target=0.7)
+        out = result["output"]
+        expected = out * (1 - out) * (0.7 - out)
+        assert result["delta_out"] == pytest.approx(expected)
+
+
+class TestLud:
+    def test_reconstructs_matrix(self):
+        matrix = diagonally_dominant(np.random.default_rng(1), 32)
+        factors = lud_reference(matrix)
+        np.testing.assert_allclose(factors["L"] @ factors["U"], matrix,
+                                   rtol=1e-8, atol=1e-8)
+
+    def test_triangular_structure(self):
+        matrix = diagonally_dominant(np.random.default_rng(2), 16)
+        factors = lud_reference(matrix)
+        assert np.allclose(factors["L"], np.tril(factors["L"]))
+        assert np.allclose(factors["U"], np.triu(factors["U"]))
+        np.testing.assert_allclose(np.diag(factors["L"]), 1.0)
+
+    def test_agrees_with_scipy_on_pivot_free_matrix(self):
+        matrix = diagonally_dominant(np.random.default_rng(3), 24)
+        ours = lud_reference(matrix)
+        _, lower, upper = linalg.lu(matrix)
+        # Diagonally dominant: scipy's permutation is identity.
+        np.testing.assert_allclose(ours["L"], lower, rtol=1e-7, atol=1e-7)
+        np.testing.assert_allclose(ours["U"], upper, rtol=1e-7, atol=1e-7)
+
+    def test_zero_pivot_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            lud_reference(np.zeros((3, 3)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            lud_reference(np.zeros((2, 3)))
+
+
+class TestKmeans:
+    def test_recovers_separated_blobs(self):
+        rng = np.random.default_rng(8)
+        centers = np.array([[0.0] * 5, [20.0] * 5, [-20.0] * 5])
+        points = np.concatenate([
+            center + rng.standard_normal((30, 5)) for center in centers])
+        result = kmeans_reference(points, k=3, rng=rng)
+        labels = result["labels"]
+        # Every original blob maps to exactly one cluster.
+        for blob in range(3):
+            blob_labels = labels[blob * 30:(blob + 1) * 30]
+            assert len(set(blob_labels.tolist())) == 1
+        assert len(set(labels.tolist())) == 3
+
+    def test_assignment_picks_nearest(self):
+        points = np.array([[0.0], [10.0]])
+        centroids = np.array([[1.0], [9.0]])
+        np.testing.assert_array_equal(kmeans_assign(points, centroids),
+                                      [0, 1])
+
+    def test_centroids_are_member_means(self):
+        result = kmeans_reference(np.array([[0.0], [2.0], [10.0], [12.0]]),
+                                  k=2, rng=np.random.default_rng(0))
+        recomputed = sorted(float(c[0]) for c in result["centroids"])
+        assert recomputed == pytest.approx([1.0, 11.0])
+
+
+class TestSrad:
+    def test_smooths_speckle(self):
+        rng = np.random.default_rng(9)
+        image = np.exp(rng.standard_normal((32, 32)) * 0.3) + 1.0
+        smoothed = srad_reference(image, iterations=8)
+        assert smoothed.std() < image.std()
+
+    def test_constant_image_is_fixed_point(self):
+        image = np.full((16, 16), 3.0)
+        np.testing.assert_allclose(srad_step(image), image, rtol=1e-9)
+
+    def test_positive_images_stay_finite(self):
+        rng = np.random.default_rng(10)
+        image = rng.random((24, 24)) + 0.5
+        out = srad_reference(image, iterations=5)
+        assert np.all(np.isfinite(out))
+
+
+class TestLavaMD:
+    def test_self_interaction_dominates_potential(self):
+        positions = np.array([[0.0, 0.0, 0.0], [100.0, 0.0, 0.0]])
+        charges = np.array([2.0, 3.0])
+        result = lavamd_reference(positions, charges)
+        # Far-apart particles only see themselves: v_i ~ q_i.
+        np.testing.assert_allclose(result["potential"], charges, rtol=1e-6)
+
+    def test_symmetric_pair_forces_cancel(self):
+        positions = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        charges = np.array([1.0, 1.0])
+        result = lavamd_reference(positions, charges)
+        np.testing.assert_allclose(result["force"][0],
+                                   -result["force"][1], atol=1e-12)
+
+    def test_potential_matches_direct_sum(self):
+        rng = np.random.default_rng(11)
+        positions = rng.random((5, 3))
+        charges = rng.random(5)
+        result = lavamd_reference(positions, charges, alpha=0.5)
+        for i in range(5):
+            direct = sum(
+                np.exp(-0.25 * np.sum((positions[i] - positions[j]) ** 2))
+                * charges[j] for j in range(5))
+            assert result["potential"][i] == pytest.approx(direct)
+
+
+class TestNeedlemanWunsch:
+    def test_identical_sequences_score_all_matches(self):
+        seq = np.array([0, 1, 2, 3])
+        result = nw_reference(seq, seq)
+        assert result["alignment_score"] == 4 * 3  # 4 matches x BLOSUM 3
+
+    def test_empty_alignment_is_pure_gaps(self):
+        result = nw_reference(np.array([0, 1]), np.array([], dtype=int))
+        assert result["alignment_score"] == -2  # two gap penalties
+
+    def test_score_matrix_boundaries(self):
+        result = nw_reference(np.array([0]), np.array([1]))
+        score = result["score"]
+        assert score[0, 0] == 0
+        assert score[1, 0] == -1
+        assert score[0, 1] == -1
+
+    def test_mismatch_vs_gap_tradeoff(self):
+        # One mismatch (-2) beats two gaps (-2 each).
+        result = nw_reference(np.array([0]), np.array([1]))
+        assert result["alignment_score"] == -2
+
+
+class TestHotSpot:
+    def test_uniform_power_free_cools_to_ambient(self):
+        temp = np.full((16, 16), AMBIENT + 40.0)
+        power = np.zeros((16, 16))
+        cooled = hotspot_reference(temp, power, iterations=200)
+        np.testing.assert_allclose(cooled, AMBIENT, atol=1.0)
+
+    def test_powered_cell_heats_up(self):
+        temp = np.full((16, 16), AMBIENT)
+        power = np.zeros((16, 16))
+        power[8, 8] = 10.0
+        heated = hotspot_step(temp, power)
+        assert heated[8, 8] > AMBIENT
+        assert heated[0, 0] == pytest.approx(AMBIENT)
+
+    def test_heat_diffuses_to_neighbors(self):
+        temp = np.full((16, 16), AMBIENT)
+        temp[8, 8] = AMBIENT + 50.0
+        stepped = hotspot_step(temp, np.zeros((16, 16)))
+        assert stepped[8, 7] > AMBIENT
+        assert stepped[8, 8] < AMBIENT + 50.0
+
+
+class TestBlockedLud:
+    """The blocked algorithm (Rodinia's actual kernel structure) must
+    agree with straight Gaussian elimination."""
+
+    def test_matches_unblocked_factors(self):
+        from repro.workloads.rodinia import lud_blocked_reference
+        matrix = diagonally_dominant(np.random.default_rng(4), 96)
+        blocked = lud_blocked_reference(matrix, block=32)
+        straight = lud_reference(matrix)
+        np.testing.assert_allclose(blocked["L"], straight["L"],
+                                   rtol=1e-8, atol=1e-8)
+        np.testing.assert_allclose(blocked["U"], straight["U"],
+                                   rtol=1e-8, atol=1e-8)
+
+    def test_reconstructs_matrix(self):
+        from repro.workloads.rodinia import lud_blocked_reference
+        matrix = diagonally_dominant(np.random.default_rng(5), 64)
+        factors = lud_blocked_reference(matrix, block=16)
+        np.testing.assert_allclose(factors["L"] @ factors["U"], matrix,
+                                   rtol=1e-8, atol=1e-8)
+
+    def test_single_block_degenerates_to_unblocked(self):
+        from repro.workloads.rodinia import lud_blocked_reference
+        matrix = diagonally_dominant(np.random.default_rng(6), 16)
+        blocked = lud_blocked_reference(matrix, block=16)
+        straight = lud_reference(matrix)
+        np.testing.assert_allclose(blocked["U"], straight["U"], rtol=1e-9)
+
+    def test_block_mismatch_rejected(self):
+        from repro.workloads.rodinia import lud_blocked_reference
+        with pytest.raises(ValueError):
+            lud_blocked_reference(np.eye(10), block=32)
+
+
+class TestNwTraceback:
+    def test_identical_sequences_align_without_gaps(self):
+        from repro.workloads.rodinia import nw_traceback
+        seq = np.array([0, 1, 2, 3])
+        score = nw_reference(seq, seq)["score"]
+        alignment = nw_traceback(seq, seq, score)
+        assert alignment["gaps"] == 0
+        assert alignment["matches"] == 4
+        assert alignment["aligned_a"] == alignment["aligned_b"]
+
+    def test_insertion_produces_one_gap(self):
+        from repro.workloads.rodinia import nw_traceback
+        seq_a = np.array([0, 1, 2, 3, 1])
+        seq_b = np.array([0, 1, 3, 1])  # '2' deleted
+        score = nw_reference(seq_a, seq_b)["score"]
+        alignment = nw_traceback(seq_a, seq_b, score)
+        assert alignment["gaps"] == 1
+        assert alignment["matches"] == 4
+        assert len(alignment["aligned_a"]) == len(alignment["aligned_b"])
+
+    def test_alignment_score_consistent(self):
+        """Recomputing the score from the traceback must reproduce the
+        DP's optimum."""
+        from repro.workloads.rodinia import nw_traceback
+        from repro.workloads.rodinia.nw import (BLOSUM_MATCH,
+                                                BLOSUM_MISMATCH,
+                                                GAP_PENALTY)
+        rng = np.random.default_rng(7)
+        seq_a = rng.integers(0, 4, size=20)
+        seq_b = rng.integers(0, 4, size=24)
+        result = nw_reference(seq_a, seq_b)
+        alignment = nw_traceback(seq_a, seq_b, result["score"])
+        total = 0
+        for a, b in zip(alignment["aligned_a"], alignment["aligned_b"]):
+            if a == -1 or b == -1:
+                total -= GAP_PENALTY
+            elif a == b:
+                total += BLOSUM_MATCH
+            else:
+                total += BLOSUM_MISMATCH
+        assert total == result["alignment_score"]
+
+
+class TestKmeansPlusPlus:
+    def test_seeds_are_actual_points(self):
+        from repro.workloads.rodinia import kmeans_plusplus_init
+        rng = np.random.default_rng(8)
+        points = rng.standard_normal((50, 3))
+        seeds = kmeans_plusplus_init(points, k=4, rng=rng)
+        for seed in seeds:
+            assert any(np.allclose(seed, p) for p in points)
+
+    def test_spreads_across_separated_blobs(self):
+        from repro.workloads.rodinia import kmeans_plusplus_init
+        rng = np.random.default_rng(9)
+        blobs = np.concatenate([
+            center + rng.standard_normal((30, 2)) * 0.1
+            for center in (np.zeros(2), np.full(2, 50.0), np.full(2, -50.0))
+        ])
+        seeds = kmeans_plusplus_init(blobs, k=3, rng=rng)
+        # One seed per blob: pairwise distances are all large.
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert np.linalg.norm(seeds[i] - seeds[j]) > 10.0
+
+    def test_k_validation(self):
+        from repro.workloads.rodinia import kmeans_plusplus_init
+        with pytest.raises(ValueError):
+            kmeans_plusplus_init(np.zeros((3, 2)), k=4)
+
+    def test_plusplus_reference_converges(self):
+        rng = np.random.default_rng(10)
+        points = np.concatenate([
+            center + rng.standard_normal((40, 4))
+            for center in (np.zeros(4), np.full(4, 12.0))
+        ])
+        result = kmeans_reference(points, k=2, rng=rng, plusplus=True)
+        assert len(set(result["labels"][:40])) == 1
+        assert len(set(result["labels"][40:])) == 1

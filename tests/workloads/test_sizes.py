@@ -1,0 +1,50 @@
+"""Table 3 size-class tests."""
+
+import pytest
+
+from repro.workloads.sizes import (GIB, MIB, STABLE_SIZES, SizeClass)
+
+
+class TestTable3:
+    def test_six_classes(self):
+        assert len(SizeClass.ordered()) == 6
+
+    def test_memory_footprints(self):
+        expected = [1 * MIB, 8 * MIB, 64 * MIB, 512 * MIB, 4 * GIB, 32 * GIB]
+        assert [s.mem_bytes for s in SizeClass.ordered()] == expected
+
+    def test_1d_grid_matches_footprint(self):
+        # elements * 4 bytes == footprint for every class.
+        for size in SizeClass.ordered():
+            assert size.elements_1d * 4 == size.mem_bytes
+
+    def test_2d_sides(self):
+        assert SizeClass.TINY.side_2d == 512
+        assert SizeClass.SUPER.side_2d == 32 * 1024
+        assert SizeClass.MEGA.side_2d == 64 * 1024
+
+    def test_3d_sides(self):
+        assert SizeClass.TINY.side_3d == 64
+        assert SizeClass.MEGA.side_3d == 2048
+
+    def test_footprint_split_across_buffers(self):
+        # Table 3 footnote: 2 Tiny vectors of 128 K elements each.
+        assert SizeClass.TINY.elements_for_buffers(2) == 128 * 1024
+
+    def test_elements_for_buffers_validation(self):
+        with pytest.raises(ValueError):
+            SizeClass.TINY.elements_for_buffers(0)
+
+    def test_from_label(self):
+        assert SizeClass.from_label("SUPER") is SizeClass.SUPER
+        with pytest.raises(ValueError):
+            SizeClass.from_label("gigantic")
+
+    def test_stable_sizes_are_large_and_super(self):
+        assert STABLE_SIZES == (SizeClass.LARGE, SizeClass.SUPER)
+
+    def test_monotonically_increasing(self):
+        ordered = SizeClass.ordered()
+        for smaller, larger in zip(ordered, ordered[1:]):
+            assert larger.mem_bytes > smaller.mem_bytes
+            assert larger.elements_1d > smaller.elements_1d
