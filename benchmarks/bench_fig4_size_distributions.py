@@ -19,6 +19,9 @@ def bench_fig4(benchmark, save_result, iterations):
     rows = []
     for size in SizeClass.ordered():
         for name in MICRO_NAMES:
+            # gemm/3DCONV decline Mega: explicit allocation > HBM.
+            if name not in data[size.label]:
+                continue
             for mode, totals in data[size.label][name].items():
                 summary = Summary.of(totals)
                 rows.append((size.label, name, mode,
@@ -37,7 +40,7 @@ def bench_fig4(benchmark, save_result, iterations):
     def size_cv(label):
         cvs = []
         for name in MICRO_NAMES:
-            for totals in data[label][name].values():
+            for totals in data[label].get(name, {}).values():
                 cvs.append(Summary.of(totals).cv)
         return geomean([max(cv, 1e-6) for cv in cvs])
 

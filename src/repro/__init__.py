@@ -11,6 +11,8 @@ The package has four layers:
   configurations, experiment runner, statistics, the Sec. 6 inter-job
   pipeline model, and the configuration advisor.
 * :mod:`repro.harness` - regenerators for every table and figure.
+* :mod:`repro.analysis` - static validation: the model linter
+  (``repro lint``) and the stream/event-graph race checker.
 
 Quickstart::
 
@@ -21,6 +23,8 @@ Quickstart::
         print(mode.value, comparison.normalized_total(mode))
 """
 
+from .analysis import (LintError, LintReport, StreamGraph, lint_program,
+                       lint_registry, validate_program)
 from .core import (ALL_MODES, Experiment, ModeComparison, Recommendation,
                    RunResult, RunSet, TransferMode, compare_workload,
                    execute_program, interjob_speedup, recommend_mode,
@@ -36,12 +40,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_MODES", "ALL_NAMES", "APP_NAMES", "AccessPattern", "Calibration",
-    "CudaRuntime", "Experiment", "KernelDescriptor", "MICRO_NAMES",
-    "ModeComparison", "Program", "Recommendation", "RunResult", "RunSet",
-    "STABLE_SIZES", "SizeClass", "SystemSpec", "TransferMode",
-    "all_workloads", "app_workloads", "compare_workload",
-    "default_calibration", "default_system", "execute_program",
-    "get_workload", "interjob_speedup", "micro_workloads",
-    "recommend_mode", "run_job_batch", "run_workload", "section6_shares",
-    "workloads_by_suite", "__version__",
+    "CudaRuntime", "Experiment", "KernelDescriptor", "LintError",
+    "LintReport", "MICRO_NAMES", "ModeComparison", "Program",
+    "Recommendation", "RunResult", "RunSet", "STABLE_SIZES", "SizeClass",
+    "StreamGraph", "SystemSpec", "TransferMode", "all_workloads",
+    "app_workloads", "compare_workload", "default_calibration",
+    "default_system", "execute_program", "get_workload",
+    "interjob_speedup", "lint_program", "lint_registry",
+    "micro_workloads", "recommend_mode", "run_job_batch", "run_workload",
+    "section6_shares", "validate_program", "workloads_by_suite",
+    "__version__",
 ]

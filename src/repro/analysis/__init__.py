@@ -1,0 +1,34 @@
+"""Static analysis for the simulator: model linter + stream checker.
+
+The paper's conclusions only hold for structurally *valid* kernel and
+transfer configurations - real CUDA rejects launches that overflow the
+shared-memory carveout, and UVM silently degrades when footprints are
+mis-declared. This package catches such problems before a simulation
+burns cycles:
+
+* :mod:`repro.analysis.diagnostics` - ``Diagnostic`` records, the
+  ``LintReport`` container (text + JSON), and the ``RuleRegistry`` with
+  per-rule enable/disable and configuration.
+* :mod:`repro.analysis.rules` - the K1xx/P2xx lint rules over programs
+  and kernel descriptors.
+* :mod:`repro.analysis.streamcheck` - the S3xx happens-before analyzer
+  over recorded ``CudaStream`` ledgers (races, cycles, dead syncs).
+* :mod:`repro.analysis.runner` - lint one program, one workload, or
+  the whole registry; ``validate_program`` is the fast-fail hook.
+
+See ``docs/LINTING.md`` for the rule catalog.
+"""
+
+from .diagnostics import (Diagnostic, LintReport, Rule, RuleRegistry,
+                          Severity)
+from .rules import DEFAULT_REGISTRY, LintContext, run_rules
+from .runner import (LintError, lint_program, lint_registry, lint_workload,
+                     validate_program)
+from .streamcheck import GraphOp, StreamGraph, analyze_records
+
+__all__ = [
+    "DEFAULT_REGISTRY", "Diagnostic", "GraphOp", "LintContext",
+    "LintError", "LintReport", "Rule", "RuleRegistry", "Severity",
+    "StreamGraph", "analyze_records", "lint_program", "lint_registry",
+    "lint_workload", "run_rules", "validate_program",
+]

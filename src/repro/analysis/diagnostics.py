@@ -1,0 +1,290 @@
+"""Diagnostics framework for the static model linter.
+
+The linter reports :class:`Diagnostic` records - one structural finding
+about a workload program, kernel descriptor, or stream graph - grouped
+into a :class:`LintReport`. Rules are registered in a
+:class:`RuleRegistry` which supports per-rule enable/disable and
+configuration overrides (including severity remapping), mirroring how
+clang-tidy / ruff manage their rule catalogs.
+
+Severity semantics:
+
+* ``error``   - structurally impossible on the modelled hardware (real
+  CUDA would refuse the launch / allocation); simulating it produces
+  plausible-but-wrong timings.
+* ``warning`` - legal but almost certainly a modelling mistake or a
+  configuration that silently degrades (e.g. a cp.async double buffer
+  that cannot fit the carveout).
+* ``info``    - noteworthy structural property worth surfacing (e.g.
+  intentional UVM oversubscription).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity levels, ordered ``error > warning > info``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank for sorting (higher = more severe)."""
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        for sev in cls:
+            if sev.value == label.lower():
+                return sev
+        raise ValueError(
+            f"unknown severity {label!r}; expected one of "
+            f"{[s.value for s in cls]}"
+        )
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structural finding.
+
+    ``location`` pins the finding inside the linted object (e.g.
+    ``phase[0]/kernel:gemm`` or ``buffer:coeff`` or ``stream:copy#2``);
+    ``workload`` and ``mode`` identify the lint context so reports over
+    the whole registry stay attributable.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    location: str = ""
+    fix_hint: str = ""
+    workload: str = ""
+    mode: str = ""
+
+    def format(self) -> str:
+        """One-line human-readable rendering."""
+        where = ":".join(p for p in (self.workload, self.mode) if p)
+        parts = [f"{self.severity.value:<7}", self.rule]
+        if where:
+            parts.append(where)
+        if self.location:
+            parts.append(self.location)
+        line = " ".join(parts) + f": {self.message}"
+        if self.fix_hint:
+            line += f"  [fix: {self.fix_hint}]"
+        return line
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": self.location,
+            "fix_hint": self.fix_hint,
+            "workload": self.workload,
+            "mode": self.mode,
+        }
+
+
+class LintReport:
+    """An ordered collection of diagnostics with summary accounting."""
+
+    def __init__(self, diagnostics: Optional[Iterable[Diagnostic]] = None):
+        self.diagnostics: List[Diagnostic] = list(diagnostics or [])
+        #: number of (workload, mode) contexts linted to produce this report
+        self.contexts = 0
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "LintReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.contexts += other.contexts
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "info": len(self.infos),
+        }
+
+    def sorted(self) -> List[Diagnostic]:
+        """Most severe first, stable within a severity."""
+        return sorted(self.diagnostics,
+                      key=lambda d: (-d.severity.rank, d.workload, d.mode,
+                                     d.rule, d.location))
+
+    # ------------------------------------------------------------------
+    # Output formats
+    # ------------------------------------------------------------------
+    def render_text(self, min_severity: Severity = Severity.INFO) -> str:
+        """Human-readable report, one diagnostic per line plus summary."""
+        lines = [d.format() for d in self.sorted()
+                 if d.severity.rank >= min_severity.rank]
+        counts = self.counts()
+        summary = (f"{counts['error']} error(s), {counts['warning']} "
+                   f"warning(s), {counts['info']} info(s)")
+        if self.contexts:
+            summary += f" across {self.contexts} lint context(s)"
+        if not lines:
+            return f"clean: {summary}"
+        return "\n".join(lines + [summary])
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Machine-readable report (the ``--format json`` contract)."""
+        payload = {
+            "version": 1,
+            "contexts": self.contexts,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+        return json.dumps(payload, indent=indent)
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule.
+
+    ``check`` receives the lint context and yields diagnostics; rules
+    without a ``check`` (the stream-graph rules, which run on stream
+    ledgers rather than programs) are catalog entries only.
+    """
+
+    id: str
+    name: str
+    severity: Severity
+    description: str
+    check: Optional[Callable] = None
+    default_config: Dict[str, object] = field(default_factory=dict)
+
+    def diag(self, message: str, *, location: str = "", fix_hint: str = "",
+             severity: Optional[Severity] = None) -> Diagnostic:
+        """Build a diagnostic carrying this rule's id and severity."""
+        return Diagnostic(rule=self.id, severity=severity or self.severity,
+                          message=message, location=location,
+                          fix_hint=fix_hint)
+
+
+class RuleRegistry:
+    """Catalog of lint rules with enable/disable and per-rule config."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+        self._disabled: set = set()
+        self._config: Dict[str, Dict[str, object]] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(self, rule: Rule) -> Rule:
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.id!r}")
+        self._rules[rule.id] = rule
+        return rule
+
+    def rule(self, id: str, name: str, severity: Severity,
+             description: str, **default_config):
+        """Decorator: register ``fn`` as the check of a new rule."""
+        def decorate(fn: Callable) -> Callable:
+            self.register(Rule(id=id, name=name, severity=severity,
+                               description=description, check=fn,
+                               default_config=dict(default_config)))
+            return fn
+        return decorate
+
+    # -- lookup ---------------------------------------------------------
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(f"unknown rule {rule_id!r}; known: "
+                           f"{sorted(self._rules)}") from None
+
+    def all_rules(self) -> List[Rule]:
+        return [self._rules[rid] for rid in sorted(self._rules)]
+
+    def enabled_rules(self) -> List[Rule]:
+        return [r for r in self.all_rules() if r.id not in self._disabled]
+
+    def is_enabled(self, rule_id: str) -> bool:
+        self.get(rule_id)
+        return rule_id not in self._disabled
+
+    # -- configuration --------------------------------------------------
+    def disable(self, rule_id: str) -> None:
+        self.get(rule_id)
+        self._disabled.add(rule_id)
+
+    def enable(self, rule_id: str) -> None:
+        self.get(rule_id)
+        self._disabled.discard(rule_id)
+
+    def configure(self, rule_id: str, **options) -> None:
+        """Override a rule's default config (``severity=`` remaps it)."""
+        self.get(rule_id)
+        self._config.setdefault(rule_id, {}).update(options)
+
+    def config_for(self, rule_id: str) -> Dict[str, object]:
+        rule = self.get(rule_id)
+        merged = dict(rule.default_config)
+        merged.update(self._config.get(rule_id, {}))
+        return merged
+
+    def effective_rule(self, rule_id: str) -> Rule:
+        """The rule with any configured severity override applied."""
+        rule = self.get(rule_id)
+        override = self._config.get(rule_id, {}).get("severity")
+        if override is None:
+            return rule
+        if isinstance(override, str):
+            override = Severity.from_label(override)
+        return replace(rule, severity=override)
+
+    def catalog(self) -> str:
+        """Render the rule catalog (``repro lint --rules``)."""
+        lines = []
+        for rule in self.all_rules():
+            state = "" if rule.id not in self._disabled else " (disabled)"
+            lines.append(f"{rule.id}  {rule.severity.value:<7} "
+                         f"{rule.name}{state}")
+            lines.append(f"      {rule.description}")
+        return "\n".join(lines)

@@ -11,6 +11,7 @@ appendix's ``run_*`` scripts, see :mod:`repro.harness.artifact`):
 * ``figure``   - regenerate a figure (4-14) as text
 * ``advise``   - configuration recommendation for a workload
 * ``interjob`` - the Sec. 6 inter-job pipeline estimate
+* ``lint``     - statically validate workload programs (exit 1 on errors)
 """
 
 from __future__ import annotations
@@ -226,6 +227,25 @@ def build_parser() -> argparse.ArgumentParser:
                           help="subset of workloads (default: all 21)")
     _add_common(roofline)
 
+    lint = sub.add_parser("lint",
+                          help="statically validate workload programs "
+                               "(non-zero exit on errors)")
+    lint.add_argument("workloads", nargs="*",
+                      help="subset of workloads (default: all 21)")
+    lint.add_argument("--size", default="super",
+                      choices=[s.label for s in SizeClass.ordered()])
+    lint.add_argument("--all", action="store_true",
+                      help="lint every supported size class, not just "
+                           "--size")
+    lint.add_argument("--mode", action="append",
+                      choices=[m.value for m in ALL_MODES],
+                      help="restrict to these transfer modes "
+                           "(repeatable; default: all five)")
+    lint.add_argument("--format", default="text", choices=("text", "json"))
+    lint.add_argument("--min-severity", default="info",
+                      choices=("info", "warning", "error"),
+                      help="text output: hide findings below this level")
+
     artifact = sub.add_parser("artifact",
                               help="run one of the paper appendix's "
                                    "experiment scripts")
@@ -249,6 +269,24 @@ def _cmd_sizesearch(args) -> str:
     return render_size_search(args.workload, assessments)
 
 
+def _cmd_lint(args):
+    from .analysis import Severity, lint_registry
+    names = args.workloads or None
+    if args.all:
+        sizes = list(SizeClass.ordered())
+    else:
+        sizes = [SizeClass.from_label(args.size)]
+    modes = ([TransferMode.from_label(label) for label in args.mode]
+             if args.mode else None)
+    report = lint_registry(names, sizes, modes)
+    if args.format == "json":
+        text = report.to_json(indent=2)
+    else:
+        text = report.render_text(
+            min_severity=Severity.from_label(args.min_severity))
+    return text, (1 if report.has_errors else 0)
+
+
 def _cmd_artifact(args) -> str:
     from .harness.artifact import ARTIFACT_SCRIPTS, run_micro_all
     script = ARTIFACT_SCRIPTS[args.script]
@@ -264,6 +302,7 @@ def _cmd_artifact(args) -> str:
 
 COMMANDS = {
     "artifact": _cmd_artifact,
+    "lint": _cmd_lint,
     "sizesearch": _cmd_sizesearch,
     "roofline": _cmd_roofline,
     "list": _cmd_list,
@@ -280,10 +319,14 @@ COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        print(COMMANDS[args.command](args))
+        result = COMMANDS[args.command](args)
+        # Handlers return either text (exit 0) or (text, exit_code):
+        # ``lint`` uses the latter to make errors fail CI.
+        text, code = (result if isinstance(result, tuple) else (result, 0))
+        print(text)
     except BrokenPipeError:  # e.g. `python -m repro list | head`
         return 0
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

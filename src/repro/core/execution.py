@@ -130,10 +130,24 @@ def execute_program(program: Program, mode: TransferMode, *,
                     rng: Optional[np.random.Generator] = None,
                     seed: int = 0,
                     smem_carveout_bytes: Optional[int] = None,
-                    size_label: str = "") -> RunResult:
-    """Run one program once under one configuration; return the measurement."""
+                    size_label: str = "",
+                    validate: bool = False) -> RunResult:
+    """Run one program once under one configuration; return the measurement.
+
+    With ``validate=True`` the program is first linted against this
+    (mode, system, carveout) and :class:`repro.analysis.LintError` is
+    raised before any simulation time is spent if an error-severity
+    finding exists (e.g. a launch that overflows the shared-memory
+    carveout, or an explicit allocation larger than HBM).
+    """
     system = system or default_system()
     calib = calib or default_calibration()
+    if validate:
+        # Late import: analysis depends on sim only; importing it here
+        # keeps core importable without the analysis package loaded.
+        from ..analysis.runner import validate_program
+        validate_program(program, mode, system=system,
+                         smem_carveout_bytes=smem_carveout_bytes)
     rng = rng if rng is not None else np.random.default_rng(seed)
     rt = CudaRuntime(system, calib, rng,
                      footprint_bytes=program.footprint_bytes,

@@ -87,12 +87,22 @@ def _streamed_process(rt: CudaRuntime, program: Program, chunks: int,
         kernel_slice = slice_descriptor(phase.descriptor, chunks)
         for _repeat in range(phase.count):
             for chunk in range(chunks):
+                # Per-chunk buffer tokens: chunk i's copy and kernel
+                # touch a disjoint slice, so the stream checker must
+                # not see chunk j's kernel as racing with chunk i's
+                # copy (only the matching pair shares a token, and that
+                # pair is ordered by the `after=` event edge).
+                token = f"{program.name}[chunk{chunk}]"
                 copy = copy_stream.enqueue(
                     rt._transfer(f"chunk{chunk} H2D", h2d_kind,
-                                 h2d_chunk))
+                                 h2d_chunk),
+                    label=f"chunk{chunk}:H2D", kind="copy",
+                    writes=(token,))
                 compute_stream.enqueue(
                     rt.launch(kernel_slice, flags, resident_fraction=1.0),
-                    after=copy)
+                    after=copy,
+                    label=f"chunk{chunk}:{kernel_slice.name}",
+                    kind="kernel", reads=(token,))
         yield from device_synchronize(rt, copy_stream, compute_stream)
         if phase.host_sync_bytes:
             yield from rt.memcpy_d2h(f"{phase.descriptor.name}:sync",

@@ -14,7 +14,7 @@ from ..core.configs import ALL_MODES, TransferMode
 from ..core.experiment import Experiment
 from ..core.results import ModeComparison
 from ..core.stats import coefficient_of_variation, geomean, mean
-from ..workloads.registry import APP_NAMES, MICRO_NAMES
+from ..workloads.registry import APP_NAMES, MICRO_NAMES, get_workload
 from ..workloads.sizes import SizeClass
 from .report import render_table
 
@@ -29,11 +29,18 @@ def fig4_distributions(iterations: int = 30,
                        workloads: Sequence[str] = MICRO_NAMES,
                        modes: Sequence[TransferMode] = ALL_MODES,
                        base_seed: int = 1234) -> Dict:
-    """30-run total-time distributions per size/workload/mode (Fig. 4)."""
+    """30-run total-time distributions per size/workload/mode (Fig. 4).
+
+    Workloads that decline a size class (`Workload.supports`) — the
+    explicit-mode Mega allocations that exceed HBM — are skipped for
+    that size, exactly as the paper's sweep omits those cells.
+    """
     data: Dict = {}
     for size in sizes:
         data[size.label] = {}
         for name in workloads:
+            if not get_workload(name).supports(size):
+                continue
             experiment = Experiment(workload=name, size=size, modes=modes,
                                     iterations=iterations,
                                     base_seed=base_seed)
@@ -47,28 +54,44 @@ def fig4_distributions(iterations: int = 30,
 def fig5_stability(distributions: Dict) -> Dict[str, Dict[str, float]]:
     """std/mean per workload per size, averaged over the 5 setups (Fig. 5).
 
-    Adds a ``Geo-mean`` pseudo-workload row, as the paper plots.
+    Adds a ``Geo-mean`` pseudo-workload row, as the paper plots. The
+    grid may be ragged — a workload missing at a size (e.g. gemm at
+    Mega, where explicit allocation exceeds HBM) simply has no cell
+    there, and the Geo-mean for that size covers the present workloads.
     """
     stability: Dict[str, Dict[str, float]] = {}
     sizes = list(distributions)
-    workloads: List[str] = list(next(iter(distributions.values())))
+    workloads: List[str] = []
+    for by_workload in distributions.values():
+        for name in by_workload:
+            if name not in workloads:
+                workloads.append(name)
     for name in workloads:
         stability[name] = {}
         for size in sizes:
+            if name not in distributions[size]:
+                continue
             cvs = [coefficient_of_variation(totals)
                    for totals in distributions[size][name].values()]
             stability[name][size] = mean(cvs)
     stability["Geo-mean"] = {
-        size: geomean([stability[name][size] for name in workloads])
+        size: geomean([stability[name][size] for name in workloads
+                       if size in stability[name]])
         for size in sizes
     }
     return stability
 
 
 def render_fig5(stability: Dict[str, Dict[str, float]]) -> str:
-    """Figure 5's std/mean-per-size table."""
-    sizes = list(next(iter(stability.values())))
-    rows = [(name, *(f"{stability[name][size]:.4f}" for size in sizes))
+    """Figure 5's std/mean-per-size table ("-" marks skipped cells)."""
+    sizes: List[str] = []
+    for by_size in stability.values():
+        for size in by_size:
+            if size not in sizes:
+                sizes.append(size)
+    rows = [(name, *(f"{stability[name][size]:.4f}"
+                     if size in stability[name] else "-"
+                     for size in sizes))
             for name in stability]
     return render_table(("workload", *sizes), rows,
                         title="Fig. 5: std/mean of 30 runs per input size")

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.configs import TransferMode
 from ..core.experiment import Experiment
 from ..core.stats import geomean
+from ..workloads.registry import get_workload
 from ..workloads.sizes import SizeClass
 from .report import render_table
 
@@ -43,9 +44,16 @@ def assess_sizes(workload: str,
                  sizes: Sequence[SizeClass] = SizeClass.ordered(),
                  iterations: int = 10,
                  base_seed: int = 1234) -> List[SizeAssessment]:
-    """Run the Sec. 3.3 search for one workload."""
+    """Run the Sec. 3.3 search for one workload.
+
+    Sizes the workload declines (`Workload.supports`, e.g. gemm at
+    Mega where explicit allocation exceeds HBM) are skipped.
+    """
     assessments = []
+    subject = get_workload(workload)
     for size in sizes:
+        if not subject.supports(size):
+            continue
         experiment = Experiment(workload=workload, size=size,
                                 iterations=iterations,
                                 base_seed=base_seed)

@@ -246,20 +246,42 @@ class KernelDescriptor:
         """Re-tile the same total work onto a different launch geometry.
 
         Used by the sensitivity studies (Figs. 11 and 12): the total
-        element count, byte traffic, and compute are preserved while the
-        grid/block shape changes.
+        byte traffic and compute are conserved *exactly* while the
+        grid/block shape changes. Tiles-per-block is chosen as the
+        divisor of the per-block byte share closest to the proportional
+        ideal; if ``blocks`` does not divide the total traffic at all,
+        no exact re-tiling exists and a :class:`ValueError` is raised -
+        silently rounding the tile size would skew every point of a
+        sensitivity sweep by a different amount.
         """
         new_blocks = blocks if blocks is not None else self.blocks
         new_threads = (threads_per_block if threads_per_block is not None
                        else self.threads_per_block)
         if new_blocks < 1:
             raise ValueError("blocks must be >= 1")
-        total_tiles = self.total_tiles
-        new_tiles_per_block = max(1, round(total_tiles / new_blocks))
-        # Preserve total traffic: adjust tile_bytes so that
-        # blocks * tiles * tile_bytes stays constant.
         total_bytes = self.load_bytes
-        new_tile_bytes = max(1, round(total_bytes / (new_blocks * new_tiles_per_block)))
+        if total_bytes % new_blocks:
+            raise ValueError(
+                f"kernel {self.name!r}: cannot re-tile {total_bytes} bytes "
+                f"onto {new_blocks} blocks without changing total traffic "
+                f"({new_blocks} does not divide the byte total); pick a "
+                "block count that divides the traffic exactly")
+        per_block_bytes = total_bytes // new_blocks
+        # Choose the divisor of the per-block share nearest the
+        # proportional ideal (tiles = 1 always divides, so the search
+        # terminates; ties prefer the coarser tiling).
+        ideal = self.total_tiles / new_blocks
+        start = max(1, min(per_block_bytes, round(ideal)))
+        new_tiles_per_block = 1
+        for offset in range(per_block_bytes):
+            down, up = start - offset, start + offset
+            if down >= 1 and per_block_bytes % down == 0:
+                new_tiles_per_block = down
+                break
+            if up <= per_block_bytes and per_block_bytes % up == 0:
+                new_tiles_per_block = up
+                break
+        new_tile_bytes = per_block_bytes // new_tiles_per_block
         # Compute per tile scales with tile size; thread shortfall is
         # handled by the SM utilization model, not here.
         cycles_per_byte = (self.compute_cycles_per_tile / self.tile_bytes

@@ -55,6 +55,9 @@ class CudaRuntime:
         self.placement: HostPlacement = place_host_data(
             footprint_bytes, system.cpu, calib.noise, rng)
         self.executions: list = []
+        #: runtime-wide ledger of stream enqueues (StreamOpRecord), in
+        #: host order; the static stream-graph analyzer reads this.
+        self.stream_ops: list = []
         self._jitter_charged = False
 
     # ------------------------------------------------------------------

@@ -6,14 +6,43 @@ transfer and compute *explicitly*, with multiple streams and chunked
 This module adds stream objects to the runtime: per-stream FIFO
 ordering, cross-stream concurrency arbitrated by the hardware
 resources (copy engines, GPU queue), and event-style dependencies.
+
+Every enqueue is also recorded as a :class:`StreamOpRecord` (per-stream
+``ops`` plus the runtime-wide ``stream_ops`` ledger) so the static
+analyzer in :mod:`repro.analysis.streamcheck` can rebuild the
+happens-before DAG and detect races, cycles, and dead synchronizes
+without re-running the simulation.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
 
 from .engine import Event, Process
 from .runtime import CudaRuntime
+
+
+@dataclass(frozen=True)
+class StreamOpRecord:
+    """Static record of one enqueued stream operation.
+
+    ``process`` identifies the operation for cross-stream ``after``
+    matching; ``reads``/``writes`` name the buffers (or buffer chunks)
+    the operation touches, which is what the race analyzer keys on.
+    Synchronize records carry ``kind="sync"`` and ``pending`` - whether
+    the stream actually had in-flight work to wait for.
+    """
+
+    stream: str
+    sequence: int
+    label: str
+    kind: str = "op"
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    process: Optional[Process] = None
+    after: Tuple[Event, ...] = ()
+    pending: bool = True
 
 
 class CudaStream:
@@ -29,17 +58,37 @@ class CudaStream:
         self.name = name
         self._tail: Optional[Process] = None
         self._sequence = 0
+        #: static enqueue ledger for this stream (see StreamOpRecord)
+        self.ops: List[StreamOpRecord] = []
+
+    def _record(self, record: StreamOpRecord) -> None:
+        self.ops.append(record)
+        ledger = getattr(self.rt, "stream_ops", None)
+        if ledger is not None:
+            ledger.append(record)
 
     def enqueue(self, fragment: Generator,
-                after: Optional[Event] = None) -> Process:
+                after: Optional[Event] = None, *,
+                label: str = "", kind: str = "op",
+                reads: Tuple[str, ...] = (),
+                writes: Tuple[str, ...] = ()) -> Process:
         """Queue a runtime process fragment on this stream.
 
         ``after`` adds a cross-stream dependency (cudaStreamWaitEvent):
         the operation starts only once both the stream's previous
-        operation and ``after`` have completed.
+        operation and ``after`` have completed. ``label``, ``kind``,
+        ``reads``, and ``writes`` annotate the static ledger the
+        stream-graph analyzer consumes; they do not affect timing.
         """
         self._sequence += 1
+        # Short-circuit dependencies that already fired: waiting on a
+        # processed event is a no-op, and capturing it would both hold
+        # the dead event alive and cost a relay wake-up per enqueue.
+        if after is not None and after.processed:
+            after = None
         predecessor = self._tail
+        if predecessor is not None and predecessor.processed:
+            predecessor = None
 
         def op():
             if predecessor is not None and not predecessor.processed:
@@ -52,13 +101,25 @@ class CudaStream:
         process = self.rt.env.process(
             op(), name=f"{self.name}:{self._sequence}")
         self._tail = process
+        self._record(StreamOpRecord(
+            stream=self.name, sequence=self._sequence,
+            label=label or f"{self.name}:{self._sequence}", kind=kind,
+            reads=tuple(reads), writes=tuple(writes), process=process,
+            after=(after,) if after is not None else ()))
         return process
 
     def synchronize(self) -> Generator:
         """Process fragment: wait until the stream drains
         (cudaStreamSynchronize)."""
         tail = self._tail
-        if tail is not None and not tail.processed:
+        pending = tail is not None and not tail.processed
+        self._sequence += 1
+        self._record(StreamOpRecord(
+            stream=self.name, sequence=self._sequence,
+            label=f"{self.name}:synchronize", kind="sync",
+            process=None, after=(tail,) if pending else (),
+            pending=pending))
+        if pending:
             yield tail
         return None
 

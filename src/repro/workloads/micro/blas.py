@@ -126,6 +126,11 @@ class Gemm(Workload):
     description = "general Matrix-to-Matrix multiplication"
     input_kind = "2d"
 
+    def supports(self, size: SizeClass) -> bool:
+        """Mega needs three 16 GiB matrices (48 GiB): more than the
+        A100's 40 GiB of HBM, so explicit allocation cannot exist."""
+        return size is not SizeClass.MEGA
+
     def program(self, size: SizeClass) -> Program:
         side = size.side_2d
         matrix_bytes = side * side * FLOAT_BYTES

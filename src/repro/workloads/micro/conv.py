@@ -135,6 +135,11 @@ class Conv3D(Workload):
     description = "general 3D convolution"
     input_kind = "3d"
 
+    def supports(self, size: SizeClass) -> bool:
+        """Mega needs two 32 GiB grids (64 GiB): more than the A100's
+        40 GiB of HBM, so explicit allocation cannot exist."""
+        return size is not SizeClass.MEGA
+
     def program(self, size: SizeClass) -> Program:
         side = size.side_3d
         grid_bytes = side ** 3 * FLOAT_BYTES

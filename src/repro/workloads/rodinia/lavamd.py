@@ -51,6 +51,11 @@ class LavaMD(Workload):
                    "3D space.")
     input_kind = "3d"
 
+    def supports(self, size: SizeClass) -> bool:
+        """Mega's ~50 GiB of particle + force data exceeds the A100's
+        40 GiB of HBM, so explicit allocation cannot exist."""
+        return size is not SizeClass.MEGA
+
     def program(self, size: SizeClass) -> Program:
         # Boxes scale with the 3D grid; each box holds 100 particles of
         # 4 floats position/charge + 4 floats output.

@@ -1,0 +1,170 @@
+"""Diagnostics framework tests: records, reports, and the registry."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (Diagnostic, LintReport, Rule,
+                                        RuleRegistry, Severity)
+
+
+def make_diag(rule="T100", severity=Severity.ERROR, **overrides):
+    base = dict(rule=rule, severity=severity, message="boom",
+                location="phase[0]/kernel:k", fix_hint="fix it",
+                workload="w", mode="standard")
+    base.update(overrides)
+    return Diagnostic(**base)
+
+
+class TestSeverity:
+    def test_rank_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > \
+            Severity.INFO.rank
+
+    @pytest.mark.parametrize("label,expected", [
+        ("error", Severity.ERROR),
+        ("WARNING", Severity.WARNING),
+        ("Info", Severity.INFO),
+    ])
+    def test_from_label(self, label, expected):
+        assert Severity.from_label(label) is expected
+
+    def test_from_label_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.from_label("fatal")
+
+
+class TestDiagnostic:
+    def test_format_is_one_line(self):
+        line = make_diag().format()
+        assert "\n" not in line
+        assert "T100" in line
+        assert "w:standard" in line
+        assert "phase[0]/kernel:k" in line
+        assert "[fix: fix it]" in line
+
+    def test_to_dict_round_trips_severity(self):
+        payload = make_diag(severity=Severity.WARNING).to_dict()
+        assert payload["severity"] == "warning"
+        assert payload["rule"] == "T100"
+
+
+class TestLintReport:
+    def test_counts_and_has_errors(self):
+        report = LintReport([
+            make_diag(severity=Severity.ERROR),
+            make_diag(rule="T101", severity=Severity.WARNING),
+            make_diag(rule="T102", severity=Severity.INFO),
+        ])
+        assert report.counts() == {"error": 1, "warning": 1, "info": 1}
+        assert report.has_errors
+        assert len(report) == 3
+
+    def test_sorted_puts_errors_first(self):
+        report = LintReport([
+            make_diag(rule="T102", severity=Severity.INFO),
+            make_diag(rule="T100", severity=Severity.ERROR),
+        ])
+        assert [d.rule for d in report.sorted()] == ["T100", "T102"]
+
+    def test_merge_accumulates_contexts(self):
+        a = LintReport([make_diag()])
+        a.contexts = 2
+        b = LintReport([make_diag(rule="T101")])
+        b.contexts = 3
+        a.merge(b)
+        assert a.contexts == 5
+        assert len(a) == 2
+
+    def test_render_text_min_severity_filters(self):
+        report = LintReport([
+            make_diag(severity=Severity.ERROR),
+            make_diag(rule="T102", severity=Severity.INFO),
+        ])
+        text = report.render_text(min_severity=Severity.WARNING)
+        assert "T100" in text
+        assert "T102" not in text
+        # The summary still counts everything.
+        assert "1 info(s)" in text
+
+    def test_render_text_clean(self):
+        report = LintReport()
+        report.contexts = 4
+        text = report.render_text()
+        assert text.startswith("clean:")
+        assert "4 lint context(s)" in text
+
+    def test_json_contract(self):
+        report = LintReport([make_diag()])
+        report.contexts = 1
+        payload = json.loads(report.to_json())
+        assert payload["version"] == 1
+        assert payload["contexts"] == 1
+        assert payload["counts"]["error"] == 1
+        assert payload["diagnostics"][0]["rule"] == "T100"
+
+
+class TestRuleRegistry:
+    def make_registry(self):
+        registry = RuleRegistry()
+
+        @registry.rule("T100", "test-rule", Severity.WARNING,
+                       "a test rule", threshold=10)
+        def check(ctx, rule, config):
+            yield rule.diag("hit", location="here")
+
+        registry.register(Rule("T200", "catalog-only", Severity.ERROR,
+                               "no check"))
+        return registry
+
+    def test_duplicate_id_rejected(self):
+        registry = self.make_registry()
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.register(Rule("T100", "again", Severity.INFO, ""))
+
+    def test_unknown_rule_rejected(self):
+        registry = self.make_registry()
+        with pytest.raises(KeyError, match="unknown rule"):
+            registry.get("T999")
+
+    def test_disable_enable(self):
+        registry = self.make_registry()
+        assert registry.is_enabled("T100")
+        registry.disable("T100")
+        assert not registry.is_enabled("T100")
+        assert "T100" not in [r.id for r in registry.enabled_rules()]
+        registry.enable("T100")
+        assert registry.is_enabled("T100")
+
+    def test_configure_merges_defaults(self):
+        registry = self.make_registry()
+        assert registry.config_for("T100") == {"threshold": 10}
+        registry.configure("T100", threshold=99, extra=True)
+        assert registry.config_for("T100") == {"threshold": 99,
+                                               "extra": True}
+
+    def test_severity_override(self):
+        registry = self.make_registry()
+        assert registry.effective_rule("T100").severity is Severity.WARNING
+        registry.configure("T100", severity="error")
+        assert registry.effective_rule("T100").severity is Severity.ERROR
+        # The registered rule itself is untouched.
+        assert registry.get("T100").severity is Severity.WARNING
+
+    def test_catalog_lists_every_rule(self):
+        registry = self.make_registry()
+        registry.disable("T200")
+        catalog = registry.catalog()
+        assert "T100" in catalog
+        assert "T200" in catalog
+        assert "(disabled)" in catalog
+
+    def test_rule_diag_carries_identity(self):
+        registry = self.make_registry()
+        rule = registry.get("T100")
+        diag = rule.diag("msg", location="loc", fix_hint="hint")
+        assert diag.rule == "T100"
+        assert diag.severity is Severity.WARNING
+        # Severity can be remapped per finding (P201's managed case).
+        assert rule.diag("msg", severity=Severity.INFO).severity \
+            is Severity.INFO

@@ -1,0 +1,52 @@
+"""Runner entry points: workload- and registry-level lint sweeps."""
+
+import pytest
+
+from repro.analysis import lint_registry, lint_workload
+from repro.core.configs import ALL_MODES, TransferMode
+from repro.workloads.registry import ALL_NAMES, get_workload
+from repro.workloads.sizes import SizeClass
+
+
+class TestLintWorkload:
+    def test_single_workload_all_modes(self):
+        report = lint_workload(get_workload("vector_seq"),
+                               SizeClass.SUPER)
+        assert report.contexts == len(ALL_MODES)
+        assert not report.has_errors
+
+    def test_mode_subset(self):
+        report = lint_workload(get_workload("gemm"), SizeClass.SUPER,
+                               modes=(TransferMode.ASYNC,))
+        assert report.contexts == 1
+
+
+class TestLintRegistry:
+    def test_defaults_cover_every_workload(self):
+        report = lint_registry()
+        assert report.contexts == len(ALL_NAMES) * len(ALL_MODES)
+
+    def test_shipped_registry_has_no_errors_or_warnings(self):
+        """Registration smoke: every shipped (workload, size, mode)
+        combination must lint without errors or warnings - the
+        acceptance contract behind ``repro lint``."""
+        report = lint_registry(sizes=list(SizeClass))
+        counts = report.counts()
+        offenders = [d.format() for d in report.errors + report.warnings]
+        assert counts["error"] == 0, offenders
+        assert counts["warning"] == 0, offenders
+
+    def test_unsupported_sizes_skipped(self):
+        # gemm at mega needs 48 GiB of explicit allocation: the
+        # workload declines the size, so the sweep must skip it
+        # rather than report a P201 error.
+        report = lint_registry(names=["gemm"], sizes=[SizeClass.MEGA])
+        assert report.contexts == 0
+
+    def test_name_subset(self):
+        report = lint_registry(names=["saxpy", "hotspot"])
+        assert report.contexts == 2 * len(ALL_MODES)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            lint_registry(names=["not_a_workload"])

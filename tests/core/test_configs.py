@@ -35,6 +35,44 @@ class TestModes:
         for mode in ALL_MODES:
             assert TransferMode.from_label(mode.value) is mode
 
+    @pytest.mark.parametrize("mode,use_async,managed,prefetched", [
+        (TransferMode.STANDARD, False, False, False),
+        (TransferMode.ASYNC, True, False, False),
+        (TransferMode.UVM, False, True, False),
+        (TransferMode.UVM_PREFETCH, False, True, True),
+        (TransferMode.UVM_PREFETCH_ASYNC, True, True, True),
+    ])
+    def test_kernel_flags_truth_table(self, mode, use_async, managed,
+                                      prefetched):
+        """The full flag truth table, independent of the mode's own
+        properties (guards against the properties and the flags
+        drifting apart in tandem)."""
+        flags = mode.kernel_flags()
+        assert (flags.use_async, flags.managed, flags.prefetched) == \
+            (use_async, managed, prefetched)
+
+    def test_label_matches_value(self):
+        for mode in ALL_MODES:
+            assert mode.label == mode.value
+
     def test_from_label_unknown(self):
         with pytest.raises(ValueError):
             TransferMode.from_label("warp_speed")
+
+    def test_from_label_error_names_candidates(self):
+        """The error message must carry the bad label and every valid
+        choice, so CLI users can self-correct."""
+        with pytest.raises(ValueError) as excinfo:
+            TransferMode.from_label("warp_speed")
+        message = str(excinfo.value)
+        assert "warp_speed" in message
+        for mode in ALL_MODES:
+            assert mode.value in message
+
+    @pytest.mark.parametrize("label", ["", "Standard", "UVM",
+                                       " standard", "uvm-prefetch"])
+    def test_from_label_is_exact_match(self, label):
+        """Labels are case- and whitespace-sensitive: near-misses must
+        raise rather than silently pick a mode."""
+        with pytest.raises(ValueError):
+            TransferMode.from_label(label)

@@ -130,3 +130,48 @@ class TestRngInjection:
         second = execute_program(small_program(), TransferMode.STANDARD,
                                  rng=rng)
         assert first.total_ns == second.total_ns
+
+
+class TestValidateHook:
+    def test_validate_accepts_clean_program(self):
+        result = execute_program(small_program(), TransferMode.STANDARD,
+                                 seed=1, validate=True)
+        assert result.total_ns > 0
+
+    def test_validate_rejects_smem_overflow_before_simulating(self):
+        from repro.analysis import LintError
+        bad = make_descriptor(smem_static_bytes=200 * 1024)
+        program = Program(
+            name="bad", buffers=(
+                BufferSpec("in", bad.load_bytes, BufferDirection.IN),
+            ),
+            phases=(KernelPhase(bad),))
+        with pytest.raises(LintError, match="K101") as excinfo:
+            execute_program(program, TransferMode.STANDARD, validate=True)
+        assert excinfo.value.report.has_errors
+
+    def test_validate_rejects_explicit_hbm_overflow(self):
+        from repro.analysis import LintError
+        huge = make_descriptor(data_footprint_bytes=45 << 30)
+        program = Program(
+            name="huge", buffers=(
+                BufferSpec("in", 45 << 30, BufferDirection.IN),
+            ),
+            phases=(KernelPhase(huge),))
+        with pytest.raises(LintError, match="P201"):
+            execute_program(program, TransferMode.STANDARD, validate=True)
+        # The same footprint is legal (oversubscription) under UVM.
+        result = execute_program(program, TransferMode.UVM, validate=True)
+        assert result.total_ns > 0
+
+    def test_validate_defaults_off(self):
+        """Oversubscription studies run 45+ GiB explicit programs on
+        purpose; execute_program must not lint unless asked."""
+        huge = make_descriptor(data_footprint_bytes=45 << 30)
+        program = Program(
+            name="huge", buffers=(
+                BufferSpec("in", 45 << 30, BufferDirection.IN),
+            ),
+            phases=(KernelPhase(huge),))
+        result = execute_program(program, TransferMode.STANDARD)
+        assert result.total_ns > 0

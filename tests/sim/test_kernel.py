@@ -134,9 +134,27 @@ class TestWithGeometry:
                                       threads_per_block=threads)
         assert regeared.blocks == blocks
         assert regeared.threads_per_block == threads
-        # Total bytes preserved within rounding of tile granularity.
-        assert regeared.load_bytes == pytest.approx(base.load_bytes,
-                                                    rel=0.05)
+        # Total bytes are conserved *exactly*, not just approximately.
+        assert regeared.load_bytes == base.load_bytes
+
+    def test_awkward_blocks_conserved_exactly(self):
+        # 4096 tiles x 64 bytes onto 7 blocks: 7 does not divide the
+        # tile count, but it does divide the byte total, so an exact
+        # (if uneven-looking) re-tiling exists.
+        base = make_descriptor(blocks=4096, tiles_per_block=1,
+                               tile_bytes=448)
+        regeared = base.with_geometry(blocks=7)
+        assert regeared.load_bytes == base.load_bytes
+        assert regeared.blocks * regeared.tiles_per_block \
+            * regeared.tile_bytes == base.load_bytes
+
+    def test_indivisible_blocks_refused(self):
+        # 3 blocks cannot carry a power-of-two byte total evenly:
+        # refusing beats silently drifting the modelled traffic.
+        base = make_descriptor(blocks=4096, tiles_per_block=64)
+        assert base.load_bytes % 3 != 0
+        with pytest.raises(ValueError, match="without changing total"):
+            base.with_geometry(blocks=3)
 
     def test_compute_density_preserved(self):
         base = make_descriptor()

@@ -96,3 +96,107 @@ class TestStreamOrdering:
             return "done"
 
         assert rt.env.run_process(main()) == "done"
+
+
+class TestAfterEdges:
+    """Cross-stream `after` dependencies must be correct in both
+    enqueue orders: producer-first (the event is still in flight) and
+    producer-already-drained (the event fired before the consumer was
+    enqueued, so waiting must short-circuit)."""
+
+    def _producer(self, rt, order):
+        def fragment():
+            yield rt.env.timeout(100.0)
+            order.append("producer")
+        return fragment()
+
+    def _consumer(self, rt, order):
+        def fragment():
+            yield rt.env.timeout(1.0)
+            order.append("consumer")
+        return fragment()
+
+    def test_after_edge_with_inflight_producer(self, rt):
+        order = []
+        s1, s2 = CudaStream(rt, "s1"), CudaStream(rt, "s2")
+        produced = s1.enqueue(self._producer(rt, order))
+        s2.enqueue(self._consumer(rt, order), after=produced)
+        rt.env.run()
+        assert order == ["producer", "consumer"]
+
+    def test_after_edge_with_drained_producer(self, rt):
+        order = []
+        s1, s2 = CudaStream(rt, "s1"), CudaStream(rt, "s2")
+        produced = s1.enqueue(self._producer(rt, order))
+        rt.env.run()  # the producer completes before the enqueue
+        assert produced.processed
+        s2.enqueue(self._consumer(rt, order), after=produced)
+        rt.env.run()
+        assert order == ["producer", "consumer"]
+
+    def test_processed_after_is_short_circuited(self, rt):
+        s1, s2 = CudaStream(rt, "s1"), CudaStream(rt, "s2")
+        produced = s1.enqueue(self._producer(rt, []))
+        rt.env.run()
+        s2.enqueue(self._consumer(rt, []), after=produced)
+        # The ledger shows no dangling dependency on the dead event.
+        assert s2.ops[-1].after == ()
+
+    def test_inflight_after_is_recorded(self, rt):
+        s1, s2 = CudaStream(rt, "s1"), CudaStream(rt, "s2")
+        produced = s1.enqueue(self._producer(rt, []))
+        s2.enqueue(self._consumer(rt, []), after=produced)
+        assert s2.ops[-1].after == (produced,)
+        rt.env.run()
+
+    def test_drained_tail_is_short_circuited(self, rt):
+        stream = CudaStream(rt, "s")
+        stream.enqueue(self._producer(rt, []))
+        rt.env.run()
+        order = []
+        stream.enqueue(self._consumer(rt, order))
+        rt.env.run()
+        assert order == ["consumer"]
+
+
+class TestLedger:
+    def test_records_mirror_to_runtime(self, rt):
+        s1, s2 = CudaStream(rt, "s1"), CudaStream(rt, "s2")
+        s1.enqueue(rt._transfer("c", TransferKind.H2D, 1 << 20),
+                   label="H2D", kind="copy", writes=("A",))
+        s2.enqueue(rt.launch(make_descriptor(), ConfigFlags(),
+                             resident_fraction=1.0),
+                   label="kernel", kind="kernel", reads=("A",))
+        rt.env.run()
+        assert len(rt.stream_ops) == 2
+        assert [r.stream for r in rt.stream_ops] == ["s1", "s2"]
+        assert rt.stream_ops[0].writes == ("A",)
+        assert rt.stream_ops[1].reads == ("A",)
+
+    def test_sync_record_pendingness(self, rt):
+        stream = CudaStream(rt, "s")
+        stream.enqueue(rt._transfer("c", TransferKind.H2D, 1 << 20))
+
+        def main():
+            yield from stream.synchronize()  # waits on real work
+            yield from stream.synchronize()  # drained: waits on nothing
+
+        rt.env.run_process(main())
+        syncs = [r for r in stream.ops if r.kind == "sync"]
+        assert [s.pending for s in syncs] == [True, False]
+
+    def test_race_detection_round_trip(self, rt):
+        """The unsynchronized copy/kernel overlap bug is caught from
+        the recorded ledger with the S301 rule id."""
+        from repro.analysis import analyze_records
+        copy_stream = CudaStream(rt, "copy")
+        compute_stream = CudaStream(rt, "compute")
+        copy_stream.enqueue(
+            rt._transfer("copy", TransferKind.H2D, 1 << 20),
+            kind="copy", writes=("buf",))
+        compute_stream.enqueue(
+            rt.launch(make_descriptor(), ConfigFlags(),
+                      resident_fraction=1.0),
+            kind="kernel", reads=("buf",))
+        rt.env.run()
+        assert {d.rule for d in analyze_records(rt.stream_ops)} == {"S301"}

@@ -90,3 +90,66 @@ class TestRoofline:
         out = run_cli(capsys, "roofline", "lud", "gemm", "--size", "super")
         assert "staging" in out
         assert "compute" in out
+
+
+class TestLint:
+    """Exit-code contract: clean registry -> 0; injected structural
+    error -> non-zero with machine-readable diagnostics."""
+
+    def test_clean_registry_exits_zero(self, capsys):
+        out = run_cli(capsys, "lint", "--min-severity", "warning")
+        assert "0 error(s)" in out
+
+    def test_json_format(self, capsys):
+        import json
+        out = run_cli(capsys, "lint", "vector_seq", "gemm",
+                      "--format", "json")
+        payload = json.loads(out)
+        assert payload["version"] == 1
+        assert payload["contexts"] == 10  # 2 workloads x 5 modes
+        assert payload["counts"]["error"] == 0
+
+    def test_mode_subset(self, capsys):
+        import json
+        out = run_cli(capsys, "lint", "saxpy", "--mode", "uvm",
+                      "--mode", "async", "--format", "json")
+        assert json.loads(out)["contexts"] == 2
+
+    def test_injected_error_exits_nonzero(self, capsys, monkeypatch):
+        import json
+
+        from repro.workloads.registry import get_workload
+
+        real = get_workload("vector_seq")
+
+        class BadWorkload:
+            name = "vector_seq"
+
+            @staticmethod
+            def supports(size):
+                return True
+
+            @staticmethod
+            def program(size):
+                import dataclasses
+                program = real.program(size)
+                desc = dataclasses.replace(
+                    program.phases[0].descriptor,
+                    smem_static_bytes=200 * 1024)  # > 164 KiB device max
+                phases = (dataclasses.replace(program.phases[0],
+                                              descriptor=desc),)
+                return dataclasses.replace(program, phases=phases)
+
+        monkeypatch.setattr("repro.workloads.registry.get_workload",
+                            lambda name: BadWorkload())
+        code = main(["lint", "vector_seq", "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["counts"]["error"] > 0
+        assert {d["rule"] for d in payload["diagnostics"]
+                if d["severity"] == "error"} == {"K101"}
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            main(["lint", "quake3"])
