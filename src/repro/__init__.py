@@ -29,6 +29,8 @@ from .core import (ALL_MODES, Experiment, ModeComparison, Recommendation,
                    RunResult, RunSet, TransferMode, compare_workload,
                    execute_program, interjob_speedup, recommend_mode,
                    run_job_batch, run_workload, section6_shares)
+from .harness.executor import (ResultCache, RunSpec, SweepExecutor,
+                               expand_grid)
 from .sim import (AccessPattern, Calibration, CudaRuntime, KernelDescriptor,
                   Program, SystemSpec, default_calibration, default_system)
 from .workloads.registry import (ALL_NAMES, APP_NAMES, MICRO_NAMES,
@@ -42,8 +44,10 @@ __all__ = [
     "ALL_MODES", "ALL_NAMES", "APP_NAMES", "AccessPattern", "Calibration",
     "CudaRuntime", "Experiment", "KernelDescriptor", "LintError",
     "LintReport", "MICRO_NAMES", "ModeComparison", "Program",
-    "Recommendation", "RunResult", "RunSet", "STABLE_SIZES", "SizeClass",
-    "StreamGraph", "SystemSpec", "TransferMode", "all_workloads",
+    "Recommendation", "ResultCache", "RunResult", "RunSet", "RunSpec",
+    "STABLE_SIZES", "SizeClass",
+    "StreamGraph", "SweepExecutor", "SystemSpec", "TransferMode",
+    "all_workloads", "expand_grid",
     "app_workloads", "compare_workload", "default_calibration",
     "default_system", "execute_program", "get_workload",
     "interjob_speedup", "lint_program", "lint_registry",

@@ -9,6 +9,8 @@ appendix's ``run_*`` scripts, see :mod:`repro.harness.artifact`):
 * ``run``      - one workload under one configuration
 * ``compare``  - one workload under all five configurations
 * ``figure``   - regenerate a figure (4-14) as text
+* ``sweep``    - a full comparison grid through the parallel,
+  cache-backed executor (``--jobs N``, ``--no-cache``)
 * ``advise``   - configuration recommendation for a workload
 * ``interjob`` - the Sec. 6 inter-job pipeline estimate
 * ``lint``     - statically validate workload programs (exit 1 on errors)
@@ -18,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .core.advisor import recommend_mode
@@ -25,11 +28,14 @@ from .core.configs import ALL_MODES, TransferMode
 from .core.experiment import Experiment
 from .core.pipeline_model import interjob_speedup
 from .core.roofline import render_roofline, suite_roofline
-from .harness.figures import (fig4_distributions, fig5_stability,
-                              fig6_mega_breakdown, fig7_micro, fig8_apps,
-                              fig9_instruction_mix, fig10_cache_miss,
-                              geomean_improvements, render_comparison,
-                              render_counters, render_fig5, render_fig6)
+from .harness.executor import (ResultCache, SweepExecutor, default_cache_dir,
+                               default_jobs)
+from .harness.figures import (comparison_sweep, fig4_distributions,
+                              fig5_stability, fig6_mega_breakdown,
+                              fig7_micro, fig8_apps, fig9_instruction_mix,
+                              fig10_cache_miss, geomean_improvements,
+                              render_comparison, render_counters,
+                              render_fig5, render_fig6)
 from .harness.report import format_ns, render_table
 from .harness.size_search import assess_sizes, render_size_search
 from .harness.sensitivity import (blocks_sensitivity, carveout_sensitivity,
@@ -45,6 +51,51 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=[s.label for s in SizeClass.ordered()])
     parser.add_argument("--iterations", type=int, default=10)
     parser.add_argument("--seed", type=int, default=1234)
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    """Sweep-executor knobs shared by grid-running commands."""
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel workers (default: $REPRO_JOBS or 1)")
+    parser.add_argument("--backend", default="thread",
+                        choices=("thread", "process"),
+                        help="worker pool kind for --jobs > 1")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-simulate; do not read or write "
+                             "the result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro/results)")
+
+
+def _progress_printer():
+    """Coarse progress lines on stderr (~10 ticks per sweep)."""
+    def tick(done: int, total: int, spec) -> None:
+        step = max(1, total // 10)
+        if done % step == 0 or done == total:
+            print(f"  [{done}/{total}] {spec.workload}@{spec.size} "
+                  f"{spec.mode.value}", file=sys.stderr)
+    return tick
+
+
+def _executor_from_args(args) -> SweepExecutor:
+    cache = None
+    if not getattr(args, "no_cache", False):
+        root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+        cache = ResultCache(root)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    return SweepExecutor(jobs=jobs, cache=cache, backend=args.backend,
+                         progress=_progress_printer())
+
+
+def _finish_sweep(text: str, executor: SweepExecutor) -> str:
+    """Append the timing + cache-stats summary to a command's output."""
+    summary = executor.summary()
+    if executor.cache is not None:
+        stats = executor.cache.stats
+        summary += (f" (cache: {stats.hits} hits / {stats.misses} misses, "
+                    f"{executor.cache.root})")
+    return text + "\n" + summary
 
 
 def _cmd_list(_args) -> str:
@@ -102,44 +153,58 @@ def _cmd_compare(args) -> str:
 def _cmd_figure(args) -> str:
     iterations = args.iterations
     figure = args.id
+    executor = _executor_from_args(args)
     if figure == "4":
-        data = fig4_distributions(iterations=iterations)
-        return render_fig5(fig5_stability(data)) + \
-            "\n(see benchmarks/bench_fig4_size_distributions.py for the " \
-            "full per-run dump)"
+        data = fig4_distributions(iterations=iterations, executor=executor)
+        return _finish_sweep(
+            render_fig5(fig5_stability(data)) +
+            "\n(see benchmarks/bench_fig4_size_distributions.py for the "
+            "full per-run dump)", executor)
     if figure == "5":
-        return render_fig5(fig5_stability(
-            fig4_distributions(iterations=iterations)))
+        return _finish_sweep(render_fig5(fig5_stability(
+            fig4_distributions(iterations=iterations, executor=executor))),
+            executor)
     if figure == "6":
-        return render_fig6(fig6_mega_breakdown(iterations=iterations))
+        return _finish_sweep(render_fig6(fig6_mega_breakdown(
+            iterations=iterations, executor=executor)), executor)
     if figure in ("7", "7a", "7b"):
         size = SizeClass.LARGE if figure == "7a" else SizeClass.SUPER
-        comparisons = fig7_micro(size=size, iterations=iterations)
+        comparisons = fig7_micro(size=size, iterations=iterations,
+                                 executor=executor)
         text = render_comparison(comparisons,
                                  f"Fig. 7: micro @ {size.label}")
         improvements = geomean_improvements(comparisons)
-        return text + "\n" + "  ".join(
-            f"{mode}={value:+.2f}%" for mode, value in improvements.items())
+        return _finish_sweep(text + "\n" + "  ".join(
+            f"{mode}={value:+.2f}%" for mode, value in improvements.items()),
+            executor)
     if figure == "8":
-        comparisons = fig8_apps(iterations=iterations)
-        return render_comparison(comparisons, "Fig. 8: applications @ super")
+        comparisons = fig8_apps(iterations=iterations, executor=executor)
+        return _finish_sweep(
+            render_comparison(comparisons, "Fig. 8: applications @ super"),
+            executor)
     if figure == "9":
-        return render_counters(fig9_instruction_mix(),
-                               ("control", "integer"), "Fig. 9")
+        return _finish_sweep(render_counters(
+            fig9_instruction_mix(executor=executor),
+            ("control", "integer"), "Fig. 9"), executor)
     if figure == "10":
-        return render_counters(fig10_cache_miss(),
-                               ("load_miss", "store_miss"), "Fig. 10")
+        return _finish_sweep(render_counters(
+            fig10_cache_miss(executor=executor),
+            ("load_miss", "store_miss"), "Fig. 10"), executor)
     if figure == "11":
-        data = blocks_sensitivity(iterations=iterations)
-        return render_sweep(normalized_sweep(data), "#blocks", "Fig. 11")
+        data = blocks_sensitivity(iterations=iterations, executor=executor)
+        return _finish_sweep(
+            render_sweep(normalized_sweep(data), "#blocks", "Fig. 11"),
+            executor)
     if figure == "12":
-        data = threads_sensitivity(iterations=iterations)
-        return render_sweep(normalized_sweep(data, baseline_key=1024),
-                            "#threads", "Fig. 12")
+        data = threads_sensitivity(iterations=iterations, executor=executor)
+        return _finish_sweep(
+            render_sweep(normalized_sweep(data, baseline_key=1024),
+                         "#threads", "Fig. 12"), executor)
     if figure == "13":
-        data = carveout_sensitivity(iterations=iterations)
-        return render_sweep(normalized_sweep(data, baseline_key=32),
-                            "smem KB", "Fig. 13")
+        data = carveout_sensitivity(iterations=iterations, executor=executor)
+        return _finish_sweep(
+            render_sweep(normalized_sweep(data, baseline_key=32),
+                         "smem KB", "Fig. 13"), executor)
     if figure == "14":
         program = get_workload("vector_seq").program(SizeClass.SUPER)
         rows = []
@@ -153,6 +218,29 @@ def _cmd_figure(args) -> str:
         return render_table(("config", "sequential", "pipelined",
                              "improvement"), rows, title="Fig. 14")
     raise SystemExit(f"unknown figure {figure!r} (expected 4-14)")
+
+
+def _cmd_sweep(args) -> str:
+    """Full comparison grid through the parallel executor."""
+    executor = _executor_from_args(args)
+    workloads = args.workloads or list(ALL_NAMES)
+    unknown = sorted(set(workloads) - set(ALL_NAMES))
+    if unknown:
+        raise SystemExit(f"unknown workloads: {', '.join(unknown)} "
+                         f"(see `repro list`)")
+    sizes = [SizeClass.from_label(label)
+             for label in (args.sizes or ["super"])]
+    pieces = []
+    for size in sizes:
+        names = [name for name in workloads
+                 if get_workload(name).supports(size)]
+        comparisons = comparison_sweep(names, size,
+                                       iterations=args.iterations,
+                                       base_seed=args.seed,
+                                       executor=executor)
+        pieces.append(render_comparison(
+            comparisons, f"sweep @ {size.label} ({args.iterations} runs)"))
+    return _finish_sweep("\n\n".join(pieces), executor)
 
 
 def _cmd_advise(args) -> str:
@@ -201,6 +289,20 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("id", help="4, 5, 6, 7a, 7b, 8, 9, 10, 11, 12, "
                                    "13, or 14")
     _add_common(figure)
+    _add_executor_flags(figure)
+
+    sweep = sub.add_parser("sweep",
+                           help="run a (workload x size x mode x iteration) "
+                                "grid through the parallel executor")
+    sweep.add_argument("workloads", nargs="*",
+                       help="subset of workloads (default: all 21)")
+    sweep.add_argument("--sizes", action="append", default=None,
+                       choices=[s.label for s in SizeClass.ordered()],
+                       help="size classes to sweep (repeatable; "
+                            "default: super)")
+    sweep.add_argument("--iterations", type=int, default=10)
+    sweep.add_argument("--seed", type=int, default=1234)
+    _add_executor_flags(sweep)
 
     advise = sub.add_parser("advise",
                             help="configuration recommendation "
@@ -220,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="Sec. 3.3 input-size search")
     sizesearch.add_argument("workload", choices=sorted(ALL_NAMES))
     _add_common(sizesearch)
+    _add_executor_flags(sizesearch)
 
     roofline = sub.add_parser("roofline",
                               help="pipeline-stage bottleneck table")
@@ -264,9 +367,11 @@ def _cmd_roofline(args) -> str:
 
 
 def _cmd_sizesearch(args) -> str:
+    executor = _executor_from_args(args)
     assessments = assess_sizes(args.workload, iterations=args.iterations,
-                               base_seed=args.seed)
-    return render_size_search(args.workload, assessments)
+                               base_seed=args.seed, executor=executor)
+    return _finish_sweep(render_size_search(args.workload, assessments),
+                         executor)
 
 
 def _cmd_lint(args):
@@ -311,6 +416,7 @@ COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "figure": _cmd_figure,
+    "sweep": _cmd_sweep,
     "advise": _cmd_advise,
     "interjob": _cmd_interjob,
 }

@@ -1,0 +1,541 @@
+"""Parallel sweep executor with a content-addressed result cache.
+
+Every figure of the paper re-runs a (workload x size x mode x
+iteration) grid. Because each run is seeded purely from its
+coordinates (:func:`repro.core.experiment.run_seed`), the grid is
+*embarrassingly pure*: any cell can run anywhere, in any order, and
+produce bit-identical results. This module exploits that:
+
+* :class:`RunSpec` - one grid cell as a small, picklable value object;
+* :func:`expand_grid` - flatten a figure sweep into a spec list;
+* :class:`ResultCache` - a content-addressed, on-disk memo of finished
+  runs (key = stable hash of spec + program structure + hardware model
+  + calibration + code-version salt), reusing the
+  :mod:`repro.harness.store` record schema;
+* :class:`SweepExecutor` - fans specs out over a thread/process pool
+  and fills cache hits without re-simulating, preserving input order.
+
+Determinism contract: for any spec list, ``SweepExecutor(jobs=1)``,
+``SweepExecutor(jobs=N)`` (either backend) and a warm-cache replay all
+return byte-identical serialized :class:`~repro.core.results.RunResult`
+sequences. ``tests/harness/test_executor.py`` pins this down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
+
+import numpy as np
+
+from ..core.configs import ALL_MODES, TransferMode
+from ..core.execution import execute_program
+from ..core.experiment import run_seed
+from ..core.results import ModeComparison, RunResult, RunSet
+from ..sim.calibration import Calibration, default_calibration
+from ..sim.hardware import SystemSpec, default_system
+from ..workloads.sizes import SizeClass
+from .store import record_to_run, run_to_record
+
+#: Bump when the simulator's semantics change in ways the hashed inputs
+#: (program structure, hardware spec, calibration constants) cannot
+#: see, to invalidate every previously cached result.
+CODE_VERSION = "executor-v1"
+
+#: Environment knobs picked up as defaults (CI's parallel leg sets
+#: ``REPRO_JOBS=2`` so the whole tier-1 suite exercises the pool path).
+JOBS_ENV = "REPRO_JOBS"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+Backend = str  # "thread" | "process"
+_BACKENDS = ("thread", "process")
+
+
+def default_jobs() -> int:
+    """Worker count: the ``REPRO_JOBS`` env var, else 1 (serial)."""
+    try:
+        return max(1, int(os.environ.get(JOBS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/results``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "results"
+
+
+# ----------------------------------------------------------------------
+# RunSpec: one pure grid cell
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulated run, identified purely by its coordinates.
+
+    A spec carries everything needed to reproduce the run bit-exactly:
+    grid coordinates (workload, size, mode, iteration), the sweep's
+    base seed, and the optional launch-geometry / shared-memory
+    overrides the sensitivity studies use. ``seed_salt`` is appended
+    to the workload token of the per-run seed so that geometry sweeps
+    keep their historical seed stream (``"<name>:sweep"``).
+    """
+
+    workload: str
+    size: str
+    mode: TransferMode
+    iteration: int = 0
+    base_seed: int = 1234
+    blocks: Optional[int] = None
+    threads: Optional[int] = None
+    smem_carveout_bytes: Optional[int] = None
+    seed_salt: str = ""
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        SizeClass.from_label(self.size)  # validates the label
+        if isinstance(self.mode, str):  # tolerate labels
+            object.__setattr__(self, "mode",
+                               TransferMode.from_label(self.mode))
+
+    @property
+    def size_class(self) -> SizeClass:
+        return SizeClass.from_label(self.size)
+
+    @property
+    def has_geometry(self) -> bool:
+        return self.blocks is not None or self.threads is not None
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """Same seed stream as :class:`~repro.core.experiment.Experiment`."""
+        return run_seed(self.base_seed, self.workload + self.seed_salt,
+                        self.size, self.mode, self.iteration)
+
+    def build_program(self):
+        """The (immutable) device program this spec runs."""
+        from ..workloads.registry import get_workload
+        subject = get_workload(self.workload)
+        if self.has_geometry:
+            builder = getattr(subject, "program_with_geometry", None)
+            if builder is None:
+                raise ValueError(
+                    f"workload {self.workload!r} does not support launch-"
+                    "geometry overrides (no program_with_geometry)")
+            return builder(self.size_class, blocks=self.blocks,
+                           threads=self.threads)
+        return subject.program(self.size_class)
+
+    def supported(self) -> bool:
+        from ..workloads.registry import get_workload
+        return get_workload(self.workload).supports(self.size_class)
+
+
+def expand_grid(workloads: Sequence[str],
+                sizes: Sequence[Union[SizeClass, str]],
+                modes: Sequence[TransferMode] = ALL_MODES,
+                iterations: int = 1,
+                base_seed: int = 1234,
+                skip_unsupported: bool = True,
+                **overrides) -> List[RunSpec]:
+    """Flatten a sweep into specs, in deterministic nested order.
+
+    Order is size-major, then workload, mode, iteration - the order
+    the serial figure loops have always used. Workloads that decline a
+    size (:meth:`Workload.supports`) are skipped when
+    ``skip_unsupported`` (the paper's omitted Mega cells); otherwise
+    the executor will raise when the cell runs.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    specs: List[RunSpec] = []
+    for size in sizes:
+        label = size.label if isinstance(size, SizeClass) else \
+            SizeClass.from_label(size).label
+        for name in workloads:
+            spec0 = RunSpec(workload=name, size=label, mode=modes[0],
+                            base_seed=base_seed, **overrides)
+            if skip_unsupported and not spec0.supported():
+                continue
+            for mode in modes:
+                for iteration in range(iterations):
+                    specs.append(dataclasses.replace(
+                        spec0, mode=mode, iteration=iteration))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Content-addressed cache keys
+# ----------------------------------------------------------------------
+def canonical(obj):
+    """Recursively normalize a value into a JSON-stable structure.
+
+    Dataclasses become ``{"__type__": name, fields...}`` so that two
+    different spec types with the same field values cannot collide;
+    enums become their value; dicts are sorted by stringified key.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, enum.Enum):
+        return canonical(obj.value)
+    if isinstance(obj, dict):
+        return {str(canonical(key)): canonical(value)
+                for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}")
+
+
+def fingerprint(obj) -> str:
+    """Stable SHA-256 hex digest of a canonicalized value."""
+    payload = json.dumps(canonical(obj), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# Program structure changes rarely relative to sweep width; memoize its
+# fingerprint per coordinates so warm-cache lookups stay O(file read).
+_PROGRAM_FP_CACHE: Dict[Tuple, str] = {}
+
+
+def program_fingerprint(spec: RunSpec) -> str:
+    """Fingerprint of the program the spec runs (descriptor + buffers).
+
+    Editing any workload descriptor (kernel geometry, tile sizes,
+    instruction mix, buffer directions...) changes this digest, which
+    invalidates every cached result for the workload - rule 2 of
+    docs/EXECUTOR.md.
+    """
+    coords = (spec.workload, spec.size, spec.blocks, spec.threads)
+    cached = _PROGRAM_FP_CACHE.get(coords)
+    if cached is None:
+        cached = fingerprint(spec.build_program())
+        _PROGRAM_FP_CACHE[coords] = cached
+    return cached
+
+
+def cache_key(spec: RunSpec,
+              system: Optional[SystemSpec] = None,
+              calib: Optional[Calibration] = None,
+              env_fingerprint: Optional[str] = None) -> str:
+    """Content-addressed key for one run.
+
+    The key covers everything the result depends on: the full spec,
+    the structure of the program it executes, the hardware model, the
+    calibration constants, and a code-version salt. Any perturbation
+    of any field produces a different key (property-tested in
+    ``tests/harness/test_cache_key.py``), and keys are stable across
+    processes and interpreter restarts (no ``hash()`` anywhere).
+    """
+    if env_fingerprint is None:
+        env_fingerprint = environment_fingerprint(system, calib)
+    payload = {
+        "code": CODE_VERSION,
+        "spec": canonical(spec),
+        "program": program_fingerprint(spec),
+        "environment": env_fingerprint,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def environment_fingerprint(system: Optional[SystemSpec] = None,
+                            calib: Optional[Calibration] = None) -> str:
+    """One digest for the (hardware model, calibration) pair."""
+    return fingerprint({
+        "system": system or default_system(),
+        "calib": calib or default_calibration(),
+    })
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = 0
+
+
+class ResultCache:
+    """Content-addressed on-disk memo of completed runs.
+
+    Layout: ``<root>/<key[:2]>/<key>.json``, one store-schema record
+    per file (the :mod:`repro.harness.store` JSON-lines schema, with
+    counters persisted so figure 9/10 sweeps replay exactly). Files
+    are written atomically (temp + rename) so concurrent workers and
+    interrupted sweeps can never publish a torn record; corrupt or
+    unreadable entries degrade to cache misses and are overwritten.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        path = self.path_for(key)
+        try:
+            record = json.loads(path.read_text())
+            run = record_to_run(record)
+        except (OSError, ValueError, KeyError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return run
+
+    def put(self, key: str, run: RunResult) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = run_to_record(run, with_counters=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(record))
+        tmp.replace(path)  # atomic on POSIX
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def clear(self) -> int:
+        """Delete every cached record; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def execute_spec(spec: RunSpec,
+                 system: Optional[SystemSpec] = None,
+                 calib: Optional[Calibration] = None) -> RunResult:
+    """Run one spec cold. Bit-identical to ``Experiment.run_one``."""
+    program = spec.build_program()
+    rng = np.random.default_rng(spec.seed_sequence())
+    return execute_program(
+        program, spec.mode,
+        system=system or default_system(),
+        calib=calib or default_calibration(),
+        rng=rng,
+        seed=spec.iteration,
+        smem_carveout_bytes=spec.smem_carveout_bytes,
+        size_label=spec.size,
+    )
+
+
+def _execute_entry(entry: Tuple[RunSpec, Optional[SystemSpec],
+                                Optional[Calibration]]) -> RunResult:
+    """Module-level worker so ProcessPoolExecutor can pickle it."""
+    spec, system, calib = entry
+    return execute_spec(spec, system=system, calib=calib)
+
+
+@dataclass
+class SweepStats:
+    """Accounting for the most recent :meth:`SweepExecutor.run`."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    elapsed_s: float = 0.0
+    jobs: int = 1
+    backend: Backend = "thread"
+
+    def summary(self) -> str:
+        parts = [f"{self.total} runs", f"{self.cache_hits} cache hits",
+                 f"{self.executed} executed in {self.elapsed_s:.2f}s"]
+        if self.executed and self.jobs > 1:
+            parts.append(f"{self.jobs} {self.backend} workers")
+        return "[sweep] " + ", ".join(parts)
+
+
+ProgressFn = Callable[[int, int, RunSpec], None]
+
+
+class SweepExecutor:
+    """Runs spec lists, in parallel, through the result cache.
+
+    * ``jobs=1`` executes inline (no pool, no pickling) - the
+      reference serial order.
+    * ``jobs>1`` fans cache misses out over a
+      :class:`ThreadPoolExecutor` (default; the NumPy-heavy simulator
+      releases little of the GIL, but threads cost nothing to spawn)
+      or a :class:`ProcessPoolExecutor` (``backend="process"``; true
+      parallelism, requires picklable specs - which RunSpecs are).
+
+    Results always come back in spec order regardless of completion
+    order, so downstream grouping never depends on scheduling.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 system: Optional[SystemSpec] = None,
+                 calib: Optional[Calibration] = None,
+                 backend: Backend = "thread",
+                 progress: Optional[ProgressFn] = None):
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache = cache
+        self.system = system
+        self.calib = calib
+        self.backend = backend
+        self.progress = progress
+        self.last = SweepStats()
+        self._env_fp: Optional[str] = None
+        # RunSpecs are frozen/hashable and the environment is fixed
+        # per executor, so keys memoize safely; warm replays of the
+        # same grid then skip re-canonicalizing every spec.
+        self._key_memo: Dict[RunSpec, str] = {}
+
+    # ------------------------------------------------------------------
+    def key_for(self, spec: RunSpec) -> str:
+        key = self._key_memo.get(spec)
+        if key is None:
+            if self._env_fp is None:
+                self._env_fp = environment_fingerprint(self.system,
+                                                       self.calib)
+            key = cache_key(spec, self.system, self.calib,
+                            env_fingerprint=self._env_fp)
+            self._key_memo[spec] = key
+        return key
+
+    def _tick(self, done: int, total: int, spec: RunSpec) -> None:
+        if self.progress is not None:
+            self.progress(done, total, spec)
+
+    def _execute_batch(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        entries = [(spec, self.system, self.calib) for spec in specs]
+        if self.jobs == 1 or len(specs) <= 1:
+            return [_execute_entry(entry) for entry in entries]
+        pool_cls = (ProcessPoolExecutor if self.backend == "process"
+                    else ThreadPoolExecutor)
+        workers = min(self.jobs, len(specs))
+        with pool_cls(max_workers=workers) as pool:
+            # map() preserves submission order.
+            return list(pool.map(_execute_entry, entries))
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute every spec; order-preserving; cache-aware."""
+        specs = list(specs)
+        started = time.perf_counter()
+        total = len(specs)
+        results: List[Optional[RunResult]] = [None] * total
+        pending: List[Tuple[int, RunSpec]] = []
+        keys: Dict[int, str] = {}
+        done = 0
+        if self.cache is not None:
+            for index, spec in enumerate(specs):
+                key = self.key_for(spec)
+                keys[index] = key
+                hit = self.cache.get(key)
+                if hit is None:
+                    pending.append((index, spec))
+                else:
+                    results[index] = hit
+                    done += 1
+                    self._tick(done, total, spec)
+        else:
+            pending = list(enumerate(specs))
+
+        hits = total - len(pending)
+        executed = self._execute_batch([spec for _, spec in pending])
+        for (index, spec), run in zip(pending, executed):
+            results[index] = run
+            if self.cache is not None:
+                self.cache.put(keys[index], run)
+            done += 1
+            self._tick(done, total, spec)
+
+        self.last = SweepStats(
+            total=total, cache_hits=hits, executed=len(pending),
+            elapsed_s=time.perf_counter() - started,
+            jobs=self.jobs, backend=self.backend,
+        )
+        return results  # type: ignore[return-value]
+
+    def summary(self) -> str:
+        return self.last.summary()
+
+
+# ----------------------------------------------------------------------
+# Regrouping executor output into the classic result containers
+# ----------------------------------------------------------------------
+def collect_runsets(results: Iterable[RunResult]
+                    ) -> Dict[Tuple[str, str, TransferMode], RunSet]:
+    """Group flat results into RunSets keyed (workload, size, mode).
+
+    Insertion order follows first appearance, so a grid expanded with
+    :func:`expand_grid` regroups into the same iteration order the
+    serial loops produced.
+    """
+    grouped: Dict[Tuple[str, str, TransferMode], RunSet] = {}
+    for run in results:
+        key = (run.workload, run.size, run.mode)
+        if key not in grouped:
+            grouped[key] = RunSet(workload=run.workload, mode=run.mode,
+                                  size=run.size)
+        grouped[key].add(run)
+    return grouped
+
+
+def collect_comparisons(results: Iterable[RunResult]
+                        ) -> Dict[Tuple[str, str], ModeComparison]:
+    """Group flat results into ModeComparisons keyed (workload, size)."""
+    comparisons: Dict[Tuple[str, str], ModeComparison] = {}
+    for key, runs in collect_runsets(results).items():
+        workload, size, _ = key
+        if (workload, size) not in comparisons:
+            comparisons[(workload, size)] = ModeComparison(
+                workload=workload, size=size)
+        comparisons[(workload, size)].add(runs)
+    return comparisons
+
+
+def ensure_executor(executor: Optional[SweepExecutor]) -> SweepExecutor:
+    """The caller's executor, or a fresh default (serial, no cache,
+    ``REPRO_JOBS`` honored)."""
+    return executor if executor is not None else SweepExecutor()

@@ -8,14 +8,15 @@ shows. Benchmarks under ``benchmarks/`` call these.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.configs import ALL_MODES, TransferMode
-from ..core.experiment import Experiment
 from ..core.results import ModeComparison
 from ..core.stats import coefficient_of_variation, geomean, mean
-from ..workloads.registry import APP_NAMES, MICRO_NAMES, get_workload
+from ..workloads.registry import APP_NAMES, MICRO_NAMES
 from ..workloads.sizes import SizeClass
+from .executor import (SweepExecutor, collect_comparisons, collect_runsets,
+                       ensure_executor, expand_grid)
 from .report import render_table
 
 COUNTER_WORKLOADS = ("gemm", "lud", "yolov3")
@@ -28,26 +29,22 @@ def fig4_distributions(iterations: int = 30,
                        sizes: Sequence[SizeClass] = SizeClass.ordered(),
                        workloads: Sequence[str] = MICRO_NAMES,
                        modes: Sequence[TransferMode] = ALL_MODES,
-                       base_seed: int = 1234) -> Dict:
+                       base_seed: int = 1234,
+                       executor: Optional[SweepExecutor] = None) -> Dict:
     """30-run total-time distributions per size/workload/mode (Fig. 4).
 
     Workloads that decline a size class (`Workload.supports`) — the
     explicit-mode Mega allocations that exceed HBM — are skipped for
-    that size, exactly as the paper's sweep omits those cells.
+    that size, exactly as the paper's sweep omits those cells. The
+    whole grid goes through one :class:`SweepExecutor` pass, so
+    ``--jobs``/caching apply across every cell at once.
     """
-    data: Dict = {}
-    for size in sizes:
-        data[size.label] = {}
-        for name in workloads:
-            if not get_workload(name).supports(size):
-                continue
-            experiment = Experiment(workload=name, size=size, modes=modes,
-                                    iterations=iterations,
-                                    base_seed=base_seed)
-            data[size.label][name] = {
-                mode.value: experiment.run_mode(mode).totals()
-                for mode in modes
-            }
+    specs = expand_grid(workloads, sizes, modes, iterations=iterations,
+                        base_seed=base_seed, skip_unsupported=True)
+    runsets = collect_runsets(ensure_executor(executor).run(specs))
+    data: Dict = {size.label: {} for size in sizes}
+    for (name, size_label, mode), runs in runsets.items():
+        data[size_label].setdefault(name, {})[mode.value] = runs.totals()
     return data
 
 
@@ -102,13 +99,15 @@ def render_fig5(stability: Dict[str, Dict[str, float]]) -> str:
 # ----------------------------------------------------------------------
 def fig6_mega_breakdown(iterations: int = 30, workload: str = "vector_seq",
                         mode: TransferMode = TransferMode.STANDARD,
-                        base_seed: int = 1234) -> List[Dict[str, float]]:
+                        base_seed: int = 1234,
+                        executor: Optional[SweepExecutor] = None
+                        ) -> List[Dict[str, float]]:
     """Per-run breakdown for the Mega input (Fig. 6)."""
-    experiment = Experiment(workload=workload, size=SizeClass.MEGA,
-                            modes=(mode,), iterations=iterations,
-                            base_seed=base_seed)
-    runs = experiment.run_mode(mode)
-    return [run.breakdown() for run in runs.runs]
+    specs = expand_grid((workload,), (SizeClass.MEGA,), (mode,),
+                        iterations=iterations, base_seed=base_seed,
+                        skip_unsupported=False)
+    runs = ensure_executor(executor).run(specs)
+    return [run.breakdown() for run in runs]
 
 
 def render_fig6(breakdowns: List[Dict[str, float]]) -> str:
@@ -126,25 +125,33 @@ def render_fig6(breakdowns: List[Dict[str, float]]) -> str:
 # ----------------------------------------------------------------------
 def comparison_sweep(workloads: Sequence[str], size: SizeClass,
                      iterations: int = 30,
-                     base_seed: int = 1234) -> Dict[str, ModeComparison]:
+                     base_seed: int = 1234,
+                     executor: Optional[SweepExecutor] = None
+                     ) -> Dict[str, ModeComparison]:
     """Five-config comparison for each named workload at one size."""
-    return {
-        name: Experiment(workload=name, size=size, iterations=iterations,
-                         base_seed=base_seed).run()
-        for name in workloads
-    }
+    specs = expand_grid(workloads, (size,), ALL_MODES,
+                        iterations=iterations, base_seed=base_seed,
+                        skip_unsupported=False)
+    comparisons = collect_comparisons(ensure_executor(executor).run(specs))
+    return {name: comparisons[(name, size.label)] for name in workloads}
 
 
 def fig7_micro(size: SizeClass = SizeClass.SUPER, iterations: int = 30,
-               base_seed: int = 1234) -> Dict[str, ModeComparison]:
+               base_seed: int = 1234,
+               executor: Optional[SweepExecutor] = None
+               ) -> Dict[str, ModeComparison]:
     """Micro comparison at one stable size (Fig. 7a = Large, 7b = Super)."""
-    return comparison_sweep(MICRO_NAMES, size, iterations, base_seed)
+    return comparison_sweep(MICRO_NAMES, size, iterations, base_seed,
+                            executor=executor)
 
 
 def fig8_apps(iterations: int = 30,
-              base_seed: int = 1234) -> Dict[str, ModeComparison]:
+              base_seed: int = 1234,
+              executor: Optional[SweepExecutor] = None
+              ) -> Dict[str, ModeComparison]:
     """Real-world application comparison at Super (Fig. 8)."""
-    return comparison_sweep(APP_NAMES, SizeClass.SUPER, iterations, base_seed)
+    return comparison_sweep(APP_NAMES, SizeClass.SUPER, iterations,
+                            base_seed, executor=executor)
 
 
 def render_comparison(comparisons: Dict[str, ModeComparison],
@@ -176,25 +183,29 @@ def geomean_improvements(comparisons: Dict[str, ModeComparison]) -> Dict[str, fl
 # ----------------------------------------------------------------------
 def counter_sweep(workloads: Sequence[str] = COUNTER_WORKLOADS,
                   size: SizeClass = SizeClass.SUPER,
-                  base_seed: int = 1234) -> Dict[str, Dict[str, Dict]]:
-    """One run per mode per workload; counters are deterministic."""
-    data: Dict[str, Dict[str, Dict]] = {}
-    for name in workloads:
-        experiment = Experiment(workload=name, size=size, iterations=1,
-                                base_seed=base_seed)
-        data[name] = {}
-        for mode in ALL_MODES:
-            run = experiment.run_mode(mode).runs[0]
-            mix = run.counters.instructions
-            misses = run.counters.mean_miss_rates()
-            data[name][mode.value] = {
-                "control": mix.control,
-                "integer": mix.integer,
-                "fp": mix.fp,
-                "memory": mix.memory,
-                "load_miss": misses.load,
-                "store_miss": misses.store,
-            }
+                  base_seed: int = 1234,
+                  executor: Optional[SweepExecutor] = None
+                  ) -> Dict[str, Dict[str, Dict]]:
+    """One run per mode per workload; counters are deterministic.
+
+    The cache persists per-kernel counters (store schema's optional
+    ``counters`` field), so warm replays reproduce Figs. 9/10 exactly.
+    """
+    specs = expand_grid(workloads, (size,), ALL_MODES, iterations=1,
+                        base_seed=base_seed, skip_unsupported=False)
+    results = ensure_executor(executor).run(specs)
+    data: Dict[str, Dict[str, Dict]] = {name: {} for name in workloads}
+    for run in results:
+        mix = run.counters.instructions
+        misses = run.counters.mean_miss_rates()
+        data[run.workload][run.mode.value] = {
+            "control": mix.control,
+            "integer": mix.integer,
+            "fp": mix.fp,
+            "memory": mix.memory,
+            "load_miss": misses.load,
+            "store_miss": misses.store,
+        }
     return data
 
 

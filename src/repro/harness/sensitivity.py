@@ -6,16 +6,12 @@ flexibly and benefits from both Async Memcpy and UVM.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence
 
 from ..core.configs import ALL_MODES, TransferMode
-from ..core.execution import execute_program
-from ..core.experiment import run_seed
 from ..core.results import RunSet
-from ..workloads.micro.vectors import VectorSeq
 from ..workloads.sizes import SizeClass
+from .executor import RunSpec, SweepExecutor, ensure_executor
 from .report import render_table
 
 BLOCK_SWEEP = (4096, 2048, 1024, 512, 256, 128, 64, 32, 16)
@@ -23,73 +19,90 @@ THREAD_SWEEP = (1024, 512, 256, 128, 64, 32)
 THREAD_SWEEP_BLOCKS = 64  # "total number of cores is fixed (set as 64)"
 CARVEOUT_SWEEP_KB = (2, 4, 8, 16, 32, 64, 128)
 
+#: Seed-stream salt the sensitivity sweeps have always used (their
+#: per-run seeds hash the token ``"<workload>:sweep"``).
+SWEEP_SEED_SALT = ":sweep"
 
-def _run_program(program, mode: TransferMode, iterations: int,
-                 base_seed: int, size: SizeClass,
-                 smem_carveout_bytes: Optional[int] = None) -> RunSet:
-    runs = RunSet(workload=program.name, mode=mode, size=size.label)
-    for iteration in range(iterations):
-        seed_seq = run_seed(base_seed, f"{program.name}:sweep",
-                            size.label, mode, iteration)
-        runs.add(execute_program(
-            program, mode, rng=np.random.default_rng(seed_seq),
-            seed=iteration, smem_carveout_bytes=smem_carveout_bytes,
-            size_label=size.label))
-    return runs
+SWEEP_WORKLOAD = "vector_seq"
+
+
+def _sweep(points: Sequence[int], iterations: int, base_seed: int,
+           size: SizeClass, modes: Sequence[TransferMode],
+           spec_for_point, executor: Optional[SweepExecutor]
+           ) -> Dict[int, Dict[str, RunSet]]:
+    """Run every (point, mode, iteration) cell in one executor pass.
+
+    Different sweep points share (workload, size, mode) coordinates,
+    so results are regrouped by position rather than by key.
+    """
+    specs: List[RunSpec] = []
+    for point in points:
+        base = spec_for_point(point)
+        for mode in modes:
+            for iteration in range(iterations):
+                specs.append(RunSpec(
+                    workload=base.workload, size=size.label, mode=mode,
+                    iteration=iteration, base_seed=base_seed,
+                    blocks=base.blocks, threads=base.threads,
+                    smem_carveout_bytes=base.smem_carveout_bytes,
+                    seed_salt=SWEEP_SEED_SALT))
+    results = ensure_executor(executor).run(specs)
+    data: Dict[int, Dict[str, RunSet]] = {}
+    cursor = 0
+    for point in points:
+        data[point] = {}
+        for mode in modes:
+            runs = RunSet(workload=SWEEP_WORKLOAD, mode=mode,
+                          size=size.label)
+            for run in results[cursor:cursor + iterations]:
+                runs.add(run)
+            cursor += iterations
+            data[point][mode.value] = runs
+    return data
 
 
 def blocks_sensitivity(blocks: Sequence[int] = BLOCK_SWEEP,
                        size: SizeClass = SizeClass.LARGE,
                        iterations: int = 10, base_seed: int = 1234,
                        modes: Sequence[TransferMode] = ALL_MODES,
-                       threads: int = 256) -> Dict[int, Dict[str, RunSet]]:
+                       threads: int = 256,
+                       executor: Optional[SweepExecutor] = None
+                       ) -> Dict[int, Dict[str, RunSet]]:
     """Fig. 11: vary the number of blocks at fixed threads/block."""
-    workload = VectorSeq()
-    data: Dict[int, Dict[str, RunSet]] = {}
-    for count in blocks:
-        program = workload.program_with_geometry(size, blocks=count,
-                                                 threads=threads)
-        data[count] = {mode.value: _run_program(program, mode, iterations,
-                                                base_seed, size)
-                       for mode in modes}
-    return data
+    return _sweep(
+        blocks, iterations, base_seed, size, modes,
+        lambda count: RunSpec(workload=SWEEP_WORKLOAD, size=size.label,
+                              mode=modes[0], blocks=count, threads=threads),
+        executor)
 
 
 def threads_sensitivity(threads: Sequence[int] = THREAD_SWEEP,
                         size: SizeClass = SizeClass.LARGE,
                         iterations: int = 10, base_seed: int = 1234,
                         modes: Sequence[TransferMode] = ALL_MODES,
-                        blocks: int = THREAD_SWEEP_BLOCKS
+                        blocks: int = THREAD_SWEEP_BLOCKS,
+                        executor: Optional[SweepExecutor] = None
                         ) -> Dict[int, Dict[str, RunSet]]:
     """Fig. 12: vary threads per block at a fixed 64-block grid."""
-    workload = VectorSeq()
-    data: Dict[int, Dict[str, RunSet]] = {}
-    for count in threads:
-        program = workload.program_with_geometry(size, blocks=blocks,
-                                                 threads=count)
-        data[count] = {mode.value: _run_program(program, mode, iterations,
-                                                base_seed, size)
-                       for mode in modes}
-    return data
+    return _sweep(
+        threads, iterations, base_seed, size, modes,
+        lambda count: RunSpec(workload=SWEEP_WORKLOAD, size=size.label,
+                              mode=modes[0], blocks=blocks, threads=count),
+        executor)
 
 
 def carveout_sensitivity(carveouts_kb: Sequence[int] = CARVEOUT_SWEEP_KB,
                          size: SizeClass = SizeClass.LARGE,
                          iterations: int = 10, base_seed: int = 1234,
-                         modes: Sequence[TransferMode] = ALL_MODES
+                         modes: Sequence[TransferMode] = ALL_MODES,
+                         executor: Optional[SweepExecutor] = None
                          ) -> Dict[int, Dict[str, RunSet]]:
     """Fig. 13: vary the shared-memory carveout (rest becomes L1)."""
-    workload = VectorSeq()
-    program = workload.program(size)
-    data: Dict[int, Dict[str, RunSet]] = {}
-    for carveout_kb in carveouts_kb:
-        data[carveout_kb] = {
-            mode.value: _run_program(program, mode, iterations, base_seed,
-                                     size,
-                                     smem_carveout_bytes=carveout_kb * 1024)
-            for mode in modes
-        }
-    return data
+    return _sweep(
+        carveouts_kb, iterations, base_seed, size, modes,
+        lambda kb: RunSpec(workload=SWEEP_WORKLOAD, size=size.label,
+                           mode=modes[0], smem_carveout_bytes=kb * 1024),
+        executor)
 
 
 def normalized_sweep(data: Dict[int, Dict[str, RunSet]],

@@ -12,11 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..core.configs import TransferMode
-from ..core.experiment import Experiment
+from ..core.configs import ALL_MODES
 from ..core.stats import geomean
 from ..workloads.registry import get_workload
 from ..workloads.sizes import SizeClass
+from .executor import (SweepExecutor, collect_comparisons, ensure_executor,
+                       expand_grid)
 from .report import render_table
 
 # Sec. 3.3's working criteria.
@@ -43,21 +44,23 @@ class SizeAssessment:
 def assess_sizes(workload: str,
                  sizes: Sequence[SizeClass] = SizeClass.ordered(),
                  iterations: int = 10,
-                 base_seed: int = 1234) -> List[SizeAssessment]:
+                 base_seed: int = 1234,
+                 executor: Optional[SweepExecutor] = None
+                 ) -> List[SizeAssessment]:
     """Run the Sec. 3.3 search for one workload.
 
     Sizes the workload declines (`Workload.supports`, e.g. gemm at
-    Mega where explicit allocation exceeds HBM) are skipped.
+    Mega where explicit allocation exceeds HBM) are skipped. All
+    (size x mode x iteration) cells go through one executor pass.
     """
-    assessments = []
     subject = get_workload(workload)
-    for size in sizes:
-        if not subject.supports(size):
-            continue
-        experiment = Experiment(workload=workload, size=size,
-                                iterations=iterations,
-                                base_seed=base_seed)
-        comparison = experiment.run()
+    supported = [size for size in sizes if subject.supports(size)]
+    specs = expand_grid((workload,), supported, ALL_MODES,
+                        iterations=iterations, base_seed=base_seed)
+    comparisons = collect_comparisons(ensure_executor(executor).run(specs))
+    assessments = []
+    for size in supported:
+        comparison = comparisons[(workload, size.label)]
         cvs = [runs.cv() for runs in comparison.by_mode.values()]
         totals = [runs.mean_total_ns()
                   for runs in comparison.by_mode.values()]

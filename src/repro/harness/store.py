@@ -15,13 +15,55 @@ from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from ..core.configs import TransferMode
 from ..core.results import ModeComparison, RunResult, RunSet
-from ..sim.counters import CounterReport
+from ..sim.cache import MissRates
+from ..sim.counters import CounterReport, KernelCounters
+from ..sim.kernel import InstructionMix
 
 SCHEMA_VERSION = 1
 
 
-def _run_to_record(run: RunResult) -> Dict:
-    return {
+def _counters_to_record(counters: CounterReport) -> List[Dict]:
+    """Serialize per-kernel counters (the Fig. 9/10 payload)."""
+    return [
+        {
+            "kernel": entry.kernel_name,
+            "inst": [entry.instructions.memory, entry.instructions.fp,
+                     entry.instructions.integer, entry.instructions.control],
+            "l1": [entry.l1.load, entry.l1.store],
+            "dram_load_bytes": entry.dram_load_bytes,
+            "dram_store_bytes": entry.dram_store_bytes,
+            "occupancy": entry.occupancy,
+        }
+        for entry in counters.kernels
+    ]
+
+
+def _counters_from_record(entries: List[Dict]) -> CounterReport:
+    report = CounterReport()
+    for entry in entries:
+        memory, fp, integer, control = entry["inst"]
+        load, store = entry["l1"]
+        report.add(KernelCounters(
+            kernel_name=entry["kernel"],
+            instructions=InstructionMix(memory=memory, fp=fp,
+                                        integer=integer, control=control),
+            l1=MissRates(load=load, store=store),
+            dram_load_bytes=entry["dram_load_bytes"],
+            dram_store_bytes=entry["dram_store_bytes"],
+            occupancy=entry["occupancy"],
+        ))
+    return report
+
+
+def run_to_record(run: RunResult, with_counters: bool = False) -> Dict:
+    """Serialize one run to the store's JSON record schema.
+
+    ``occupancy``, ``gpu_busy_fraction`` and ``counters`` are optional
+    on read (older stores lack them); ``with_counters=True`` persists
+    the per-kernel counter report too - the result cache uses this so
+    counter sweeps (Figs. 9/10) replay exactly from cache.
+    """
+    record = {
         "v": SCHEMA_VERSION,
         "workload": run.workload,
         "mode": run.mode.value,
@@ -34,11 +76,21 @@ def _run_to_record(run: RunResult) -> Dict:
         "occupancy": run.occupancy,
         "gpu_busy_fraction": run.gpu_busy_fraction,
     }
+    if with_counters:
+        record["counters"] = _counters_to_record(run.counters)
+    return record
 
 
-def _record_to_run(record: Dict) -> RunResult:
+def record_to_run(record: Dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from a store record.
+
+    Optional fields (``occupancy``, ``gpu_busy_fraction``,
+    ``counters``) default to empty when missing, so records written by
+    older schema-1 stores still load.
+    """
     if record.get("v") != SCHEMA_VERSION:
         raise ValueError(f"unsupported record version {record.get('v')!r}")
+    counters = record.get("counters")
     return RunResult(
         workload=record["workload"],
         mode=TransferMode.from_label(record["mode"]),
@@ -48,10 +100,16 @@ def _record_to_run(record: Dict) -> RunResult:
         memcpy_ns=record["memcpy_ns"],
         kernel_ns=record["kernel_ns"],
         wall_ns=record["wall_ns"],
-        counters=CounterReport(),  # counters are not persisted
+        counters=(_counters_from_record(counters)
+                  if counters is not None else CounterReport()),
         occupancy=record.get("occupancy", 0.0),
         gpu_busy_fraction=record.get("gpu_busy_fraction", 0.0),
     )
+
+
+# Backwards-compatible private aliases (pre-executor callers).
+_run_to_record = run_to_record
+_record_to_run = record_to_run
 
 
 class ResultStore:

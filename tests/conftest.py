@@ -8,6 +8,17 @@ from repro.sim.engine import Environment
 from repro.sim.hardware import default_system
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(tmp_path, monkeypatch):
+    """Keep every test's sweep cache inside its tmp dir.
+
+    CLI commands default the result cache to ``$REPRO_CACHE_DIR`` (or
+    ``~/.cache``); pointing it at tmp_path keeps tests hermetic and
+    cold-cached.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def system():
     return default_system()

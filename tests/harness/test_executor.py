@@ -1,0 +1,239 @@
+"""Determinism battery for the parallel sweep executor.
+
+The executor's contract: serial, thread-parallel, process-parallel and
+warm-cache replays of the same spec list all produce byte-identical
+serialized RunResults, in spec order.
+"""
+
+import json
+
+import pytest
+
+from repro.core.configs import ALL_MODES, TransferMode
+from repro.core.experiment import Experiment
+from repro.harness.executor import (CacheStats, ResultCache, RunSpec,
+                                    SweepExecutor, collect_comparisons,
+                                    collect_runsets, expand_grid)
+from repro.harness.figures import comparison_sweep
+from repro.harness.store import run_to_record
+from repro.sim.calibration import default_calibration
+from repro.sim.hardware import default_system
+from repro.workloads.registry import MICRO_NAMES
+from repro.workloads.sizes import SizeClass
+
+GRID = dict(workloads=("vector_seq", "saxpy"),
+            sizes=(SizeClass.TINY, SizeClass.SMALL),
+            modes=ALL_MODES, iterations=3)
+
+
+def serialize(runs):
+    """Canonical byte-level serialization of a result sequence."""
+    return [json.dumps(run_to_record(run, with_counters=True),
+                       sort_keys=True) for run in runs]
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return expand_grid(**GRID)
+
+
+@pytest.fixture(scope="module")
+def serial_results(specs):
+    return SweepExecutor(jobs=1).run(specs)
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_thread_pool_matches_serial(self, specs, serial_results, jobs):
+        results = SweepExecutor(jobs=jobs, backend="thread").run(specs)
+        assert serialize(results) == serialize(serial_results)
+
+    def test_process_pool_matches_serial(self, specs, serial_results):
+        results = SweepExecutor(jobs=4, backend="process").run(specs)
+        assert serialize(results) == serialize(serial_results)
+
+    def test_matches_experiment_runner(self):
+        """The executor is bit-identical to the classic Experiment."""
+        experiment = Experiment(workload="saxpy", size=SizeClass.SMALL,
+                                iterations=3)
+        old = experiment.run_mode(TransferMode.UVM_PREFETCH)
+        specs = expand_grid(("saxpy",), (SizeClass.SMALL,),
+                            (TransferMode.UVM_PREFETCH,), iterations=3)
+        new = SweepExecutor(jobs=4).run(specs)
+        assert serialize(new) == serialize(old.runs)
+
+    def test_results_in_spec_order(self, specs, serial_results):
+        for spec, run in zip(specs, serial_results):
+            assert (run.workload, run.size, run.mode, run.seed) == \
+                (spec.workload, spec.size, spec.mode, spec.iteration)
+
+
+class TestCache:
+    def test_replay_equals_cold(self, tmp_path, specs, serial_results):
+        cache = ResultCache(tmp_path / "cache")
+        executor = SweepExecutor(jobs=2, cache=cache)
+        cold = executor.run(specs)
+        assert executor.last.cache_hits == 0
+        assert executor.last.executed == len(specs)
+        warm = executor.run(specs)
+        assert executor.last.cache_hits == len(specs)
+        assert executor.last.executed == 0
+        assert serialize(cold) == serialize(warm) == serialize(serial_results)
+
+    def test_counters_survive_the_cache(self, tmp_path):
+        """Fig. 9/10 payloads replay exactly from cache."""
+        spec = RunSpec(workload="gemm", size="small",
+                       mode=TransferMode.ASYNC)
+        cache = ResultCache(tmp_path)
+        executor = SweepExecutor(cache=cache)
+        cold = executor.run([spec])[0]
+        warm = executor.run([spec])[0]
+        assert warm.counters.instructions == cold.counters.instructions
+        assert warm.counters.mean_miss_rates() == \
+            cold.counters.mean_miss_rates()
+        assert [k.kernel_name for k in warm.counters.kernels] == \
+            [k.kernel_name for k in cold.counters.kernels]
+
+    def test_hit_miss_stats(self, tmp_path, specs):
+        cache = ResultCache(tmp_path)
+        executor = SweepExecutor(cache=cache)
+        executor.run(specs)
+        assert cache.stats.misses == len(specs)
+        assert cache.stats.stores == len(specs)
+        executor.run(specs)
+        assert cache.stats.hits == len(specs)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert len(cache) == len(specs)
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        spec = RunSpec(workload="saxpy", size="tiny",
+                       mode=TransferMode.STANDARD)
+        cache = ResultCache(tmp_path)
+        executor = SweepExecutor(cache=cache)
+        first = executor.run([spec])[0]
+        key = executor.key_for(spec)
+        cache.path_for(key).write_text("{torn record")
+        again = executor.run([spec])[0]
+        assert serialize([first]) == serialize([again])
+        # and the corrupt entry was repaired in place
+        assert serialize([cache.get(key)]) == serialize([first])
+
+    def test_clear(self, tmp_path, specs):
+        cache = ResultCache(tmp_path)
+        SweepExecutor(cache=cache).run(specs[:5])
+        assert cache.clear() == 5
+        assert len(cache) == 0
+
+    def test_stats_reset(self):
+        stats = CacheStats(hits=3, misses=1, stores=1)
+        stats.reset()
+        assert stats.lookups == 0 and stats.hit_rate == 0.0
+
+
+class TestInvalidation:
+    SPEC = RunSpec(workload="vector_seq", size="tiny",
+                   mode=TransferMode.UVM)
+
+    def test_hardware_change_invalidates(self):
+        base = SweepExecutor()
+        shrunk = SweepExecutor(
+            system=default_system().with_gpu(hbm_bytes=16 * 1024 ** 3))
+        assert base.key_for(self.SPEC) != shrunk.key_for(self.SPEC)
+
+    def test_calibration_change_invalidates(self):
+        import dataclasses
+        calib = default_calibration()
+        tweaked = dataclasses.replace(
+            calib, kernel=dataclasses.replace(calib.kernel,
+                                              launch_ns=9_999.0))
+        assert SweepExecutor().key_for(self.SPEC) != \
+            SweepExecutor(calib=tweaked).key_for(self.SPEC)
+
+    def test_geometry_change_invalidates(self):
+        import dataclasses
+        base = SweepExecutor()
+        other = dataclasses.replace(self.SPEC, blocks=64, threads=128)
+        assert base.key_for(self.SPEC) != base.key_for(other)
+
+
+class TestExpandGrid:
+    def test_nested_order(self):
+        specs = expand_grid(("vector_seq",), (SizeClass.TINY,),
+                            (TransferMode.STANDARD, TransferMode.UVM),
+                            iterations=2)
+        flat = [(s.mode, s.iteration) for s in specs]
+        assert flat == [(TransferMode.STANDARD, 0),
+                        (TransferMode.STANDARD, 1),
+                        (TransferMode.UVM, 0), (TransferMode.UVM, 1)]
+
+    def test_skips_unsupported_cells(self):
+        # gemm declines Mega (explicit allocation exceeds HBM)
+        specs = expand_grid(("gemm", "vector_seq"), (SizeClass.MEGA,),
+                            (TransferMode.STANDARD,), iterations=1)
+        assert [s.workload for s in specs] == ["vector_seq"]
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="iterations"):
+            expand_grid(("saxpy",), (SizeClass.TINY,), iterations=0)
+        with pytest.raises(ValueError, match="unknown size"):
+            RunSpec(workload="saxpy", size="gigantic",
+                    mode=TransferMode.UVM)
+        with pytest.raises(ValueError, match="iteration"):
+            RunSpec(workload="saxpy", size="tiny",
+                    mode=TransferMode.UVM, iteration=-1)
+
+    def test_mode_labels_accepted(self):
+        spec = RunSpec(workload="saxpy", size="tiny", mode="uvm")
+        assert spec.mode is TransferMode.UVM
+
+    def test_geometry_requires_support(self):
+        spec = RunSpec(workload="lud", size="tiny",
+                       mode=TransferMode.STANDARD, blocks=32)
+        with pytest.raises(ValueError, match="geometry"):
+            spec.build_program()
+
+
+class TestGrouping:
+    def test_collect_runsets_preserves_grid_order(self, specs,
+                                                  serial_results):
+        grouped = collect_runsets(serial_results)
+        assert all(len(runs) == GRID["iterations"]
+                   for runs in grouped.values())
+        assert len(grouped) == 2 * 2 * len(ALL_MODES)
+
+    def test_collect_comparisons_has_baseline(self, specs, serial_results):
+        comparisons = collect_comparisons(serial_results)
+        for comparison in comparisons.values():
+            assert comparison.baseline().mode is TransferMode.STANDARD
+
+    def test_executor_rejects_bad_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            SweepExecutor(backend="fork-bomb")
+
+
+@pytest.mark.perf
+class TestWarmCacheSpeedup:
+    def test_fig7_style_sweep_warm_is_5x_faster(self, tmp_path):
+        """Acceptance: a repeated fig7/fig8 sweep with a warm cache
+        completes >= 5x faster than cold."""
+        cache = ResultCache(tmp_path / "cache")
+        executor = SweepExecutor(cache=cache)
+        kwargs = dict(size=SizeClass.SMALL, iterations=10,
+                      executor=executor)
+        cold = comparison_sweep(MICRO_NAMES, **kwargs)
+        cold_s = executor.last.elapsed_s
+        assert executor.last.executed == len(MICRO_NAMES) * 5 * 10
+        # Best of two warm replays: the contract is about the cache,
+        # not about transient scheduler noise on a loaded test box.
+        warm = comparison_sweep(MICRO_NAMES, **kwargs)
+        warm_s = executor.last.elapsed_s
+        assert executor.last.cache_hits == len(MICRO_NAMES) * 5 * 10
+        comparison_sweep(MICRO_NAMES, **kwargs)
+        warm_s = min(warm_s, executor.last.elapsed_s)
+        for name in MICRO_NAMES:
+            for mode in ALL_MODES:
+                assert warm[name].normalized_total(mode) == \
+                    cold[name].normalized_total(mode)
+        assert warm_s * 5.0 <= cold_s, (
+            f"warm sweep {warm_s:.3f}s not >=5x faster than cold "
+            f"{cold_s:.3f}s")

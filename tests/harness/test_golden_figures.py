@@ -1,0 +1,131 @@
+"""Golden regression tests for figure outputs.
+
+Small golden JSON files (checked in under ``tests/harness/golden/``)
+pin the numbers of fig5 (stability), fig6 (Mega breakdown), and the
+fig7-style geomean improvements on a reduced grid. Future performance
+PRs (parallelism, caching, seeding refactors) cannot silently skew the
+paper's numbers without these failing.
+
+Regenerate after an *intentional* model change with::
+
+    PYTHONPATH=src python tests/harness/test_golden_figures.py --regen
+
+and include the diff in review.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.harness.figures import (comparison_sweep, fig4_distributions,
+                                   fig5_stability, fig6_mega_breakdown,
+                                   geomean_improvements)
+from repro.workloads.sizes import SizeClass
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+RELTOL = 1e-9
+
+# Reduced grids: seconds of simulation, stable under the fixed seeds.
+FIG5_KWARGS = dict(iterations=4,
+                   sizes=(SizeClass.TINY, SizeClass.LARGE),
+                   workloads=("vector_seq", "saxpy"))
+FIG6_KWARGS = dict(iterations=3)
+GEOMEAN_WORKLOADS = ("vector_seq", "saxpy", "gemm")
+GEOMEAN_KWARGS = dict(size=SizeClass.LARGE, iterations=3)
+
+
+def build_fig5():
+    return fig5_stability(fig4_distributions(**FIG5_KWARGS))
+
+
+def build_fig6():
+    return fig6_mega_breakdown(**FIG6_KWARGS)
+
+
+def build_geomean():
+    comparisons = comparison_sweep(GEOMEAN_WORKLOADS, **GEOMEAN_KWARGS)
+    return {
+        "improvements": geomean_improvements(comparisons),
+        "normalized": {
+            name: {mode.value: comparisons[name].normalized_total(mode)
+                   for mode in TransferMode}
+            for name in GEOMEAN_WORKLOADS
+        },
+    }
+
+
+BUILDERS = {
+    "fig5_stability.json": build_fig5,
+    "fig6_mega_breakdown.json": build_fig6,
+    "fig7_geomean.json": build_geomean,
+}
+
+
+def load_golden(name):
+    path = GOLDEN_DIR / name
+    if not path.exists():
+        pytest.fail(f"golden file missing: {path} "
+                    "(regenerate with --regen)")
+    return json.loads(path.read_text())
+
+
+def assert_close(actual, golden, context=""):
+    """Recursive tolerance comparison with a useful failure path."""
+    assert type(actual) is type(golden) or \
+        (isinstance(actual, (int, float)) and
+         isinstance(golden, (int, float))), \
+        f"{context}: type changed {type(golden)} -> {type(actual)}"
+    if isinstance(golden, dict):
+        assert sorted(actual) == sorted(golden), \
+            f"{context}: keys changed"
+        for key in golden:
+            assert_close(actual[key], golden[key], f"{context}/{key}")
+    elif isinstance(golden, list):
+        assert len(actual) == len(golden), f"{context}: length changed"
+        for index, (a, g) in enumerate(zip(actual, golden)):
+            assert_close(a, g, f"{context}[{index}]")
+    elif isinstance(golden, float):
+        assert actual == pytest.approx(golden, rel=RELTOL), \
+            f"{context}: {actual!r} != golden {golden!r}"
+    else:
+        assert actual == golden, f"{context}: {actual!r} != {golden!r}"
+
+
+class TestGoldenFigures:
+    def test_fig5_stability_matches_golden(self):
+        assert_close(build_fig5(), load_golden("fig5_stability.json"),
+                     "fig5")
+
+    def test_fig6_breakdown_matches_golden(self):
+        assert_close(build_fig6(), load_golden("fig6_mega_breakdown.json"),
+                     "fig6")
+
+    def test_fig7_geomean_matches_golden(self):
+        assert_close(build_geomean(), load_golden("fig7_geomean.json"),
+                     "fig7-geomean")
+
+    def test_goldens_contain_expected_shape(self):
+        golden = load_golden("fig5_stability.json")
+        assert "Geo-mean" in golden
+        geomean = load_golden("fig7_geomean.json")
+        assert set(geomean["improvements"]) == \
+            {mode.value for mode in TransferMode}
+
+
+def regenerate():  # pragma: no cover - maintenance entry point
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, builder in BUILDERS.items():
+        path = GOLDEN_DIR / name
+        path.write_text(json.dumps(builder(), indent=2, sort_keys=True)
+                        + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -65,6 +65,60 @@ class TestFigures:
         assert "large" in out
 
 
+class TestSweep:
+    def test_sweep_renders_comparison_and_summary(self, capsys, tmp_path):
+        out = run_cli(capsys, "sweep", "saxpy", "vector_seq",
+                      "--sizes", "tiny", "--iterations", "2",
+                      "--cache-dir", str(tmp_path / "cache"))
+        assert "sweep @ tiny" in out
+        assert "geo-mean" in out
+        assert "[sweep] 20 runs" in out
+        assert "cache:" in out
+
+    def test_sweep_warm_cache_reports_hits(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_cli(capsys, "sweep", "saxpy", "--sizes", "tiny",
+                "--iterations", "2", "--cache-dir", cache_dir)
+        out = run_cli(capsys, "sweep", "saxpy", "--sizes", "tiny",
+                      "--iterations", "2", "--cache-dir", cache_dir)
+        assert "10 cache hits" in out
+        assert "0 executed" in out
+
+    def test_sweep_no_cache_and_jobs(self, capsys):
+        out = run_cli(capsys, "sweep", "saxpy", "--sizes", "tiny",
+                      "--iterations", "2", "--no-cache", "--jobs", "2")
+        assert "10 executed" in out
+        assert "cache:" not in out
+
+    def test_sweep_matches_compare_numbers(self, capsys):
+        """The executor path reproduces the classic serial numbers."""
+        sweep_out = run_cli(capsys, "sweep", "saxpy", "--sizes", "small",
+                            "--iterations", "3", "--no-cache",
+                            "--jobs", "4")
+        compare_out = run_cli(capsys, "compare", "saxpy", "--size",
+                              "small", "--iterations", "3")
+        sweep_row = next(line for line in sweep_out.splitlines()
+                         if line.startswith("saxpy"))
+        normalized = sweep_row.split()[1:]
+        for mode_label, value in zip(
+                ("standard", "async", "uvm", "uvm_prefetch",
+                 "uvm_prefetch_async"), normalized):
+            compare_row = next(line for line in compare_out.splitlines()
+                               if line.startswith(mode_label))
+            assert value in compare_row
+
+    def test_sweep_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit, match="quake3"):
+            main(["sweep", "quake3", "--sizes", "tiny"])
+
+    def test_figure_accepts_executor_flags(self, capsys, tmp_path):
+        out = run_cli(capsys, "figure", "13", "--iterations", "2",
+                      "--jobs", "2", "--cache-dir",
+                      str(tmp_path / "cache"))
+        assert "Fig. 13" in out
+        assert "[sweep]" in out
+
+
 class TestArtifact:
     def test_run_micro_shared(self, capsys):
         out = run_cli(capsys, "artifact", "run_micro_shared", "-i", "2")
