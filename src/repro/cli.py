@@ -30,6 +30,7 @@ from .core.pipeline_model import interjob_speedup
 from .core.roofline import render_roofline, suite_roofline
 from .harness.executor import (ResultCache, SweepExecutor, default_cache_dir,
                                default_jobs)
+from .harness.resilience import (RetryPolicy, SweepFailure, SweepJournal)
 from .harness.figures import (comparison_sweep, fig4_distributions,
                               fig5_stability, fig6_mega_breakdown,
                               fig7_micro, fig8_apps, fig9_instruction_mix,
@@ -66,6 +67,23 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="result-cache directory (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro/results)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-run a failed cell up to N extra times "
+                             "with exponential backoff (default: 0)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-cell wall-clock budget in seconds "
+                             "(process backend only; hung workers are "
+                             "killed and the cell retried or marked "
+                             "timed-out)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cells the journal recorded as "
+                             "permanently failed in an earlier run "
+                             "(completed cells replay from the cache); "
+                             "requires the cache")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail fast: abort the sweep at the first "
+                             "permanent cell failure (exit 1) instead of "
+                             "rendering gaps (exit 3)")
 
 
 def _progress_printer():
@@ -83,19 +101,57 @@ def _executor_from_args(args) -> SweepExecutor:
     if not getattr(args, "no_cache", False):
         root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
         cache = ResultCache(root)
-    jobs = args.jobs if args.jobs is not None else default_jobs()
-    return SweepExecutor(jobs=jobs, cache=cache, backend=args.backend,
-                         progress=_progress_printer())
+    resume = getattr(args, "resume", False)
+    if resume and cache is None:
+        raise SystemExit("--resume needs the result cache; "
+                         "drop --no-cache to use it")
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit(f"--jobs must be a positive integer, "
+                         f"got {args.jobs}")
+    retries = getattr(args, "retries", 0)
+    if retries < 0:
+        raise SystemExit(f"--retries must be >= 0, got {retries}")
+    timeout = getattr(args, "timeout", None)
+    if timeout is not None and timeout <= 0:
+        raise SystemExit(f"--timeout must be positive, got {timeout:g}")
+    try:
+        jobs = args.jobs if args.jobs is not None else default_jobs()
+        retry = RetryPolicy(retries=retries, timeout_s=timeout)
+        journal = (SweepJournal.beside(cache.root)
+                   if cache is not None else None)
+        return SweepExecutor(jobs=jobs, cache=cache, backend=args.backend,
+                             progress=_progress_printer(), retry=retry,
+                             journal=journal, resume=resume,
+                             strict=getattr(args, "strict", False))
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
 
 
-def _finish_sweep(text: str, executor: SweepExecutor) -> str:
-    """Append the timing + cache-stats summary to a command's output."""
+#: Exit code for a sweep that completed with gaps (partial results).
+EXIT_PARTIAL = 3
+#: Exit code for an interrupted run (Ctrl-C / SIGTERM), per POSIX custom.
+EXIT_INTERRUPTED = 130
+
+
+def _finish_sweep(text: str, executor: SweepExecutor):
+    """Append the timing + cache-stats summary to a command's output.
+
+    Returns ``(text, exit_code)``: 0 when the sweep was complete, 3
+    (:data:`EXIT_PARTIAL`) when cells are missing — their failure
+    summary is appended so a partial table is never mistaken for a
+    complete one.
+    """
     summary = executor.summary()
     if executor.cache is not None:
         stats = executor.cache.stats
         summary += (f" (cache: {stats.hits} hits / {stats.misses} misses, "
                     f"{executor.cache.root})")
-    return text + "\n" + summary
+    code = 0
+    outcome = executor.last_outcome
+    if outcome is not None and not outcome.complete:
+        summary += "\n" + outcome.failure_summary()
+        code = EXIT_PARTIAL
+    return text + "\n" + summary, code
 
 
 def _cmd_list(_args) -> str:
@@ -150,7 +206,7 @@ def _cmd_compare(args) -> str:
     return table + "\n\n" + render_stacked_comparison(comparison)
 
 
-def _cmd_figure(args) -> str:
+def _cmd_figure(args):
     iterations = args.iterations
     figure = args.id
     executor = _executor_from_args(args)
@@ -220,7 +276,7 @@ def _cmd_figure(args) -> str:
     raise SystemExit(f"unknown figure {figure!r} (expected 4-14)")
 
 
-def _cmd_sweep(args) -> str:
+def _cmd_sweep(args):
     """Full comparison grid through the parallel executor."""
     executor = _executor_from_args(args)
     workloads = args.workloads or list(ALL_NAMES)
@@ -366,7 +422,7 @@ def _cmd_roofline(args) -> str:
     return render_roofline(suite_roofline(size, names=names))
 
 
-def _cmd_sizesearch(args) -> str:
+def _cmd_sizesearch(args):
     executor = _executor_from_args(args)
     assessments = assess_sizes(args.workload, iterations=args.iterations,
                                base_seed=args.seed, executor=executor)
@@ -427,11 +483,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         result = COMMANDS[args.command](args)
         # Handlers return either text (exit 0) or (text, exit_code):
-        # ``lint`` uses the latter to make errors fail CI.
+        # ``lint`` exits 1 on errors, sweeps exit 3 when partial.
         text, code = (result if isinstance(result, tuple) else (result, 0))
         print(text)
     except BrokenPipeError:  # e.g. `python -m repro list | head`
         return 0
+    except KeyboardInterrupt:
+        # SweepInterrupted lands here too: the executor has already
+        # journaled finished cells, so a --resume replays them.
+        print("interrupted; finished cells are journaled - rerun with "
+              "--resume to continue", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except SweepFailure as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return code
 
 

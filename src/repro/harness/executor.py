@@ -19,6 +19,17 @@ Determinism contract: for any spec list, ``SweepExecutor(jobs=1)``,
 ``SweepExecutor(jobs=N)`` (either backend) and a warm-cache replay all
 return byte-identical serialized :class:`~repro.core.results.RunResult`
 sequences. ``tests/harness/test_executor.py`` pins this down.
+
+Resilience contract (:mod:`repro.harness.resilience`): one raising,
+hanging, or crashing spec never takes the sweep down. Each spec
+resolves to a :class:`~repro.harness.resilience.SpecOutcome`; failures
+retry per :class:`~repro.harness.resilience.RetryPolicy` with
+deterministic backoff; hung process workers are timed out and their
+pool rebuilt; ``BrokenProcessPool`` requeues survivors and quarantines
+poison specs; terminal outcomes checkpoint to a
+:class:`~repro.harness.resilience.SweepJournal` so interrupted sweeps
+resume. ``tests/harness/test_resilience.py`` proves all of this with
+the deterministic fault plans of :mod:`repro.harness.faults`.
 """
 
 from __future__ import annotations
@@ -28,8 +39,13 @@ import enum
 import hashlib
 import json
 import os
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import traceback as traceback_module
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, ThreadPoolExecutor)
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
@@ -44,6 +60,10 @@ from ..core.results import ModeComparison, RunResult, RunSet
 from ..sim.calibration import Calibration, default_calibration
 from ..sim.hardware import SystemSpec, default_system
 from ..workloads.sizes import SizeClass
+from . import faults
+from .resilience import (DEFAULT_RETRY_POLICY, RetryPolicy, SpecOutcome,
+                         SpecStatus, SweepFailure, SweepInterrupted,
+                         SweepJournal, SweepOutcome)
 from .store import record_to_run, run_to_record
 
 #: Bump when the simulator's semantics change in ways the hashed inputs
@@ -61,11 +81,24 @@ _BACKENDS = ("thread", "process")
 
 
 def default_jobs() -> int:
-    """Worker count: the ``REPRO_JOBS`` env var, else 1 (serial)."""
-    try:
-        return max(1, int(os.environ.get(JOBS_ENV, "1")))
-    except ValueError:
+    """Worker count: the ``REPRO_JOBS`` env var, else 1 (serial).
+
+    Invalid values (non-integers, zero, negatives) raise a clear
+    :class:`ValueError` instead of silently falling back to serial — a
+    CI leg that typos ``REPRO_JOBS=two`` should fail loudly, not
+    quietly stop exercising the pool path.
+    """
+    raw = os.environ.get(JOBS_ENV)
+    if raw is None or not raw.strip():
         return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{JOBS_ENV} must be a positive integer, got {raw!r}") from None
+    if jobs < 1:
+        raise ValueError(f"{JOBS_ENV} must be >= 1, got {jobs}")
+    return jobs
 
 
 def default_cache_dir() -> Path:
@@ -272,11 +305,18 @@ def environment_fingerprint(system: Optional[SystemSpec] = None,
 # ----------------------------------------------------------------------
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one :class:`ResultCache`."""
+    """Hit/miss accounting for one :class:`ResultCache`.
+
+    ``corrupt`` counts entries that *existed* but failed to parse —
+    each such entry is also a miss, and its file is quarantined to
+    ``<key>.corrupt`` (see :meth:`ResultCache.get`) so the same broken
+    record can never be re-counted on every lookup forever.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -287,7 +327,7 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def reset(self) -> None:
-        self.hits = self.misses = self.stores = 0
+        self.hits = self.misses = self.stores = self.corrupt = 0
 
 
 class ResultCache:
@@ -311,13 +351,34 @@ class ResultCache:
     def get(self, key: str) -> Optional[RunResult]:
         path = self.path_for(key)
         try:
-            record = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            record = json.loads(text)
             run = record_to_run(record)
-        except (OSError, ValueError, KeyError):
+        except (ValueError, KeyError, TypeError):
+            # The entry exists but cannot be parsed (torn write, stale
+            # schema, bit rot): quarantine it to <key>.corrupt so the
+            # re-executed run can publish a clean record, and count it
+            # separately from ordinary misses.
+            self._quarantine(path)
+            self.stats.corrupt += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return run
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (best effort) as ``<key>.corrupt``."""
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:  # pragma: no cover - cross-device/permission edge
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def put(self, key: str, run: RunResult) -> None:
         path = self.path_for(key)
@@ -350,8 +411,16 @@ class ResultCache:
 # ----------------------------------------------------------------------
 def execute_spec(spec: RunSpec,
                  system: Optional[SystemSpec] = None,
-                 calib: Optional[Calibration] = None) -> RunResult:
-    """Run one spec cold. Bit-identical to ``Experiment.run_one``."""
+                 calib: Optional[Calibration] = None,
+                 attempt: int = 1) -> RunResult:
+    """Run one spec cold. Bit-identical to ``Experiment.run_one``.
+
+    ``attempt`` (1-based) only feeds the test-only fault-injection
+    hook (:func:`repro.harness.faults.maybe_fire`); the simulation
+    itself is seeded purely from the spec, so retried attempts produce
+    byte-identical results.
+    """
+    faults.maybe_fire(spec, attempt)
     program = spec.build_program()
     rng = np.random.default_rng(spec.seed_sequence())
     return execute_program(
@@ -366,10 +435,10 @@ def execute_spec(spec: RunSpec,
 
 
 def _execute_entry(entry: Tuple[RunSpec, Optional[SystemSpec],
-                                Optional[Calibration]]) -> RunResult:
+                                Optional[Calibration], int]) -> RunResult:
     """Module-level worker so ProcessPoolExecutor can pickle it."""
-    spec, system, calib = entry
-    return execute_spec(spec, system=system, calib=calib)
+    spec, system, calib, attempt = entry
+    return execute_spec(spec, system=system, calib=calib, attempt=attempt)
 
 
 @dataclass
@@ -382,12 +451,24 @@ class SweepStats:
     elapsed_s: float = 0.0
     jobs: int = 1
     backend: Backend = "thread"
+    failed: int = 0
+    timed_out: int = 0
+    skipped: int = 0
+    retries: int = 0
+    crashes: int = 0
 
     def summary(self) -> str:
         parts = [f"{self.total} runs", f"{self.cache_hits} cache hits",
                  f"{self.executed} executed in {self.elapsed_s:.2f}s"]
         if self.executed and self.jobs > 1:
             parts.append(f"{self.jobs} {self.backend} workers")
+        for label, count in (("failed", self.failed),
+                             ("timed out", self.timed_out),
+                             ("skipped", self.skipped),
+                             ("retries", self.retries),
+                             ("worker crashes", self.crashes)):
+            if count:
+                parts.append(f"{count} {label}")
         return "[sweep] " + ", ".join(parts)
 
 
@@ -407,6 +488,13 @@ class SweepExecutor:
 
     Results always come back in spec order regardless of completion
     order, so downstream grouping never depends on scheduling.
+
+    Resilience: :meth:`run_outcomes` isolates every spec behind a
+    :class:`SpecOutcome` (retrying/timing out per ``retry``), journals
+    terminal outcomes when a ``journal`` is attached, skips journaled
+    permanent failures when ``resume`` is set, and — unless ``strict``
+    — returns partial sweeps instead of raising. :meth:`run` is the
+    historical strict facade: all-or-raise, in spec order.
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -414,22 +502,40 @@ class SweepExecutor:
                  system: Optional[SystemSpec] = None,
                  calib: Optional[Calibration] = None,
                  backend: Backend = "thread",
-                 progress: Optional[ProgressFn] = None):
+                 progress: Optional[ProgressFn] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 journal: Optional[SweepJournal] = None,
+                 resume: bool = False,
+                 strict: bool = False):
         if backend not in _BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}")
-        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        if jobs is None:
+            jobs = default_jobs()
+        else:
+            jobs = int(jobs)
+            if jobs < 1:
+                raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
         self.cache = cache
         self.system = system
         self.calib = calib
         self.backend = backend
         self.progress = progress
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        self.journal = journal
+        self.resume = resume
+        self.strict = strict
         self.last = SweepStats()
+        self.last_outcome: Optional[SweepOutcome] = None
         self._env_fp: Optional[str] = None
         # RunSpecs are frozen/hashable and the environment is fixed
         # per executor, so keys memoize safely; warm replays of the
         # same grid then skip re-canonicalizing every spec.
         self._key_memo: Dict[RunSpec, str] = {}
+        self._done = 0
+        self._retries = 0
+        self._crashes = 0
 
     # ------------------------------------------------------------------
     def key_for(self, spec: RunSpec) -> str:
@@ -447,58 +553,494 @@ class SweepExecutor:
         if self.progress is not None:
             self.progress(done, total, spec)
 
-    def _execute_batch(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        entries = [(spec, self.system, self.calib) for spec in specs]
-        if self.jobs == 1 or len(specs) <= 1:
-            return [_execute_entry(entry) for entry in entries]
-        pool_cls = (ProcessPoolExecutor if self.backend == "process"
-                    else ThreadPoolExecutor)
-        workers = min(self.jobs, len(specs))
-        with pool_cls(max_workers=workers) as pool:
-            # map() preserves submission order.
-            return list(pool.map(_execute_entry, entries))
-
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        """Execute every spec; order-preserving; cache-aware."""
+        """Execute every spec; order-preserving; cache-aware.
+
+        The historical all-or-nothing facade: any permanently failed
+        spec raises :class:`SweepFailure` (chaining the worker's
+        exception), after retries per ``self.retry``. Callers that can
+        use partial grids should call :meth:`run_outcomes` instead.
+        """
+        return self.run_outcomes(specs, strict=True).results  # type: ignore[return-value]
+
+    def run_outcomes(self, specs: Sequence[RunSpec],
+                     strict: Optional[bool] = None) -> SweepOutcome:
+        """Execute every spec through the resilience layer.
+
+        Returns a :class:`SweepOutcome` in spec order; failed,
+        timed-out and skipped specs appear as non-``ok`` outcomes (with
+        exception text + traceback) instead of raising. Under
+        ``strict`` (argument, else ``self.strict``) the first
+        *permanent* failure raises :class:`SweepFailure`. Ctrl-C and
+        SIGTERM checkpoint the journal and raise
+        :class:`SweepInterrupted` carrying the partial outcome.
+        """
         specs = list(specs)
+        strict = self.strict if strict is None else strict
         started = time.perf_counter()
         total = len(specs)
-        results: List[Optional[RunResult]] = [None] * total
-        pending: List[Tuple[int, RunSpec]] = []
-        keys: Dict[int, str] = {}
-        done = 0
-        if self.cache is not None:
-            for index, spec in enumerate(specs):
-                key = self.key_for(spec)
-                keys[index] = key
-                hit = self.cache.get(key)
-                if hit is None:
-                    pending.append((index, spec))
-                else:
-                    results[index] = hit
-                    done += 1
-                    self._tick(done, total, spec)
-        else:
-            pending = list(enumerate(specs))
+        outcomes: List[Optional[SpecOutcome]] = [None] * total
+        self._done = 0
+        self._retries = 0
+        self._crashes = 0
 
-        hits = total - len(pending)
-        executed = self._execute_batch([spec for _, spec in pending])
-        for (index, spec), run in zip(pending, executed):
-            results[index] = run
+        need_keys = self.cache is not None or self.journal is not None
+        keys: Dict[int, Optional[str]] = {
+            index: (self.key_for(spec) if need_keys else None)
+            for index, spec in enumerate(specs)}
+
+        restore = self._install_sigterm_handler()
+        try:
+            # Resume pass: skip specs the journal marks permanently
+            # failed; completed specs are already covered by the cache.
+            if self.journal is not None and self.resume:
+                journaled = self.journal.failed_keys()
+                for index, spec in enumerate(specs):
+                    status = journaled.get(keys[index] or "")
+                    if status is not None:
+                        self._settle(SpecOutcome(
+                            spec=spec, index=index,
+                            status=SpecStatus.SKIPPED,
+                            error=f"skipped on resume (journaled {status})",
+                            key=keys[index]), outcomes, total, strict,
+                            journal=False, store=False)
+            elif self.journal is not None:
+                self.journal.clear()  # fresh sweep, fresh checkpoint
+
+            # Cache pass.
             if self.cache is not None:
-                self.cache.put(keys[index], run)
-            done += 1
-            self._tick(done, total, spec)
+                for index, spec in enumerate(specs):
+                    if outcomes[index] is not None:
+                        continue
+                    hit = self.cache.get(keys[index])
+                    if hit is not None:
+                        self._settle(SpecOutcome(
+                            spec=spec, index=index, status=SpecStatus.OK,
+                            result=hit, from_cache=True, key=keys[index]),
+                            outcomes, total, strict,
+                            journal=False, store=False)
 
-        self.last = SweepStats(
-            total=total, cache_hits=hits, executed=len(pending),
-            elapsed_s=time.perf_counter() - started,
-            jobs=self.jobs, backend=self.backend,
-        )
-        return results  # type: ignore[return-value]
+            pending = [(index, spec, keys[index])
+                       for index, spec in enumerate(specs)
+                       if outcomes[index] is None]
+            if pending:
+                if self.jobs == 1 or len(pending) <= 1:
+                    self._run_serial(pending, outcomes, total, strict)
+                else:
+                    self._run_pool(pending, outcomes, total, strict)
+        except SweepFailure as failure:
+            failure.partial = self._finalize(specs, outcomes, started,
+                                             "aborted by strict mode")
+            raise
+        except KeyboardInterrupt:
+            partial = self._finalize(specs, outcomes, started, "interrupted")
+            raise SweepInterrupted(partial) from None
+        finally:
+            if restore is not None:
+                try:
+                    signal.signal(signal.SIGTERM, restore)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+        return self._finalize(specs, outcomes, started, "not scheduled")
 
     def summary(self) -> str:
         return self.last.summary()
+
+    # ------------------------------------------------------------------
+    # Shared per-spec finalization
+    # ------------------------------------------------------------------
+    def _settle(self, outcome: SpecOutcome,
+                outcomes: List[Optional[SpecOutcome]], total: int,
+                strict: bool, journal: bool = True,
+                store: bool = True) -> None:
+        """Publish one terminal outcome: cache, journal, tick, strict."""
+        outcomes[outcome.index] = outcome
+        if (store and outcome.ok and not outcome.from_cache
+                and self.cache is not None and outcome.key is not None
+                and outcome.result is not None):
+            self.cache.put(outcome.key, outcome.result)
+            if faults.should_corrupt_cache(outcome.spec):
+                # Chaos hook: tear the freshly written record in place,
+                # as a crash between write and rename would.
+                self.cache.path_for(outcome.key).write_text('{"torn":')
+        if (journal and self.journal is not None
+                and outcome.key is not None and not outcome.from_cache
+                and outcome.status is not SpecStatus.SKIPPED):
+            self.journal.record(outcome.key, outcome.status,
+                                spec=outcome.spec,
+                                attempts=outcome.attempts,
+                                error=outcome.error)
+        self._done += 1
+        self._tick(self._done, total, outcome.spec)
+        if strict and outcome.status in (SpecStatus.FAILED,
+                                         SpecStatus.TIMED_OUT):
+            raise SweepFailure(outcome)
+
+    def _after_failure(self, index: int, spec: RunSpec, key: Optional[str],
+                       attempt: int, error: BaseException, queue: List,
+                       outcomes: List[Optional[SpecOutcome]], total: int,
+                       strict: bool) -> None:
+        """One attempt raised: schedule a retry or settle FAILED."""
+        if attempt < self.retry.max_attempts:
+            self._retries += 1
+            delay = self.retry.delay_s(spec, attempt)
+            queue.append((index, spec, key, attempt + 1,
+                          time.monotonic() + delay))
+            return
+        self._settle(SpecOutcome(
+            spec=spec, index=index, status=SpecStatus.FAILED,
+            error=f"{type(error).__name__}: {error}",
+            traceback=self._format_traceback(error),
+            attempts=attempt, key=key), outcomes, total, strict)
+
+    @staticmethod
+    def _format_traceback(error: BaseException) -> str:
+        return "".join(traceback_module.format_exception(
+            type(error), error, error.__traceback__))
+
+    def _finalize(self, specs: Sequence[RunSpec],
+                  outcomes: List[Optional[SpecOutcome]], started: float,
+                  gap_reason: str) -> SweepOutcome:
+        filled: List[SpecOutcome] = []
+        for index, spec in enumerate(specs):
+            outcome = outcomes[index]
+            if outcome is None:
+                outcome = SpecOutcome(spec=spec, index=index,
+                                      status=SpecStatus.SKIPPED,
+                                      error=gap_reason)
+            filled.append(outcome)
+        sweep = SweepOutcome(outcomes=filled)
+        counts = sweep.counts()
+        hits = sum(1 for outcome in filled if outcome.from_cache)
+        self.last = SweepStats(
+            total=len(filled), cache_hits=hits,
+            executed=len(filled) - hits - counts["skipped"],
+            elapsed_s=time.perf_counter() - started,
+            jobs=self.jobs, backend=self.backend,
+            failed=counts["failed"], timed_out=counts["timed_out"],
+            skipped=counts["skipped"], retries=self._retries,
+            crashes=self._crashes)
+        self.last_outcome = sweep
+        return sweep
+
+    def _install_sigterm_handler(self):
+        """SIGTERM -> KeyboardInterrupt for the sweep's duration, so
+        ``kill <pid>`` checkpoints exactly like Ctrl-C. Main thread
+        only (``signal.signal`` raises elsewhere)."""
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        owner_pid = os.getpid()
+
+        def _handler(signum, frame):  # pragma: no cover - signal path
+            if os.getpid() != owner_pid:
+                # A forked worker inherited this handler; when the
+                # coordinator terminates it, die quietly like SIG_DFL
+                # instead of raising KeyboardInterrupt into the worker.
+                os._exit(143)
+            raise KeyboardInterrupt
+
+        try:
+            return signal.signal(signal.SIGTERM, _handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            return None
+
+    # ------------------------------------------------------------------
+    # Serial (jobs=1) execution with retry/backoff
+    # ------------------------------------------------------------------
+    def _run_serial(self, pending: List[Tuple[int, RunSpec, Optional[str]]],
+                    outcomes: List[Optional[SpecOutcome]], total: int,
+                    strict: bool) -> None:
+        policy = self.retry
+        for index, spec, key in pending:
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    run = _execute_entry((spec, self.system, self.calib,
+                                          attempt))
+                except KeyboardInterrupt:
+                    raise
+                except Exception as error:
+                    if attempt < policy.max_attempts:
+                        self._retries += 1
+                        delay = policy.delay_s(spec, attempt)
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    self._settle(SpecOutcome(
+                        spec=spec, index=index, status=SpecStatus.FAILED,
+                        error=f"{type(error).__name__}: {error}",
+                        traceback=self._format_traceback(error),
+                        attempts=attempt, key=key), outcomes, total, strict)
+                    break
+                else:
+                    self._settle(SpecOutcome(
+                        spec=spec, index=index, status=SpecStatus.OK,
+                        result=run, attempts=attempt, key=key),
+                        outcomes, total, strict)
+                    break
+
+    # ------------------------------------------------------------------
+    # Pooled execution: submit/wait with failure isolation
+    # ------------------------------------------------------------------
+    def _new_pool(self, workers: int):
+        pool_cls = (ProcessPoolExecutor if self.backend == "process"
+                    else ThreadPoolExecutor)
+        return pool_cls(max_workers=workers)
+
+    @staticmethod
+    def _hard_shutdown(pool) -> None:
+        """Tear a pool down without joining: cancel queued work and
+        terminate worker processes (a hung worker never joins)."""
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        processes = getattr(pool, "_processes", None)
+        if processes:
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - already gone
+                    pass
+
+    def _run_pool(self, pending: List[Tuple[int, RunSpec, Optional[str]]],
+                  outcomes: List[Optional[SpecOutcome]], total: int,
+                  strict: bool) -> None:
+        """submit()/wait() loop with per-spec isolation.
+
+        Unlike the old ``pool.map``, every spec gets its own future, so
+        one raising spec cannot poison its chunk-mates; per-future
+        deadlines (process backend) time out hung workers; and
+        ``BrokenProcessPool`` rebuilds the pool, requeues survivors,
+        and quarantines poison specs after ``retry.max_crashes``
+        crashes. Results still land in spec order via ``outcomes``.
+
+        Poison identification: the first pool break cannot tell which
+        in-flight spec killed the worker, so every victim gets one
+        crash credit and becomes a *suspect*. Suspects then run in
+        isolation — at most one in flight at a time — and a later
+        break with a suspect in flight credits only that suspect, so
+        an innocent bystander can never accumulate enough credits to
+        be quarantined alongside the real poison.
+        """
+        policy = self.retry
+        workers = min(self.jobs, len(pending))
+        use_deadline = (self.backend == "process"
+                        and policy.timeout_s is not None)
+        # queue items: (index, spec, key, attempt, not_before)
+        queue: List[Tuple[int, RunSpec, Optional[str], int, float]] = [
+            (index, spec, key, 1, 0.0) for index, spec, key in pending]
+        crashes: Dict[int, int] = {}
+        in_flight: Dict = {}
+        pool = self._new_pool(workers)
+        try:
+            while queue or in_flight:
+                now = time.monotonic()
+                victims: List[Tuple] = []
+
+                # 1. Fill free slots with eligible (not backing-off) work.
+                # Suspects (specs with crash credit) run one at a time.
+                while len(in_flight) < workers and not victims:
+                    suspect_in_flight = any(meta[0] in crashes
+                                            for meta in in_flight.values())
+                    slot = next((position for position, item
+                                 in enumerate(queue)
+                                 if item[4] <= now
+                                 and (item[0] not in crashes
+                                      or not suspect_in_flight)),
+                                None)
+                    if slot is None:
+                        break
+                    index, spec, key, attempt, _ = queue.pop(slot)
+                    try:
+                        future = pool.submit(
+                            _execute_entry,
+                            (spec, self.system, self.calib, attempt))
+                    except BrokenExecutor:
+                        victims.append((index, spec, key, attempt))
+                        break
+                    deadline = (now + policy.timeout_s
+                                if use_deadline else None)
+                    in_flight[future] = (index, spec, key, attempt, deadline)
+
+                if victims:
+                    pool = self._rebuild_after_crash(
+                        pool, workers, victims, in_flight, queue, crashes,
+                        outcomes, total, strict)
+                    continue
+
+                if not in_flight:
+                    # Everything queued is backing off; sleep to the
+                    # soonest eligibility.
+                    soonest = min(item[4] for item in queue)
+                    time.sleep(max(0.0, soonest - time.monotonic()))
+                    continue
+
+                # 2. Wait for a completion, the nearest deadline, or the
+                # next backoff eligibility — whichever comes first.
+                # (Only *schedulable* queue items count toward the
+                # eligibility wait: a suspect blocked behind another
+                # in-flight suspect must not spin the loop hot.)
+                wait_s = None
+                deadlines = [meta[4] for meta in in_flight.values()
+                             if meta[4] is not None]
+                if deadlines:
+                    wait_s = max(0.0, min(deadlines) - now)
+                if queue and len(in_flight) < workers:
+                    suspect_in_flight = any(meta[0] in crashes
+                                            for meta in in_flight.values())
+                    etas = [item[4] for item in queue
+                            if item[0] not in crashes
+                            or not suspect_in_flight]
+                    if etas:
+                        eta = max(0.0, min(etas) - now)
+                        wait_s = eta if wait_s is None else min(wait_s, eta)
+                done, _ = futures_wait(set(in_flight), timeout=wait_s,
+                                       return_when=FIRST_COMPLETED)
+
+                # 3. Harvest completions; collect crash victims.
+                for future in done:
+                    index, spec, key, attempt, _ = in_flight.pop(future)
+                    error = future.exception()
+                    if isinstance(error, BrokenExecutor):
+                        victims.append((index, spec, key, attempt))
+                    elif error is not None:
+                        self._after_failure(index, spec, key, attempt,
+                                            error, queue, outcomes, total,
+                                            strict)
+                    else:
+                        # Completing exonerates a suspect: it leaves
+                        # isolation scheduling.
+                        survived = crashes.pop(index, 0)
+                        self._settle(SpecOutcome(
+                            spec=spec, index=index, status=SpecStatus.OK,
+                            result=future.result(), attempts=attempt,
+                            crashes=survived, key=key),
+                            outcomes, total, strict)
+
+                if victims:
+                    pool = self._rebuild_after_crash(
+                        pool, workers, victims, in_flight, queue, crashes,
+                        outcomes, total, strict)
+                    continue
+
+                # 4. Expire hung workers (process backend only).
+                if use_deadline:
+                    now = time.monotonic()
+                    expired = [future for future, meta in in_flight.items()
+                               if meta[4] is not None and now >= meta[4]
+                               and not future.done()]
+                    if expired:
+                        pool = self._expire_and_rebuild(
+                            pool, workers, expired, in_flight, queue,
+                            outcomes, total, strict)
+        except BaseException:
+            self._hard_shutdown(pool)
+            raise
+        else:
+            pool.shutdown(wait=True)
+
+    def _rebuild_after_crash(self, pool, workers: int,
+                             victims: List[Tuple], in_flight: Dict,
+                             queue: List, crashes: Dict[int, int],
+                             outcomes: List[Optional[SpecOutcome]],
+                             total: int, strict: bool):
+        """A worker process died (``BrokenProcessPool``): salvage any
+        futures that finished before the crash, requeue the rest,
+        credit the likeliest culprits, quarantine specs that crossed
+        ``max_crashes``, and hand back a fresh pool.
+
+        Crediting: if a known suspect (prior crash credit) was in
+        flight, only suspects are credited — the scheduler runs at
+        most one suspect at a time, so the blame is precise and
+        innocent co-victims are requeued free. On a first break (no
+        suspects yet) every victim is credited; they all become
+        suspects and are subsequently isolated.
+        """
+        self._crashes += 1
+        for future, meta in list(in_flight.items()):
+            index, spec, key, attempt, _ = meta
+            del in_flight[future]
+            error = (future.exception() if future.done() else
+                     BrokenExecutor("in flight at pool crash"))
+            if error is None:  # finished before the pool broke
+                self._settle(SpecOutcome(
+                    spec=spec, index=index, status=SpecStatus.OK,
+                    result=future.result(), attempts=attempt, key=key),
+                    outcomes, total, strict)
+            elif isinstance(error, BrokenExecutor):
+                victims.append((index, spec, key, attempt))
+            else:
+                self._after_failure(index, spec, key, attempt, error,
+                                    queue, outcomes, total, strict)
+        self._hard_shutdown(pool)
+        now = time.monotonic()
+        suspects_present = any(index in crashes
+                               for index, _, _, _ in victims)
+        for index, spec, key, attempt in victims:
+            if suspects_present and index not in crashes:
+                # An identified suspect was in flight; this innocent
+                # bystander is requeued without a crash credit.
+                queue.append((index, spec, key, attempt, now))
+                continue
+            crashes[index] = crashes.get(index, 0) + 1
+            if crashes[index] >= self.retry.max_crashes:
+                self._settle(SpecOutcome(
+                    spec=spec, index=index, status=SpecStatus.FAILED,
+                    error=("worker process crashed; quarantined as poison "
+                           f"after {crashes[index]} pool crash(es)"),
+                    attempts=attempt, crashes=crashes[index], key=key),
+                    outcomes, total, strict)
+            else:
+                # A crash is not a failed *attempt* — the spec never
+                # finished running — so requeue at the same attempt.
+                queue.append((index, spec, key, attempt, now))
+        return self._new_pool(workers)
+
+    def _expire_and_rebuild(self, pool, workers: int, expired: List,
+                            in_flight: Dict, queue: List,
+                            outcomes: List[Optional[SpecOutcome]],
+                            total: int, strict: bool):
+        """Per-spec deadlines tripped: the workers running them are
+        stuck, so retry/fail the hung specs, salvage finished futures,
+        requeue the innocent in-flight ones, and rebuild the pool
+        (terminating the stuck workers)."""
+        policy = self.retry
+        now = time.monotonic()
+        for future in expired:
+            index, spec, key, attempt, _ = in_flight.pop(future)
+            if attempt < policy.max_attempts:
+                self._retries += 1
+                delay = policy.delay_s(spec, attempt)
+                queue.append((index, spec, key, attempt + 1, now + delay))
+            else:
+                self._settle(SpecOutcome(
+                    spec=spec, index=index, status=SpecStatus.TIMED_OUT,
+                    error=(f"exceeded {policy.timeout_s:g}s wall-clock "
+                           f"budget on attempt {attempt}"),
+                    attempts=attempt, key=key), outcomes, total, strict)
+        for future, meta in list(in_flight.items()):
+            index, spec, key, attempt, _ = meta
+            del in_flight[future]
+            if future.done() and not isinstance(future.exception(),
+                                                BrokenExecutor):
+                error = future.exception()
+                if error is not None:
+                    self._after_failure(index, spec, key, attempt, error,
+                                        queue, outcomes, total, strict)
+                else:
+                    self._settle(SpecOutcome(
+                        spec=spec, index=index, status=SpecStatus.OK,
+                        result=future.result(), attempts=attempt, key=key),
+                        outcomes, total, strict)
+            else:
+                queue.append((index, spec, key, attempt, now))
+        self._hard_shutdown(pool)
+        return self._new_pool(workers)
 
 
 # ----------------------------------------------------------------------

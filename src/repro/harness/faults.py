@@ -1,0 +1,212 @@
+"""Deterministic fault injection for the sweep pipeline (test-only).
+
+The resilience layer (:mod:`repro.harness.resilience`) promises that a
+sweep survives per-spec failures, hung workers, killed worker
+processes, and torn cache writes. Promises about failure handling are
+only worth what their tests can *provoke*, so this module provides a
+:class:`FaultPlan`: a declarative, fully deterministic schedule of
+faults ("fail spec *i* on attempt *j*", "hang", "crash the worker
+process", "corrupt the cache write") that
+:func:`repro.harness.executor.execute_spec` consults through a single
+test-only hook (:func:`maybe_fire`).
+
+Determinism contract: a plan matches on the spec's *coordinates*
+(workload, size, mode, iteration) plus the attempt number — never on
+wall-clock time, scheduling order, or randomness — so a chaos test
+replays bit-identically under ``jobs=1``, thread pools, and process
+pools.
+
+Propagation: :func:`install` stores the plan both in this process (a
+module global) and in ``os.environ[PLAN_ENV]`` (as JSON), so worker
+*processes* spawned afterwards inherit it; :func:`active_plan` checks
+the global first, then the environment. Production code never installs
+a plan, so the hook costs one ``is None`` check per run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+#: Environment variable carrying the JSON-serialized plan into worker
+#: processes (set/cleared by :func:`install` / :func:`clear`).
+PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Supported fault kinds.
+KIND_FAIL = "fail"                   # raise InjectedFault
+KIND_HANG = "hang"                   # sleep >> any sane timeout
+KIND_CRASH = "crash"                 # SIGKILL the worker process
+KIND_CORRUPT_CACHE = "corrupt_cache"  # tear the cache write afterwards
+ALL_KINDS = (KIND_FAIL, KIND_HANG, KIND_CRASH, KIND_CORRUPT_CACHE)
+
+
+class InjectedFault(RuntimeError):
+    """The error a ``fail`` fault raises inside ``execute_spec``."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: *what* happens to *which* cell and *when*.
+
+    ``attempts`` lists the attempt numbers (1-based) on which the fault
+    fires; the empty tuple means *every* attempt (a permanent fault).
+    """
+
+    kind: str
+    workload: str
+    size: str
+    mode: str
+    iteration: int = 0
+    attempts: Tuple[int, ...] = (1,)
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {ALL_KINDS}")
+        if any(attempt < 1 for attempt in self.attempts):
+            raise ValueError("attempt numbers are 1-based")
+
+    def matches(self, spec, attempt: int) -> bool:
+        mode = getattr(spec.mode, "value", spec.mode)
+        if (spec.workload, spec.size, mode, spec.iteration) != \
+                (self.workload, self.size, self.mode, self.iteration):
+            return False
+        return not self.attempts or attempt in self.attempts
+
+    @classmethod
+    def for_spec(cls, spec, kind: str = KIND_FAIL,
+                 attempts: Sequence[int] = (1,),
+                 hang_s: float = 30.0) -> "Fault":
+        """Build a fault targeting an existing ``RunSpec``."""
+        return cls(kind=kind, workload=spec.workload, size=spec.size,
+                   mode=getattr(spec.mode, "value", spec.mode),
+                   iteration=spec.iteration, attempts=tuple(attempts),
+                   hang_s=hang_s)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic battery of scheduled faults."""
+
+    faults: Tuple[Fault, ...] = field(default_factory=tuple)
+
+    def match(self, spec, attempt: int) -> Optional[Fault]:
+        for fault in self.faults:
+            if fault.matches(spec, attempt):
+                return fault
+        return None
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (for the env-var hand-off to process workers)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps([{
+            "kind": f.kind, "workload": f.workload, "size": f.size,
+            "mode": f.mode, "iteration": f.iteration,
+            "attempts": list(f.attempts), "hang_s": f.hang_s,
+        } for f in self.faults])
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultPlan":
+        return cls(faults=tuple(
+            Fault(kind=entry["kind"], workload=entry["workload"],
+                  size=entry["size"], mode=entry["mode"],
+                  iteration=entry["iteration"],
+                  attempts=tuple(entry["attempts"]),
+                  hang_s=entry["hang_s"])
+            for entry in json.loads(payload)))
+
+
+# ----------------------------------------------------------------------
+# Activation
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate a plan in this process and (via env) in future workers."""
+    global _ACTIVE
+    _ACTIVE = plan
+    os.environ[PLAN_ENV] = plan.to_json()
+
+
+def clear() -> None:
+    """Deactivate fault injection everywhere."""
+    global _ACTIVE
+    _ACTIVE = None
+    os.environ.pop(PLAN_ENV, None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan: process-local first, then the environment.
+
+    The environment path is what worker *processes* use — they inherit
+    ``PLAN_ENV`` from the coordinator at spawn time but not its module
+    globals.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE
+    payload = os.environ.get(PLAN_ENV)
+    if payload:
+        try:
+            return FaultPlan.from_json(payload)
+        except (ValueError, KeyError, TypeError):
+            return None
+    return None
+
+
+@contextlib.contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """``with inject(plan): ...`` — install and always clean up."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()
+
+
+# ----------------------------------------------------------------------
+# The execute_spec hook
+# ----------------------------------------------------------------------
+def maybe_fire(spec, attempt: int = 1) -> None:
+    """Fire any fault scheduled for ``(spec, attempt)``.
+
+    Called by :func:`repro.harness.executor.execute_spec` before the
+    simulation starts. ``fail`` raises :class:`InjectedFault`; ``hang``
+    sleeps for ``hang_s`` (long enough to trip any per-spec timeout);
+    ``crash`` SIGKILLs the current process — mid-spec, exactly like an
+    OOM-killed or segfaulting worker. ``corrupt_cache`` does nothing
+    here (the *coordinator* applies it after the cache write, see
+    :func:`should_corrupt_cache`).
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    fault = plan.match(spec, attempt)
+    if fault is None or fault.kind == KIND_CORRUPT_CACHE:
+        return
+    if fault.kind == KIND_FAIL:
+        raise InjectedFault(
+            f"injected failure: {spec.workload}@{spec.size} "
+            f"{getattr(spec.mode, 'value', spec.mode)}#{spec.iteration} "
+            f"attempt {attempt}")
+    if fault.kind == KIND_HANG:
+        time.sleep(fault.hang_s)
+        return
+    if fault.kind == KIND_CRASH:  # pragma: no cover - kills the process
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def should_corrupt_cache(spec) -> bool:
+    """Whether a ``corrupt_cache`` fault targets this spec (any attempt)."""
+    plan = active_plan()
+    if plan is None:
+        return False
+    fault = plan.match(spec, attempt=1)
+    return fault is not None and fault.kind == KIND_CORRUPT_CACHE

@@ -4,6 +4,12 @@ Each ``figN_*`` function runs the experiments behind one figure and
 returns plain data structures (dicts keyed by workload / mode / size),
 plus a ``render_*`` helper that prints the same rows/series the figure
 shows. Benchmarks under ``benchmarks/`` call these.
+
+Partial sweeps: every generator goes through
+:meth:`SweepExecutor.run_outcomes`, so with a non-strict executor a
+failed cell becomes a *gap* rather than an exception — renderers print
+``-`` for missing cells and the CLI appends the executor's failure
+summary (exit code 3). A strict executor restores fail-fast.
 """
 
 from __future__ import annotations
@@ -20,6 +26,20 @@ from .executor import (SweepExecutor, collect_comparisons, collect_runsets,
 from .report import render_table
 
 COUNTER_WORKLOADS = ("gemm", "lud", "yolov3")
+
+#: Placeholder renderers print for cells a partial sweep is missing.
+GAP = "-"
+
+
+def _run_partial(executor: Optional[SweepExecutor], specs):
+    """Run specs through the resilience layer; ``None`` marks gaps.
+
+    Returns results in spec order. With a strict executor this raises
+    at the first permanent failure (fail-fast); otherwise failed /
+    timed-out / skipped cells come back as ``None`` and the caller
+    renders them as annotated gaps.
+    """
+    return ensure_executor(executor).run_outcomes(specs).results
 
 
 # ----------------------------------------------------------------------
@@ -41,7 +61,8 @@ def fig4_distributions(iterations: int = 30,
     """
     specs = expand_grid(workloads, sizes, modes, iterations=iterations,
                         base_seed=base_seed, skip_unsupported=True)
-    runsets = collect_runsets(ensure_executor(executor).run(specs))
+    results = _run_partial(executor, specs)
+    runsets = collect_runsets(run for run in results if run is not None)
     data: Dict = {size.label: {} for size in sizes}
     for (name, size_label, mode), runs in runsets.items():
         data[size_label].setdefault(name, {})[mode.value] = runs.totals()
@@ -101,19 +122,24 @@ def fig6_mega_breakdown(iterations: int = 30, workload: str = "vector_seq",
                         mode: TransferMode = TransferMode.STANDARD,
                         base_seed: int = 1234,
                         executor: Optional[SweepExecutor] = None
-                        ) -> List[Dict[str, float]]:
-    """Per-run breakdown for the Mega input (Fig. 6)."""
+                        ) -> List[Optional[Dict[str, float]]]:
+    """Per-run breakdown for the Mega input (Fig. 6).
+
+    Positional: entry *i* is run *i*'s breakdown, or ``None`` if that
+    run failed in a partial (non-strict) sweep.
+    """
     specs = expand_grid((workload,), (SizeClass.MEGA,), (mode,),
                         iterations=iterations, base_seed=base_seed,
                         skip_unsupported=False)
-    runs = ensure_executor(executor).run(specs)
-    return [run.breakdown() for run in runs]
+    runs = _run_partial(executor, specs)
+    return [run.breakdown() if run is not None else None for run in runs]
 
 
-def render_fig6(breakdowns: List[Dict[str, float]]) -> str:
-    """Figure 6's per-run Mega breakdown table."""
+def render_fig6(breakdowns: List[Optional[Dict[str, float]]]) -> str:
+    """Figure 6's per-run Mega breakdown table (``-`` marks failed runs)."""
     rows = [(index, f"{b['gpu_kernel'] / 1e6:.1f}",
              f"{b['allocation'] / 1e6:.1f}", f"{b['memcpy'] / 1e6:.1f}")
+            if b is not None else (index, GAP, GAP, GAP)
             for index, b in enumerate(breakdowns)]
     return render_table(("run", "gpu_kernel (ms)", "allocation (ms)",
                          "memcpy (ms)"), rows,
@@ -128,12 +154,20 @@ def comparison_sweep(workloads: Sequence[str], size: SizeClass,
                      base_seed: int = 1234,
                      executor: Optional[SweepExecutor] = None
                      ) -> Dict[str, ModeComparison]:
-    """Five-config comparison for each named workload at one size."""
+    """Five-config comparison for each named workload at one size.
+
+    Partial sweeps: a workload whose cells all failed is absent from
+    the returned dict; one with some surviving modes appears with the
+    modes it has (renderers print ``-`` where normalization is
+    impossible).
+    """
     specs = expand_grid(workloads, (size,), ALL_MODES,
                         iterations=iterations, base_seed=base_seed,
                         skip_unsupported=False)
-    comparisons = collect_comparisons(ensure_executor(executor).run(specs))
-    return {name: comparisons[(name, size.label)] for name in workloads}
+    results = _run_partial(executor, specs)
+    comparisons = collect_comparisons(r for r in results if r is not None)
+    return {name: comparisons[(name, size.label)] for name in workloads
+            if (name, size.label) in comparisons}
 
 
 def fig7_micro(size: SizeClass = SizeClass.SUPER, iterations: int = 30,
@@ -154,27 +188,53 @@ def fig8_apps(iterations: int = 30,
                             base_seed, executor=executor)
 
 
+def _maybe_normalized(comparison: ModeComparison,
+                      mode: TransferMode) -> Optional[float]:
+    """``normalized_total`` or ``None`` when the cell/baseline is a gap."""
+    try:
+        return comparison.normalized_total(mode)
+    except (KeyError, ValueError, ZeroDivisionError):
+        return None
+
+
 def render_comparison(comparisons: Dict[str, ModeComparison],
                       title: str) -> str:
-    """Figure 7/8-style normalized-total table with a geo-mean row."""
+    """Figure 7/8-style normalized-total table with a geo-mean row.
+
+    Cells a partial sweep could not produce (missing mode, or missing
+    standard baseline) render as ``-`` and are excluded from the
+    geo-mean, which covers whatever survived.
+    """
     headers = ["workload"] + [m.value for m in ALL_MODES]
     rows = []
     for name, comparison in comparisons.items():
-        rows.append((name, *(f"{comparison.normalized_total(m):.3f}"
-                             for m in ALL_MODES)))
-    rows.append(("geo-mean", *(
-        f"{geomean([c.normalized_total(m) for c in comparisons.values()]):.3f}"
-        for m in ALL_MODES)))
+        values = [_maybe_normalized(comparison, m) for m in ALL_MODES]
+        rows.append((name, *(f"{v:.3f}" if v is not None else GAP
+                             for v in values)))
+    geo_cells = []
+    for mode in ALL_MODES:
+        values = [v for v in (_maybe_normalized(c, mode)
+                              for c in comparisons.values())
+                  if v is not None]
+        geo_cells.append(f"{geomean(values):.3f}" if values else GAP)
+    rows.append(("geo-mean", *geo_cells))
     return render_table(headers, rows, title=title)
 
 
 def geomean_improvements(comparisons: Dict[str, ModeComparison]) -> Dict[str, float]:
-    """Percent overall-time improvement over standard, geomean'd."""
+    """Percent overall-time improvement over standard, geomean'd.
+
+    Partial sweeps: each mode's geomean covers the comparisons that
+    have both the mode and the baseline; a mode with no surviving
+    cells is omitted from the result.
+    """
     out = {}
     for mode in ALL_MODES:
-        ratio = geomean([c.normalized_total(mode)
-                         for c in comparisons.values()])
-        out[mode.value] = (1.0 - ratio) * 100.0
+        values = [v for v in (_maybe_normalized(c, mode)
+                              for c in comparisons.values())
+                  if v is not None]
+        if values:
+            out[mode.value] = (1.0 - geomean(values)) * 100.0
     return out
 
 
@@ -193,7 +253,8 @@ def counter_sweep(workloads: Sequence[str] = COUNTER_WORKLOADS,
     """
     specs = expand_grid(workloads, (size,), ALL_MODES, iterations=1,
                         base_seed=base_seed, skip_unsupported=False)
-    results = ensure_executor(executor).run(specs)
+    results = [run for run in _run_partial(executor, specs)
+               if run is not None]
     data: Dict[str, Dict[str, Dict]] = {name: {} for name in workloads}
     for run in results:
         mix = run.counters.instructions

@@ -1,0 +1,322 @@
+"""Resilience primitives for the sweep executor.
+
+The paper's headline figures aggregate 5 configurations x 21 workloads
+x several sizes; at production scale one raising cell must not abort
+the grid. This module holds the vocabulary the executor uses to keep
+sweeps alive:
+
+* :class:`SpecStatus` / :class:`SpecOutcome` - per-spec terminal state
+  (ok / failed / timed-out / skipped) carrying the exception and
+  traceback instead of raising it through the pool;
+* :class:`SweepOutcome` - an ordered outcome list with partial-result
+  accessors and a human-readable failure summary;
+* :class:`RetryPolicy` - bounded retries with exponential backoff and
+  *deterministic* jitter (seeded from the spec's own seed stream, so a
+  rerun backs off identically bit-for-bit), per-spec wall-clock
+  timeouts (process backend), and the poison-spec crash threshold;
+* :class:`SweepJournal` - an append-only JSONL checkpoint of terminal
+  spec keys next to the result cache, enabling ``--resume``;
+* :class:`SweepFailure` / :class:`SweepInterrupted` - the strict-mode
+  and Ctrl-C exits, both carrying the partial outcome.
+
+Nothing here imports the executor; the executor imports this.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.results import RunResult
+    from .executor import RunSpec
+
+
+def describe_spec(spec) -> str:
+    """Compact human label for one grid cell."""
+    mode = getattr(spec.mode, "value", spec.mode)
+    label = f"{spec.workload}@{spec.size} {mode}#{spec.iteration}"
+    if getattr(spec, "seed_salt", ""):
+        label += spec.seed_salt
+    return label
+
+
+class SpecStatus(enum.Enum):
+    """Terminal state of one spec within a sweep."""
+
+    OK = "ok"
+    FAILED = "failed"
+    TIMED_OUT = "timed_out"
+    SKIPPED = "skipped"
+
+    @property
+    def is_ok(self) -> bool:
+        return self is SpecStatus.OK
+
+
+#: Journal statuses that mean "do not re-attempt on --resume".
+TERMINAL_FAILURE_STATUSES = (SpecStatus.FAILED.value,
+                             SpecStatus.TIMED_OUT.value)
+
+
+@dataclass
+class SpecOutcome:
+    """What happened to one spec: result *or* failure detail, never a raise."""
+
+    spec: "RunSpec"
+    index: int
+    status: SpecStatus
+    result: Optional["RunResult"] = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    attempts: int = 0
+    crashes: int = 0
+    from_cache: bool = False
+    key: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is SpecStatus.OK
+
+    def describe(self) -> str:
+        head = f"{describe_spec(self.spec)}: {self.status.value}"
+        if self.status is SpecStatus.OK:
+            return head + (" (cache)" if self.from_cache else
+                           f" after {self.attempts} attempt(s)")
+        detail = self.error or ""
+        if self.attempts:
+            head += f" after {self.attempts} attempt(s)"
+        if self.crashes:
+            head += f", {self.crashes} worker crash(es)"
+        return f"{head}: {detail}" if detail else head
+
+
+@dataclass
+class SweepOutcome:
+    """Ordered per-spec outcomes of one :meth:`SweepExecutor.run_outcomes`."""
+
+    outcomes: List[SpecOutcome] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    @property
+    def results(self) -> List[Optional["RunResult"]]:
+        """Results in spec order; failed/skipped cells are ``None``."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def ok_results(self) -> List["RunResult"]:
+        return [o.result for o in self.outcomes if o.ok and o.result is not None]
+
+    @property
+    def failures(self) -> List[SpecOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+    def counts(self) -> Dict[str, int]:
+        tally = {status.value: 0 for status in SpecStatus}
+        for outcome in self.outcomes:
+            tally[outcome.status.value] += 1
+        return tally
+
+    def failure_summary(self, limit: int = 10) -> str:
+        """Multi-line annotation of every gap (for figure footers)."""
+        failures = self.failures
+        if not failures:
+            return ""
+        counts = self.counts()
+        kinds = ", ".join(f"{counts[s]} {s}" for s in
+                          ("failed", "timed_out", "skipped") if counts[s])
+        lines = [f"[sweep] partial: {len(failures)} of {len(self.outcomes)} "
+                 f"specs missing ({kinds})"]
+        for outcome in failures[:limit]:
+            lines.append(f"  - {outcome.describe()}")
+        if len(failures) > limit:
+            lines.append(f"  ... and {len(failures) - limit} more")
+        return "\n".join(lines)
+
+
+class SweepFailure(RuntimeError):
+    """Strict mode: raised at the first *permanent* spec failure."""
+
+    def __init__(self, outcome: SpecOutcome,
+                 partial: Optional[SweepOutcome] = None):
+        self.outcome = outcome
+        self.partial = partial
+        super().__init__(outcome.describe())
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """Ctrl-C / SIGTERM mid-sweep, after the journal was flushed.
+
+    Subclasses :class:`KeyboardInterrupt` so generic interrupt handling
+    (including the CLI's exit-130 path) still applies; carries the
+    partial :class:`SweepOutcome` so callers can salvage finished work.
+    """
+
+    def __init__(self, partial: SweepOutcome):
+        self.partial = partial
+        done = sum(1 for o in partial.outcomes if o.ok)
+        super().__init__(f"sweep interrupted with {done} of "
+                         f"{len(partial.outcomes)} specs complete")
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry/backoff/timeout policy.
+
+    * ``retries`` - extra attempts after the first (0 = fail fast);
+    * ``backoff_s`` * ``backoff_factor``^(attempt-1) - base delay
+      before attempt N+1;
+    * ``jitter`` - +/- fraction of the base delay, drawn from a
+      generator seeded by the *spec's own* ``seed_sequence`` so reruns
+      back off bit-identically (no shared RNG, no wall-clock seeds);
+    * ``timeout_s`` - per-spec wall-clock budget, enforced on the
+      process backend only (threads cannot be killed; the thread and
+      inline backends document-and-ignore it);
+    * ``max_crashes`` - quarantine a spec as poison after this many
+      worker-process crashes while it was in flight.
+    """
+
+    retries: int = 0
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    timeout_s: Optional[float] = None
+    max_crashes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be >= 0 with factor >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be > 0")
+        if self.max_crashes < 1:
+            raise ValueError("max_crashes must be >= 1")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def delay_s(self, spec, attempt: int) -> float:
+        """Backoff before retrying ``spec`` after failed attempt N (1-based).
+
+        Deterministic: the jitter stream is seeded from the spec's seed
+        sequence, so the same spec backs off identically on every rerun
+        of the sweep — scheduling noise cannot leak into wall-clock
+        patterns that tests or bisections depend on.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = self.backoff_s * (self.backoff_factor ** (attempt - 1))
+        if base == 0.0:
+            return 0.0
+        if self.jitter == 0.0:
+            return base
+        rng = np.random.default_rng(spec.seed_sequence())
+        # attempt-th draw, so successive retries see fresh-but-fixed jitter
+        offsets = rng.uniform(-1.0, 1.0, size=attempt)
+        return base * (1.0 + self.jitter * float(offsets[-1]))
+
+
+#: Policy the executor uses when none is given: single attempt, no
+#: timeout — i.e. exactly the pre-resilience behavior, plus isolation.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+class SweepJournal:
+    """Append-only JSONL checkpoint of terminal spec outcomes.
+
+    One line per terminal outcome: ``{"key", "status", "spec",
+    "attempts", "error", "ts"}``. Lives next to the result cache
+    (:meth:`beside`). Each record is written with open/append/close so
+    a crash can tear at most the final line — and :meth:`load`
+    tolerates a torn tail. ``--resume`` uses the journal to skip specs
+    that already failed permanently; *completed* specs need no journal
+    help because the content-addressed cache already covers them.
+    """
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    @classmethod
+    def beside(cls, cache_root: Union[str, Path]) -> "SweepJournal":
+        return cls(Path(cache_root) / cls.FILENAME)
+
+    def load(self) -> Dict[str, str]:
+        """Latest journaled status per key (later lines win)."""
+        entries: Dict[str, str] = {}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return entries
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a crash mid-write
+            key, status = record.get("key"), record.get("status")
+            if key and status:
+                entries[key] = status
+        return entries
+
+    def failed_keys(self) -> Dict[str, str]:
+        """Keys whose latest status is a permanent failure."""
+        return {key: status for key, status in self.load().items()
+                if status in TERMINAL_FAILURE_STATUSES}
+
+    def record(self, key: str, status: SpecStatus, spec=None,
+               attempts: int = 0, error: Optional[str] = None) -> None:
+        entry: Dict = {"key": key, "status": status.value,
+                       "attempts": attempts, "ts": time.time()}
+        if spec is not None:
+            entry["spec"] = {
+                "workload": spec.workload, "size": spec.size,
+                "mode": getattr(spec.mode, "value", spec.mode),
+                "iteration": spec.iteration,
+            }
+        if error:
+            entry["error"] = str(error)[:500]
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Open-append-close per record: the file is always flushed, so
+        # SIGKILL between records loses nothing and Ctrl-C loses at
+        # most the line being written.
+        with self.path.open("a") as stream:
+            stream.write(json.dumps(entry) + "\n")
+
+    def clear(self) -> None:
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self.load())

@@ -33,7 +33,10 @@ def _sweep(points: Sequence[int], iterations: int, base_seed: int,
     """Run every (point, mode, iteration) cell in one executor pass.
 
     Different sweep points share (workload, size, mode) coordinates,
-    so results are regrouped by position rather than by key.
+    so results are regrouped by position rather than by key — which is
+    also what makes partial sweeps safe here: a failed run leaves a
+    ``None`` at its position (never shifting later cells), producing a
+    shorter (possibly empty) :class:`RunSet` for that cell.
     """
     specs: List[RunSpec] = []
     for point in points:
@@ -46,7 +49,7 @@ def _sweep(points: Sequence[int], iterations: int, base_seed: int,
                     blocks=base.blocks, threads=base.threads,
                     smem_carveout_bytes=base.smem_carveout_bytes,
                     seed_salt=SWEEP_SEED_SALT))
-    results = ensure_executor(executor).run(specs)
+    results = ensure_executor(executor).run_outcomes(specs).results
     data: Dict[int, Dict[str, RunSet]] = {}
     cursor = 0
     for point in points:
@@ -55,7 +58,8 @@ def _sweep(points: Sequence[int], iterations: int, base_seed: int,
             runs = RunSet(workload=SWEEP_WORKLOAD, mode=mode,
                           size=size.label)
             for run in results[cursor:cursor + iterations]:
-                runs.add(run)
+                if run is not None:
+                    runs.add(run)
             cursor += iterations
             data[point][mode.value] = runs
     return data
@@ -107,22 +111,33 @@ def carveout_sensitivity(carveouts_kb: Sequence[int] = CARVEOUT_SWEEP_KB,
 
 def normalized_sweep(data: Dict[int, Dict[str, RunSet]],
                      baseline_mode: str = "standard",
-                     baseline_key: Optional[int] = None) -> Dict[int, Dict[str, float]]:
-    """Normalize mean totals to one baseline cell (paper's Figs. 11-13)."""
+                     baseline_key: Optional[int] = None
+                     ) -> Dict[int, Dict[str, Optional[float]]]:
+    """Normalize mean totals to one baseline cell (paper's Figs. 11-13).
+
+    Partial sweeps: empty cells (all runs failed) normalize to
+    ``None`` — and if the *baseline* cell itself is empty, every value
+    is ``None`` (nothing to normalize against). Renderers print these
+    as ``-``.
+    """
     keys = list(data)
     baseline_key = baseline_key if baseline_key is not None else keys[0]
-    baseline = data[baseline_key][baseline_mode].mean_total_ns()
+    baseline_runs = data[baseline_key][baseline_mode]
+    baseline = baseline_runs.mean_total_ns() if len(baseline_runs) else None
     return {
-        key: {mode: runs.mean_total_ns() / baseline
+        key: {mode: (runs.mean_total_ns() / baseline
+                     if baseline and len(runs) else None)
               for mode, runs in by_mode.items()}
         for key, by_mode in data.items()
     }
 
 
-def render_sweep(normalized: Dict[int, Dict[str, float]], axis_label: str,
-                 title: str) -> str:
-    """Figure 11-13-style normalized sweep table."""
+def render_sweep(normalized: Dict[int, Dict[str, Optional[float]]],
+                 axis_label: str, title: str) -> str:
+    """Figure 11-13-style normalized sweep table (``-`` marks gaps)."""
     modes = list(next(iter(normalized.values())))
-    rows = [(key, *(f"{normalized[key][mode]:.3f}" for mode in modes))
+    rows = [(key, *(f"{normalized[key][mode]:.3f}"
+                    if normalized[key][mode] is not None else "-"
+                    for mode in modes))
             for key in normalized]
     return render_table((axis_label, *modes), rows, title=title)

@@ -27,7 +27,12 @@ MIN_CONFIG_SPREAD = 0.05      # configs must differ by >= 5 % to study
 
 @dataclass(frozen=True)
 class SizeAssessment:
-    """One size class's suitability for the characterization study."""
+    """One size class's suitability for the characterization study.
+
+    ``complete=False`` marks a size whose sweep lost cells to failures
+    (partial, non-strict executor): its metrics are NaN, it is never
+    usable, and the renderer annotates it instead of hiding it.
+    """
 
     size: str
     mean_total_ns: float
@@ -35,10 +40,17 @@ class SizeAssessment:
     config_spread: float       # (max - min) / min across the five configs
     stable: bool
     discriminative: bool
+    complete: bool = True
 
     @property
     def usable(self) -> bool:
-        return self.stable and self.discriminative
+        return self.complete and self.stable and self.discriminative
+
+    @classmethod
+    def incomplete(cls, size: str) -> "SizeAssessment":
+        nan = float("nan")
+        return cls(size=size, mean_total_ns=nan, cv=nan, config_spread=nan,
+                   stable=False, discriminative=False, complete=False)
 
 
 def assess_sizes(workload: str,
@@ -57,10 +69,20 @@ def assess_sizes(workload: str,
     supported = [size for size in sizes if subject.supports(size)]
     specs = expand_grid((workload,), supported, ALL_MODES,
                         iterations=iterations, base_seed=base_seed)
-    comparisons = collect_comparisons(ensure_executor(executor).run(specs))
+    results = ensure_executor(executor).run_outcomes(specs).results
+    comparisons = collect_comparisons(r for r in results if r is not None)
     assessments = []
     for size in supported:
-        comparison = comparisons[(workload, size.label)]
+        comparison = comparisons.get((workload, size.label))
+        if comparison is None or any(
+                mode not in comparison.by_mode
+                or len(comparison.by_mode[mode]) < iterations
+                for mode in ALL_MODES):
+            # A partial sweep lost cells here: the stability and spread
+            # criteria would be computed over a biased subsample, so
+            # mark the size as an annotated gap instead.
+            assessments.append(SizeAssessment.incomplete(size.label))
+            continue
         cvs = [runs.cv() for runs in comparison.by_mode.values()]
         totals = [runs.mean_total_ns()
                   for runs in comparison.by_mode.values()]
@@ -87,6 +109,9 @@ def render_size_search(workload: str,
     """ASCII table of the size search plus the recommended band."""
     rows = []
     for a in assessments:
+        if not a.complete:
+            rows.append((a.size, "-", "-", "-", "no data (failed runs)"))
+            continue
         verdict = "usable" if a.usable else (
             "noisy" if not a.stable else "indiscriminate")
         rows.append((a.size, f"{a.mean_total_ns / 1e6:.1f}",

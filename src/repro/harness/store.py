@@ -113,10 +113,18 @@ _record_to_run = record_to_run
 
 
 class ResultStore:
-    """Append-only JSON-lines store of :class:`RunResult` records."""
+    """Append-only JSON-lines store of :class:`RunResult` records.
+
+    Reading is strict by default (a corrupt line raises, naming the
+    file and line). Long-running studies that were killed mid-append
+    can instead salvage everything readable with
+    ``iter_runs(skip_corrupt=True)``; the number of lines dropped by
+    the most recent tolerant read is kept in ``last_skipped``.
+    """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
+        self.last_skipped = 0
 
     # ------------------------------------------------------------------
     # Writing
@@ -140,6 +148,17 @@ class ResultStore:
     # Reading
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[RunResult]:
+        return self.iter_runs(skip_corrupt=False)
+
+    def iter_runs(self, skip_corrupt: bool = False) -> Iterator[RunResult]:
+        """Yield stored runs; optionally skip unreadable lines.
+
+        ``skip_corrupt=True`` drops lines that fail to parse or
+        deserialize (counting them in ``last_skipped``) instead of
+        raising — the salvage path for stores torn by a crash or an
+        interrupted append.
+        """
+        self.last_skipped = 0
         if not self.path.exists():
             return
         with self.path.open() as stream:
@@ -149,11 +168,16 @@ class ResultStore:
                     continue
                 try:
                     record = json.loads(line)
-                except json.JSONDecodeError as error:
+                    run = _record_to_run(record)
+                except (json.JSONDecodeError, ValueError, KeyError,
+                        TypeError) as error:
+                    if skip_corrupt:
+                        self.last_skipped += 1
+                        continue
                     raise ValueError(
                         f"{self.path}:{line_number}: corrupt record "
                         f"({error})") from error
-                yield _record_to_run(record)
+                yield run
 
     def __len__(self) -> int:
         return sum(1 for _ in self)

@@ -1,0 +1,129 @@
+"""Fault-injection plan tests (:mod:`repro.harness.faults`)."""
+
+import os
+
+import pytest
+
+from repro.harness import faults
+from repro.harness.executor import RunSpec, execute_spec
+
+
+def spec_for(iteration=0, workload="saxpy", size="tiny", mode="standard"):
+    return RunSpec(workload=workload, size=size, mode=mode,
+                   iteration=iteration)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestFault:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.Fault(kind="explode", workload="saxpy", size="tiny",
+                         mode="standard")
+
+    def test_rejects_zero_based_attempts(self):
+        with pytest.raises(ValueError, match="1-based"):
+            faults.Fault(kind=faults.KIND_FAIL, workload="saxpy",
+                         size="tiny", mode="standard", attempts=(0,))
+
+    def test_matches_coordinates_and_attempt(self):
+        fault = faults.Fault(kind=faults.KIND_FAIL, workload="saxpy",
+                             size="tiny", mode="standard", iteration=2,
+                             attempts=(1, 3))
+        assert fault.matches(spec_for(iteration=2), 1)
+        assert fault.matches(spec_for(iteration=2), 3)
+        assert not fault.matches(spec_for(iteration=2), 2)
+        assert not fault.matches(spec_for(iteration=1), 1)
+        assert not fault.matches(spec_for(iteration=2, mode="uvm"), 1)
+
+    def test_empty_attempts_means_permanent(self):
+        fault = faults.Fault(kind=faults.KIND_FAIL, workload="saxpy",
+                             size="tiny", mode="standard", attempts=())
+        for attempt in (1, 2, 7):
+            assert fault.matches(spec_for(), attempt)
+
+    def test_for_spec_targets_the_given_cell(self):
+        spec = spec_for(iteration=4, mode="uvm_prefetch")
+        fault = faults.Fault.for_spec(spec, kind=faults.KIND_HANG,
+                                      hang_s=1.5)
+        assert fault.matches(spec, 1)
+        assert fault.kind == faults.KIND_HANG
+        assert fault.hang_s == 1.5
+
+
+class TestFaultPlan:
+    def test_match_returns_first_hit(self):
+        plan = faults.FaultPlan(faults=(
+            faults.Fault.for_spec(spec_for(0)),
+            faults.Fault.for_spec(spec_for(1), kind=faults.KIND_HANG),
+        ))
+        assert plan.match(spec_for(0), 1).kind == faults.KIND_FAIL
+        assert plan.match(spec_for(1), 1).kind == faults.KIND_HANG
+        assert plan.match(spec_for(2), 1) is None
+
+    def test_json_round_trip(self):
+        plan = faults.FaultPlan(faults=(
+            faults.Fault.for_spec(spec_for(3), attempts=(1, 2)),
+            faults.Fault.for_spec(spec_for(5), kind=faults.KIND_CRASH,
+                                  attempts=()),
+        ))
+        assert faults.FaultPlan.from_json(plan.to_json()) == plan
+
+
+class TestActivation:
+    def test_install_sets_env_for_workers(self):
+        plan = faults.FaultPlan(faults=(faults.Fault.for_spec(spec_for()),))
+        faults.install(plan)
+        assert os.environ[faults.PLAN_ENV] == plan.to_json()
+        faults.clear()
+        assert faults.PLAN_ENV not in os.environ
+        assert faults.active_plan() is None
+
+    def test_active_plan_falls_back_to_env(self, monkeypatch):
+        """Worker processes inherit the env but not the module global."""
+        plan = faults.FaultPlan(faults=(faults.Fault.for_spec(spec_for()),))
+        monkeypatch.setenv(faults.PLAN_ENV, plan.to_json())
+        monkeypatch.setattr(faults, "_ACTIVE", None)
+        assert faults.active_plan() == plan
+
+    def test_malformed_env_plan_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(faults.PLAN_ENV, "{not json")
+        monkeypatch.setattr(faults, "_ACTIVE", None)
+        assert faults.active_plan() is None
+
+    def test_inject_cleans_up_on_error(self):
+        plan = faults.FaultPlan(faults=(faults.Fault.for_spec(spec_for()),))
+        with pytest.raises(RuntimeError):
+            with faults.inject(plan):
+                assert faults.active_plan() == plan
+                raise RuntimeError("boom")
+        assert faults.active_plan() is None
+
+
+class TestMaybeFire:
+    def test_no_plan_is_a_no_op(self):
+        faults.maybe_fire(spec_for(), attempt=1)  # must not raise
+
+    def test_fail_raises_injected_fault_from_execute_spec(self):
+        spec = spec_for()
+        with faults.inject(faults.FaultPlan(
+                faults=(faults.Fault.for_spec(spec),))):
+            with pytest.raises(faults.InjectedFault, match="saxpy@tiny"):
+                execute_spec(spec)
+            # attempt 2 is clean: the schedule is per-attempt
+            run = execute_spec(spec, attempt=2)
+        assert run.workload == "saxpy"
+
+    def test_corrupt_cache_never_fires_inline(self):
+        spec = spec_for()
+        plan = faults.FaultPlan(faults=(faults.Fault.for_spec(
+            spec, kind=faults.KIND_CORRUPT_CACHE),))
+        with faults.inject(plan):
+            faults.maybe_fire(spec, attempt=1)  # must not raise
+            assert faults.should_corrupt_cache(spec)
+            assert not faults.should_corrupt_cache(spec_for(iteration=9))

@@ -207,3 +207,109 @@ class TestLint:
     def test_unknown_workload_rejected(self):
         with pytest.raises(KeyError):
             main(["lint", "quake3"])
+
+
+class TestResilienceFlags:
+    """Exit-code contract of the resilient sweep path: 0 complete,
+    3 partial (gaps annotated), 1 strict abort, 130 interrupted."""
+
+    FIG6 = ("figure", "6", "--iterations", "4", "--no-cache")
+
+    @staticmethod
+    def fig6_fault(iteration, attempts=()):
+        from repro.harness import faults
+        return faults.FaultPlan(faults=(faults.Fault(
+            kind=faults.KIND_FAIL, workload="vector_seq", size="mega",
+            mode="standard", iteration=iteration, attempts=attempts),))
+
+    def test_partial_figure_exits_3_with_annotated_gaps(self, capsys):
+        from repro.harness import faults
+        with faults.inject(self.fig6_fault(1)):
+            code = main(list(self.FIG6))
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "[sweep] partial: 1 of 4" in out
+        assert "vector_seq@mega standard#1: failed" in out
+        assert "\n1    -" in out  # the failed run renders as a gap row
+
+    def test_retries_recover_a_transient_fault(self, capsys):
+        from repro.harness import faults
+        with faults.inject(self.fig6_fault(1, attempts=(1,))):
+            code = main([*self.FIG6, "--retries", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 retries" in out
+        assert "partial" not in out
+
+    def test_strict_aborts_with_exit_1(self, capsys):
+        from repro.harness import faults
+        with faults.inject(self.fig6_fault(1)):
+            code = main([*self.FIG6, "--strict"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error: vector_seq@mega standard#1: failed" in err
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        import repro.harness.executor as executor_module
+
+        def interrupt(entry):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(executor_module, "_execute_entry", interrupt)
+        code = main(list(self.FIG6))
+        err = capsys.readouterr().err
+        assert code == 130
+        assert "--resume" in err  # points at the recovery path
+
+    def test_resume_skips_journaled_failure(self, capsys, tmp_path):
+        from repro.harness import faults
+        cache_dir = str(tmp_path / "cache")
+        with faults.inject(self.fig6_fault(1)):
+            code = main(["figure", "6", "--iterations", "4",
+                         "--cache-dir", cache_dir])
+        assert code == 3
+        capsys.readouterr()
+        # fault cleared; --resume must skip the journaled failure and
+        # replay the three completed cells from the cache
+        code = main(["figure", "6", "--iterations", "4",
+                     "--cache-dir", cache_dir, "--resume"])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "3 cache hits" in out
+        assert "0 executed" in out
+        assert "skipped on resume (journaled failed)" in out
+
+    def test_rerun_without_resume_retries_the_failure(self, capsys,
+                                                      tmp_path):
+        from repro.harness import faults
+        cache_dir = str(tmp_path / "cache")
+        with faults.inject(self.fig6_fault(1)):
+            main(["figure", "6", "--iterations", "4",
+                  "--cache-dir", cache_dir])
+        capsys.readouterr()
+        code = main(["figure", "6", "--iterations", "4",
+                     "--cache-dir", cache_dir])  # no --resume, no fault
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 executed" in out  # only the failed cell reruns
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(SystemExit, match="positive integer"):
+            main([*self.FIG6, "--jobs", "0"])
+
+    def test_rejects_bad_repro_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "three")
+        with pytest.raises(SystemExit, match="REPRO_JOBS"):
+            main(list(self.FIG6))
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(SystemExit, match="--retries"):
+            main([*self.FIG6, "--retries", "-1"])
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(SystemExit, match="--timeout"):
+            main([*self.FIG6, "--timeout", "0"])
+
+    def test_resume_requires_the_cache(self):
+        with pytest.raises(SystemExit, match="--resume needs"):
+            main([*self.FIG6, "--resume"])
