@@ -84,6 +84,13 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                         help="fail fast: abort the sweep at the first "
                              "permanent cell failure (exit 1) instead of "
                              "rendering gaps (exit 3)")
+    parser.add_argument("--engine", default="reference",
+                        choices=("reference", "fast"),
+                        help="simulation engine: 'reference' replays every "
+                             "event; 'fast' coalesces uncontended event "
+                             "trains and memoizes kernel phases "
+                             "(bit-identical results, see "
+                             "docs/PERFORMANCE.md)")
 
 
 def _progress_printer():
@@ -122,7 +129,8 @@ def _executor_from_args(args) -> SweepExecutor:
         return SweepExecutor(jobs=jobs, cache=cache, backend=args.backend,
                              progress=_progress_printer(), retry=retry,
                              journal=journal, resume=resume,
-                             strict=getattr(args, "strict", False))
+                             strict=getattr(args, "strict", False),
+                             engine=getattr(args, "engine", "reference"))
     except ValueError as error:
         raise SystemExit(str(error)) from error
 

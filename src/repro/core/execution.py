@@ -36,6 +36,23 @@ SHARED_DATA_PREFETCH_PENALTY = 0.0
 # Fraction of HBM usable for managed data (driver reserves the rest).
 UVM_USABLE_HBM_FRACTION = 0.95
 
+#: Recognized simulation engines: ``reference`` is the historical
+#: event-by-event heap engine; ``fast`` is the bit-identical
+#: train-coalescing engine (:class:`repro.sim.fastpath.FastEnvironment`).
+ENGINES = ("reference", "fast")
+
+
+def make_environment(engine: str):
+    """Build the simulation environment for an engine name."""
+    from ..sim.engine import Environment
+    if engine == "reference":
+        return Environment()
+    if engine == "fast":
+        from ..sim.fastpath import FastEnvironment
+        return FastEnvironment()
+    raise ValueError(
+        f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}")
+
 
 def managed_capacity_ratio(program: Program, rt: CudaRuntime) -> float:
     """How much of the program's footprint fits GPU memory at once.
@@ -131,7 +148,9 @@ def execute_program(program: Program, mode: TransferMode, *,
                     seed: int = 0,
                     smem_carveout_bytes: Optional[int] = None,
                     size_label: str = "",
-                    validate: bool = False) -> RunResult:
+                    validate: bool = False,
+                    engine: str = "reference",
+                    phase_memo=None) -> RunResult:
     """Run one program once under one configuration; return the measurement.
 
     With ``validate=True`` the program is first linted against this
@@ -139,6 +158,13 @@ def execute_program(program: Program, mode: TransferMode, *,
     raised before any simulation time is spent if an error-severity
     finding exists (e.g. a launch that overflows the shared-memory
     carveout, or an explicit allocation larger than HBM).
+
+    ``engine`` selects the simulation engine (see :data:`ENGINES`);
+    both produce bit-identical results — ``fast`` merely skips event
+    machinery it can prove unobservable.  ``phase_memo`` optionally
+    supplies a :class:`repro.sim.phasecache.PhaseMemo` whose
+    ``simulate`` replaces ``simulate_kernel`` (pure function, so
+    memoization is result-preserving by construction).
     """
     system = system or default_system()
     calib = calib or default_calibration()
@@ -149,9 +175,14 @@ def execute_program(program: Program, mode: TransferMode, *,
         validate_program(program, mode, system=system,
                          smem_carveout_bytes=smem_carveout_bytes)
     rng = rng if rng is not None else np.random.default_rng(seed)
+    kernel_sim = None
+    if phase_memo is not None:
+        kernel_sim = phase_memo.simulate
     rt = CudaRuntime(system, calib, rng,
                      footprint_bytes=program.footprint_bytes,
-                     smem_carveout_bytes=smem_carveout_bytes)
+                     smem_carveout_bytes=smem_carveout_bytes,
+                     env=make_environment(engine),
+                     kernel_sim=kernel_sim)
     if mode.managed:
         process = _managed_process(rt, program, mode)
     else:

@@ -6,8 +6,9 @@ from .artifact import (ARTIFACT_SCRIPTS, ArtifactResult, process_perf,
                        run_real_all)
 from .executor import (CODE_VERSION, CacheStats, ResultCache, RunSpec,
                        SweepExecutor, SweepStats, cache_key,
-                       collect_comparisons, collect_runsets, execute_spec,
-                       expand_grid, fingerprint)
+                       clear_program_memo, collect_comparisons,
+                       collect_runsets, execute_spec, expand_grid,
+                       fingerprint, program_for)
 from .export import comparison_to_csv, runset_to_csv, sweep_to_csv
 from .figures import (COUNTER_WORKLOADS, comparison_sweep, counter_sweep,
                       fig4_distributions, fig5_stability,
@@ -36,8 +37,9 @@ __all__ = [
     "run_full_artifact", "run_micro_all", "run_micro_sensitivity",
     "run_micro_shared", "run_real_all", "CODE_VERSION", "CacheStats",
     "ResultCache", "RunSpec", "SweepExecutor", "SweepStats", "cache_key",
-    "collect_comparisons", "collect_runsets", "execute_spec",
-    "expand_grid", "fingerprint", "comparison_to_csv",
+    "clear_program_memo", "collect_comparisons", "collect_runsets",
+    "execute_spec", "expand_grid", "fingerprint", "program_for",
+    "comparison_to_csv",
     "runset_to_csv", "sweep_to_csv", "render_stacked_comparison",
     "render_stacked_suite", "stacked_bar", "SizeAssessment",
     "assess_sizes", "recommend_sizes", "render_size_search",

@@ -54,7 +54,7 @@ from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
 import numpy as np
 
 from ..core.configs import ALL_MODES, TransferMode
-from ..core.execution import execute_program
+from ..core.execution import ENGINES, execute_program
 from ..core.experiment import run_seed
 from ..core.results import ModeComparison, RunResult, RunSet
 from ..sim.calibration import Calibration, default_calibration
@@ -249,6 +249,40 @@ def fingerprint(obj) -> str:
 # fingerprint per coordinates so warm-cache lookups stay O(file read).
 _PROGRAM_FP_CACHE: Dict[Tuple, str] = {}
 
+# Programs themselves are immutable (frozen dataclasses all the way
+# down), so the *objects* memoize too: within a sweep, every iteration
+# of the same coordinates shares one build.  Bounded because darknet
+# programs are large; FIFO eviction is fine at this population.
+_PROGRAM_MEMO: Dict[Tuple, object] = {}
+_PROGRAM_MEMO_CAP = 256
+
+
+def spec_coords(spec: RunSpec) -> Tuple:
+    """The coordinates that determine a spec's program (not its seed)."""
+    return (spec.workload, spec.size, spec.blocks, spec.threads)
+
+
+def program_for(spec: RunSpec):
+    """The (immutable, shared) program for a spec's coordinates.
+
+    One :meth:`RunSpec.build_program` per distinct coordinates per
+    process — iterations and modes reuse the same object, which is safe
+    because programs are frozen and the runtime never mutates them.
+    """
+    coords = spec_coords(spec)
+    program = _PROGRAM_MEMO.get(coords)
+    if program is None:
+        program = spec.build_program()
+        if len(_PROGRAM_MEMO) >= _PROGRAM_MEMO_CAP:
+            _PROGRAM_MEMO.pop(next(iter(_PROGRAM_MEMO)))
+        _PROGRAM_MEMO[coords] = program
+    return program
+
+
+def clear_program_memo() -> None:
+    """Drop memoized programs (tests that count build_program calls)."""
+    _PROGRAM_MEMO.clear()
+
 
 def program_fingerprint(spec: RunSpec) -> str:
     """Fingerprint of the program the spec runs (descriptor + buffers).
@@ -258,10 +292,10 @@ def program_fingerprint(spec: RunSpec) -> str:
     invalidates every cached result for the workload - rule 2 of
     docs/EXECUTOR.md.
     """
-    coords = (spec.workload, spec.size, spec.blocks, spec.threads)
+    coords = spec_coords(spec)
     cached = _PROGRAM_FP_CACHE.get(coords)
     if cached is None:
-        cached = fingerprint(spec.build_program())
+        cached = fingerprint(program_for(spec))
         _PROGRAM_FP_CACHE[coords] = cached
     return cached
 
@@ -412,33 +446,54 @@ class ResultCache:
 def execute_spec(spec: RunSpec,
                  system: Optional[SystemSpec] = None,
                  calib: Optional[Calibration] = None,
-                 attempt: int = 1) -> RunResult:
+                 attempt: int = 1,
+                 engine: str = "reference") -> RunResult:
     """Run one spec cold. Bit-identical to ``Experiment.run_one``.
 
     ``attempt`` (1-based) only feeds the test-only fault-injection
     hook (:func:`repro.harness.faults.maybe_fire`); the simulation
     itself is seeded purely from the spec, so retried attempts produce
     byte-identical results.
+
+    ``engine`` selects the simulation engine.  ``fast`` additionally
+    enables the process-local kernel-phase memo
+    (:func:`repro.sim.phasecache.phase_memo_for`) — both legs of the
+    fast path, neither of which can change results (the differential
+    battery in ``tests/harness/test_differential.py`` pins this).
     """
     faults.maybe_fire(spec, attempt)
-    program = spec.build_program()
+    program = program_for(spec)
     rng = np.random.default_rng(spec.seed_sequence())
+    system = system or default_system()
+    calib = calib or default_calibration()
+    phase_memo = None
+    if engine == "fast":
+        from ..sim.phasecache import phase_memo_for
+        phase_memo = phase_memo_for(system, calib)
     return execute_program(
         program, spec.mode,
-        system=system or default_system(),
-        calib=calib or default_calibration(),
+        system=system,
+        calib=calib,
         rng=rng,
         seed=spec.iteration,
         smem_carveout_bytes=spec.smem_carveout_bytes,
         size_label=spec.size,
+        engine=engine,
+        phase_memo=phase_memo,
     )
 
 
-def _execute_entry(entry: Tuple[RunSpec, Optional[SystemSpec],
-                                Optional[Calibration], int]) -> RunResult:
-    """Module-level worker so ProcessPoolExecutor can pickle it."""
-    spec, system, calib, attempt = entry
-    return execute_spec(spec, system=system, calib=calib, attempt=attempt)
+def _execute_entry(entry: Tuple) -> RunResult:
+    """Module-level worker so ProcessPoolExecutor can pickle it.
+
+    ``entry`` is ``(spec, system, calib, attempt[, engine])`` — the
+    engine element is optional for compatibility with callers of the
+    historical 4-tuple shape.
+    """
+    spec, system, calib, attempt = entry[:4]
+    engine = entry[4] if len(entry) > 4 else "reference"
+    return execute_spec(spec, system=system, calib=calib, attempt=attempt,
+                        engine=engine)
 
 
 @dataclass
@@ -456,10 +511,28 @@ class SweepStats:
     skipped: int = 0
     retries: int = 0
     crashes: int = 0
+    engine: str = "reference"
+    phase_hits: int = 0
+    phase_misses: int = 0
+
+    @property
+    def phase_lookups(self) -> int:
+        return self.phase_hits + self.phase_misses
+
+    @property
+    def phase_hit_rate(self) -> float:
+        return self.phase_hits / self.phase_lookups if self.phase_lookups \
+            else 0.0
 
     def summary(self) -> str:
         parts = [f"{self.total} runs", f"{self.cache_hits} cache hits",
                  f"{self.executed} executed in {self.elapsed_s:.2f}s"]
+        if self.engine != "reference":
+            parts.append(f"{self.engine} engine")
+        if self.phase_lookups:
+            parts.append(
+                f"phase memo {self.phase_hits}/{self.phase_lookups} hits "
+                f"({self.phase_hit_rate:.0%})")
         if self.executed and self.jobs > 1:
             parts.append(f"{self.jobs} {self.backend} workers")
         for label, count in (("failed", self.failed),
@@ -506,10 +579,14 @@ class SweepExecutor:
                  retry: Optional[RetryPolicy] = None,
                  journal: Optional[SweepJournal] = None,
                  resume: bool = False,
-                 strict: bool = False):
+                 strict: bool = False,
+                 engine: str = "reference"):
         if backend not in _BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
         if jobs is None:
             jobs = default_jobs()
         else:
@@ -526,6 +603,7 @@ class SweepExecutor:
         self.journal = journal
         self.resume = resume
         self.strict = strict
+        self.engine = engine
         self.last = SweepStats()
         self.last_outcome: Optional[SweepOutcome] = None
         self._env_fp: Optional[str] = None
@@ -536,6 +614,8 @@ class SweepExecutor:
         self._done = 0
         self._retries = 0
         self._crashes = 0
+        self._phase_memo = None
+        self._memo_before = (0, 0)
 
     # ------------------------------------------------------------------
     def key_for(self, spec: RunSpec) -> str:
@@ -552,6 +632,31 @@ class SweepExecutor:
     def _tick(self, done: int, total: int, spec: RunSpec) -> None:
         if self.progress is not None:
             self.progress(done, total, spec)
+
+    def prewarm(self, specs: Sequence[RunSpec]) -> int:
+        """Hoist per-spec setup shared across the sweep.
+
+        Builds each distinct program once (via :func:`program_for`),
+        fills its fingerprint, and resolves the environment fingerprint
+        — so the per-spec loop never rebuilds a program that another
+        coordinate already built (``tests/harness/test_executor.py``
+        asserts no redundant ``build_program`` calls).  Returns the
+        number of distinct program coordinates seen.
+        """
+        if self._env_fp is None and (self.cache is not None
+                                     or self.journal is not None):
+            self._env_fp = environment_fingerprint(self.system, self.calib)
+        seen = set()
+        for spec in specs:
+            coords = spec_coords(spec)
+            if coords in seen:
+                continue
+            seen.add(coords)
+            if self.cache is not None or self.journal is not None:
+                program_fingerprint(spec)  # builds + fingerprints once
+            else:
+                program_for(spec)  # builds once; no digest needed
+        return len(seen)
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -586,6 +691,18 @@ class SweepExecutor:
         self._done = 0
         self._retries = 0
         self._crashes = 0
+        self.prewarm(specs)
+        self._phase_memo = None
+        self._memo_before = (0, 0)
+        if self.engine == "fast":
+            # Bind the coordinator-side memo so serial and thread
+            # sweeps report hit/miss deltas in the summary (process
+            # workers keep private memos the coordinator cannot see).
+            from ..sim.phasecache import phase_memo_for
+            self._phase_memo = phase_memo_for(
+                self.system or default_system(),
+                self.calib or default_calibration())
+            self._memo_before = self._phase_memo.stats()
 
         need_keys = self.cache is not None or self.journal is not None
         keys: Dict[int, Optional[str]] = {
@@ -715,6 +832,10 @@ class SweepExecutor:
         sweep = SweepOutcome(outcomes=filled)
         counts = sweep.counts()
         hits = sum(1 for outcome in filled if outcome.from_cache)
+        phase_hits = phase_misses = 0
+        if self._phase_memo is not None:
+            phase_hits = self._phase_memo.hits - self._memo_before[0]
+            phase_misses = self._phase_memo.misses - self._memo_before[1]
         self.last = SweepStats(
             total=len(filled), cache_hits=hits,
             executed=len(filled) - hits - counts["skipped"],
@@ -722,7 +843,8 @@ class SweepExecutor:
             jobs=self.jobs, backend=self.backend,
             failed=counts["failed"], timed_out=counts["timed_out"],
             skipped=counts["skipped"], retries=self._retries,
-            crashes=self._crashes)
+            crashes=self._crashes, engine=self.engine,
+            phase_hits=phase_hits, phase_misses=phase_misses)
         self.last_outcome = sweep
         return sweep
 
@@ -760,7 +882,7 @@ class SweepExecutor:
                 attempt += 1
                 try:
                     run = _execute_entry((spec, self.system, self.calib,
-                                          attempt))
+                                          attempt, self.engine))
                 except KeyboardInterrupt:
                     raise
                 except Exception as error:
@@ -859,7 +981,8 @@ class SweepExecutor:
                     try:
                         future = pool.submit(
                             _execute_entry,
-                            (spec, self.system, self.calib, attempt))
+                            (spec, self.system, self.calib, attempt,
+                             self.engine))
                     except BrokenExecutor:
                         victims.append((index, spec, key, attempt))
                         break

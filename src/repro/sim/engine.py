@@ -55,9 +55,27 @@ class Event:
         """Trigger the event ``delay`` ns from now."""
         if self._triggered:
             raise SimulationError(f"event {self.name!r} already triggered")
+        return self._trigger(value, delay)
+
+    def _trigger(self, value: Any, delay: float) -> "Event":
+        """Internal trigger path shared by :meth:`succeed` and subclasses.
+
+        Every trigger funnels through here so the already-triggered
+        guard in :meth:`succeed` can never be bypassed by a subclass
+        scheduling itself directly (the historical :class:`Timeout`
+        bug: it set ``_triggered`` by hand, so a later ``succeed``
+        call would double-schedule the event instead of raising).
+        """
         self._triggered = True
         self.value = value
         self.env._schedule(self, delay)
+        return self
+
+    def _trigger_at(self, value: Any, at: float) -> "Event":
+        """Absolute-time twin of :meth:`_trigger` (same guard discipline)."""
+        self._triggered = True
+        self.value = value
+        self.env._schedule_at(self, at)
         return self
 
     def _run_callbacks(self) -> None:
@@ -72,15 +90,57 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires a fixed delay after creation."""
+    """An event that fires a fixed delay after creation.
+
+    Hot path: timeouts carry no eagerly-formatted name (the label is
+    derived on demand in :meth:`__repr__`); naming every timeout cost
+    one f-string per simulated operation.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env, name=f"timeout({delay:g})")
-        self._triggered = True
-        self.value = value
-        env._schedule(self, delay)
+        super().__init__(env, name="timeout")
+        self.delay = delay
+        # Through the guarded trigger path (not a bare ``_triggered``
+        # write): a Timeout is born triggered, and any later
+        # ``succeed`` must raise instead of double-scheduling.
+        self._trigger(value, delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else "scheduled"
+        return f"<Timeout({self.delay:g}) {state}>"
+
+
+class Deadline(Event):
+    """An event that fires at an *absolute* simulation time.
+
+    Chunk trains schedule their boundaries as deadlines rather than
+    accumulated relative timeouts: ``fl(now + fl(t - now))`` is not
+    ``t`` in floating point, so N relative hops would land the train's
+    end a few ulps off the monolithic hold it refines.  A deadline
+    pins every boundary to the exact float the train arithmetic
+    produced, which is what makes an N-chunk train end bit-identically
+    to the single hold it replaces (see :meth:`Resource.stream`).
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, env: "Environment", at: float, value: Any = None):
+        if at < env.now:
+            raise SimulationError(
+                f"deadline {at!r} is in the past (now={env.now!r})")
+        super().__init__(env, name="deadline")
+        self.at = at
+        # Guarded path, as for Timeout: born triggered, a later
+        # ``succeed`` must raise instead of double-scheduling.
+        self._trigger_at(value, at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else "scheduled"
+        return f"<Deadline({self.at:g}) {state}>"
 
 
 class AllOf(Event):
@@ -118,24 +178,35 @@ class Process(Event):
         bootstrap.succeed()
 
     def _resume(self, event: Event) -> None:
-        try:
-            target = self._generator.send(event.value)
-        except StopIteration as stop:
-            if not self._triggered:
-                self.succeed(stop.value)
+        send = self._generator.send
+        value = event.value
+        while True:
+            try:
+                target = send(value)
+            except StopIteration as stop:
+                if not self._triggered:
+                    self.succeed(stop.value)
+                return
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+                )
+            if target.processed:
+                # Already fired. When the environment certifies that no
+                # other event is runnable right now (fast engine, sole
+                # runner), a relay through the queue is a no-op and the
+                # generator can be resumed inline - the callback-free
+                # hot path. Otherwise resume via a relay event so the
+                # ordering against same-time events stays deterministic.
+                if self.env._can_inline():
+                    value = target.value
+                    continue
+                relay = Event(self.env, name=f"relay:{self.name}")
+                relay.callbacks.append(self._resume)
+                relay.succeed(target.value)
+            else:
+                target.callbacks.append(self._resume)
             return
-        if not isinstance(target, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
-            )
-        if target.processed:
-            # Already fired: resume immediately (still via the heap so
-            # ordering stays deterministic).
-            relay = Event(self.env, name=f"relay:{self.name}")
-            relay.callbacks.append(self._resume)
-            relay.succeed(target.value)
-        else:
-            target.callbacks.append(self._resume)
 
 
 class Environment:
@@ -150,11 +221,44 @@ class Environment:
         self._sequence += 1
         heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
 
+    def _schedule_at(self, event: Event, at: float) -> None:
+        """Schedule at an absolute time (see :class:`Deadline`)."""
+        self._sequence += 1
+        heapq.heappush(self._heap, (at, self._sequence, event))
+
+    # ------------------------------------------------------------------
+    # Fast-path hooks (overridden by repro.sim.fastpath.FastEnvironment)
+    # ------------------------------------------------------------------
+    def _can_inline(self) -> bool:
+        """Whether a processed-event relay may resume a process inline.
+
+        The reference engine always answers ``False``: every resume
+        goes through the event queue so same-time ordering is governed
+        purely by schedule sequence numbers.
+        """
+        return False
+
+    def coalesce_train(self, resource: "Resource", count: int,
+                       total_ns: float) -> bool:
+        """Try to collapse an N-chunk train into one analytic hold.
+
+        The reference engine never coalesces (``False``: the caller
+        simulates per chunk). :class:`~repro.sim.fastpath.FastEnvironment`
+        coalesces exactly when it can prove nothing can interleave
+        before the train's end - see its docstring for the safety
+        argument.
+        """
+        return False
+
     def event(self, name: str = "") -> Event:
         return Event(self, name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def timeout_until(self, at: float, value: Any = None) -> Deadline:
+        """An event firing at absolute time ``at`` (>= now)."""
+        return Deadline(self, at, value)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -247,3 +351,67 @@ class Resource:
             yield self.env.timeout(duration)
         finally:
             self.release()
+
+    def stream(self, count: int, total_ns: float) -> Generator:
+        """Process fragment: hold for ``count`` back-to-back chunks
+        totalling ``total_ns``.
+
+        Chunk ``k`` targets the *absolute* boundary ``anchor +
+        total_ns * (k+1)/count``, where ``anchor`` is the time the
+        first chunk was granted.  The final boundary is ``anchor +
+        total_ns`` exactly (``count/count == 1.0`` and multiplication
+        by 1.0 are exact in IEEE-754), so an uncontended N-chunk train
+        ends on the *same float* as the monolithic ``stream(1,
+        total_ns)`` hold it refines - chunk granularity changes event
+        traffic, never results.  Boundaries are scheduled as
+        :class:`Deadline` events: iterating relative timeouts would
+        accumulate rounding and break that identity.
+
+        If a competing holder delays a grant past its boundary, the
+        train re-anchors at the grant time and the remaining chunks
+        play out event by event from there - contention is arbitrated
+        per chunk through the FIFO queue, exactly as ``count``
+        sequential :meth:`use` calls would be.
+
+        The environment may *coalesce* the whole train into one
+        analytic hold when it can prove no other event could
+        interleave before the train ends (see
+        :meth:`Environment.coalesce_train`); the reference engine
+        never does, so every chunk round-trips through the event heap.
+
+        Returns ``(start, end)``: the time the first chunk was granted
+        the resource and the time the last chunk released it.
+        """
+        if count < 0:
+            raise SimulationError(f"negative stream count: {count}")
+        if total_ns < 0:
+            raise SimulationError(f"negative stream duration: {total_ns}")
+        env = self.env
+        if count == 0:
+            return env.now, env.now
+        start = env.now
+        if env.coalesce_train(self, count, total_ns):
+            # Coalesced: the environment advanced the clock and charged
+            # the busy-time integral analytically (a grant would have
+            # been immediate, so ``start`` is the pre-train clock).
+            return start, env.now
+        anchor = start
+        granted = False
+        for chunk in range(count):
+            yield self.request()
+            if not granted:
+                anchor = start = env.now
+                granted = True
+            target = anchor + total_ns * ((chunk + 1) / count)
+            if target < env.now:
+                # A delayed grant pushed us past the boundary:
+                # re-anchor so the remaining chunks keep their width.
+                anchor = env.now - total_ns * (chunk / count)
+                target = anchor + total_ns * ((chunk + 1) / count)
+                if target < env.now:  # float guard on the re-anchor
+                    target = env.now
+            try:
+                yield env.timeout_until(target)
+            finally:
+                self.release()
+        return start, env.now

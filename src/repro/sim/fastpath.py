@@ -1,0 +1,187 @@
+"""Fast-path simulation engine.
+
+:class:`FastEnvironment` is a drop-in :class:`~repro.sim.engine.Environment`
+subclass that produces **bit-identical** timelines while skipping most of
+the event-heap machinery on the hot path.  Three transformations, each
+with an explicit safety argument:
+
+1. **Immediate dispatch** — a zero-delay event is appended to a FIFO
+   deque instead of the heap whenever the heap holds nothing at the
+   current timestamp.  *Safety*: the reference engine orders same-time
+   events by schedule sequence number, which for events scheduled at the
+   same timestamp is exactly FIFO order.  The deque preserves FIFO, and
+   the guard (``heap[0][0] > now``) guarantees no earlier-sequenced heap
+   entry at ``now`` could be bypassed.  Events at strictly later times
+   cannot run before an event at ``now`` in either engine.
+
+2. **Inline resume** — when a process yields an already-processed event,
+   the reference engine routes the resume through a zero-delay *relay*
+   event so ordering against other same-time events stays deterministic.
+   When the engine can certify the process is the *sole runner* (nothing
+   queued at ``now``, and the event currently dispatching had no sibling
+   callbacks), the relay is a provable no-op and the generator is resumed
+   inline — no relay :class:`Event` allocation, no queue round-trip.
+
+3. **Train coalescing** — ``Resource.stream(count, total)`` normally
+   simulates ``count`` acquire/hold/release cycles with absolute
+   boundary deadlines.  When the engine can prove *quiescence through
+   the train's end* (immediate queue empty, no heap event at or before
+   ``now + total``, the resource idle, sole runner), no second
+   requester can possibly arrive during the train: nothing else is
+   runnable, and nothing can *become* runnable before the train
+   finishes.  The train is then collapsed into a single analytic hold:
+   jump the clock to ``now + total`` — the exact float the per-chunk
+   loop's final :class:`~repro.sim.engine.Deadline` lands on, because
+   boundary ``k`` is ``anchor + total * (k+1)/count`` and the last
+   factor is exactly ``1.0`` — and charge the busy-time integral in
+   one step.  The moment any event exists inside the train window the
+   engine falls back to per-chunk simulation, so contention semantics
+   are preserved bit-for-bit.
+
+The reference :class:`Environment` keeps answering "no" to every
+fast-path hook, so ``--engine reference`` exercises the historical
+event-by-event machinery unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Optional
+
+from .engine import Environment, Event, Resource
+
+
+class FastEnvironment(Environment):
+    """Event-train-coalescing, inline-resuming simulation environment."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        # FIFO of zero-delay events certified to run next at ``now``.
+        self._immediate: deque = deque()
+        # True while ``run`` is draining events.
+        self._dispatching = False
+        # The active ``run(until=...)`` clamp (disables clock-advancing
+        # fast paths that could overshoot it).
+        self._until: Optional[float] = None
+        # True when the event currently dispatching had at most one
+        # callback, i.e. resuming its process inline cannot starve a
+        # sibling callback of its turn at the current timestamp.
+        self._inline_ok = True
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay == 0.0 and (not self._heap or self._heap[0][0] > self.now):
+            # No heap entry at the current timestamp can be bypassed;
+            # FIFO deque order equals sequence order for same-time
+            # events, so dispatch order matches the reference heap.
+            self._immediate.append(event)
+            return
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+
+    def _schedule_at(self, event: Event, at: float) -> None:
+        if at == self.now and (not self._heap or self._heap[0][0] > self.now):
+            # Same certification as a zero-delay ``_schedule``.
+            self._immediate.append(event)
+            return
+        self._sequence += 1
+        heapq.heappush(self._heap, (at, self._sequence, event))
+
+    # ------------------------------------------------------------------
+    # Fast-path certifications
+    # ------------------------------------------------------------------
+    def _can_inline(self) -> bool:
+        """Sole-runner check for resuming a process inline.
+
+        True only when (a) the dispatching event had no sibling
+        callbacks still owed a turn, and (b) nothing else is queued to
+        run at the current timestamp.  Under those conditions the relay
+        event the reference engine would schedule is guaranteed to be
+        the very next thing dispatched, so skipping it is unobservable.
+        """
+        return (
+            self._inline_ok
+            and not self._immediate
+            and (not self._heap or self._heap[0][0] > self.now)
+        )
+
+    def coalesce_train(self, resource: Resource, count: int,
+                       total_ns: float) -> bool:
+        """Collapse an uncontended N-chunk train into one analytic hold.
+
+        Requires quiescence *through the train's end*: an empty
+        immediate queue, an idle resource, a sole-runner dispatch, no
+        ``until`` clamp, and no heap event at or before ``now +
+        total_ns`` (strictly before-or-at: an event landing exactly on
+        the train's end could tie-break differently than the reference
+        per-chunk loop, so equality also bails).  Under those
+        conditions nothing else can run — or become runnable — before
+        the train finishes, so the per-chunk loop would execute
+        ``count`` immediate grants and boundary deadlines back to
+        back, ending on exactly ``now + total_ns`` (the final boundary
+        is ``anchor + total_ns * 1.0``, and multiplying by 1.0 is
+        exact).  One clock jump reproduces that float bit-for-bit.
+
+        The busy-time integral is charged analytically (``+=
+        total_ns``) rather than as ``count`` per-boundary differences;
+        the telescoped float sum can differ from ``total_ns`` in the
+        last ulp, but :meth:`Resource.busy_time` is a diagnostic
+        integral with no model consumer (asserted by the differential
+        battery over every observable output).
+        """
+        if not (
+            self._dispatching
+            and self._inline_ok
+            and self._until is None
+            and not self._immediate
+            and resource._in_use == 0
+            and not resource._queue
+        ):
+            return False
+        end = self.now + total_ns
+        if self._heap and self._heap[0][0] <= end:
+            return False
+        resource._account()  # the first request's accounting call
+        resource._busy_time += total_ns
+        self.now = end
+        resource._last_change = end
+        return True
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        immediate = self._immediate
+        heap = self._heap
+        self._dispatching = True
+        self._until = until
+        try:
+            while True:
+                while immediate:
+                    if until is not None and self.now > until:
+                        # Mirror the reference clamp: events queued past
+                        # ``until`` stay queued and the clock rests at
+                        # the horizon.
+                        self.now = until
+                        return self.now
+                    event = immediate.popleft()
+                    self._inline_ok = len(event.callbacks) <= 1
+                    event._run_callbacks()
+                if not heap:
+                    break
+                at, _seq, event = heap[0]
+                if until is not None and at > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(heap)
+                self.now = at
+                self._inline_ok = len(event.callbacks) <= 1
+                event._run_callbacks()
+            return self.now
+        finally:
+            self._dispatching = False
+            self._until = None
+            self._inline_ok = True

@@ -20,6 +20,15 @@ from .engine import Environment, Resource
 from .hardware import SystemSpec
 
 
+#: Upper bound on chunks per DMA train.  Bounds the reference engine's
+#: per-chunk event cost on huge copies (a Mega-class 32 GiB memcpy at
+#: 2 MiB granularity would otherwise be 16 K heap round-trips) while
+#: matching the motivating scale: a 1 GiB copy at the default 2 MiB
+#: ``chunk_bytes`` is exactly 512 chunks.  Above the cap the effective
+#: chunk grows so the train stays at 512 uniform chunks.
+MAX_TRAIN_CHUNKS = 512
+
+
 class TransferKind(enum.Enum):
     """The host-device transfer paths, each with its own bandwidth."""
 
@@ -83,16 +92,39 @@ class PcieLink:
         call_ns = self.calib.transfer.memcpy_call_ns if explicit else 0.0
         return link.latency_ns + call_ns + wire_ns
 
+    def chunk_count(self, num_bytes: int) -> int:
+        """DMA chunks for an explicit copy: ``ceil(bytes / chunk_bytes)``,
+        clamped to [1, :data:`MAX_TRAIN_CHUNKS`]."""
+        if num_bytes <= 0:
+            return 1
+        chunk = self.system.link.chunk_bytes
+        return self.train_length(-(-num_bytes // chunk))  # ceil division
+
+    @staticmethod
+    def train_length(chunks: int) -> int:
+        """Clamp a proposed train length to [1, :data:`MAX_TRAIN_CHUNKS`]."""
+        if chunks < MAX_TRAIN_CHUNKS:
+            return max(1, chunks)
+        return MAX_TRAIN_CHUNKS
+
     def transfer(self, kind: TransferKind, num_bytes: int,
-                 host_multiplier: float = 1.0):
+                 host_multiplier: float = 1.0, chunks: int = 1):
         """Process fragment: run one transfer through a copy engine.
+
+        ``chunks > 1`` streams the copy as a train of that many
+        boundary-scheduled DMA chunks (a pipelined ``cudaMemcpyAsync``
+        submission: the driver splits the copy at ``chunk_bytes``
+        granularity, UVM at fault-batch granularity) instead of one
+        monolithic hold.  An *uncontended* train is bit-identical to
+        ``chunks=1`` — same grant time, same release float (see
+        :meth:`~repro.sim.engine.Resource.stream`) — but it arbitrates
+        for the copy engine per chunk, so concurrent transfers
+        interleave at chunk granularity exactly as real DMA engines
+        do.  Chunk policy lives in the callers (:mod:`repro.sim.runtime`);
+        the link executes whatever train it is handed.
 
         Returns (via the process protocol) a :class:`TransferTiming`.
         """
         duration = self.duration_ns(kind, num_bytes, host_multiplier)
-        yield self.engines.request()
-        try:
-            yield self.env.timeout(duration)
-        finally:
-            self.engines.release()
+        yield from self.engines.stream(max(1, chunks), duration)
         return TransferTiming(kind=kind, bytes=num_bytes, duration_ns=duration)

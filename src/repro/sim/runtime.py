@@ -24,7 +24,7 @@ from .kernel import KernelDescriptor
 from .pcie import PcieLink, TransferKind
 from .timing import ConfigFlags, KernelExecution, simulate_kernel
 from .trace import Timeline
-from .uvm import ManagedSpace
+from .uvm import ManagedSpace, fault_batches
 
 
 class CudaRuntime:
@@ -35,11 +35,16 @@ class CudaRuntime:
                  footprint_bytes: int = 0,
                  smem_carveout_bytes: Optional[int] = None,
                  env: Optional[Environment] = None,
-                 host_cpu: Optional[Resource] = None):
+                 host_cpu: Optional[Resource] = None,
+                 kernel_sim=None):
         self.system = system
         self.calib = calib
         self.rng = rng
         self.env = env or Environment()
+        #: kernel-phase simulator; injection point for the executor's
+        #: phase memo (must be call-compatible with ``simulate_kernel``
+        #: and return identical results for identical arguments).
+        self.kernel_sim = kernel_sim if kernel_sim is not None else simulate_kernel
         self.link = PcieLink(self.env, system, calib)
         self.gpu_compute = Resource(self.env, capacity=1, name="gpu_compute")
         # Multi-GPU setups share one host allocator thread across the
@@ -84,13 +89,8 @@ class CudaRuntime:
     # Allocation primitives (host-CPU resource, "allocation" category)
     # ------------------------------------------------------------------
     def _host_op(self, name: str, duration_ns: float, category: str = "allocation"):
-        yield self.host_cpu.request()
-        start = self.env.now
-        try:
-            yield self.env.timeout(duration_ns)
-        finally:
-            self.host_cpu.release()
-        self.timeline.record(name, category, start, self.env.now)
+        start, end = yield from self.host_cpu.stream(1, duration_ns)
+        self.timeline.record(name, category, start, end)
 
     def malloc_host(self, name: str, num_bytes: int, pinned: bool = False):
         """Host allocation: pageable ``malloc`` or page-locked
@@ -137,12 +137,26 @@ class CudaRuntime:
     # ------------------------------------------------------------------
     # Transfer primitives (PCIe link, "memcpy" category)
     # ------------------------------------------------------------------
-    def _transfer(self, label: str, kind: TransferKind, num_bytes: int):
+    def _transfer(self, label: str, kind: TransferKind, num_bytes: int,
+                  chunks: Optional[int] = None):
+        """Run one copy as a chunked DMA train (see :meth:`PcieLink.transfer`).
+
+        ``chunks=None`` uses the link's ``chunk_bytes`` granularity
+        (explicit memcpy / prefetch submissions); UVM migrations pass
+        their fault-batch count instead.  Uncontended trains are
+        bit-identical to the historical monolithic transfer, so this
+        only changes behavior where transfers actually compete for the
+        copy engines (multi-job pipelines), where chunk-granular
+        interleaving is the truthful model.
+        """
         if num_bytes <= 0:
             return None
+        if chunks is None:
+            chunks = self.link.chunk_count(num_bytes)
         start = self.env.now
         timing = yield from self.link.transfer(
-            kind, num_bytes, host_multiplier=self.placement.time_multiplier)
+            kind, num_bytes, host_multiplier=self.placement.time_multiplier,
+            chunks=chunks)
         # Re-time with measurement noise: the queueing already happened,
         # noise perturbs the recorded duration symmetrically.
         noisy_end = start + self._noisy(self.env.now - start,
@@ -164,16 +178,20 @@ class CudaRuntime:
                                   TransferKind.PREFETCH, plan.h2d_bytes)
 
     def uvm_host_read(self, name: str, fraction: float):
+        # Host faults drive the writeback, so the train is one burst
+        # per serviced fault batch (not per DMA chunk_bytes).
         plan = self.managed.host_read(name, fraction)
+        batches = fault_batches(plan.d2h_bytes, self.system.uvm)
         yield from self._transfer(f"uvm writeback:{name}",
-                                  TransferKind.MIGRATE_D2H, plan.d2h_bytes)
+                                  TransferKind.MIGRATE_D2H, plan.d2h_bytes,
+                                  chunks=self.link.train_length(batches))
 
     # ------------------------------------------------------------------
     # Kernel launch ("gpu_kernel" category)
     # ------------------------------------------------------------------
     def launch(self, desc: KernelDescriptor, flags: ConfigFlags,
                resident_fraction: float = 1.0):
-        execution = simulate_kernel(
+        execution = self.kernel_sim(
             desc, flags, self.system, self.calib,
             smem_carveout_bytes=self.smem_carveout_bytes,
             resident_fraction=resident_fraction,
@@ -184,22 +202,20 @@ class CudaRuntime:
         if execution.demand_migrated_bytes > 0:
             # Demand migration streams over the link concurrently with
             # the (stalling) kernel; it is accounted as memcpy time,
-            # exactly as nvprof reports "Unified Memory Memcpy".
+            # exactly as nvprof reports "Unified Memory Memcpy". The
+            # train is one burst per serviced fault batch (the batch
+            # count the timing model already derived).
             self.env.process(
                 self._transfer(f"uvm migrate:{desc.name}",
                                TransferKind.MIGRATE_H2D,
-                               execution.demand_migrated_bytes),
+                               execution.demand_migrated_bytes,
+                               chunks=self.link.train_length(
+                                   execution.fault_batches)),
                 name=f"migrate:{desc.name}",
             )
 
-        yield self.gpu_compute.request()
-        start = self.env.now
-        try:
-            yield self.env.timeout(duration)
-        finally:
-            self.gpu_compute.release()
-        self.timeline.record(f"kernel:{desc.name}", "gpu_kernel", start,
-                             self.env.now)
+        start, end = yield from self.gpu_compute.stream(1, duration)
+        self.timeline.record(f"kernel:{desc.name}", "gpu_kernel", start, end)
         self.counters.add(execution.counters)
         self.executions.append(execution)
         return execution
@@ -217,7 +233,7 @@ class CudaRuntime:
         """
         if count < 1:
             raise ValueError("count must be >= 1")
-        first = simulate_kernel(desc, flags, self.system, self.calib,
+        first = self.kernel_sim(desc, flags, self.system, self.calib,
                                 smem_carveout_bytes=self.smem_carveout_bytes,
                                 resident_fraction=resident_first)
         rest = None
@@ -225,7 +241,7 @@ class CudaRuntime:
             if resident_rest == resident_first:
                 rest = first
             else:
-                rest = simulate_kernel(desc, flags, self.system, self.calib,
+                rest = self.kernel_sim(desc, flags, self.system, self.calib,
                                        smem_carveout_bytes=self.smem_carveout_bytes,
                                        resident_fraction=resident_rest)
 
@@ -233,23 +249,21 @@ class CudaRuntime:
         duration = self._noisy(total_ns, self.calib.noise.kernel_sigma)
 
         migrate_bytes = first.demand_migrated_bytes
+        migrate_batches = first.fault_batches
         if rest is not None:
             migrate_bytes += (count - 1) * rest.demand_migrated_bytes
+            migrate_batches += (count - 1) * rest.fault_batches
         if migrate_bytes > 0:
             self.env.process(
                 self._transfer(f"uvm migrate:{desc.name}",
-                               TransferKind.MIGRATE_H2D, migrate_bytes),
+                               TransferKind.MIGRATE_H2D, migrate_bytes,
+                               chunks=self.link.train_length(migrate_batches)),
                 name=f"migrate:{desc.name}",
             )
 
-        yield self.gpu_compute.request()
-        start = self.env.now
-        try:
-            yield self.env.timeout(duration)
-        finally:
-            self.gpu_compute.release()
+        start, end = yield from self.gpu_compute.stream(1, duration)
         self.timeline.record(f"kernel:{desc.name} x{count}", "gpu_kernel",
-                             start, self.env.now)
+                             start, end)
 
         # Aggregate counters across the repeats.
         base = first.counters

@@ -19,7 +19,6 @@ kernel duration, decomposed the way the paper reasons about it:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from .calibration import Calibration
@@ -27,6 +26,7 @@ from .counters import KernelCounters, collect_counters
 from .hardware import SystemSpec
 from .kernel import AccessPattern, AsyncMechanism, KernelDescriptor
 from .sm import Occupancy, occupancy_for, pipeline_fits
+from .uvm import fault_batches
 
 
 @dataclass(frozen=True)
@@ -145,14 +145,19 @@ def _barrier_time_ns(desc: KernelDescriptor, occ: Occupancy,
 
 def _fault_stalls(desc: KernelDescriptor, system: SystemSpec,
                   resident_fraction: float) -> tuple:
-    """Far-fault batches and the SM stall they serialize into the kernel."""
+    """Far-fault batches and the SM stall they serialize into the kernel.
+
+    Batch math is shared with the UVM driver model
+    (:func:`repro.sim.uvm.fault_batches`) so the stall term here and
+    the migration DMA train in :mod:`repro.sim.runtime` always agree
+    on the batch count.
+    """
     uvm = system.uvm
     footprint = desc.footprint_bytes * desc.touched_fraction
     missing = footprint * (1.0 - resident_fraction)
     if missing <= 0:
         return 0, 0, 0.0
-    vablocks = math.ceil(missing / uvm.migration_block_bytes)
-    batches = math.ceil(vablocks / uvm.fault_batch_size)
+    batches = fault_batches(missing, uvm)
     stall_ns = batches * (uvm.fault_service_ns + uvm.fault_stall_ns)
     return int(missing), batches, stall_ns
 

@@ -21,6 +21,34 @@ class UvmError(RuntimeError):
     """Illegal managed-memory operation."""
 
 
+def migration_blocks(num_bytes: float, spec: UvmSpec) -> int:
+    """Driver vablocks covering ``num_bytes`` (ceil at block granularity).
+
+    Shared by the residency tracker (:class:`ManagedSpace`), the kernel
+    timing model (:func:`repro.sim.timing.simulate_kernel`'s fault-stall
+    term), and the runtime's migration DMA trains, so all three agree
+    on how many blocks — and therefore fault batches — a byte volume
+    implies.
+    """
+    if num_bytes <= 0:
+        return 0
+    return math.ceil(num_bytes / spec.migration_block_bytes)
+
+
+def fault_batches(num_bytes: float, spec: UvmSpec) -> int:
+    """Fault batches the driver services to migrate ``num_bytes``.
+
+    The GPU raises far faults per vablock; the driver coalesces
+    ``fault_batch_size`` of them per servicing batch.  Each batch is
+    one burst on the link, which is why migration transfers stream as
+    trains of this length (:meth:`repro.sim.runtime.CudaRuntime.launch`).
+    """
+    blocks = migration_blocks(num_bytes, spec)
+    if blocks == 0:
+        return 0
+    return math.ceil(blocks / spec.fault_batch_size)
+
+
 @dataclass
 class ManagedAllocation:
     """One cudaMallocManaged range."""
@@ -93,7 +121,7 @@ class ManagedSpace:
     # Data movement planning
     # ------------------------------------------------------------------
     def _blocks(self, num_bytes: float) -> int:
-        return math.ceil(num_bytes / self.spec.migration_block_bytes)
+        return migration_blocks(num_bytes, self.spec)
 
     def demand_access(self, name: str, touched_fraction: float) -> MigrationPlan:
         """GPU touches ``touched_fraction`` of an allocation on demand.

@@ -1,0 +1,172 @@
+"""Reference-vs-fast engine equivalence battery.
+
+The fast engine (:class:`repro.sim.fastpath.FastEnvironment`) is only
+allowed to skip event machinery it can *prove* unobservable, so every
+simulated quantity — phase times, wall clock, timeline events, CUPTI
+counters, UVM fault-batch counts and migration volumes — must be
+**bit-identical** to the reference engine, not merely close.  This
+module is the proof battery: a curated workload x mode grid, a
+timeline-level comparison (every recorded event, every kernel
+execution), and a hypothesis fuzz over synthetic programs.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configs import TransferMode
+from repro.core.execution import (_explicit_process, _managed_process,
+                                  execute_program, make_environment)
+from repro.sim.calibration import default_calibration
+from repro.sim.hardware import default_system
+from repro.sim.kernel import AccessPattern, KernelDescriptor
+from repro.sim.program import simple_program
+from repro.sim.runtime import CudaRuntime
+from repro.workloads.registry import get_workload
+from repro.workloads.sizes import SizeClass
+
+MODES = list(TransferMode)
+
+# Micro kernels at the paper's largest class, applications at LARGE:
+# together they exercise explicit trains, prefetch trains, demand
+# migration, oversubscription, iterative launch_repeated, and d2h
+# writebacks.
+BATTERY = [
+    ("vector_seq", SizeClass.MEGA),
+    ("vector_rand", SizeClass.MEGA),
+    ("saxpy", SizeClass.MEGA),
+    ("gemm", SizeClass.LARGE),
+    ("hotspot", SizeClass.LARGE),
+    ("kmeans", SizeClass.LARGE),
+    ("srad", SizeClass.LARGE),
+    ("pathfinder", SizeClass.LARGE),
+    ("knn", SizeClass.LARGE),
+]
+
+
+def run_once(program, mode, engine, size):
+    return execute_program(program, mode, seed=7, engine=engine,
+                           size_label=size.label)
+
+
+class TestBattery:
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    @pytest.mark.parametrize("name,size", BATTERY,
+                             ids=[w for w, _ in BATTERY])
+    def test_run_results_bit_identical(self, name, size, mode):
+        workload = get_workload(name)
+        if not workload.supports(size):
+            pytest.skip(f"{name} undefined at {size.label}")
+        program = workload.program(size)
+        ref = run_once(program, mode, "reference", size)
+        fast = run_once(program, mode, "fast", size)
+        # Dataclass equality covers every timing field and the full
+        # counter report (per-kernel instruction mixes, miss rates,
+        # DRAM traffic, occupancy) — all bitwise, no tolerances.
+        assert fast == ref
+        assert fast.breakdown() == ref.breakdown()
+        assert fast.total_ns == ref.total_ns
+
+
+def run_runtime(program, mode, engine):
+    """execute_program's internals, exposing the runtime itself."""
+    system, calib = default_system(), default_calibration()
+    rt = CudaRuntime(system, calib, np.random.default_rng(7),
+                     footprint_bytes=program.footprint_bytes,
+                     env=make_environment(engine))
+    if mode.managed:
+        process = _managed_process(rt, program, mode)
+    else:
+        process = _explicit_process(rt, program, mode)
+    rt.run(process)
+    return rt
+
+
+class TestTimelineLevel:
+    """Event-by-event equivalence, not just aggregate times."""
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_every_trace_event_identical(self, mode):
+        program = get_workload("hotspot").program(SizeClass.LARGE)
+        ref = run_runtime(program, mode, "reference")
+        fast = run_runtime(program, mode, "fast")
+        assert fast.timeline.events == ref.timeline.events
+        assert fast.env.now == ref.env.now
+
+    @pytest.mark.parametrize("mode",
+                             [TransferMode.UVM, TransferMode.UVM_PREFETCH,
+                              TransferMode.UVM_PREFETCH_ASYNC],
+                             ids=lambda m: m.value)
+    def test_uvm_fault_batches_and_migration_volumes(self, mode):
+        """The UVM driver model must agree across engines on *how much*
+        moved and in *how many* service rounds, not only on time."""
+        program = get_workload("srad").program(SizeClass.LARGE)
+        ref = run_runtime(program, mode, "reference")
+        fast = run_runtime(program, mode, "fast")
+        ref_exec = [(e.name, e.fault_batches, e.demand_migrated_bytes,
+                     e.fault_stall_ns) for e in ref.executions]
+        fast_exec = [(e.name, e.fault_batches, e.demand_migrated_bytes,
+                      e.fault_stall_ns) for e in fast.executions]
+        assert fast_exec == ref_exec
+        if mode is TransferMode.UVM:
+            # Cold demand paging must actually migrate something, or
+            # the comparison above is vacuous.
+            assert sum(e.fault_batches for e in ref.executions) > 0
+            assert sum(e.demand_migrated_bytes for e in ref.executions) > 0
+        migrations = [e for e in ref.timeline.events
+                      if e.name.startswith(("uvm migrate", "uvm writeback"))]
+        fast_migrations = [e for e in fast.timeline.events
+                           if e.name.startswith(("uvm migrate",
+                                                 "uvm writeback"))]
+        assert fast_migrations == migrations
+
+    def test_counters_identical_per_kernel(self):
+        program = get_workload("gemm").program(SizeClass.LARGE)
+        for mode in MODES:
+            ref = run_runtime(program, mode, "reference")
+            fast = run_runtime(program, mode, "fast")
+            assert fast.counters == ref.counters
+
+
+# ----------------------------------------------------------------------
+# Hypothesis fuzz over synthetic single-kernel programs
+# ----------------------------------------------------------------------
+PATTERNS = list(AccessPattern)
+
+
+@st.composite
+def programs(draw):
+    blocks = draw(st.integers(min_value=1, max_value=4096))
+    tiles = draw(st.integers(min_value=1, max_value=64))
+    tile_bytes = draw(st.sampled_from([4096, 16384, 49152]))
+    desc = KernelDescriptor(
+        name="fuzz",
+        blocks=blocks,
+        threads_per_block=draw(st.sampled_from([64, 128, 256, 1024])),
+        tiles_per_block=tiles,
+        tile_bytes=tile_bytes,
+        compute_cycles_per_tile=draw(st.floats(min_value=1.0,
+                                               max_value=1e6)),
+        access_pattern=draw(st.sampled_from(PATTERNS)),
+        write_bytes=draw(st.integers(min_value=0, max_value=1 << 30)),
+        reuse=draw(st.floats(min_value=1.0, max_value=64.0)),
+        touched_fraction=draw(st.floats(min_value=0.01, max_value=1.0)),
+    )
+    in_bytes = draw(st.integers(min_value=1 << 12, max_value=1 << 36))
+    out_bytes = draw(st.integers(min_value=1 << 12, max_value=1 << 32))
+    iterations = draw(st.integers(min_value=1, max_value=200))
+    return simple_program("fuzz", desc, in_bytes, out_bytes,
+                          iterations=iterations)
+
+
+@given(program=programs(),
+       mode=st.sampled_from(MODES),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_fuzz_reference_vs_fast(program, mode, seed):
+    ref = execute_program(program, mode, seed=seed, engine="reference")
+    fast = execute_program(program, mode, seed=seed, engine="fast")
+    assert dataclasses.asdict(fast) == dataclasses.asdict(ref)

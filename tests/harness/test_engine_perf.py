@@ -1,0 +1,67 @@
+"""Perf acceptance: the fast engine must earn its complexity.
+
+Gate: a cold fig6-style sweep (vector_seq at Mega, 30 iterations —
+the chunk-train-heaviest cell in the paper grid) under
+``--engine fast`` completes >= 3x faster than ``--engine reference``.
+The measured ratio is snapshotted to
+``benchmarks/results/engine_speedup.txt`` so EXPERIMENTS.md can quote
+it; on the development box the ratio is ~28x (see
+docs/PERFORMANCE.md), so the 3x floor leaves plenty of headroom for
+loaded CI machines.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.configs import TransferMode
+from repro.harness.executor import (SweepExecutor, clear_program_memo,
+                                    expand_grid)
+from repro.sim.phasecache import clear_phase_memos
+from repro.workloads.sizes import SizeClass
+
+RESULTS = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+GRID = dict(workloads=("vector_seq",), sizes=(SizeClass.MEGA,),
+            modes=(TransferMode.STANDARD,), iterations=30)
+
+
+def cold_sweep_seconds(engine: str, specs, repeats: int = 3) -> float:
+    """Best-of-N cold sweep wall time (no result cache, cold memos)."""
+    best = float("inf")
+    for _ in range(repeats):
+        clear_phase_memos()
+        clear_program_memo()
+        executor = SweepExecutor(jobs=1, cache=None, engine=engine)
+        started = time.perf_counter()
+        executor.run(specs)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.perf
+def test_fast_engine_3x_on_fig6_grid():
+    specs = expand_grid(**GRID)
+    reference_s = cold_sweep_seconds("reference", specs)
+    fast_s = cold_sweep_seconds("fast", specs)
+    ratio = reference_s / fast_s
+
+    per_spec_us = 1e6 / len(specs)
+    snapshot = "\n".join([
+        "engine speedup gate (cold fig6-style sweep: vector_seq @ mega,",
+        "standard mode, 30 iterations; best of 3; jobs=1, no cache)",
+        "",
+        f"specs:            {len(specs)}",
+        f"reference engine: {reference_s:.4f}s"
+        f"  ({reference_s * per_spec_us:.0f}us/spec)",
+        f"fast engine:      {fast_s:.4f}s"
+        f"  ({fast_s * per_spec_us:.0f}us/spec)",
+        f"speedup:          {ratio:.2f}x  (gate: >= 3x)",
+    ])
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "engine_speedup.txt").write_text(snapshot + "\n")
+
+    assert ratio >= 3.0, (
+        f"fast engine only {ratio:.2f}x faster than reference "
+        f"({fast_s:.4f}s vs {reference_s:.4f}s); gate is 3x")

@@ -1,0 +1,338 @@
+"""Fast-path engine tests: deadlines, chunk trains, coalescing, memo.
+
+The heavier reference-vs-fast equivalence battery lives in
+``tests/harness/test_differential.py``; this module unit-tests the
+engine mechanics the fast path is built from.
+"""
+
+import pytest
+
+from repro.sim.calibration import default_calibration
+from repro.sim.engine import (Deadline, Environment, Resource,
+                              SimulationError, Timeout)
+from repro.sim.fastpath import FastEnvironment
+from repro.sim.hardware import default_system
+from repro.sim.kernel import AccessPattern, KernelDescriptor
+from repro.sim.phasecache import (PhaseMemo, clear_phase_memos,
+                                  phase_memo_for)
+from repro.sim.timing import ConfigFlags, simulate_kernel
+
+ENGINES = (Environment, FastEnvironment)
+
+
+# ----------------------------------------------------------------------
+# Timeout / Deadline trigger-guard regression (the historical bug)
+# ----------------------------------------------------------------------
+class TestTriggerGuard:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_event_types(self, engine):
+        env = engine()
+        assert isinstance(env.timeout(1.0), Timeout)
+        assert isinstance(env.timeout_until(1.0), Deadline)
+
+    def test_timeout_succeed_after_creation_raises(self):
+        """A Timeout is born triggered; ``succeed`` must raise instead
+        of double-scheduling it (the historical guard-bypass bug)."""
+        env = Environment()
+        timeout = env.timeout(5.0)
+        with pytest.raises(SimulationError):
+            timeout.succeed()
+
+    def test_timeout_not_double_scheduled(self):
+        env = Environment()
+        timeout = env.timeout(5.0)
+        with pytest.raises(SimulationError):
+            timeout.succeed()
+        fired = []
+        timeout.callbacks.append(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [5.0]  # exactly once, at the original delay
+
+    def test_deadline_succeed_after_creation_raises(self):
+        env = Environment()
+        deadline = env.timeout_until(5.0)
+        with pytest.raises(SimulationError):
+            deadline.succeed()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_deadline_fires_at_absolute_time(self, engine):
+        env = engine()
+        first = env.timeout(2.0)
+        seen = []
+        env.timeout_until(7.25).callbacks.append(
+            lambda e: seen.append(env.now))
+        env.run()
+        assert first.processed
+        assert seen == [7.25]
+
+    def test_deadline_in_past_rejected(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run()
+        with pytest.raises(SimulationError):
+            env.timeout_until(5.0)
+
+
+# ----------------------------------------------------------------------
+# Chunk trains: boundary arithmetic and contention semantics
+# ----------------------------------------------------------------------
+def run_stream(engine, count, total, start_delay=0.0):
+    env = engine()
+    resource = Resource(env, capacity=1, name="r")
+    out = {}
+
+    def proc():
+        if start_delay:
+            yield env.timeout(start_delay)
+        out["span"] = yield from resource.stream(count, total)
+
+    env.run_process(proc(), name="train")
+    return env, resource, out["span"]
+
+
+class TestStreamTrains:
+    # Awkward floats whose iterated-addition sum differs from the
+    # analytic product — the reason boundaries are absolute deadlines.
+    @pytest.mark.parametrize("total", [103.0, 1234.567891, 0.1, 3.0e7 / 7])
+    @pytest.mark.parametrize("count", [1, 2, 3, 17, 128])
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_train_end_bit_identical_to_monolithic(self, engine, count,
+                                                   total):
+        _, _, (start1, end1) = run_stream(engine, 1, total,
+                                          start_delay=13.25)
+        _, _, (startn, endn) = run_stream(engine, count, total,
+                                          start_delay=13.25)
+        assert startn == start1
+        assert endn == end1  # bitwise: absolute boundaries, 1.0 factor
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_reference_and_fast_agree(self, engine):
+        ref = run_stream(Environment, 37, 987.654321)
+        got = run_stream(engine, 37, 987.654321)
+        assert got[2] == ref[2]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_zero_chunks_is_noop(self, engine):
+        env, resource, (start, end) = run_stream(engine, 0, 55.0)
+        assert (start, end) == (0.0, 0.0)
+        assert env.now == 0.0
+        assert resource.in_use == 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_negative_rejected(self, engine):
+        env = engine()
+        resource = Resource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            env.run_process(resource.stream(-1, 5.0))
+        env = engine()
+        resource = Resource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            env.run_process(resource.stream(2, -5.0))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_contended_trains_interleave_per_chunk(self, engine):
+        """Two trains on a capacity-1 resource share it chunk by chunk;
+        both engines must produce the identical (non-coalesced) times."""
+        def run(engine):
+            env = engine()
+            resource = Resource(env, capacity=1, name="link")
+            spans = {}
+
+            def train(tag, count, total, delay):
+                if delay:
+                    yield env.timeout(delay)
+                spans[tag] = yield from resource.stream(count, total)
+
+            env.process(train("a", 4, 100.0, 0.0), name="a")
+            env.process(train("b", 4, 100.0, 10.0), name="b")
+            env.run()
+            return spans, env.now
+
+        ref_spans, ref_now = run(Environment)
+        spans, now = run(engine)
+        assert spans == ref_spans
+        assert now == ref_now
+        # b arrives at t=10 but only gets its first grant at a's first
+        # chunk boundary (t=25); from there its absolute boundaries run
+        # 50, 75, 100, 125 while a's remaining chunks catch up to their
+        # own (already-passed) deadlines in zero time.
+        assert ref_spans["b"] == (25.0, 125.0)
+        assert ref_now == 125.0
+
+    def test_contended_first_grant_waits(self):
+        """A second requester arriving mid-train queues until the
+        in-flight chunk releases, not until the whole train ends."""
+        env = Environment()
+        resource = Resource(env, capacity=1, name="link")
+        grants = []
+
+        def train():
+            yield from resource.stream(10, 100.0)
+
+        def interloper():
+            yield env.timeout(5.0)
+            yield resource.request()
+            grants.append(env.now)
+            resource.release()
+
+        env.process(train(), name="train")
+        env.process(interloper(), name="interloper")
+        env.run()
+        # chunk boundaries are at 10, 20, ... the interloper (t=5)
+        # gets the resource at the first boundary, not at 100.
+        assert grants == [10.0]
+
+
+# ----------------------------------------------------------------------
+# Coalescing certification
+# ----------------------------------------------------------------------
+class TestCoalesce:
+    def test_quiescent_train_coalesces(self):
+        env = FastEnvironment()
+        resource = Resource(env, capacity=2, name="link")
+
+        def proc():
+            span = yield from resource.stream(100, 500.0)
+            return span
+
+        start, end = env.run_process(proc(), name="p")
+        assert (start, end) == (0.0, 500.0)
+        assert resource.busy_time() == pytest.approx(500.0)
+
+    def test_heap_event_inside_window_blocks_coalescing(self):
+        """An event scheduled inside the train window must force the
+        per-chunk path (it could spawn a competing requester)."""
+        env = FastEnvironment()
+        resource = Resource(env, capacity=1, name="link")
+        assert env.timeout(50.0) is not None
+
+        def proc():
+            return (yield from resource.stream(10, 100.0))
+
+        start, end = env.run_process(proc(), name="p")
+        # Same result, computed event by event.
+        assert (start, end) == (0.0, 100.0)
+
+    def test_heap_event_beyond_window_allows_coalescing(self):
+        env = FastEnvironment()
+        resource = Resource(env, capacity=1, name="link")
+        seen = []
+        env.timeout(1000.0).callbacks.append(lambda e: seen.append(env.now))
+
+        def proc():
+            return (yield from resource.stream(10, 100.0))
+
+        start, end = env.run_process(proc(), name="p")
+        assert (start, end) == (0.0, 100.0)
+        assert seen == [1000.0]
+
+    def test_busy_resource_blocks_coalescing(self):
+        env = FastEnvironment()
+        resource = Resource(env, capacity=2, name="link")
+        spans = {}
+
+        def holder():
+            yield resource.request()
+            yield env.timeout(30.0)
+            resource.release()
+
+        def train():
+            spans["t"] = yield from resource.stream(3, 60.0)
+
+        env.process(holder(), name="holder")
+        env.process(train(), name="train")
+        env.run()
+        assert spans["t"] == (0.0, 60.0)  # capacity 2: no queueing
+
+    def test_run_until_clamps_like_reference(self):
+        for engine in ENGINES:
+            env = engine()
+            env.timeout(10.0)
+            env.timeout(100.0)
+            assert env.run(until=50.0) == 50.0
+            assert env.now == 50.0
+            assert env.run() == 100.0
+
+    def test_until_blocks_coalescing(self):
+        """Under a run(until=...) clamp the train must not jump the
+        clock past the horizon."""
+        env = FastEnvironment()
+        resource = Resource(env, capacity=1, name="link")
+
+        def proc():
+            yield from resource.stream(10, 100.0)
+
+        env.process(proc(), name="p")
+        assert env.run(until=35.0) == 35.0
+        assert env.now == 35.0
+
+
+# ----------------------------------------------------------------------
+# Phase memo
+# ----------------------------------------------------------------------
+DESC = KernelDescriptor(
+    name="memo_kernel", blocks=128, threads_per_block=256,
+    tiles_per_block=4, tile_bytes=16384, compute_cycles_per_tile=2048.0,
+    access_pattern=AccessPattern.SEQUENTIAL, write_bytes=1 << 20,
+    data_footprint_bytes=1 << 24)
+
+
+class TestPhaseMemo:
+    def setup_method(self):
+        clear_phase_memos()
+
+    def teardown_method(self):
+        clear_phase_memos()
+
+    def test_hit_returns_identical_object(self):
+        system, calib = default_system(), default_calibration()
+        smem = system.gpu.default_shared_mem_bytes
+        memo = PhaseMemo(system, calib)
+        flags = ConfigFlags()
+        first = memo.simulate(DESC, flags, system, calib,
+                              smem_carveout_bytes=smem,
+                              resident_fraction=0.0)
+        second = memo.simulate(DESC, flags, system, calib,
+                               smem_carveout_bytes=smem,
+                               resident_fraction=0.0)
+        assert second is first
+        assert (memo.hits, memo.misses) == (1, 1)
+        assert first == simulate_kernel(DESC, flags, system, calib,
+                                        smem_carveout_bytes=smem,
+                                        resident_fraction=0.0)
+
+    def test_distinct_arguments_miss(self):
+        system, calib = default_system(), default_calibration()
+        smem = system.gpu.default_shared_mem_bytes
+        memo = PhaseMemo(system, calib)
+        memo.simulate(DESC, ConfigFlags(), system, calib,
+                      smem_carveout_bytes=smem)
+        memo.simulate(DESC, ConfigFlags(use_async=True), system, calib,
+                      smem_carveout_bytes=smem)
+        memo.simulate(DESC, ConfigFlags(), system, calib,
+                      smem_carveout_bytes=smem, resident_fraction=0.5)
+        assert memo.misses == 3
+        assert memo.hits == 0
+
+    def test_foreign_environment_bypasses(self):
+        system, calib = default_system(), default_calibration()
+        memo = PhaseMemo(system, calib)
+        import dataclasses
+        other = dataclasses.replace(
+            system, gpu=dataclasses.replace(system.gpu, sm_count=1))
+        smem = other.gpu.default_shared_mem_bytes
+        result = memo.simulate(DESC, ConfigFlags(), other, calib,
+                               smem_carveout_bytes=smem)
+        assert memo.bypasses == 1
+        assert len(memo) == 0
+        assert result == simulate_kernel(DESC, ConfigFlags(), other, calib,
+                                         smem_carveout_bytes=smem,
+                                         resident_fraction=0.0)
+
+    def test_registry_reuses_by_equality(self):
+        a = phase_memo_for(default_system(), default_calibration())
+        b = phase_memo_for(default_system(), default_calibration())
+        assert a is b
+        clear_phase_memos()
+        c = phase_memo_for(default_system(), default_calibration())
+        assert c is not a

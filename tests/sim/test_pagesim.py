@@ -153,3 +153,55 @@ class TestMechanismValidation:
         import math
         analytic = math.ceil(512 / SPEC.fault_batch_size)
         assert result.fault_batches == analytic
+
+
+class TestIrregularGoldenTrace:
+    """The IRREGULAR walk is a vectorized segment scan; these goldens
+    were captured from the original scalar per-access loop and pin the
+    vectorization as bit-identical (same RNG draw order, same floored
+    modulo distributed over the local-step sums)."""
+
+    def test_golden_head_tail_sum(self):
+        trace = generate_access_trace(
+            AccessPattern.IRREGULAR, total_pages=257, accesses=4096,
+            rng=np.random.default_rng(1234), locality=0.7)
+        assert trace.dtype == np.int64
+        assert len(trace) == 4096
+        assert trace[:24].tolist() == [
+            253, 255, 256, 252, 250, 254, 251, 255, 35, 35, 34, 35,
+            37, 34, 37, 33, 203, 206, 208, 205, 142, 141, 145, 144]
+        assert trace[-8:].tolist() == [48, 46, 132, 134, 135, 170, 167, 171]
+        assert int(trace.sum()) == 519900
+
+    def test_golden_high_locality(self):
+        trace = generate_access_trace(
+            AccessPattern.IRREGULAR, total_pages=64, accesses=1000,
+            rng=np.random.default_rng(7), locality=0.95)
+        assert trace[:16].tolist() == [
+            0, 63, 61, 0, 0, 3, 0, 0, 3, 5, 7, 7, 10, 9, 10, 10]
+        assert int(trace.sum()) == 30324
+
+    @pytest.mark.parametrize("seed", [0, 1, 99])
+    @pytest.mark.parametrize("locality", [0.0, 0.5, 1.0])
+    @pytest.mark.parametrize("total_pages", [1, 7, 129])
+    def test_matches_scalar_walk(self, seed, locality, total_pages):
+        """Cross-check against a direct scalar reimplementation of the
+        pointer-chase loop (the pre-vectorization semantics)."""
+        accesses = 512
+        trace = generate_access_trace(
+            AccessPattern.IRREGULAR, total_pages, accesses,
+            rng=np.random.default_rng(seed), locality=locality)
+
+        rng = np.random.default_rng(seed)
+        jumps = rng.integers(0, total_pages, size=accesses, dtype=np.int64)
+        local_steps = rng.integers(-4, 5, size=accesses, dtype=np.int64)
+        is_local = rng.random(accesses) < locality
+        pos = int(jumps[0])
+        expect = []
+        for i in range(accesses):
+            if is_local[i]:
+                pos = (pos + int(local_steps[i])) % total_pages
+            else:
+                pos = int(jumps[i]) % total_pages
+            expect.append(pos)
+        assert trace.tolist() == expect

@@ -118,6 +118,27 @@ class TestSweep:
         assert "Fig. 13" in out
         assert "[sweep]" in out
 
+    def test_sweep_fast_engine_matches_reference(self, capsys):
+        """--engine fast renders the exact same table (bit-identical
+        simulation) and reports its memo accounting in the summary."""
+        ref = run_cli(capsys, "sweep", "saxpy", "--sizes", "tiny",
+                      "--iterations", "2", "--no-cache")
+        fast = run_cli(capsys, "sweep", "saxpy", "--sizes", "tiny",
+                       "--iterations", "2", "--no-cache",
+                       "--engine", "fast")
+        ref_table = [line for line in ref.splitlines()
+                     if not line.startswith("[sweep]")]
+        fast_table = [line for line in fast.splitlines()
+                      if not line.startswith("[sweep]")]
+        assert fast_table == ref_table
+        assert "fast engine" in fast
+        assert "phase memo" in fast
+
+    def test_sweep_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "saxpy", "--sizes", "tiny",
+                  "--engine", "warp"])
+
 
 class TestArtifact:
     def test_run_micro_shared(self, capsys):
