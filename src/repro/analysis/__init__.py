@@ -1,4 +1,4 @@
-"""Static analysis for the simulator: model linter + stream checker.
+"""Static analysis for the simulator: model linter + source analyzer.
 
 The paper's conclusions only hold for structurally *valid* kernel and
 transfer configurations - real CUDA rejects launches that overflow the
@@ -16,19 +16,39 @@ burns cycles:
 * :mod:`repro.analysis.runner` - lint one program, one workload, or
   the whole registry; ``validate_program`` is the fast-fail hook.
 
+And, since the caches of PRs 2-4 rest on purity and key-completeness
+assumptions, a second *source-level* analyzer (``repro lint --static``)
+proves those assumptions over the Python source itself:
+
+* :mod:`repro.analysis.astlint` - source scanning, project call graph,
+  the D4xx/F5xx/A0xx rule catalog, and the orchestrator
+  :func:`run_static_analysis`.
+* :mod:`repro.analysis.purity` - D4xx determinism rules with
+  call-graph taint propagation onto the declared pure roots.
+* :mod:`repro.analysis.fingerprints` - F5xx fingerprint-completeness
+  rules cross-checking dataclass schemas against cache-key functions.
+* :mod:`repro.analysis.suppress` - shared ``# repro: allow[RULE]``
+  pragmas and the checked-in baseline, for *all* rule families.
+* :mod:`repro.analysis.sarif` - SARIF 2.1.0 output for GitHub code
+  scanning.
+
 See ``docs/LINTING.md`` for the rule catalog.
 """
 
+from .astlint import SOURCE_REGISTRY, run_static_analysis, scan_package
 from .diagnostics import (Diagnostic, LintReport, Rule, RuleRegistry,
                           Severity)
 from .rules import DEFAULT_REGISTRY, LintContext, run_rules
 from .runner import (LintError, lint_program, lint_registry, lint_workload,
                      validate_program)
+from .sarif import to_sarif
 from .streamcheck import GraphOp, StreamGraph, analyze_records
+from .suppress import Baseline, Suppressions
 
 __all__ = [
-    "DEFAULT_REGISTRY", "Diagnostic", "GraphOp", "LintContext",
-    "LintError", "LintReport", "Rule", "RuleRegistry", "Severity",
-    "StreamGraph", "analyze_records", "lint_program", "lint_registry",
-    "lint_workload", "run_rules", "validate_program",
+    "Baseline", "DEFAULT_REGISTRY", "Diagnostic", "GraphOp", "LintContext",
+    "LintError", "LintReport", "Rule", "RuleRegistry", "SOURCE_REGISTRY",
+    "Severity", "StreamGraph", "Suppressions", "analyze_records",
+    "lint_program", "lint_registry", "lint_workload", "run_rules",
+    "run_static_analysis", "scan_package", "to_sarif", "validate_program",
 ]

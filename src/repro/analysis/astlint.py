@@ -1,0 +1,414 @@
+"""Source-level static analysis framework (the ``repro lint --static`` pass).
+
+The model linter (:mod:`repro.analysis.rules`) validates what workload
+*programs* declare; this module validates what the *Python source*
+does. It parses every module under a target package into
+:class:`SourceModule` records, builds a best-effort project call graph
+(in the spirit of numpywren's ``walk_program``/``find_parents``
+walkers), and drives the two static passes:
+
+* :mod:`repro.analysis.purity` - the D4xx determinism rules (wall
+  clocks, unseeded randomness, env reads, unordered iteration,
+  identity in keys) with call-graph propagation onto the declared
+  *pure roots* - the functions whose purity the result cache and
+  :class:`~repro.sim.phasecache.PhaseMemo` assume;
+* :mod:`repro.analysis.fingerprints` - the F5xx cache-key completeness
+  rules cross-checking dataclass fields against the fingerprint
+  functions in :mod:`repro.harness.executor` and
+  :mod:`repro.sim.phasecache`.
+
+Findings are ordinary :class:`~repro.analysis.diagnostics.Diagnostic`
+records carrying ``path``/``line``, so the text/JSON/SARIF renderers,
+the inline ``# repro: allow[RULE]`` suppressions, and the baseline
+mechanism (:mod:`repro.analysis.suppress`) all work across rule
+families.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .diagnostics import Diagnostic, LintReport, Rule, RuleRegistry, Severity
+
+#: Registry for the source-level rule families (D4xx determinism,
+#: F5xx fingerprint completeness, A0xx suppression hygiene). The
+#: checks are structural visitors in purity.py / fingerprints.py, not
+#: per-rule callables, so every entry is catalog-only (``check=None``)
+#: like the S30x stream rules.
+SOURCE_REGISTRY = RuleRegistry()
+
+for _id, _name, _sev, _desc in [
+    ("D401", "wall-clock-call", Severity.ERROR,
+     "A deterministic code path reads a wall clock (time.time, "
+     "time.monotonic, time.perf_counter, ...): reruns observe "
+     "different values, poisoning memoized results."),
+    ("D402", "datetime-now", Severity.ERROR,
+     "A deterministic code path calls datetime.now()/utcnow()/today(): "
+     "wall-clock timestamps leak into results or cache keys."),
+    ("D403", "unseeded-random", Severity.ERROR,
+     "Unseeded or global-state randomness (random.*, numpy.random.* "
+     "legacy API, default_rng() without a seed) in a deterministic "
+     "code path: reruns are not bit-identical."),
+    ("D404", "unordered-iteration", Severity.WARNING,
+     "Iteration over a set/frozenset whose order can escape into "
+     "serialized output, hashes, or simulation results: set order is "
+     "arbitrary across processes and interpreter runs."),
+    ("D405", "env-read", Severity.ERROR,
+     "An environment-variable read (os.environ / os.getenv) inside a "
+     "cached or pure-assumed function: the cache key cannot see the "
+     "environment, so two hosts can disagree under one key."),
+    ("D406", "mutable-default-arg", Severity.WARNING,
+     "A mutable default argument (list/dict/set/bytearray) is shared "
+     "across calls: call-order-dependent state in code the caches "
+     "assume is stateless."),
+    ("D407", "identity-in-key", Severity.ERROR,
+     "id() in a deterministic code path: CPython object identities "
+     "differ across processes and runs, so identity must never reach "
+     "results, keys, or serialized output."),
+    ("D408", "salted-hash-in-key", Severity.ERROR,
+     "Built-in hash() in a deterministic code path: str/bytes hashes "
+     "are salted per process (PYTHONHASHSEED), so hash() values must "
+     "never cross a process or serialization boundary."),
+    ("D409", "impure-call-path", Severity.ERROR,
+     "A declared pure root transitively calls a function containing a "
+     "D4xx hazard: the purity assumption the memo/cache layer rests "
+     "on is violated somewhere down the call graph."),
+    ("F501", "memo-key-incomplete", Severity.ERROR,
+     "A parameter of the memoized pure function does not feed the "
+     "PhaseMemo key or its environment binding: two different inputs "
+     "can collide on one memo entry."),
+    ("F502", "cache-key-incomplete", Severity.ERROR,
+     "The content-addressed cache key is missing one of its required "
+     "components (code version, canonical spec, program fingerprint, "
+     "environment fingerprint): stale results can be served."),
+    ("F503", "non-generic-canonical", Severity.ERROR,
+     "canonical() no longer enumerates dataclasses.fields(): a "
+     "hand-written field list silently drops newly added fields from "
+     "every fingerprint."),
+    ("F504", "unfingerprintable-field", Severity.ERROR,
+     "A dataclass field reachable from RunSpec / SystemSpec / "
+     "Calibration / Program has a type canonical() cannot serialize "
+     "deterministically (set, callable, arbitrary object)."),
+    ("F505", "fingerprint-schema-drift", Severity.ERROR,
+     "The reachable-dataclass field schema differs from the checked-in "
+     "fingerprint manifest: a field was added/removed/retyped without "
+     "acknowledging the cache-key impact (run `repro lint --static "
+     "--update-manifest`, and bump CODE_VERSION if cached results are "
+     "invalidated)."),
+    ("F506", "memo-key-unhashable", Severity.ERROR,
+     "A PhaseMemo key class is not a frozen dataclass or declares an "
+     "unhashable field: memo keys must be immutable values with "
+     "structural equality."),
+    ("A001", "invalid-suppression", Severity.ERROR,
+     "A `# repro: allow[RULE]` pragma names an unknown rule or lacks "
+     "the required `-- justification`; an invalid pragma suppresses "
+     "nothing."),
+    ("A002", "unused-suppression", Severity.WARNING,
+     "A `# repro: allow[RULE]` pragma on this line suppressed no "
+     "finding in this run: stale pragmas hide future regressions."),
+]:
+    SOURCE_REGISTRY.register(Rule(id=_id, name=_name, severity=_sev,
+                                  description=_desc))
+
+
+# ----------------------------------------------------------------------
+# Source loading
+# ----------------------------------------------------------------------
+@dataclass
+class SourceModule:
+    """One parsed Python source file."""
+
+    path: Path            #: absolute path on disk
+    relpath: str          #: project-relative posix path (for reports)
+    module: str           #: dotted module name ("" for loose files)
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @property
+    def package(self) -> str:
+        """The dotted package this module lives in."""
+        if self.path.name == "__init__.py":
+            return self.module
+        return self.module.rpartition(".")[0]
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def load_source(path: Path, relpath: str = "",
+                module: str = "") -> SourceModule:
+    """Parse one file into a :class:`SourceModule` (raises SyntaxError)."""
+    path = Path(path)
+    text = path.read_text()
+    return SourceModule(path=path, relpath=relpath or path.name,
+                        module=module or path.stem, text=text,
+                        tree=ast.parse(text, filename=str(path)),
+                        lines=text.splitlines())
+
+
+def scan_package(package_root: Path,
+                 project_root: Optional[Path] = None,
+                 package_name: Optional[str] = None) -> List[SourceModule]:
+    """Parse every ``.py`` file under a package directory.
+
+    ``package_root`` is the directory of the top-level package (e.g.
+    ``src/repro``); module names are derived from the path relative to
+    it, prefixed with ``package_name`` (default: the directory name).
+    ``project_root`` anchors the report-facing relative paths.
+    """
+    package_root = Path(package_root).resolve()
+    project_root = (Path(project_root).resolve() if project_root
+                    else package_root.parent)
+    package_name = package_name or package_root.name
+    modules: List[SourceModule] = []
+    for path in sorted(package_root.rglob("*.py")):
+        rel = path.relative_to(package_root)
+        parts = [package_name] + list(rel.parts)
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1][:-3]
+        try:
+            relpath = path.relative_to(project_root).as_posix()
+        except ValueError:  # package outside the project root
+            relpath = path.as_posix()
+        modules.append(load_source(path, relpath=relpath,
+                                   module=".".join(parts)))
+    return modules
+
+
+# ----------------------------------------------------------------------
+# Symbol table and call graph
+# ----------------------------------------------------------------------
+@dataclass
+class FunctionInfo:
+    """One function/method definition discovered in a module."""
+
+    qualname: str                 #: "module.Class.method" / "module.func"
+    name: str
+    lineno: int
+    module: str
+    relpath: str
+    node: ast.AST
+    calls: Set[str] = field(default_factory=set)   #: resolved callee qualnames
+    hazards: List = field(default_factory=list)    #: purity.Hazard records
+
+
+def _resolve_relative(module: str, is_package: bool, level: int,
+                      target: Optional[str]) -> str:
+    """Resolve a ``from ...x import y`` module reference to a dotted name."""
+    parts = module.split(".") if module else []
+    if not is_package:
+        parts = parts[:-1]
+    if level > 1:
+        parts = parts[:-(level - 1)] if level - 1 <= len(parts) else []
+    if target:
+        parts += target.split(".")
+    return ".".join(parts)
+
+
+class _ModuleIndexer(ast.NodeVisitor):
+    """Collect imports and function definitions for one module."""
+
+    def __init__(self, source: SourceModule):
+        self.source = source
+        #: local name -> fully dotted external name
+        self.imports: Dict[str, str] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._scope: List[str] = []       # enclosing class/function names
+        self._is_package = source.path.name == "__init__.py"
+
+    # -- imports --------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.imports[local] = target
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            base = _resolve_relative(self.source.module, self._is_package,
+                                     node.level, node.module)
+        else:
+            base = node.module or ""
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.imports[local] = f"{base}.{alias.name}" if base \
+                else alias.name
+
+    # -- definitions ----------------------------------------------------
+    def _qualname(self, name: str) -> str:
+        return ".".join([self.source.module] + self._scope + [name])
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def _visit_function(self, node) -> None:
+        info = FunctionInfo(qualname=self._qualname(node.name),
+                            name=node.name, lineno=node.lineno,
+                            module=self.source.module,
+                            relpath=self.source.relpath, node=node)
+        self.functions[info.qualname] = info
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` attribute chain as a dotted string, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class ProjectIndex:
+    """Symbol table + call graph over a set of source modules."""
+
+    modules: List[SourceModule]
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    imports: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def resolve_call(self, module: str, scope: Sequence[str],
+                     func: ast.AST) -> Tuple[Optional[str], Optional[str]]:
+        """Resolve a Call.func node.
+
+        Returns ``(qualname, external)``: ``qualname`` when the callee
+        is a project function, ``external`` as the best-effort dotted
+        name (imports expanded) for hazard matching. Either may be
+        None; unresolvable calls resolve to (None, None).
+        """
+        imports = self.imports.get(module, {})
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None, None
+        head, _, rest = dotted.partition(".")
+        if head == "self" and rest and scope:
+            # self.method() inside class scope: resolve within the class.
+            candidate = ".".join([module] + list(scope) + [rest])
+            if candidate in self.functions:
+                return candidate, None
+            return None, None
+        expanded = dotted
+        if head in imports:
+            expanded = imports[head] + ("." + rest if rest else "")
+        # Project function? Try the expanded name, then module-local.
+        if expanded in self.functions:
+            return expanded, expanded
+        local = f"{module}.{dotted}"
+        if local in self.functions:
+            return local, expanded
+        return None, expanded
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive closure of the call graph from the given roots."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            qualname = stack.pop()
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            for callee in self.functions[qualname].calls:
+                if callee not in seen and callee in self.functions:
+                    stack.append(callee)
+        return seen
+
+    def call_paths(self, root: str, target: str,
+                   limit: int = 16) -> Optional[List[str]]:
+        """One shortest call path root -> target, or None."""
+        if root not in self.functions:
+            return None
+        frontier: List[List[str]] = [[root]]
+        seen = {root}
+        while frontier and len(frontier[0]) <= limit:
+            path = frontier.pop(0)
+            if path[-1] == target:
+                return path
+            for callee in sorted(self.functions[path[-1]].calls):
+                if callee in self.functions and callee not in seen:
+                    seen.add(callee)
+                    frontier.append(path + [callee])
+        return None
+
+
+def build_index(modules: Sequence[SourceModule]) -> ProjectIndex:
+    """Index functions and imports; call edges are filled by purity.py."""
+    index = ProjectIndex(modules=list(modules))
+    for source in modules:
+        indexer = _ModuleIndexer(source)
+        indexer.visit(source.tree)
+        index.functions.update(indexer.functions)
+        index.imports[source.module] = indexer.imports
+    return index
+
+
+# ----------------------------------------------------------------------
+# Orchestration
+# ----------------------------------------------------------------------
+def default_package_root() -> Path:
+    """The installed ``repro`` package directory (the default target)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def run_static_analysis(package_root: Optional[Path] = None,
+                        project_root: Optional[Path] = None,
+                        *,
+                        pure_roots: Optional[Sequence[str]] = None,
+                        registry: Optional[RuleRegistry] = None,
+                        suppressions=None,
+                        baseline=None,
+                        check_fingerprints: bool = True) -> LintReport:
+    """Run both static passes and fold in suppressions + baseline.
+
+    Returns a :class:`LintReport` whose ``diagnostics`` are the
+    *active* findings; inline-suppressed findings land in
+    ``report.suppressed`` and baseline-grandfathered ones in
+    ``report.baselined``.
+    """
+    from .fingerprints import analyze_fingerprints
+    from .purity import analyze_purity
+    from .suppress import Suppressions
+
+    registry = registry or SOURCE_REGISTRY
+    package_root = Path(package_root or default_package_root())
+    modules = scan_package(package_root, project_root)
+    index = build_index(modules)
+
+    findings: List[Diagnostic] = []
+    findings.extend(analyze_purity(modules, index, pure_roots=pure_roots,
+                                   registry=registry))
+    if check_fingerprints:
+        findings.extend(analyze_fingerprints(modules, registry=registry))
+
+    report = LintReport()
+    report.contexts = len(modules)
+    if suppressions is None:
+        suppressions = Suppressions.from_modules(modules)
+    active, suppressed, pragma_diags = suppressions.filter(findings,
+                                                           registry)
+    findings = active + pragma_diags
+    if baseline is not None:
+        findings, grandfathered = baseline.filter(findings)
+        report.baselined = grandfathered
+    report.extend(findings)
+    report.suppressed = suppressed
+    return report

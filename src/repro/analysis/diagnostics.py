@@ -57,7 +57,9 @@ class Diagnostic:
     ``location`` pins the finding inside the linted object (e.g.
     ``phase[0]/kernel:gemm`` or ``buffer:coeff`` or ``stream:copy#2``);
     ``workload`` and ``mode`` identify the lint context so reports over
-    the whole registry stay attributable.
+    the whole registry stay attributable. Source-level findings (the
+    D4xx/F5xx static analyzer) set ``path``/``line`` instead, pinning
+    the finding to a file position suppressions and SARIF can address.
     """
 
     rule: str
@@ -67,11 +69,20 @@ class Diagnostic:
     fix_hint: str = ""
     workload: str = ""
     mode: str = ""
+    path: str = ""
+    line: int = 0
+    #: for derived findings (D409 call-path propagation): the
+    #: ``path:line:rule`` of the originating hazard, so suppressing the
+    #: origin also suppresses the propagation. Not serialized.
+    origin: str = ""
 
     def format(self) -> str:
         """One-line human-readable rendering."""
         where = ":".join(p for p in (self.workload, self.mode) if p)
         parts = [f"{self.severity.value:<7}", self.rule]
+        if self.path:
+            parts.append(f"{self.path}:{self.line}" if self.line
+                         else self.path)
         if where:
             parts.append(where)
         if self.location:
@@ -82,7 +93,7 @@ class Diagnostic:
         return line
 
     def to_dict(self) -> Dict[str, str]:
-        return {
+        payload = {
             "rule": self.rule,
             "severity": self.severity.value,
             "message": self.message,
@@ -91,6 +102,10 @@ class Diagnostic:
             "workload": self.workload,
             "mode": self.mode,
         }
+        if self.path:
+            payload["path"] = self.path
+            payload["line"] = self.line
+        return payload
 
 
 class LintReport:
@@ -100,6 +115,10 @@ class LintReport:
         self.diagnostics: List[Diagnostic] = list(diagnostics or [])
         #: number of (workload, mode) contexts linted to produce this report
         self.contexts = 0
+        #: findings silenced by an inline "repro: allow" pragma
+        self.suppressed: List[Diagnostic] = []
+        #: findings grandfathered by the checked-in baseline file
+        self.baselined: List[Diagnostic] = []
 
     def add(self, diagnostic: Diagnostic) -> None:
         self.diagnostics.append(diagnostic)
@@ -109,6 +128,8 @@ class LintReport:
 
     def merge(self, other: "LintReport") -> None:
         self.diagnostics.extend(other.diagnostics)
+        self.suppressed.extend(other.suppressed)
+        self.baselined.extend(other.baselined)
         self.contexts += other.contexts
 
     def __len__(self) -> int:
@@ -159,6 +180,9 @@ class LintReport:
         counts = self.counts()
         summary = (f"{counts['error']} error(s), {counts['warning']} "
                    f"warning(s), {counts['info']} info(s)")
+        if self.suppressed or self.baselined:
+            summary += (f"; {len(self.suppressed)} suppressed inline, "
+                        f"{len(self.baselined)} baselined")
         if self.contexts:
             summary += f" across {self.contexts} lint context(s)"
         if not lines:
@@ -173,6 +197,9 @@ class LintReport:
             "counts": self.counts(),
             "diagnostics": [d.to_dict() for d in self.sorted()],
         }
+        if self.suppressed or self.baselined:
+            payload["suppressed"] = [d.to_dict() for d in self.suppressed]
+            payload["baselined"] = [d.to_dict() for d in self.baselined]
         return json.dumps(payload, indent=indent)
 
 

@@ -1,0 +1,655 @@
+"""Pass 2 of ``repro lint --static``: F5xx fingerprint completeness.
+
+PR 2's content-addressed cache and PR 4's :class:`PhaseMemo` are only
+sound if *every* input that can change a result feeds the key. That
+property is easy to break silently: add a field to ``RunSpec``, drop a
+line from ``cache_key``'s payload, or grow ``simulate_kernel`` a new
+parameter that ``PhaseMemo.simulate`` forgets to key - and every warm
+sweep replays stale numbers without a single test failing. This pass
+turns each of those edits into a lint error:
+
+* **F501** - cross-checks the parameters of the memoized pure function
+  (``simulate_kernel``) against ``PhaseMemo.simulate``'s key tuple and
+  its environment binding (``matches(system, calib)``), via AST;
+* **F502** - checks the ``cache_key`` payload dict (and
+  ``environment_fingerprint``) still wires every required component;
+* **F503** - checks ``canonical()`` still enumerates
+  ``dataclasses.fields`` generically (a hand-written field list would
+  drop new fields from every digest);
+* **F504** - reflects over every dataclass reachable from the schema
+  roots (``RunSpec``, ``SystemSpec``, ``Calibration``, ``Program``)
+  and flags fields whose declared types ``canonical()`` cannot
+  serialize deterministically;
+* **F505** - compares the reachable field schema against the
+  checked-in manifest (``fingerprint_manifest.json``) so adding or
+  retyping a field is an explicit, reviewed act
+  (``repro lint --static --update-manifest``);
+* **F506** - checks the memo-key classes (``KernelDescriptor``,
+  ``ConfigFlags``) stay frozen dataclasses with hashable fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import importlib
+import inspect
+import json
+import typing
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import ast
+
+from .astlint import SOURCE_REGISTRY, SourceModule
+from .diagnostics import Diagnostic, RuleRegistry
+
+#: ``module:Class`` roots whose reachable dataclass fields must all be
+#: canonicalizable and manifest-tracked (everything a cache key hashes).
+DEFAULT_SCHEMA_ROOTS: Tuple[str, ...] = (
+    "repro.harness.executor:RunSpec",
+    "repro.sim.hardware:SystemSpec",
+    "repro.sim.calibration:Calibration",
+    "repro.sim.program:Program",
+)
+
+#: ``module:Class`` roots used as PhaseMemo dict-key members.
+DEFAULT_MEMO_KEY_ROOTS: Tuple[str, ...] = (
+    "repro.sim.kernel:KernelDescriptor",
+    "repro.sim.timing:ConfigFlags",
+)
+
+#: required cache_key payload entries -> identifier tokens that must
+#: appear somewhere in the entry's value expression.
+CACHE_KEY_REQUIRED: Dict[str, Tuple[str, ...]] = {
+    "code": ("CODE_VERSION",),
+    "spec": ("canonical",),
+    "program": ("program_fingerprint",),
+    "environment": ("env_fingerprint", "environment_fingerprint"),
+}
+
+#: required environment_fingerprint entries -> value tokens.
+ENV_FP_REQUIRED: Dict[str, Tuple[str, ...]] = {
+    "system": ("system", "default_system"),
+    "calib": ("calib", "default_calibration"),
+}
+
+MANIFEST_NAME = "fingerprint_manifest.json"
+
+
+def default_manifest_path() -> Path:
+    return Path(__file__).resolve().parent / MANIFEST_NAME
+
+
+def _diag(registry: RuleRegistry, rule_id: str, message: str, *,
+          path: str = "", line: int = 0, location: str = "",
+          fix_hint: str = "") -> Diagnostic:
+    rule = registry.effective_rule(rule_id)
+    return Diagnostic(rule=rule_id, severity=rule.severity,
+                      message=message, location=location,
+                      path=path, line=line, fix_hint=fix_hint)
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def _find_module(modules: Sequence[SourceModule],
+                 suffix: str) -> Optional[SourceModule]:
+    for source in modules:
+        if source.module == suffix or source.module.endswith("." + suffix):
+            return source
+    return None
+
+
+def _find_function(tree: ast.AST, name: str,
+                   class_name: Optional[str] = None) -> Optional[ast.AST]:
+    scope: ast.AST = tree
+    if class_name is not None:
+        scope = next((n for n in ast.walk(tree)
+                      if isinstance(n, ast.ClassDef)
+                      and n.name == class_name), None)
+        if scope is None:
+            return None
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name == name:
+            return node
+    return None
+
+
+def _param_names(func: ast.AST, skip_self: bool = False) -> List[str]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if skip_self and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _identifier_tokens(node: ast.AST) -> Set[str]:
+    """Every Name id and Attribute attr inside an expression."""
+    tokens: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            tokens.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            tokens.add(sub.attr)
+    return tokens
+
+
+def _dict_literals(func: ast.AST) -> List[ast.Dict]:
+    return [node for node in ast.walk(func) if isinstance(node, ast.Dict)]
+
+
+def _dict_entries(dicts: Sequence[ast.Dict]) -> Dict[str, List[ast.AST]]:
+    entries: Dict[str, List[ast.AST]] = {}
+    for node in dicts:
+        for key, value in zip(node.keys, node.values):
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                entries.setdefault(key.value, []).append(value)
+    return entries
+
+
+# ----------------------------------------------------------------------
+# F502: cache-key payload wiring
+# ----------------------------------------------------------------------
+def check_cache_key_wiring(source: SourceModule,
+                           registry: Optional[RuleRegistry] = None,
+                           *,
+                           func_name: str = "cache_key",
+                           required: Optional[Dict[str, Tuple[str, ...]]]
+                           = None) -> List[Diagnostic]:
+    """The payload dict of ``cache_key`` must wire every component."""
+    registry = registry or SOURCE_REGISTRY
+    required = required if required is not None else CACHE_KEY_REQUIRED
+    func = _find_function(source.tree, func_name)
+    if func is None:
+        return [_diag(registry, "F502",
+                      f"required cache-key function '{func_name}' not "
+                      f"found in {source.relpath}",
+                      path=source.relpath, line=1)]
+    entries = _dict_entries(_dict_literals(func))
+    diags: List[Diagnostic] = []
+    for key, tokens in sorted(required.items()):
+        values = entries.get(key)
+        if not values:
+            diags.append(_diag(
+                registry, "F502",
+                f"cache-key payload in '{func_name}' has no "
+                f"'{key}' entry: results cached before and after a "
+                f"{key} change would collide",
+                path=source.relpath, line=func.lineno,
+                location=func_name,
+                fix_hint=f"restore the '\"{key}\": ...' payload entry"))
+            continue
+        if not any(_identifier_tokens(v) & set(tokens) for v in values):
+            diags.append(_diag(
+                registry, "F502",
+                f"cache-key payload entry '{key}' in '{func_name}' no "
+                f"longer references {' or '.join(tokens)}",
+                path=source.relpath, line=values[0].lineno,
+                location=func_name))
+    return diags
+
+
+def check_environment_fingerprint(source: SourceModule,
+                                  registry: Optional[RuleRegistry] = None,
+                                  *,
+                                  func_name: str = "environment_fingerprint",
+                                  required: Optional[
+                                      Dict[str, Tuple[str, ...]]] = None
+                                  ) -> List[Diagnostic]:
+    """``environment_fingerprint`` must digest both system and calib."""
+    registry = registry or SOURCE_REGISTRY
+    required = required if required is not None else ENV_FP_REQUIRED
+    func = _find_function(source.tree, func_name)
+    if func is None:
+        return [_diag(registry, "F502",
+                      f"required fingerprint function '{func_name}' not "
+                      f"found in {source.relpath}",
+                      path=source.relpath, line=1)]
+    entries = _dict_entries(_dict_literals(func))
+    diags: List[Diagnostic] = []
+    for key, tokens in sorted(required.items()):
+        values = entries.get(key)
+        if not values or not any(
+                _identifier_tokens(v) & set(tokens) for v in values):
+            diags.append(_diag(
+                registry, "F502",
+                f"'{func_name}' no longer digests '{key}': results "
+                "computed under different environments would share a "
+                "cache key",
+                path=source.relpath, line=func.lineno,
+                location=func_name))
+    return diags
+
+
+# ----------------------------------------------------------------------
+# F501: PhaseMemo key completeness
+# ----------------------------------------------------------------------
+def check_memo_wiring(memo_source: SourceModule,
+                      pure_source: SourceModule,
+                      registry: Optional[RuleRegistry] = None,
+                      *,
+                      memo_class: str = "PhaseMemo",
+                      memo_method: str = "simulate",
+                      pure_func: str = "simulate_kernel",
+                      guard_method: str = "matches") -> List[Diagnostic]:
+    """Every ``simulate_kernel`` parameter must feed the memo key.
+
+    A parameter is covered if it appears in the ``key = (...)`` tuple
+    or is bound by the memo's environment guard
+    (``self.matches(system, calib)``). A parameter of the pure
+    function that the memo method does not even accept is also an
+    error (it could never be forwarded, let alone keyed).
+    """
+    registry = registry or SOURCE_REGISTRY
+    pure = _find_function(pure_source.tree, pure_func)
+    if pure is None:
+        return [_diag(registry, "F501",
+                      f"memoized pure function '{pure_func}' not found "
+                      f"in {pure_source.relpath}",
+                      path=pure_source.relpath, line=1)]
+    method = _find_function(memo_source.tree, memo_method,
+                            class_name=memo_class)
+    if method is None:
+        return [_diag(registry, "F501",
+                      f"memo method '{memo_class}.{memo_method}' not "
+                      f"found in {memo_source.relpath}",
+                      path=memo_source.relpath, line=1)]
+
+    pure_params = _param_names(pure)
+    memo_params = _param_names(method, skip_self=True)
+
+    key_names: Set[str] = set()
+    key_line = method.lineno
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and node.targets[0].id == "key" \
+                and isinstance(node.value, ast.Tuple):
+            key_names = {elt.id for elt in node.value.elts
+                         if isinstance(elt, ast.Name)}
+            key_line = node.lineno
+    bound: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == guard_method:
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    bound.add(arg.id)
+
+    diags: List[Diagnostic] = []
+    if not key_names:
+        diags.append(_diag(
+            registry, "F501",
+            f"'{memo_class}.{memo_method}' has no `key = (...)` tuple: "
+            "the memo cannot distinguish inputs at all",
+            path=memo_source.relpath, line=method.lineno,
+            location=f"{memo_class}.{memo_method}"))
+        return diags
+    for param in pure_params:
+        if param not in memo_params:
+            diags.append(_diag(
+                registry, "F501",
+                f"parameter '{param}' of {pure_func} is not accepted "
+                f"by {memo_class}.{memo_method}: it can never reach "
+                "the memo key",
+                path=memo_source.relpath, line=method.lineno,
+                location=f"{memo_class}.{memo_method}",
+                fix_hint=f"add '{param}' to the method signature and "
+                         "the key tuple"))
+        elif param not in key_names and param not in bound:
+            diags.append(_diag(
+                registry, "F501",
+                f"parameter '{param}' of {pure_func} feeds neither the "
+                f"memo key tuple nor the {guard_method}() environment "
+                "binding: two inputs differing only in "
+                f"'{param}' collide on one memo entry",
+                path=memo_source.relpath, line=key_line,
+                location=f"{memo_class}.{memo_method}",
+                fix_hint=f"add '{param}' to the key tuple"))
+    return diags
+
+
+# ----------------------------------------------------------------------
+# F503: canonical() stays generic
+# ----------------------------------------------------------------------
+def check_canonical_generic(source: SourceModule,
+                            registry: Optional[RuleRegistry] = None,
+                            *,
+                            func_name: str = "canonical"
+                            ) -> List[Diagnostic]:
+    registry = registry or SOURCE_REGISTRY
+    func = _find_function(source.tree, func_name)
+    if func is None:
+        return [_diag(registry, "F503",
+                      f"canonicalizer '{func_name}' not found in "
+                      f"{source.relpath}",
+                      path=source.relpath, line=1)]
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if (isinstance(callee, ast.Name) and callee.id == "fields") \
+                    or (isinstance(callee, ast.Attribute)
+                        and callee.attr == "fields"):
+                return []
+    return [_diag(registry, "F503",
+                  f"'{func_name}' no longer calls dataclasses.fields(): "
+                  "a hand-enumerated field list silently drops newly "
+                  "added fields from every fingerprint",
+                  path=source.relpath, line=func.lineno,
+                  location=func_name)]
+
+
+# ----------------------------------------------------------------------
+# Reflection: schema collection (F504/F505/F506)
+# ----------------------------------------------------------------------
+class _SchemaProblem(Exception):
+    pass
+
+
+def _resolve_root(root) -> type:
+    if isinstance(root, str):
+        module_name, _, class_name = root.partition(":")
+        module = importlib.import_module(module_name)
+        return getattr(module, class_name)
+    return root
+
+
+def _class_location(cls: type) -> Tuple[str, int]:
+    """(project-relative path, lineno) of a class definition."""
+    try:
+        path = Path(inspect.getsourcefile(cls) or "").resolve()
+        line = inspect.getsourcelines(cls)[1]
+    except (OSError, TypeError):
+        return "", 0
+    for anchor in ("src", ):
+        parts = path.parts
+        if anchor in parts:
+            idx = len(parts) - 1 - list(reversed(parts)).index(anchor)
+            return Path(*parts[idx:]).as_posix(), line
+    return path.name, line
+
+
+def _type_label(tp, problems: List[str], queue: List[type]) -> str:
+    """Stable label for a field type; records canonicalization problems."""
+    if tp is type(None):
+        return "None"
+    if tp in (bool, int, float, str):
+        return tp.__name__
+    if isinstance(tp, type) and issubclass(tp, enum.Enum):
+        return tp.__name__
+    if dataclasses.is_dataclass(tp):
+        queue.append(tp)
+        return tp.__name__
+    origin = typing.get_origin(tp)
+    args = typing.get_args(tp)
+    if origin is Union:
+        labels = sorted(_type_label(a, problems, queue) for a in args)
+        return f"Union[{', '.join(labels)}]"
+    if origin in (list, tuple, Sequence, typing.Sequence):
+        inner = ", ".join(_type_label(a, problems, queue)
+                          for a in args if a is not Ellipsis)
+        suffix = ", ..." if Ellipsis in args else ""
+        name = "Tuple" if origin is tuple else "List"
+        return f"{name}[{inner}{suffix}]"
+    if origin in (dict, typing.Mapping):
+        inner = ", ".join(_type_label(a, problems, queue) for a in args)
+        return f"Dict[{inner}]"
+    if origin in (set, frozenset):
+        problems.append("unordered container (set/frozenset) cannot be "
+                        "canonicalized deterministically")
+        return "set"
+    if isinstance(tp, type) and issubclass(tp, (set, frozenset)):
+        problems.append("unordered container (set/frozenset) cannot be "
+                        "canonicalized deterministically")
+        return tp.__name__
+    try:
+        import numpy as np
+        if isinstance(tp, type) and issubclass(tp, (np.integer, np.floating)):
+            return tp.__name__
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        pass
+    problems.append(f"type {tp!r} is not canonicalizable (no stable "
+                    "serialization)")
+    return repr(tp)
+
+
+def collect_schema(roots: Sequence = DEFAULT_SCHEMA_ROOTS,
+                   registry: Optional[RuleRegistry] = None
+                   ) -> Tuple[Dict[str, Dict[str, str]], List[Diagnostic]]:
+    """Field schema of every dataclass reachable from the roots.
+
+    Returns ``(schema, f504_diagnostics)``; the schema maps
+    ``module.Class`` to ``{field: type-label}`` and is what the
+    manifest (F505) pins.
+    """
+    registry = registry or SOURCE_REGISTRY
+    queue: List[type] = [_resolve_root(root) for root in roots]
+    schema: Dict[str, Dict[str, str]] = {}
+    diags: List[Diagnostic] = []
+    seen: Set[type] = set()
+    while queue:
+        cls = queue.pop()
+        if cls in seen or not dataclasses.is_dataclass(cls):
+            continue
+        seen.add(cls)
+        qualname = f"{cls.__module__}.{cls.__name__}"
+        try:
+            hints = typing.get_type_hints(cls)
+        except Exception as error:
+            path, line = _class_location(cls)
+            diags.append(_diag(
+                registry, "F504",
+                f"cannot resolve type hints of {qualname}: {error}",
+                path=path, line=line, location=qualname))
+            hints = {}
+        fields: Dict[str, str] = {}
+        for f in dataclasses.fields(cls):
+            problems: List[str] = []
+            label = _type_label(hints.get(f.name, f.type), problems, queue)
+            fields[f.name] = label
+            for problem in problems:
+                path, line = _class_location(cls)
+                diags.append(_diag(
+                    registry, "F504",
+                    f"field '{qualname}.{f.name}' ({label}): {problem}",
+                    path=path, line=line, location=qualname,
+                    fix_hint="use an ordered, canonicalizable type "
+                             "(tuple, dict, dataclass, enum, primitive)"))
+        schema[qualname] = fields
+    return schema, diags
+
+
+# ----------------------------------------------------------------------
+# F505: manifest drift
+# ----------------------------------------------------------------------
+def _current_code_version() -> str:
+    try:
+        from ..harness.executor import CODE_VERSION
+        return CODE_VERSION
+    except Exception:  # pragma: no cover - partial checkouts
+        return "unknown"
+
+
+def build_manifest(roots: Sequence = DEFAULT_SCHEMA_ROOTS) -> Dict:
+    schema, _ = collect_schema(roots)
+    return {
+        "version": 1,
+        "code_version": _current_code_version(),
+        "classes": {name: dict(sorted(fields.items()))
+                    for name, fields in sorted(schema.items())},
+    }
+
+
+def write_manifest(path: Optional[Path] = None,
+                   roots: Sequence = DEFAULT_SCHEMA_ROOTS) -> Path:
+    """Regenerate the checked-in manifest (CLI ``--update-manifest``)."""
+    path = Path(path or default_manifest_path())
+    path.write_text(json.dumps(build_manifest(roots), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def check_manifest(schema: Dict[str, Dict[str, str]],
+                   manifest_path: Optional[Path] = None,
+                   registry: Optional[RuleRegistry] = None
+                   ) -> List[Diagnostic]:
+    registry = registry or SOURCE_REGISTRY
+    manifest_path = Path(manifest_path or default_manifest_path())
+    rel = manifest_path.name
+    fix = ("review the cache-key impact, run `repro lint --static "
+           "--update-manifest`, and bump CODE_VERSION in "
+           "harness/executor.py if previously cached results are stale")
+    if not manifest_path.exists():
+        return [_diag(registry, "F505",
+                      f"fingerprint manifest {rel} is missing",
+                      path=rel, line=1, fix_hint=fix)]
+    try:
+        manifest = json.loads(manifest_path.read_text())
+        pinned = manifest["classes"]
+    except (ValueError, KeyError) as error:
+        return [_diag(registry, "F505",
+                      f"fingerprint manifest {rel} is unreadable: {error}",
+                      path=rel, line=1, fix_hint=fix)]
+    diags: List[Diagnostic] = []
+    for name in sorted(set(pinned) - set(schema)):
+        diags.append(_diag(
+            registry, "F505",
+            f"dataclass {name} is pinned in the manifest but no longer "
+            "reachable from the schema roots",
+            path=rel, line=1, location=name, fix_hint=fix))
+    for name in sorted(set(schema) - set(pinned)):
+        diags.append(_diag(
+            registry, "F505",
+            f"dataclass {name} became reachable from the schema roots "
+            "but is not pinned in the manifest",
+            path=rel, line=1, location=name, fix_hint=fix))
+    for name in sorted(set(schema) & set(pinned)):
+        current, recorded = schema[name], pinned[name]
+        added = sorted(set(current) - set(recorded))
+        removed = sorted(set(recorded) - set(current))
+        retyped = sorted(f for f in set(current) & set(recorded)
+                         if current[f] != recorded[f])
+        if not (added or removed or retyped):
+            continue
+        changes = []
+        if added:
+            changes.append("added " + ", ".join(
+                f"{f}: {current[f]}" for f in added))
+        if removed:
+            changes.append("removed " + ", ".join(removed))
+        if retyped:
+            changes.append("retyped " + ", ".join(
+                f"{f}: {recorded[f]} -> {current[f]}" for f in retyped))
+        diags.append(_diag(
+            registry, "F505",
+            f"field schema of {name} drifted from the manifest "
+            f"({'; '.join(changes)}): every cache key hashing this "
+            "class changes meaning",
+            path=rel, line=1, location=name, fix_hint=fix))
+    return diags
+
+
+# ----------------------------------------------------------------------
+# F506: memo-key classes stay hashable values
+# ----------------------------------------------------------------------
+_UNHASHABLE_ORIGINS = (list, dict, set, typing.Mapping)
+
+
+def _hashable_label(tp, problems: List[str], queue: List[type]) -> None:
+    origin = typing.get_origin(tp)
+    if origin in _UNHASHABLE_ORIGINS or (
+            isinstance(tp, type)
+            and issubclass(tp, (list, dict, set, bytearray))):
+        problems.append(f"declares unhashable type {tp!r}")
+        return
+    if dataclasses.is_dataclass(tp):
+        queue.append(tp)
+        return
+    for arg in typing.get_args(tp):
+        if arg is not Ellipsis and arg is not type(None):
+            _hashable_label(arg, problems, queue)
+
+
+def check_memo_key_classes(roots: Sequence = DEFAULT_MEMO_KEY_ROOTS,
+                           registry: Optional[RuleRegistry] = None
+                           ) -> List[Diagnostic]:
+    registry = registry or SOURCE_REGISTRY
+    diags: List[Diagnostic] = []
+    queue: List[type] = [_resolve_root(root) for root in roots]
+    seen: Set[type] = set()
+    while queue:
+        cls = queue.pop()
+        if cls in seen:
+            continue
+        seen.add(cls)
+        qualname = f"{cls.__module__}.{cls.__name__}"
+        path, line = _class_location(cls)
+        if not dataclasses.is_dataclass(cls):
+            diags.append(_diag(
+                registry, "F506",
+                f"memo-key class {qualname} is not a dataclass: keys "
+                "need structural equality, not identity",
+                path=path, line=line, location=qualname))
+            continue
+        if not cls.__dataclass_params__.frozen:
+            diags.append(_diag(
+                registry, "F506",
+                f"memo-key class {qualname} is not frozen: a mutated "
+                "key silently aliases a stale memo entry",
+                path=path, line=line, location=qualname,
+                fix_hint="declare @dataclass(frozen=True)"))
+        try:
+            hints = typing.get_type_hints(cls)
+        except Exception:
+            hints = {}
+        for f in dataclasses.fields(cls):
+            problems: List[str] = []
+            _hashable_label(hints.get(f.name, f.type), problems, queue)
+            for problem in problems:
+                diags.append(_diag(
+                    registry, "F506",
+                    f"memo-key field '{qualname}.{f.name}' {problem}: "
+                    "the memo table cannot hash it",
+                    path=path, line=line, location=qualname))
+    return diags
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def analyze_fingerprints(modules: Sequence[SourceModule],
+                         registry: Optional[RuleRegistry] = None,
+                         *,
+                         manifest_path: Optional[Path] = None,
+                         schema_roots: Sequence = DEFAULT_SCHEMA_ROOTS,
+                         memo_key_roots: Sequence = DEFAULT_MEMO_KEY_ROOTS
+                         ) -> List[Diagnostic]:
+    """Run every F5xx check applicable to the scanned module set.
+
+    The AST wiring checks bind to the executor/phasecache/timing
+    modules when present in ``modules``; the reflection checks
+    (schema, manifest, memo-key hashability) only run when the
+    executor module is among them - i.e. when the real package is the
+    analysis subject, not a test corpus.
+    """
+    registry = registry or SOURCE_REGISTRY
+    diags: List[Diagnostic] = []
+    executor = _find_module(modules, "harness.executor")
+    phasecache = _find_module(modules, "sim.phasecache")
+    timing = _find_module(modules, "sim.timing")
+    if executor is not None:
+        diags.extend(check_cache_key_wiring(executor, registry))
+        diags.extend(check_environment_fingerprint(executor, registry))
+        diags.extend(check_canonical_generic(executor, registry))
+    if phasecache is not None and timing is not None:
+        diags.extend(check_memo_wiring(phasecache, timing, registry))
+    if executor is not None:
+        schema, field_diags = collect_schema(schema_roots, registry)
+        diags.extend(field_diags)
+        diags.extend(check_manifest(schema, manifest_path, registry))
+        diags.extend(check_memo_key_classes(memo_key_roots, registry))
+    enabled = {rule.id for rule in registry.enabled_rules()}
+    return [d for d in diags if d.rule in enabled]

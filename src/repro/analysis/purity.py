@@ -1,0 +1,384 @@
+"""Pass 1 of ``repro lint --static``: the D4xx determinism rules.
+
+The result cache (:mod:`repro.harness.executor`) and the phase memo
+(:mod:`repro.sim.phasecache`) are only correct if the functions they
+memoize are *pure*: same inputs, same bytes, on every host, in every
+process, forever. This pass proves the cheap half of that statically:
+
+* every module under ``repro.sim`` (the simulator proper) must be free
+  of wall-clock reads, unseeded randomness, env reads, identity leaks
+  and salted hashes - the *always-pure* region;
+* every function transitively reachable from a declared **pure root**
+  (:data:`DEFAULT_PURE_ROOTS` - the fingerprint/cache-key functions
+  and the spec execution entry points) is held to the same standard,
+  with the taint reported at the hazard site (its base D4xx rule) and
+  at the root (D409 ``impure-call-path``), so a "pure" function
+  calling a tainted helper is visible at both ends of the call chain.
+
+The call graph is best-effort (module functions, ``self.`` methods,
+imported names); unresolvable dynamic dispatch is simply not an edge,
+which keeps the pass sound-for-what-it-sees and quiet otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .astlint import (ProjectIndex, SourceModule, build_index, dotted_name,
+                      SOURCE_REGISTRY)
+from .diagnostics import Diagnostic, RuleRegistry
+
+#: Functions whose transitive call graph must be deterministic: the
+#: content-addressed cache and phase memo assume exactly these are pure.
+DEFAULT_PURE_ROOTS: Tuple[str, ...] = (
+    "repro.harness.executor.execute_spec",
+    "repro.harness.executor.cache_key",
+    "repro.harness.executor.canonical",
+    "repro.harness.executor.fingerprint",
+    "repro.harness.executor.program_fingerprint",
+    "repro.harness.executor.environment_fingerprint",
+    "repro.sim.phasecache.PhaseMemo.simulate",
+    "repro.sim.timing.simulate_kernel",
+    "repro.core.execution.execute_program",
+    "repro.core.experiment.run_seed",
+)
+
+#: Module-name prefixes that must be hazard-free wholesale: the
+#: simulator itself. (Dotted prefixes; matched against module names.)
+DEFAULT_ALWAYS_PURE_PREFIXES: Tuple[str, ...] = ("repro.sim.",)
+
+# -- hazard tables -----------------------------------------------------
+CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+}
+DATETIME_CALLS = {
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+#: numpy.random attributes that are *not* hazards (seedable API).
+NUMPY_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64",
+                   "Philox", "MT19937", "SFC64", "BitGenerator"}
+SERIALIZATION_SINKS = ("json.dump", "json.dumps", "pickle.dump",
+                       "pickle.dumps", "marshal.dump", "hashlib.")
+SET_FACTORIES = {"set", "frozenset"}
+ITERATION_SINKS = {"list", "tuple", "enumerate", "iter", "next"}
+MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+REPR_METHODS = {"__repr__", "__str__", "__format__"}
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One direct hazard site inside a function body."""
+
+    rule: str
+    lineno: int
+    message: str
+
+
+class _PurityVisitor(ast.NodeVisitor):
+    """Per-module walk: hazards per function + call-graph edges."""
+
+    def __init__(self, source: SourceModule, index: ProjectIndex):
+        self.source = source
+        self.index = index
+        # scope entries are ("class"|"func", name)
+        self._scope: List[Tuple[str, str]] = []
+        #: qualname -> hazards found in that function's body
+        self.hazards: Dict[str, List[Hazard]] = {}
+        #: qualname -> function also calls a serialization sink
+        self.serializes: Set[str] = set()
+        #: per-function set-valued local names (for D404)
+        self._set_locals: List[Set[str]] = []
+
+    # -- scope plumbing -------------------------------------------------
+    @property
+    def _qualname(self) -> Optional[str]:
+        if not any(kind == "func" for kind, _ in self._scope):
+            return None
+        return ".".join([self.source.module]
+                        + [name for _, name in self._scope])
+
+    @property
+    def _class_prefix(self) -> List[str]:
+        """Scope names up to the innermost enclosing class."""
+        prefix: List[str] = []
+        for kind, name in self._scope:
+            if kind == "func":
+                break
+            prefix.append(name)
+        return prefix
+
+    @property
+    def _in_repr(self) -> bool:
+        return any(kind == "func" and name in REPR_METHODS
+                   for kind, name in self._scope)
+
+    def _record(self, rule: str, node: ast.AST, message: str) -> None:
+        owner = self._qualname or f"{self.source.module}.<module>"
+        self.hazards.setdefault(owner, []).append(
+            Hazard(rule=rule, lineno=node.lineno, message=message))
+
+    # -- definitions ----------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(("class", node.name))
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def _visit_function(self, node) -> None:
+        # D406: mutable default arguments, everywhere.
+        for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]:
+            if self._is_mutable_default(default):
+                self._scope.append(("func", node.name))
+                self._record(
+                    "D406", default,
+                    f"function '{node.name}' has a mutable default "
+                    f"argument ({ast.unparse(default)}): one shared "
+                    "instance accumulates state across calls")
+                self._scope.pop()
+        self._scope.append(("func", node.name))
+        self._set_locals.append(set())
+        self.generic_visit(node)
+        self._set_locals.pop()
+        self._scope.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    @staticmethod
+    def _is_mutable_default(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in MUTABLE_FACTORIES
+        return False
+
+    # -- expression-level hazards --------------------------------------
+    def _expanded(self, func: ast.AST) -> Optional[str]:
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        imports = self.index.imports.get(self.source.module, {})
+        head, _, rest = dotted.partition(".")
+        if head in imports:
+            return imports[head] + ("." + rest if rest else "")
+        return dotted
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qual = self._qualname
+        callee, external = self.index.resolve_call(
+            self.source.module, self._class_prefix, node.func)
+        if qual is not None and callee is not None:
+            info = self.index.functions.get(qual)
+            if info is not None:
+                info.calls.add(callee)
+        external = external or self._expanded(node.func) or ""
+
+        if external in CLOCK_CALLS:
+            self._record("D401", node,
+                         f"wall-clock read via {external}(): reruns "
+                         "observe different values")
+        elif external in DATETIME_CALLS:
+            self._record("D402", node,
+                         f"wall-clock timestamp via {external}()")
+        elif self._random_hazard(node, external):
+            self._record("D403", node,
+                         f"nondeterministic randomness via {external}"
+                         "(unseeded or process-global state)")
+        elif external == "os.getenv" or external.startswith("os.environ"):
+            self._record("D405", node,
+                         f"environment read via {external}: the value "
+                         "is invisible to every cache key")
+        elif isinstance(node.func, ast.Name) and node.func.id == "id":
+            if not self._in_repr:
+                self._record("D407", node,
+                             "id() leaks per-process object identity")
+        elif isinstance(node.func, ast.Name) and node.func.id == "hash":
+            if not self._in_repr:
+                self._record("D408", node,
+                             "built-in hash() is salted per process "
+                             "(PYTHONHASHSEED)")
+
+        if qual is not None and any(
+                external.startswith(sink) for sink in SERIALIZATION_SINKS):
+            self.serializes.add(qual)
+
+        # D404: unordered iteration materialized by a sink call.
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in ITERATION_SINKS and node.args
+                and self._is_set_expr(node.args[0])):
+            self._record("D404", node,
+                         f"{node.func.id}() over a set materializes "
+                         "arbitrary order; wrap in sorted() if the "
+                         "order can escape")
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join" and node.args
+                and self._is_set_expr(node.args[0])):
+            self._record("D404", node,
+                         "str.join over a set serializes arbitrary "
+                         "order; wrap in sorted()")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _random_hazard(node: ast.Call, external: str) -> bool:
+        if external.startswith("random."):
+            tail = external[len("random."):]
+            if tail == "Random" and node.args:
+                return False  # seeded instance
+            return True
+        if external.startswith("numpy.random."):
+            tail = external[len("numpy.random."):]
+            if tail == "default_rng":
+                return not node.args  # unseeded default_rng()
+            return tail not in NUMPY_RANDOM_OK
+        return False
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if dotted_name(node.value) and \
+                self._expanded(node.value) == "os.environ":
+            self._record("D405", node,
+                         "environment read via os.environ[...]: the "
+                         "value is invisible to every cache key")
+        self.generic_visit(node)
+
+    # -- D404 set tracking ---------------------------------------------
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in SET_FACTORIES:
+            return True
+        if isinstance(node, ast.Name) and self._set_locals \
+                and node.id in self._set_locals[-1]:
+            return True
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._set_locals and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and self._is_set_expr(node.value):
+            self._set_locals[-1].add(node.targets[0].id)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self._record("D404", node,
+                         "for-loop over a set iterates in arbitrary "
+                         "order; wrap in sorted() if the order can "
+                         "escape")
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        if self._is_set_expr(node.iter):
+            self._record("D404", node.iter,
+                         "comprehension over a set iterates in "
+                         "arbitrary order; wrap in sorted() if the "
+                         "order can escape")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# Analysis entry point
+# ----------------------------------------------------------------------
+#: rules only reported in pure regions (noise everywhere else)
+PURE_REGION_RULES = {"D401", "D402", "D403", "D405", "D407", "D408"}
+
+
+def analyze_purity(modules: Sequence[SourceModule],
+                   index: Optional[ProjectIndex] = None,
+                   *,
+                   pure_roots: Optional[Sequence[str]] = None,
+                   always_pure_prefixes: Optional[Sequence[str]] = None,
+                   registry: Optional[RuleRegistry] = None
+                   ) -> List[Diagnostic]:
+    """Run the D4xx determinism pass over parsed modules.
+
+    ``pure_roots`` overrides :data:`DEFAULT_PURE_ROOTS` (corpus tests
+    point it at snippet functions); ``always_pure_prefixes`` overrides
+    the module prefixes that are hazard-checked wholesale. An *empty*
+    sequence for ``always_pure_prefixes`` disables the region; None
+    selects the defaults.
+    """
+    registry = registry or SOURCE_REGISTRY
+    if index is None:
+        index = build_index(modules)
+    roots = tuple(DEFAULT_PURE_ROOTS if pure_roots is None else pure_roots)
+    prefixes = tuple(DEFAULT_ALWAYS_PURE_PREFIXES
+                     if always_pure_prefixes is None
+                     else always_pure_prefixes)
+
+    visitors: Dict[str, _PurityVisitor] = {}
+    for source in modules:
+        visitor = _PurityVisitor(source, index)
+        visitor.visit(source.tree)
+        visitors[source.module] = visitor
+        for qualname, hazards in visitor.hazards.items():
+            info = index.functions.get(qualname)
+            if info is not None:
+                info.hazards.extend(hazards)
+
+    pure_set = index.reachable(roots)
+
+    def always_pure(module: str) -> bool:
+        return any(module.startswith(prefix) or module == prefix.rstrip(".")
+                   for prefix in prefixes)
+
+    diagnostics: List[Diagnostic] = []
+    enabled = {rule.id for rule in registry.enabled_rules()}
+
+    # Direct hazard sites.
+    for source in modules:
+        visitor = visitors[source.module]
+        module_pure = always_pure(source.module)
+        for owner, hazards in sorted(visitor.hazards.items()):
+            in_pure_region = module_pure or owner in pure_set
+            for hazard in hazards:
+                if hazard.rule not in enabled:
+                    continue
+                if hazard.rule in PURE_REGION_RULES and not in_pure_region:
+                    continue
+                if hazard.rule == "D404" and not (
+                        in_pure_region or owner in visitor.serializes):
+                    continue
+                rule = registry.effective_rule(hazard.rule)
+                diagnostics.append(Diagnostic(
+                    rule=hazard.rule, severity=rule.severity,
+                    message=hazard.message,
+                    location=owner,
+                    path=source.relpath, line=hazard.lineno,
+                    fix_hint="hoist the impurity to the caller and pass "
+                             "the value in, or justify with "
+                             f"`# repro: allow[{hazard.rule}] -- why`"))
+
+    # D409: propagate taint onto the declared pure roots.
+    if "D409" in enabled:
+        rule = registry.effective_rule("D409")
+        for root in roots:
+            info = index.functions.get(root)
+            if info is None:
+                continue
+            for reached in sorted(index.reachable([root])):
+                if reached == root:
+                    continue
+                target = index.functions.get(reached)
+                if target is None or not target.hazards:
+                    continue
+                for hazard in target.hazards:
+                    if hazard.rule not in enabled or hazard.rule == "D406":
+                        continue
+                    path = index.call_paths(root, reached) or [root, reached]
+                    chain = " -> ".join(p.rsplit(".", 1)[-1] for p in path)
+                    diagnostics.append(Diagnostic(
+                        rule="D409", severity=rule.severity,
+                        message=(f"pure root '{root}' reaches "
+                                 f"{hazard.rule} ({hazard.message}) in "
+                                 f"{reached} [call path: {chain}]"),
+                        location=root,
+                        path=info.relpath, line=info.lineno,
+                        origin=(f"{target.relpath}:{hazard.lineno}:"
+                                f"{hazard.rule}")))
+    return diagnostics

@@ -1,0 +1,125 @@
+"""SARIF 2.1.0 rendering of a :class:`LintReport`.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading a run makes every finding an inline PR
+annotation. The emitter is deliberately minimal - one ``run``, one
+``tool.driver`` carrying the rule catalog, one ``result`` per active
+diagnostic - and covers both rule families:
+
+* source-level findings (D4xx/F5xx/A0xx) carry ``path``/``line`` and
+  map to a ``physicalLocation``;
+* model-lint findings (K1xx/P2xx/S30x) carry a ``(workload, mode,
+  location)`` context instead, which lands in the result message and
+  ``logicalLocations`` so they still render usefully.
+
+Suppressed and baselined findings are emitted with a ``suppressions``
+entry (kind ``inSource`` / ``external``) as the spec intends, so code
+scanning shows them as suppressed rather than dropping them silently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .diagnostics import Diagnostic, LintReport, RuleRegistry, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_descriptor(rule) -> Dict:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name.replace("-", " ")},
+        "fullDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _result(diag: Diagnostic, rule_index: Dict[str, int],
+            suppression: Optional[str] = None) -> Dict:
+    message = diag.message
+    if diag.fix_hint:
+        message += f" Fix: {diag.fix_hint}"
+    result: Dict = {
+        "ruleId": diag.rule,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": message},
+    }
+    if diag.rule in rule_index:
+        result["ruleIndex"] = rule_index[diag.rule]
+    if diag.path:
+        region = {"startLine": diag.line} if diag.line else {}
+        location: Dict = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": diag.path,
+                                     "uriBaseId": "SRCROOT"},
+            },
+        }
+        if region:
+            location["physicalLocation"]["region"] = region
+        if diag.location:
+            location["logicalLocations"] = [
+                {"fullyQualifiedName": diag.location}]
+        result["locations"] = [location]
+    else:
+        logical = ":".join(p for p in (diag.workload, diag.mode) if p)
+        if diag.location:
+            logical = f"{logical}/{diag.location}" if logical \
+                else diag.location
+        if logical:
+            result["locations"] = [
+                {"logicalLocations": [{"fullyQualifiedName": logical}]}]
+    if suppression is not None:
+        result["suppressions"] = [{"kind": suppression}]
+    return result
+
+
+def to_sarif(report: LintReport, registries: List[RuleRegistry],
+             tool_name: str = "repro-lint",
+             min_severity: Severity = Severity.INFO,
+             indent: Optional[int] = 2) -> str:
+    """Render a report (active + suppressed + baselined) as SARIF."""
+    rules = []
+    seen = set()
+    for registry in registries:
+        for rule in registry.all_rules():
+            if rule.id not in seen:
+                seen.add(rule.id)
+                rules.append(_rule_descriptor(registry.effective_rule(
+                    rule.id)))
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+
+    results = [
+        _result(d, rule_index) for d in report.sorted()
+        if d.severity.rank >= min_severity.rank
+    ]
+    results += [_result(d, rule_index, suppression="inSource")
+                for d in report.suppressed]
+    results += [_result(d, rule_index, suppression="external")
+                for d in report.baselined]
+
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "informationUri":
+                    "https://github.com/repro/repro#linting",
+                "rules": rules,
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=indent)

@@ -1,0 +1,374 @@
+"""Shared suppression and baseline mechanism for every lint family.
+
+Two ways to silence a finding, both reviewable in the diff:
+
+* **Inline pragma** - ``# repro: allow[RULE] -- justification`` on the
+  flagged line suppresses that rule there; ``# repro:
+  allow-file[RULE] -- justification`` anywhere in a file suppresses
+  the rule for the whole file. The justification is *required*: a
+  pragma without ``-- why`` (or naming an unknown rule) suppresses
+  nothing and is itself reported (A001). A valid pragma that
+  suppressed nothing is reported as stale (A002). Several rules may
+  share one pragma: ``allow[D401,D403]``.
+
+  Model-lint findings (K1xx/P2xx/S30x) carry no source position - they
+  point at a ``(workload, mode)`` context - so for those a *file-level*
+  pragma in the module defining the workload's class is the suppression
+  site.
+
+* **Baseline** - a checked-in JSON file grandfathering known findings
+  so a new gate can land strict without a flag-day cleanup. Static
+  findings are matched by ``(rule, path, sha of the stripped source
+  line)`` - the hash pins the finding to its code, so editing the
+  flagged line un-grandfathers it; model findings are matched by
+  ``(rule, workload, mode, location)``. Baselined findings do not fail
+  the lint (exit 4, not 1) unless ``--strict``.
+
+Propagated findings (D409 ``impure-call-path``) carry an ``origin``
+(``path:line:rule`` of the underlying hazard); suppressing the origin
+hazard cascades to every propagation derived from it, so one justified
+pragma silences the whole call chain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .diagnostics import Diagnostic, RuleRegistry
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*(?P<kind>allow-file|allow)"
+    r"\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<why>\S.*))?")
+
+
+@dataclass
+class Pragma:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    path: Path              #: absolute path of the file carrying it
+    relpath: str
+    lineno: int
+    kind: str               #: "allow" (line) or "allow-file"
+    rules: Tuple[str, ...]
+    justification: str
+    used: bool = field(default=False, compare=False)
+
+    def problems(self, known: Optional[Set[str]] = None) -> List[str]:
+        known = known_rule_ids() if known is None else known
+        out = []
+        if not self.rules:
+            out.append("names no rule")
+        for rule in self.rules:
+            if rule not in known:
+                out.append(f"names unknown rule {rule!r}")
+        if not self.justification:
+            out.append("lacks the required `-- justification`")
+        return out
+
+
+def known_rule_ids() -> Set[str]:
+    """Every rule id across every lint family (pragma validity)."""
+    from .astlint import SOURCE_REGISTRY
+    from .rules import DEFAULT_REGISTRY
+    return ({rule.id for rule in SOURCE_REGISTRY.all_rules()}
+            | {rule.id for rule in DEFAULT_REGISTRY.all_rules()})
+
+
+def _comment_tokens(lines: Sequence[str]):
+    """(lineno, text) of every real comment (docstring mentions of the
+    pragma syntax are STRING tokens and must not count)."""
+    import io
+    import tokenize
+    reader = io.StringIO("\n".join(lines) + "\n").readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def _pragma_target(lines: Sequence[str], lineno: int) -> int:
+    """The code line a pragma covers.
+
+    A *trailing* pragma (after code) covers its own line. A pragma on
+    a comment-only line covers the next code line, skipping the rest
+    of its comment block - so a long justification can wrap.
+    """
+    line = lines[lineno - 1] if 1 <= lineno <= len(lines) else ""
+    if line.strip() and not line.lstrip().startswith("#"):
+        return lineno
+    for target in range(lineno + 1, len(lines) + 1):
+        text = lines[target - 1].strip()
+        if text and not text.startswith("#"):
+            return target
+    return lineno
+
+
+def scan_pragmas(path: Path, relpath: str, lines: Sequence[str]
+                 ) -> List[Pragma]:
+    pragmas = []
+    for lineno, comment in _comment_tokens(lines):
+        match = PRAGMA_RE.search(comment)
+        if match is None:
+            continue
+        rules = tuple(r.strip() for r in match.group("rules").split(",")
+                      if r.strip())
+        pragmas.append(Pragma(path=Path(path), relpath=relpath,
+                              lineno=_pragma_target(lines, lineno),
+                              kind=match.group("kind"),
+                              rules=rules,
+                              justification=(match.group("why")
+                                             or "").strip()))
+    return pragmas
+
+
+def workload_source(name: str) -> Optional[Path]:
+    """The file defining a workload's class (model-lint pragma site)."""
+    import inspect
+    try:
+        from ..workloads.registry import get_workload
+        cls = type(get_workload(name))
+        src = inspect.getsourcefile(cls)
+        return Path(src).resolve() if src else None
+    except Exception:
+        return None
+
+
+class Suppressions:
+    """Pragma set collected from a scanned module tree."""
+
+    def __init__(self, pragmas: Iterable[Pragma] = ()):
+        self.pragmas: List[Pragma] = list(pragmas)
+        self._by_line: Dict[Tuple[str, int], List[Pragma]] = {}
+        self._by_file: Dict[str, List[Pragma]] = {}
+        self._file_by_abspath: Dict[Path, List[Pragma]] = {}
+        for pragma in self.pragmas:
+            if pragma.kind == "allow":
+                self._by_line.setdefault(
+                    (pragma.relpath, pragma.lineno), []).append(pragma)
+            else:
+                self._by_file.setdefault(pragma.relpath, []).append(pragma)
+                self._file_by_abspath.setdefault(
+                    pragma.path.resolve(), []).append(pragma)
+
+    @classmethod
+    def from_modules(cls, modules) -> "Suppressions":
+        pragmas: List[Pragma] = []
+        for source in modules:
+            pragmas.extend(scan_pragmas(source.path, source.relpath,
+                                        source.lines))
+        return cls(pragmas)
+
+    # ------------------------------------------------------------------
+    def _match_site(self, relpath: str, line: int, rule: str,
+                    known: Set[str]) -> Optional[Pragma]:
+        """A valid pragma covering (relpath, line, rule), if any."""
+        candidates = list(self._by_line.get((relpath, line), []))
+        candidates += self._by_file.get(relpath, [])
+        for pragma in candidates:
+            if rule in pragma.rules and not pragma.problems(known):
+                return pragma
+        return None
+
+    def _match_workload(self, workload: str, rule: str,
+                        known: Set[str]) -> Optional[Pragma]:
+        src = workload_source(workload)
+        if src is None:
+            return None
+        for pragma in self._file_by_abspath.get(src, []):
+            if rule in pragma.rules and not pragma.problems(known):
+                return pragma
+        return None
+
+    def filter(self, findings: Sequence[Diagnostic],
+               registry: RuleRegistry
+               ) -> Tuple[List[Diagnostic], List[Diagnostic],
+                          List[Diagnostic]]:
+        """Split findings into (active, suppressed, pragma_diags).
+
+        ``pragma_diags`` are the A001 (invalid pragma) and A002 (stale
+        pragma) findings about the pragmas themselves.
+        """
+        known = known_rule_ids()
+        active: List[Diagnostic] = []
+        suppressed: List[Diagnostic] = []
+        for diag in findings:
+            pragma = None
+            if diag.path:
+                pragma = self._match_site(diag.path, diag.line, diag.rule,
+                                          known)
+            elif diag.workload:
+                pragma = self._match_workload(diag.workload, diag.rule,
+                                              known)
+            if pragma is None and diag.origin:
+                # D409 cascade: suppressing the origin hazard
+                # suppresses every propagation derived from it.
+                parts = diag.origin.rsplit(":", 2)
+                if len(parts) == 3:
+                    opath, oline, orule = parts
+                    try:
+                        pragma = self._match_site(opath, int(oline),
+                                                  orule, known)
+                    except ValueError:
+                        pragma = None
+            if pragma is not None:
+                pragma.used = True
+                suppressed.append(diag)
+            else:
+                active.append(diag)
+        return active, suppressed, self.pragma_diagnostics(registry)
+
+    def pragma_diagnostics(self, registry: RuleRegistry
+                           ) -> List[Diagnostic]:
+        """A001/A002 findings about the pragmas themselves.
+
+        A002 (stale pragma) only fires for pragmas whose rules all
+        belong to ``registry`` - the family this run actually checked;
+        a model-rule pragma is not stale just because a *static* run
+        produced no model findings.
+        """
+        # The meta-rules live in the source registry but apply to
+        # pragmas of every family, so resolve them there explicitly.
+        from .astlint import SOURCE_REGISTRY
+        known = known_rule_ids()
+        diags: List[Diagnostic] = []
+        a001 = SOURCE_REGISTRY.is_enabled("A001")
+        a002 = SOURCE_REGISTRY.is_enabled("A002")
+        for pragma in self.pragmas:
+            problems = pragma.problems(known)
+            if not problems and not all(r in registry
+                                        for r in pragma.rules):
+                continue
+            if problems and a001:
+                rule = SOURCE_REGISTRY.effective_rule("A001")
+                diags.append(Diagnostic(
+                    rule="A001", severity=rule.severity,
+                    message=(f"suppression pragma "
+                             f"`{pragma.kind}[{','.join(pragma.rules)}]` "
+                             f"{'; '.join(problems)} - it suppresses "
+                             "nothing"),
+                    path=pragma.relpath, line=pragma.lineno,
+                    fix_hint="write `# repro: allow[RULE] -- why`"))
+            elif not problems and not pragma.used and a002:
+                rule = SOURCE_REGISTRY.effective_rule("A002")
+                diags.append(Diagnostic(
+                    rule="A002", severity=rule.severity,
+                    message=(f"suppression pragma "
+                             f"`{pragma.kind}[{','.join(pragma.rules)}]` "
+                             "matched no finding in this run; remove it "
+                             "or it will mask a future regression"),
+                    path=pragma.relpath, line=pragma.lineno))
+        return diags
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def _content_hash(text: str) -> str:
+    return hashlib.sha256(text.strip().encode()).hexdigest()[:16]
+
+
+def baseline_entry(diag: Diagnostic,
+                   line_text: str = "") -> Dict[str, str]:
+    """The identity under which a finding is baselined."""
+    if diag.path:
+        return {"rule": diag.rule, "path": diag.path,
+                "content": _content_hash(line_text)}
+    return {"rule": diag.rule, "workload": diag.workload,
+            "mode": diag.mode, "location": diag.location}
+
+
+class Baseline:
+    """Checked-in grandfather list (``.repro-lint-baseline.json``)."""
+
+    VERSION = 1
+
+    def __init__(self, entries: Iterable[Dict[str, str]] = (),
+                 project_root: Optional[Path] = None):
+        self.entries: List[Dict[str, str]] = list(entries)
+        self.project_root = Path(project_root) if project_root else None
+        self._keys: Set[Tuple] = {self._key(e) for e in self.entries}
+        self._line_cache: Dict[str, List[str]] = {}
+
+    @staticmethod
+    def _key(entry: Dict[str, str]) -> Tuple:
+        if "path" in entry:
+            return ("static", entry["rule"], entry["path"],
+                    entry.get("content", ""))
+        return ("model", entry["rule"], entry.get("workload", ""),
+                entry.get("mode", ""), entry.get("location", ""))
+
+    @classmethod
+    def load(cls, path: Path,
+             project_root: Optional[Path] = None) -> "Baseline":
+        path = Path(path)
+        root = project_root or path.resolve().parent
+        if not path.exists():
+            return cls(project_root=root)
+        payload = json.loads(path.read_text())
+        if payload.get("version") != cls.VERSION:
+            raise ValueError(
+                f"baseline {path} has version {payload.get('version')!r}; "
+                f"this tool reads version {cls.VERSION}")
+        return cls(payload.get("entries", []), project_root=root)
+
+    def _line_text(self, relpath: str, lineno: int) -> str:
+        if relpath not in self._line_cache:
+            lines: List[str] = []
+            if self.project_root is not None:
+                target = self.project_root / relpath
+                if target.exists():
+                    lines = target.read_text().splitlines()
+            self._line_cache[relpath] = lines
+        lines = self._line_cache[relpath]
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1]
+        return ""
+
+    def entry_for(self, diag: Diagnostic) -> Dict[str, str]:
+        return baseline_entry(
+            diag, self._line_text(diag.path, diag.line) if diag.path
+            else "")
+
+    def matches(self, diag: Diagnostic) -> bool:
+        return self._key(self.entry_for(diag)) in self._keys
+
+    def filter(self, findings: Sequence[Diagnostic]
+               ) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+        """Split findings into (active, grandfathered)."""
+        active: List[Diagnostic] = []
+        grandfathered: List[Diagnostic] = []
+        for diag in findings:
+            (grandfathered if self.matches(diag) else active).append(diag)
+        return active, grandfathered
+
+    # -- authoring ------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Sequence[Diagnostic],
+                      project_root: Path) -> "Baseline":
+        baseline = cls(project_root=project_root)
+        seen: Set[Tuple] = set()
+        for diag in findings:
+            entry = baseline.entry_for(diag)
+            key = cls._key(entry)
+            if key not in seen:
+                seen.add(key)
+                baseline.entries.append(entry)
+        baseline._keys = {cls._key(e) for e in baseline.entries}
+        return baseline
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": self.VERSION,
+            "entries": sorted(self.entries,
+                              key=lambda e: sorted(e.items())),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2,
+                                         sort_keys=True) + "\n")

@@ -137,6 +137,10 @@ def _executor_from_args(args) -> SweepExecutor:
 
 #: Exit code for a sweep that completed with gaps (partial results).
 EXIT_PARTIAL = 3
+#: Exit code for a lint whose only findings are baseline-grandfathered:
+#: distinguishable from clean (0) and from new errors (1) so CI can gate
+#: on "no *new* findings" while a cleanup is in flight.
+EXIT_BASELINE = 4
 #: Exit code for an interrupted run (Ctrl-C / SIGTERM), per POSIX custom.
 EXIT_INTERRUPTED = 130
 
@@ -394,9 +398,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="subset of workloads (default: all 21)")
     _add_common(roofline)
 
-    lint = sub.add_parser("lint",
-                          help="statically validate workload programs "
-                               "(non-zero exit on errors)")
+    lint = sub.add_parser(
+        "lint",
+        help="statically validate workload programs or (--static) the "
+             "Python source itself",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0   clean (or only suppressed/baselined findings)\n"
+            "  1   active error findings (warnings never gate)\n"
+            "  4   baseline-grandfathered findings only; with --strict\n"
+            "      these count as active and exit 1\n"
+            "\n"
+            "suppressions: `# repro: allow[RULE] -- why` on the flagged\n"
+            "line (or the comment line above it) silences that rule\n"
+            "there; `# repro: allow-file[RULE] -- why` covers the file.\n"
+            "The justification is required. For model rules\n"
+            "(K1xx/P2xx/S30x) put a file-level pragma in the module\n"
+            "defining the workload. The baseline file\n"
+            "(.repro-lint-baseline.json) grandfathers known findings\n"
+            "without editing the source; regenerate it with\n"
+            "--write-baseline."))
     lint.add_argument("workloads", nargs="*",
                       help="subset of workloads (default: all 21)")
     lint.add_argument("--size", default="super",
@@ -408,10 +430,33 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=[m.value for m in ALL_MODES],
                       help="restrict to these transfer modes "
                            "(repeatable; default: all five)")
-    lint.add_argument("--format", default="text", choices=("text", "json"))
+    lint.add_argument("--static", action="store_true",
+                      help="run the source-level analyzer (D4xx "
+                           "determinism + F5xx fingerprint completeness) "
+                           "instead of the workload model linter")
+    lint.add_argument("--path", metavar="DIR",
+                      help="--static: package directory to analyze "
+                           "(default: the installed repro package)")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json", "sarif"))
     lint.add_argument("--min-severity", default="info",
                       choices=("info", "warning", "error"),
                       help="text output: hide findings below this level")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="baseline file (default: "
+                           ".repro-lint-baseline.json at the project "
+                           "root; missing file = empty baseline)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write all active findings to the baseline "
+                           "file and exit 0")
+    lint.add_argument("--strict", action="store_true",
+                      help="baselined findings count as active (exit 1)")
+    lint.add_argument("--update-manifest", action="store_true",
+                      help="--static: regenerate the fingerprint "
+                           "manifest before checking (acknowledges "
+                           "schema drift)")
+    lint.add_argument("--rules", action="store_true",
+                      help="print the full rule catalog and exit")
 
     artifact = sub.add_parser("artifact",
                               help="run one of the paper appendix's "
@@ -438,22 +483,96 @@ def _cmd_sizesearch(args):
                          executor)
 
 
+def _lint_project_root() -> Path:
+    """The repo root the baseline and report paths are relative to."""
+    from .analysis.astlint import default_package_root
+    parent = default_package_root().parent       # .../src (or site-packages)
+    return parent.parent if parent.name == "src" else parent
+
+
+def _render_lint(args, report) -> str:
+    from .analysis import Severity, to_sarif
+    from .analysis.astlint import SOURCE_REGISTRY
+    from .analysis.rules import DEFAULT_REGISTRY
+    if args.format == "json":
+        return report.to_json(indent=2)
+    if args.format == "sarif":
+        return to_sarif(report, [DEFAULT_REGISTRY, SOURCE_REGISTRY],
+                        min_severity=Severity.from_label(args.min_severity))
+    return report.render_text(
+        min_severity=Severity.from_label(args.min_severity))
+
+
 def _cmd_lint(args):
     from .analysis import Severity, lint_registry
-    names = args.workloads or None
-    if args.all:
-        sizes = list(SizeClass.ordered())
+    from .analysis.astlint import (SOURCE_REGISTRY, default_package_root,
+                                   run_static_analysis, scan_package)
+    from .analysis.rules import DEFAULT_REGISTRY
+    from .analysis.suppress import Baseline, Suppressions
+
+    if args.rules:
+        return (DEFAULT_REGISTRY.catalog() + "\n"
+                + SOURCE_REGISTRY.catalog()), 0
+
+    project_root = _lint_project_root()
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else project_root / ".repro-lint-baseline.json")
+    try:
+        baseline = Baseline.load(baseline_path, project_root=project_root)
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+
+    if args.static:
+        if args.update_manifest:
+            from .analysis.fingerprints import write_manifest
+            print(f"manifest updated: {write_manifest()}", file=sys.stderr)
+        package_root = (Path(args.path) if args.path
+                        else default_package_root())
+        if not package_root.is_dir():
+            # A typo'd --path must not report "clean" to CI.
+            raise SystemExit(f"--path: {package_root} is not a directory")
+        report = run_static_analysis(package_root, project_root,
+                                     baseline=baseline)
     else:
-        sizes = [SizeClass.from_label(args.size)]
-    modes = ([TransferMode.from_label(label) for label in args.mode]
-             if args.mode else None)
-    report = lint_registry(names, sizes, modes)
-    if args.format == "json":
-        text = report.to_json(indent=2)
-    else:
-        text = report.render_text(
-            min_severity=Severity.from_label(args.min_severity))
-    return text, (1 if report.has_errors else 0)
+        names = args.workloads or None
+        if args.all:
+            sizes = list(SizeClass.ordered())
+        else:
+            sizes = [SizeClass.from_label(args.size)]
+        modes = ([TransferMode.from_label(label) for label in args.mode]
+                 if args.mode else None)
+        report = lint_registry(names, sizes, modes)
+        # Shared suppression + baseline mechanism (model rules are
+        # suppressed by a file-level pragma in the workload's module).
+        suppressions = Suppressions.from_modules(
+            scan_package(default_package_root(), project_root))
+        active, suppressed, pragma_diags = suppressions.filter(
+            list(report.diagnostics), DEFAULT_REGISTRY)
+        filtered, grandfathered = baseline.filter(active + pragma_diags)
+        rebuilt = type(report)(filtered)
+        rebuilt.contexts = report.contexts
+        rebuilt.suppressed = suppressed
+        rebuilt.baselined = grandfathered
+        report = rebuilt
+
+    if args.write_baseline:
+        refreshed = Baseline.from_findings(
+            list(report.diagnostics) + report.baselined, project_root)
+        refreshed.save(baseline_path)
+        return (f"baseline written: {baseline_path} "
+                f"({len(refreshed.entries)} entr"
+                f"{'y' if len(refreshed.entries) == 1 else 'ies'})"), 0
+
+    if args.strict:
+        report.diagnostics.extend(report.baselined)
+        report.baselined = []
+
+    code = 0
+    if report.has_errors:
+        code = 1
+    elif any(d.severity is Severity.ERROR for d in report.baselined):
+        code = EXIT_BASELINE
+    return _render_lint(args, report), code
 
 
 def _cmd_artifact(args) -> str:

@@ -152,6 +152,9 @@ def active_plan() -> Optional[FaultPlan]:
     """
     if _ACTIVE is not None:
         return _ACTIVE
+    # repro: allow[D405] -- chaos-test control channel: the plan only
+    # decides whether maybe_fire *raises*; it never alters a computed
+    # value, so no environment-dependent bytes can reach the cache.
     payload = os.environ.get(PLAN_ENV)
     if payload:
         try:

@@ -1,0 +1,12 @@
+"""Seeded hazard corpus for the ``repro lint --static`` analyzer.
+
+Each snippet is one minimal reproduction of a D4xx/F5xx/A0xx rule
+(hazard lines carry an ``# EXPECT[RULE]`` marker) together with its
+*clean twin* - the closest non-hazardous spelling, unmarked, proving
+the rule does not over-trigger. ``test_corpus.py`` asserts the exact
+(rule, line) set per file: every marker detected, nothing else.
+
+These files are corpus *data*, not tests - pytest does not collect
+them (no ``test_`` prefix) and they are never imported at run time
+except by the harness (the ``f50x_*`` reflection snippets).
+"""

@@ -1,0 +1,10 @@
+"""A001: an invalid pragma suppresses nothing and is itself an error."""
+import time
+
+
+def root_unknown_rule():
+    return time.time()  # repro: allow[D999] -- no such rule  # EXPECT[A001]  # EXPECT[D401]
+
+
+def root_missing_justification():
+    return time.time()  # repro: allow[D401]  # EXPECT[A001]  # EXPECT[D401]

@@ -1,0 +1,5 @@
+"""A002: a valid pragma that suppressed nothing is stale."""
+
+
+def root_no_hazard_here(x):
+    return x + 1  # repro: allow[D401] -- left over from a refactor  # EXPECT[A002]

@@ -1,0 +1,19 @@
+"""D401: wall-clock reads make reruns observe different values."""
+import time
+
+
+def root_timestamped_result():
+    started = time.time()  # EXPECT[D401]
+    tick = time.perf_counter()  # EXPECT[D401]
+    return started + tick
+
+
+def ok_duration_passed_in(duration_s):
+    # clean twin: the caller measures; the pure code only computes.
+    return duration_s * 2.0
+
+
+def ok_sleep_is_not_a_clock():
+    # sleeping reads no clock *into the result*; deliberately exempt.
+    time.sleep(0)
+    return 1

@@ -1,0 +1,18 @@
+"""D402: datetime.now()/today() timestamps leak into results."""
+import datetime
+from datetime import datetime as dt
+
+
+def root_stamped_record():
+    stamp = datetime.datetime.now()  # EXPECT[D402]
+    day = dt.today()  # EXPECT[D402]
+    return stamp, day
+
+
+def ok_timestamp_passed_in(stamp):
+    # clean twin: the timestamp is an explicit input.
+    return stamp.isoformat()
+
+
+def ok_fixed_date():
+    return datetime.date(2024, 1, 1)

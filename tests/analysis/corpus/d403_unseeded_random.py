@@ -1,0 +1,18 @@
+"""D403: unseeded / process-global randomness breaks bit-identity."""
+import random
+
+import numpy as np
+
+
+def root_jittered(values):
+    noise = random.random()  # EXPECT[D403]
+    legacy = np.random.rand(3)  # EXPECT[D403]
+    rng = np.random.default_rng()  # EXPECT[D403]
+    return noise, legacy, rng.random(), values
+
+
+def ok_seeded(seed, values):
+    # clean twins: explicit seeds make every rerun identical.
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    return rng.random(), local.random(), values

@@ -1,0 +1,21 @@
+"""D404: set iteration order is arbitrary and must not escape."""
+import json
+
+
+def root_serialize_members(members):
+    pool = set(members)
+    for member in pool:  # EXPECT[D404]
+        json.dumps(member)
+    ordered = list({1, 2, 3})  # EXPECT[D404]
+    joined = ",".join({"a", "b"})  # EXPECT[D404]
+    squares = [m * m for m in pool]  # EXPECT[D404]
+    return ordered, joined, squares
+
+
+def ok_sorted_before_escape(members):
+    # clean twin: sorted() pins one order before anything escapes.
+    pool = set(members)
+    ordered = sorted(pool)
+    joined = ",".join(sorted({"a", "b"}))
+    membership = 3 in pool
+    return ordered, joined, membership

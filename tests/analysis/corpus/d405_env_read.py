@@ -1,0 +1,15 @@
+"""D405: environment reads are invisible to every cache key."""
+import os
+
+
+def root_env_tuned(value):
+    scale = os.getenv("REPRO_SCALE", "1")  # EXPECT[D405]
+    raw = os.environ["HOME"]  # EXPECT[D405]
+    debug = os.environ.get("DEBUG")  # EXPECT[D405]
+    return value, scale, raw, debug
+
+
+def ok_configuration_passed_in(value, scale):
+    # clean twin: configuration arrives as an argument the cache
+    # key can see.
+    return value * scale

@@ -1,0 +1,19 @@
+"""D406: mutable defaults accumulate state across calls."""
+
+
+def root_accumulate(item, acc=[]):  # EXPECT[D406]
+    acc.append(item)
+    return acc
+
+
+def root_keyed(item, *, index={}):  # EXPECT[D406]
+    index[item] = True
+    return index
+
+
+def ok_fresh_default(item, acc=None):
+    # clean twin: the None idiom builds a fresh list per call.
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc

@@ -1,0 +1,17 @@
+"""D407: id() is per-process identity; it must never reach a key."""
+
+
+class Node:
+    def __init__(self, payload):
+        self.payload = payload
+
+    def cache_token(self):
+        return id(self)  # EXPECT[D407]
+
+    def __repr__(self):
+        # clean twin: id() inside repr is debugging output, exempt.
+        return f"<Node {id(self):#x}>"
+
+
+def ok_structural_key(node):
+    return ("node", node.payload)

@@ -1,0 +1,12 @@
+"""D408: built-in hash() is salted per process (PYTHONHASHSEED)."""
+import hashlib
+
+
+def root_bucket_for(name, buckets):
+    return hash(name) % buckets  # EXPECT[D408]
+
+
+def ok_stable_digest(name, buckets):
+    # clean twin: a cryptographic digest is process-independent.
+    digest = hashlib.sha256(name.encode()).hexdigest()
+    return int(digest, 16) % buckets

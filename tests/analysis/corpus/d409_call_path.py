@@ -1,0 +1,27 @@
+"""D409: a pure root transitively reaching a hazard is tainted.
+
+The hazard is reported twice: at its own site (D401) and at the
+declared pure root (D409), so both ends of the call chain are visible.
+"""
+import time
+
+
+def helper_reads_clock():
+    return time.time()  # EXPECT[D401]
+
+
+def middle(x):
+    return helper_reads_clock() + x
+
+
+def root_simulate(x):  # EXPECT[D409]
+    return middle(x) * 2.0
+
+
+def root_clean(x):
+    # clean twin: a root whose whole call graph is hazard-free.
+    return ok_helper(x) + 1
+
+
+def ok_helper(x):
+    return x * x

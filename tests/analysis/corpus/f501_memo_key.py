@@ -1,0 +1,30 @@
+"""F501: every parameter of the memoized function must feed the key.
+
+``resident_fraction`` reaches the memo method but not its key tuple;
+``smem`` never even reaches the method. ``system``/``calib`` are
+covered by the ``matches()`` environment binding - the clean twin.
+"""
+
+
+def simulate_kernel(desc, flags, system, calib, smem, resident_fraction):
+    return (desc, flags, system, calib, smem, resident_fraction)
+
+
+class PhaseMemo:
+    def __init__(self, system, calib):
+        self._system = system
+        self._calib = calib
+        self._table = {}
+
+    def matches(self, system, calib):
+        return system == self._system and calib == self._calib
+
+    def simulate(self, desc, flags, system, calib, resident_fraction):  # EXPECT[F501]
+        if not self.matches(system, calib):
+            return simulate_kernel(desc, flags, system, calib, 0,
+                                   resident_fraction)
+        key = (desc, flags)  # EXPECT[F501]
+        if key not in self._table:
+            self._table[key] = simulate_kernel(
+                desc, flags, system, calib, 0, resident_fraction)
+        return self._table[key]

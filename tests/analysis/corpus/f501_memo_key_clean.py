@@ -1,0 +1,25 @@
+"""Clean twin of f501_memo_key: every parameter is keyed or bound."""
+
+
+def simulate_kernel(desc, flags, system, calib, resident_fraction):
+    return (desc, flags, system, calib, resident_fraction)
+
+
+class PhaseMemo:
+    def __init__(self, system, calib):
+        self._system = system
+        self._calib = calib
+        self._table = {}
+
+    def matches(self, system, calib):
+        return system == self._system and calib == self._calib
+
+    def simulate(self, desc, flags, system, calib, resident_fraction):
+        if not self.matches(system, calib):
+            return simulate_kernel(desc, flags, system, calib,
+                                   resident_fraction)
+        key = (desc, flags, resident_fraction)
+        if key not in self._table:
+            self._table[key] = simulate_kernel(desc, flags, system,
+                                               calib, resident_fraction)
+        return self._table[key]

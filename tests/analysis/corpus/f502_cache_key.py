@@ -1,0 +1,33 @@
+"""F502: the cache-key payload must wire every required component.
+
+The payload below lost its ``program`` entry entirely and its
+``environment`` entry no longer calls the fingerprint helper - both
+ways results computed under different inputs collide on one key.
+"""
+import hashlib
+import json
+
+CODE_VERSION = "corpus-v1"
+
+
+def canonical(spec):
+    return repr(spec)
+
+
+def program_fingerprint(spec):
+    return "prog:" + canonical(spec)
+
+
+def environment_fingerprint(system=None, calib=None):  # EXPECT[F502]
+    return hashlib.sha256(json.dumps({
+        "system": system,
+    }).encode()).hexdigest()
+
+
+def cache_key(spec):  # EXPECT[F502]
+    payload = {
+        "code": CODE_VERSION,
+        "spec": canonical(spec),
+        "environment": "static-environment",  # EXPECT[F502]
+    }
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()

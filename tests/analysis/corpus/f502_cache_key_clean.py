@@ -1,0 +1,30 @@
+"""Clean twin of f502_cache_key: all four components wired."""
+import hashlib
+import json
+
+CODE_VERSION = "corpus-v1"
+
+
+def canonical(spec):
+    return repr(spec)
+
+
+def program_fingerprint(spec):
+    return "prog:" + canonical(spec)
+
+
+def environment_fingerprint(system=None, calib=None):
+    return hashlib.sha256(json.dumps({
+        "system": system,
+        "calib": calib,
+    }).encode()).hexdigest()
+
+
+def cache_key(spec, env_fingerprint=""):
+    payload = {
+        "code": CODE_VERSION,
+        "spec": canonical(spec),
+        "program": program_fingerprint(spec),
+        "environment": env_fingerprint,
+    }
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()

@@ -1,0 +1,11 @@
+"""F503: a hand-enumerated canonical() drops newly added fields."""
+
+
+def canonical(spec):  # EXPECT[F503]
+    # Hazard: listing fields by hand; a new RunSpec field would be
+    # silently absent from every fingerprint.
+    return {
+        "workload": spec.workload,
+        "size": spec.size,
+        "mode": spec.mode,
+    }

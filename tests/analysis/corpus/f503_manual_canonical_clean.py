@@ -1,0 +1,9 @@
+"""Clean twin of f503: canonical() enumerates dataclasses.fields()."""
+import dataclasses
+
+
+def canonical(spec):
+    if dataclasses.is_dataclass(spec):
+        return {f.name: canonical(getattr(spec, f.name))
+                for f in dataclasses.fields(spec)}
+    return spec

@@ -1,0 +1,33 @@
+"""F504: fields reachable from a schema root that canonical() cannot
+serialize deterministically (set order is arbitrary; an opaque object
+has no stable bytes).
+
+Imported (not just parsed) by the harness: the F504/F505/F506 checks
+reflect over real classes. ``ROOTS`` is the harness convention for
+the schema roots of this snippet.
+"""
+from dataclasses import dataclass, field
+from typing import Optional, Set, Tuple
+
+
+@dataclass(frozen=True)  # EXPECT[F504]
+class BadSpec:
+    name: str
+    tags: Set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)  # EXPECT[F504]
+class OpaqueSpec:
+    name: str
+    callback: object = None
+
+
+@dataclass(frozen=True)
+class CleanSpec:
+    # clean twin: primitives, tuples and optionals all canonicalize.
+    name: str
+    sizes: Tuple[int, ...] = ()
+    note: Optional[str] = None
+
+
+ROOTS = (BadSpec, OpaqueSpec, CleanSpec)

@@ -1,0 +1,29 @@
+"""F505: the reachable field schema drifted from the pinned manifest.
+
+``PINNED`` is the manifest as it was checked in *before* this class
+grew ``new_knob`` and retyped ``size`` - exactly the edit F505 exists
+to catch. The harness writes ``PINNED`` to a temporary manifest and
+checks the live schema against it.
+"""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    name: str
+    size: float          # was pinned as int
+    new_knob: int = 0    # not pinned at all
+
+
+ROOTS = (DriftSpec,)
+
+#: the stale manifest "classes" section (schema of a previous version)
+PINNED = {
+    f"{DriftSpec.__module__}.DriftSpec": {
+        "name": "str",
+        "size": "int",
+    },
+}
+
+#: number of F505 findings the drift above must produce
+EXPECT_GLOBAL = {"F505": 1}

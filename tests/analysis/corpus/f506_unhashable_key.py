@@ -1,0 +1,32 @@
+"""F506: memo-key classes must be frozen dataclasses of hashables."""
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass  # EXPECT[F506]
+class MutableKey:
+    # hazard: not frozen - mutating a key aliases a stale memo entry.
+    name: str
+
+
+@dataclass(frozen=True)  # EXPECT[F506]
+class ListKey:
+    # hazard: a list field makes the whole key unhashable.
+    name: str
+    stages: List[int] = field(default_factory=list)
+
+
+class NotADataclass:  # EXPECT[F506]
+    # hazard: plain classes compare by identity, not structure.
+    def __init__(self, name):
+        self.name = name
+
+
+@dataclass(frozen=True)
+class CleanKey:
+    # clean twin: frozen, tuple-valued, hashable throughout.
+    name: str
+    stages: Tuple[int, ...] = ()
+
+
+ROOTS = (MutableKey, ListKey, NotADataclass, CleanKey)

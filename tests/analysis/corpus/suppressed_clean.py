@@ -1,0 +1,13 @@
+"""Clean twin for the pragma machinery: a justified pragma silences
+the hazard (and its D409 propagation) without any active finding."""
+import time
+
+
+def helper_intentional_clock():
+    # repro: allow[D401] -- corpus exemplar: measured wall time is the
+    # whole point of this helper and never feeds a cache key.
+    return time.time()
+
+
+def root_wrapper():
+    return helper_intentional_clock()

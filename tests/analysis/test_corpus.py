@@ -1,0 +1,141 @@
+"""Drive every seeded hazard snippet through the static analyzer.
+
+Each corpus file marks its expected findings with ``# EXPECT[RULE]``
+on the flagged line (or ``EXPECT_GLOBAL`` for findings anchored
+outside the snippet, like manifest drift). One parameterized test per
+file asserts the *exact* multiset of ``(rule, line)`` findings: every
+marker detected at its line, and - just as important - zero findings
+on the unmarked clean-twin lines.
+"""
+
+import importlib.util
+import json
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.astlint import (SOURCE_REGISTRY, build_index,
+                                    load_source)
+from repro.analysis.fingerprints import (check_cache_key_wiring,
+                                         check_canonical_generic,
+                                         check_environment_fingerprint,
+                                         check_manifest,
+                                         check_memo_key_classes,
+                                         check_memo_wiring, collect_schema)
+from repro.analysis.purity import analyze_purity
+from repro.analysis.suppress import Suppressions
+
+CORPUS = Path(__file__).parent / "corpus"
+SNIPPETS = sorted(p for p in CORPUS.glob("*.py")
+                  if p.name != "__init__.py")
+EXPECT_RE = re.compile(r"#\s*EXPECT\[([A-Z]\d+)\]")
+
+
+def expected_findings(path: Path):
+    expected = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for rule in EXPECT_RE.findall(line):
+            expected.append((rule, lineno))
+    return sorted(expected)
+
+
+def load(path: Path):
+    return load_source(path, relpath=path.name,
+                       module=f"corpus.{path.stem}")
+
+
+def import_snippet(path: Path):
+    spec = importlib.util.spec_from_file_location(
+        f"corpus_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    # register so inspect can locate class source lines (F50x anchors)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_snippet(path: Path, tmp_path: Path):
+    """All diagnostics the analyzer produces for one corpus file."""
+    source = load(path)
+    name = path.stem
+    if name.startswith(("d4", "a0", "suppressed")):
+        index = build_index([source])
+        roots = [q for q in index.functions
+                 if q.rsplit(".", 1)[-1].startswith("root_")]
+        findings = analyze_purity(
+            [source], index, pure_roots=roots,
+            always_pure_prefixes=("corpus.",))
+        suppressions = Suppressions.from_modules([source])
+        active, _, pragma_diags = suppressions.filter(
+            findings, SOURCE_REGISTRY)
+        return active + pragma_diags
+    if name.startswith("f501"):
+        return check_memo_wiring(source, source)
+    if name.startswith("f502"):
+        return (check_cache_key_wiring(source)
+                + check_environment_fingerprint(source))
+    if name.startswith("f503"):
+        return check_canonical_generic(source)
+    if name.startswith("f504"):
+        module = import_snippet(path)
+        _, diags = collect_schema(module.ROOTS)
+        return diags
+    if name.startswith("f505"):
+        module = import_snippet(path)
+        schema, diags = collect_schema(module.ROOTS)
+        assert not diags, "drift snippet must be F504-clean"
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps(
+            {"version": 1, "classes": module.PINNED}))
+        return check_manifest(schema, manifest)
+    if name.startswith("f506"):
+        module = import_snippet(path)
+        return check_memo_key_classes(module.ROOTS)
+    raise AssertionError(f"corpus file {name} matches no harness branch")
+
+
+@pytest.mark.parametrize("path", SNIPPETS, ids=lambda p: p.stem)
+def test_snippet_findings_exact(path, tmp_path):
+    diags = run_snippet(path, tmp_path)
+    anchored = sorted((d.rule, d.line) for d in diags
+                      if d.path == path.name)
+    unanchored = [d for d in diags if d.path != path.name]
+
+    assert anchored == expected_findings(path), (
+        "expected markers and actual findings disagree:\n"
+        + "\n".join(d.format() for d in diags))
+
+    expected_global = {}
+    source_text = path.read_text()
+    if "EXPECT_GLOBAL" in source_text:
+        expected_global = import_snippet(path).EXPECT_GLOBAL
+    counts = {}
+    for diag in unanchored:
+        counts[diag.rule] = counts.get(diag.rule, 0) + 1
+    assert counts == expected_global, (
+        "findings outside the snippet:\n"
+        + "\n".join(d.format() for d in unanchored))
+
+
+def test_corpus_covers_every_rule():
+    """Each D4xx/F5xx/A0xx rule appears in at least one snippet."""
+    covered = set()
+    for path in SNIPPETS:
+        covered.update(rule for rule, _ in expected_findings(path))
+        if "EXPECT_GLOBAL" in path.read_text():
+            covered.update(import_snippet(path).EXPECT_GLOBAL)
+    all_rules = {rule.id for rule in SOURCE_REGISTRY.all_rules()}
+    assert covered == all_rules, (
+        f"rules without a corpus snippet: {sorted(all_rules - covered)}; "
+        f"unknown markers: {sorted(covered - all_rules)}")
+
+
+def test_clean_twins_have_no_markers():
+    """Files suffixed _clean (and the suppression exemplar) expect 0."""
+    clean = [p for p in SNIPPETS
+             if p.stem.endswith("_clean") or p.stem == "suppressed_clean"]
+    assert clean, "corpus must contain clean twins"
+    for path in clean:
+        assert expected_findings(path) == [], path.name

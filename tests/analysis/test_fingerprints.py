@@ -1,0 +1,157 @@
+"""Unit tests for the F5xx fingerprint-completeness pass.
+
+The two properties the acceptance criteria demand:
+
+* the shipped repo is F5xx-clean (schema matches the checked-in
+  manifest, all wiring present);
+* *deleting* any field-to-fingerprint wiring in ``executor.py`` or
+  ``phasecache.py``, or *adding* a field to any RunSpec-reachable
+  dataclass, turns the pass red.
+
+Deletion is tested by rewriting the real sources in a temp tree and
+re-running the AST checks on them; addition by substituting a
+synthetic ``RunSpec`` subclass (hypothesis generates the field) and
+checking the live schema against the pinned manifest.
+"""
+
+import dataclasses
+import json
+import keyword
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.harness.executor as executor_mod
+from repro.analysis.astlint import default_package_root, scan_package
+from repro.analysis.fingerprints import (DEFAULT_SCHEMA_ROOTS,
+                                         analyze_fingerprints,
+                                         build_manifest, check_manifest,
+                                         collect_schema,
+                                         default_manifest_path,
+                                         write_manifest)
+
+PACKAGE_ROOT = default_package_root()
+PROJECT_ROOT = PACKAGE_ROOT.parent.parent
+
+
+def scan():
+    return scan_package(PACKAGE_ROOT, PROJECT_ROOT)
+
+
+class TestRepoIsClean:
+    def test_no_findings_on_shipped_sources(self):
+        assert analyze_fingerprints(scan()) == []
+
+    def test_manifest_matches_live_schema(self):
+        pinned = json.loads(default_manifest_path().read_text())
+        assert pinned["classes"] == build_manifest()["classes"]
+
+    def test_write_manifest_roundtrip(self, tmp_path):
+        out = write_manifest(tmp_path / "m.json")
+        schema, diags = collect_schema()
+        assert diags == []
+        assert check_manifest(schema, out) == []
+
+
+def mutated_scan(tmp_path, relpath, pattern, replacement):
+    """Copy the package, regex-rewrite one file, rescan."""
+    import shutil
+    target_root = tmp_path / "repro"
+    shutil.copytree(PACKAGE_ROOT, target_root)
+    target = target_root / relpath
+    text = target.read_text()
+    new = re.sub(pattern, replacement, text)
+    assert new != text, f"mutation did not apply to {relpath}"
+    target.write_text(new)
+    return scan_package(target_root, tmp_path, package_name="repro")
+
+
+WIRING_DELETIONS = [
+    ("harness/executor.py",
+     r'"program": program_fingerprint\(spec\),', "", "F502"),
+    ("harness/executor.py",
+     r'"code": CODE_VERSION,', "", "F502"),
+    ("harness/executor.py",
+     r'"calib": calib or default_calibration\(\),', "", "F502"),
+    ("sim/phasecache.py",
+     r"key = \(desc, flags, smem_carveout_bytes, resident_fraction\)",
+     "key = (desc, flags, smem_carveout_bytes)", "F501"),
+    ("sim/phasecache.py",
+     r"key = \(desc, flags, smem_carveout_bytes, resident_fraction\)",
+     "key = (desc, smem_carveout_bytes, resident_fraction)", "F501"),
+]
+
+
+@pytest.mark.parametrize("relpath,pattern,replacement,rule",
+                         WIRING_DELETIONS,
+                         ids=[f"{r[3]}-{i}" for i, r
+                              in enumerate(WIRING_DELETIONS)])
+def test_deleting_wiring_turns_red(tmp_path, relpath, pattern,
+                                   replacement, rule):
+    modules = mutated_scan(tmp_path, relpath, pattern, replacement)
+    diags = analyze_fingerprints(modules)
+    assert rule in {d.rule for d in diags}, [d.format() for d in diags]
+    assert all(d.severity.value == "error" for d in diags)
+
+
+def test_dropping_fields_call_in_canonical_is_f503(tmp_path):
+    modules = mutated_scan(
+        tmp_path, "harness/executor.py",
+        r"for f in dataclasses\.fields\(obj\)",
+        "for f in []")
+    diags = analyze_fingerprints(modules)
+    assert "F503" in {d.rule for d in diags}, [d.format() for d in diags]
+
+
+# ----------------------------------------------------------------------
+# Synthetic-field injection (hypothesis)
+# ----------------------------------------------------------------------
+_EXISTING = {f.name for f in dataclasses.fields(executor_mod.RunSpec)}
+_identifier = st.from_regex(r"[a-z][a-z0-9_]{0,12}", fullmatch=True).filter(
+    lambda s: s not in _EXISTING and not keyword.iskeyword(s))
+
+
+@settings(max_examples=25, deadline=None)
+@given(name=_identifier,
+       typ=st.sampled_from([int, float, str, bool]))
+def test_injected_runspec_field_trips_f505(name, typ):
+    synthetic = dataclasses.make_dataclass(
+        "RunSpec", [(name, typ, dataclasses.field(default=typ()))],
+        bases=(executor_mod.RunSpec,), frozen=True)
+    # Make it resolve to the same schema key as the real class, as an
+    # in-place edit of executor.py would.
+    synthetic.__module__ = executor_mod.RunSpec.__module__
+    synthetic.__qualname__ = executor_mod.RunSpec.__qualname__
+    original = executor_mod.RunSpec
+    try:
+        executor_mod.RunSpec = synthetic
+        schema, field_diags = collect_schema(DEFAULT_SCHEMA_ROOTS)
+        assert field_diags == []
+        drift = check_manifest(schema, default_manifest_path())
+    finally:
+        executor_mod.RunSpec = original
+    assert [d.rule for d in drift] == ["F505"]
+    assert name in drift[0].message
+    assert "RunSpec" in drift[0].message
+
+
+def test_retyping_a_reachable_field_trips_f505():
+    schema, _ = collect_schema(DEFAULT_SCHEMA_ROOTS)
+    key = f"{executor_mod.RunSpec.__module__}.RunSpec"
+    mutated = {k: dict(v) for k, v in schema.items()}
+    mutated[key]["base_seed"] = "str"
+    drift = check_manifest(mutated, default_manifest_path())
+    assert [d.rule for d in drift] == ["F505"]
+    assert "retyped" in drift[0].message
+
+
+def test_manifest_missing_or_unreadable(tmp_path):
+    schema, _ = collect_schema(DEFAULT_SCHEMA_ROOTS)
+    missing = check_manifest(schema, tmp_path / "absent.json")
+    assert [d.rule for d in missing] == ["F505"]
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    unreadable = check_manifest(schema, bad)
+    assert [d.rule for d in unreadable] == ["F505"]

@@ -1,0 +1,150 @@
+"""Unit tests for the D4xx determinism pass (scoping + propagation).
+
+The corpus (``test_corpus.py``) pins per-rule detection; these tests
+pin the *scoping* machinery: pure-region gating, call-graph
+reachability across modules, D409 origin wiring, and the exemptions
+(sleep, repr, seeded RNGs) that keep the pass quiet on legal code.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.astlint import SourceModule, build_index
+from repro.analysis.purity import analyze_purity
+
+
+def module_from(text: str, module: str, relpath: str = "") -> SourceModule:
+    text = text.strip() + "\n"
+    return SourceModule(path=Path(f"/virtual/{module}.py"),
+                        relpath=relpath or f"{module}.py", module=module,
+                        text=text, tree=ast.parse(text),
+                        lines=text.splitlines())
+
+
+def run(modules, **kwargs):
+    return analyze_purity(modules, build_index(modules), **kwargs)
+
+
+class TestRegionScoping:
+    def test_clock_outside_pure_region_is_silent(self):
+        mod = module_from(
+            "import time\n"
+            "def progress():\n"
+            "    return time.monotonic()\n", "pkg.harness.progress")
+        assert run([mod], pure_roots=(), always_pure_prefixes=()) == []
+
+    def test_same_clock_inside_always_pure_prefix_fires(self):
+        mod = module_from(
+            "import time\n"
+            "def progress():\n"
+            "    return time.monotonic()\n", "pkg.sim.progress")
+        diags = run([mod], pure_roots=(),
+                    always_pure_prefixes=("pkg.sim.",))
+        assert [d.rule for d in diags] == ["D401"]
+        assert diags[0].line == 3
+
+    def test_reachability_pulls_function_into_pure_region(self):
+        mod = module_from(
+            "import os\n"
+            "def helper():\n"
+            "    return os.getenv('X')\n"
+            "def entry():\n"
+            "    return helper()\n", "pkg.entry")
+        quiet = run([mod], pure_roots=(), always_pure_prefixes=())
+        assert quiet == []
+        loud = run([mod], pure_roots=("pkg.entry.entry",),
+                   always_pure_prefixes=())
+        assert sorted(d.rule for d in loud) == ["D405", "D409"]
+
+    def test_mutable_default_fires_everywhere(self):
+        mod = module_from(
+            "def anywhere(x, acc=[]):\n"
+            "    return acc\n", "pkg.util")
+        diags = run([mod], pure_roots=(), always_pure_prefixes=())
+        assert [d.rule for d in diags] == ["D406"]
+
+
+class TestCrossModulePropagation:
+    def make_pair(self):
+        hazard = module_from(
+            "import time\n"
+            "def tainted():\n"
+            "    return time.time()\n", "pkg.helpers",
+            relpath="pkg/helpers.py")
+        root = module_from(
+            "from .helpers import tainted\n"
+            "def simulate(x):\n"
+            "    return tainted() + x\n", "pkg.engine",
+            relpath="pkg/engine.py")
+        return hazard, root
+
+    def test_d409_reported_at_root_with_origin(self):
+        hazard, root = self.make_pair()
+        diags = run([hazard, root], pure_roots=("pkg.engine.simulate",),
+                    always_pure_prefixes=())
+        by_rule = {d.rule: d for d in diags}
+        assert set(by_rule) == {"D401", "D409"}
+        d401, d409 = by_rule["D401"], by_rule["D409"]
+        assert d401.path == "pkg/helpers.py" and d401.line == 3
+        assert d409.path == "pkg/engine.py" and d409.line == 2
+        assert d409.origin == "pkg/helpers.py:3:D401"
+        assert "simulate -> tainted" in d409.message
+
+    def test_root_outside_call_graph_stays_clean(self):
+        hazard, root = self.make_pair()
+        diags = run([hazard, root], pure_roots=("pkg.engine.missing",),
+                    always_pure_prefixes=())
+        assert diags == []
+
+
+class TestExemptions:
+    def test_sleep_seeded_rng_and_repr_are_clean(self):
+        mod = module_from(
+            "import time\n"
+            "import random\n"
+            "import numpy as np\n"
+            "class Thing:\n"
+            "    def __repr__(self):\n"
+            "        return f'<Thing {id(self):#x} {hash(self)}>'\n"
+            "def simulate(seed):\n"
+            "    time.sleep(0)\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    local = random.Random(seed)\n"
+            "    return rng.random() + local.random()\n", "pkg.sim.clean")
+        assert run([mod], pure_roots=(),
+                   always_pure_prefixes=("pkg.sim.",)) == []
+
+    def test_sorted_set_iteration_is_clean(self):
+        mod = module_from(
+            "def stable(names):\n"
+            "    pool = set(names)\n"
+            "    return [n for n in sorted(pool)]\n", "pkg.sim.order")
+        assert run([mod], pure_roots=(),
+                   always_pure_prefixes=("pkg.sim.",)) == []
+
+    def test_d404_needs_pure_region_or_serialization(self):
+        leaky = ("import json\n"
+                 "def dump(names):\n"
+                 "    pool = set(names)\n"
+                 "    return json.dumps(list(pool))\n")
+        outside = module_from("def f(names):\n"
+                              "    return list(set(names))\n", "pkg.free")
+        serializer = module_from(leaky, "pkg.io")
+        assert run([outside], pure_roots=(),
+                   always_pure_prefixes=()) == []
+        diags = run([serializer], pure_roots=(), always_pure_prefixes=())
+        assert [d.rule for d in diags] == ["D404"]
+
+
+class TestSelfMethodEdges:
+    def test_self_call_resolves_within_class(self):
+        mod = module_from(
+            "import time\n"
+            "class Engine:\n"
+            "    def _stamp(self):\n"
+            "        return time.time()\n"
+            "    def simulate(self):\n"
+            "        return self._stamp()\n", "pkg.obj")
+        diags = run([mod], pure_roots=("pkg.obj.Engine.simulate",),
+                    always_pure_prefixes=())
+        assert sorted(d.rule for d in diags) == ["D401", "D409"]

@@ -1,0 +1,90 @@
+"""Unit tests for the SARIF 2.1.0 emitter."""
+
+import json
+
+from repro.analysis.astlint import SOURCE_REGISTRY
+from repro.analysis.diagnostics import (Diagnostic, LintReport, Severity)
+from repro.analysis.rules import DEFAULT_REGISTRY
+from repro.analysis.sarif import to_sarif
+
+
+def source_diag(rule="D401", severity=Severity.ERROR):
+    return Diagnostic(rule=rule, severity=severity, message="msg",
+                      location="pkg.mod.func", path="src/pkg/mod.py",
+                      line=7, fix_hint="do better")
+
+
+def model_diag():
+    return Diagnostic(rule="K102", severity=Severity.WARNING,
+                      message="spill", workload="gemm", mode="uvm",
+                      location="phase[0]/kernel:gemm")
+
+
+def render(report):
+    return json.loads(to_sarif(report,
+                               [DEFAULT_REGISTRY, SOURCE_REGISTRY]))
+
+
+class TestStructure:
+    def test_schema_and_version(self):
+        doc = render(LintReport())
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        assert len(doc["runs"]) == 1
+
+    def test_driver_carries_both_rule_families(self):
+        doc = render(LintReport())
+        ids = {r["id"] for r in
+               doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"K101", "P201", "S301", "D401", "F502", "A001"} <= ids
+
+    def test_rule_metadata(self):
+        doc = render(LintReport())
+        by_id = {r["id"]: r for r in
+                 doc["runs"][0]["tool"]["driver"]["rules"]}
+        d401 = by_id["D401"]
+        assert d401["name"] == "wall-clock-call"
+        assert d401["defaultConfiguration"]["level"] == "error"
+        assert by_id["S303"]["defaultConfiguration"]["level"] == "warning"
+
+
+class TestResults:
+    def test_source_finding_has_physical_location(self):
+        doc = render(LintReport([source_diag()]))
+        result = doc["runs"][0]["results"][0]
+        assert result["ruleId"] == "D401"
+        assert result["level"] == "error"
+        physical = result["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "src/pkg/mod.py"
+        assert physical["region"]["startLine"] == 7
+        assert "do better" in result["message"]["text"]
+
+    def test_model_finding_has_logical_location(self):
+        doc = render(LintReport([model_diag()]))
+        result = doc["runs"][0]["results"][0]
+        assert result["level"] == "warning"
+        logical = result["locations"][0]["logicalLocations"][0]
+        assert logical["fullyQualifiedName"] == \
+            "gemm:uvm/phase[0]/kernel:gemm"
+        assert "physicalLocation" not in result["locations"][0]
+
+    def test_info_maps_to_note(self):
+        info = Diagnostic(rule="P203", severity=Severity.INFO,
+                          message="m", workload="w", mode="m")
+        doc = render(LintReport([info]))
+        assert doc["runs"][0]["results"][0]["level"] == "note"
+
+    def test_suppressed_and_baselined_are_marked(self):
+        report = LintReport()
+        report.suppressed = [source_diag()]
+        report.baselined = [model_diag()]
+        results = render(report)["runs"][0]["results"]
+        kinds = sorted(r["suppressions"][0]["kind"] for r in results)
+        assert kinds == ["external", "inSource"]
+
+    def test_rule_index_consistent(self):
+        doc = render(LintReport([source_diag(), model_diag()]))
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]

@@ -1,0 +1,166 @@
+"""CLI-level tests for ``repro lint``: --static, formats, exit codes.
+
+Exit-code contract (documented in ``repro lint --help``):
+0 clean, 1 active errors, 4 baseline-grandfathered findings only
+(1 with --strict).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXIT_BASELINE, main
+
+HAZARD = "import time\n\ndef leaky():\n    return time.time()\n"
+
+
+@pytest.fixture
+def hazard_pkg(tmp_path):
+    """A throwaway package whose sim/ module carries one D401."""
+    pkg = tmp_path / "repro"
+    (pkg / "sim").mkdir(parents=True)
+    (pkg / "sim" / "bad.py").write_text(HAZARD)
+    return pkg
+
+
+def lint(capsys, *argv):
+    code = main(["lint", *argv])
+    return code, capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_repo_is_static_clean_exit_0(self, capsys):
+        code, out = lint(capsys, "--static")
+        assert code == 0
+        assert "clean" in out
+
+    def test_active_error_exits_1(self, capsys, tmp_path, hazard_pkg):
+        code, out = lint(capsys, "--static", "--path", str(hazard_pkg),
+                         "--baseline", str(tmp_path / "b.json"))
+        assert code == 1
+        assert "D401" in out
+
+    def test_baseline_lifecycle_exits_4_then_strict_1(
+            self, capsys, tmp_path, hazard_pkg):
+        baseline = tmp_path / "b.json"
+        code, out = lint(capsys, "--static", "--path", str(hazard_pkg),
+                         "--baseline", str(baseline), "--write-baseline")
+        assert code == 0
+        assert "baseline written" in out
+        assert json.loads(baseline.read_text())["version"] == 1
+
+        code, out = lint(capsys, "--static", "--path", str(hazard_pkg),
+                         "--baseline", str(baseline))
+        assert code == EXIT_BASELINE == 4
+        assert "baselined" in out
+
+        code, out = lint(capsys, "--static", "--path", str(hazard_pkg),
+                         "--baseline", str(baseline), "--strict")
+        assert code == 1
+
+    def test_editing_baselined_line_reactivates(self, capsys, tmp_path,
+                                                hazard_pkg):
+        baseline = tmp_path / "b.json"
+        lint(capsys, "--static", "--path", str(hazard_pkg),
+             "--baseline", str(baseline), "--write-baseline")
+        target = hazard_pkg / "sim" / "bad.py"
+        target.write_text(target.read_text().replace(
+            "time.time()", "time.time() + 1"))
+        code, _ = lint(capsys, "--static", "--path", str(hazard_pkg),
+                       "--baseline", str(baseline))
+        assert code == 1
+
+    def test_model_lint_unchanged_exit_0(self, capsys):
+        code, _ = lint(capsys, "vector_seq", "--size", "small")
+        assert code == 0
+
+
+class TestFormats:
+    def test_json_on_static(self, capsys, tmp_path, hazard_pkg):
+        code, out = lint(capsys, "--static", "--path", str(hazard_pkg),
+                         "--baseline", str(tmp_path / "b.json"),
+                         "--format", "json")
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["version"] == 1
+        assert any(d["rule"] == "D401" and "path" in d
+                   for d in payload["diagnostics"])
+
+    def test_json_reports_baselined_separately(self, capsys, tmp_path,
+                                               hazard_pkg):
+        baseline = tmp_path / "b.json"
+        lint(capsys, "--static", "--path", str(hazard_pkg),
+             "--baseline", str(baseline), "--write-baseline")
+        code, out = lint(capsys, "--static", "--path", str(hazard_pkg),
+                         "--baseline", str(baseline), "--format", "json")
+        assert code == EXIT_BASELINE
+        payload = json.loads(out)
+        assert payload["counts"]["error"] == 0
+        assert [d["rule"] for d in payload["baselined"]] == ["D401"]
+
+    def test_sarif_on_static(self, capsys, tmp_path, hazard_pkg):
+        _, out = lint(capsys, "--static", "--path", str(hazard_pkg),
+                      "--baseline", str(tmp_path / "b.json"),
+                      "--format", "sarif")
+        doc = json.loads(out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "D401"
+
+    def test_sarif_on_model_lint(self, capsys):
+        code, out = lint(capsys, "vector_seq", "--size", "small",
+                         "--format", "sarif")
+        assert code == 0
+        doc = json.loads(out)
+        ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"K101", "D401"} <= ids
+
+    def test_json_on_model_lint_keeps_contract(self, capsys):
+        code, out = lint(capsys, "vector_seq", "--size", "small",
+                         "--format", "json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["version"] == 1
+        assert set(payload["counts"]) == {"error", "warning", "info"}
+
+
+class TestCatalogAndManifest:
+    def test_rules_prints_both_families(self, capsys):
+        code, out = lint(capsys, "--rules")
+        assert code == 0
+        for rule_id in ("K101", "P201", "S301", "D401", "D409",
+                        "F501", "F505", "A001"):
+            assert rule_id in out
+
+    def test_update_manifest_is_idempotent_on_clean_repo(self, capsys):
+        from repro.analysis.fingerprints import default_manifest_path
+        before = default_manifest_path().read_text()
+        code, _ = lint(capsys, "--static", "--update-manifest")
+        assert code == 0
+        assert default_manifest_path().read_text() == before
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        assert "4" in out and "baseline" in out
+
+
+class TestBaselineErrors:
+    def test_unreadable_baseline_version_fails_loudly(self, capsys,
+                                                      tmp_path,
+                                                      hazard_pkg):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(SystemExit):
+            main(["lint", "--static", "--path", str(hazard_pkg),
+                  "--baseline", str(bad)])
+
+
+def test_default_baseline_file_is_checked_in():
+    root = Path(__file__).resolve().parents[2]
+    baseline = root / ".repro-lint-baseline.json"
+    assert baseline.exists()
+    payload = json.loads(baseline.read_text())
+    assert payload == {"version": 1, "entries": []}

@@ -1,0 +1,209 @@
+"""Unit tests for pragmas, the origin cascade, and the baseline."""
+
+import ast
+import json
+from pathlib import Path
+
+from repro.analysis.astlint import SOURCE_REGISTRY, SourceModule
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.rules import DEFAULT_REGISTRY
+from repro.analysis.suppress import (Baseline, Pragma, Suppressions,
+                                     baseline_entry, scan_pragmas,
+                                     workload_source)
+
+
+def module_from(text: str, module: str = "pkg.mod",
+                relpath: str = "pkg/mod.py") -> SourceModule:
+    text = text.strip() + "\n"
+    return SourceModule(path=Path(f"/virtual/{relpath}"), relpath=relpath,
+                        module=module, text=text, tree=ast.parse(text),
+                        lines=text.splitlines())
+
+
+def diag(rule="D401", path="pkg/mod.py", line=1, **kwargs):
+    return Diagnostic(rule=rule, severity=Severity.ERROR, message="m",
+                      path=path, line=line, **kwargs)
+
+
+class TestPragmaParsing:
+    def test_trailing_pragma_targets_its_own_line(self):
+        pragmas = scan_pragmas(
+            Path("x.py"), "x.py",
+            ["import os",
+             "v = os.getenv('A')  # repro: allow[D405] -- worker env"])
+        assert len(pragmas) == 1
+        assert pragmas[0].lineno == 2
+        assert pragmas[0].rules == ("D405",)
+        assert pragmas[0].justification == "worker env"
+
+    def test_comment_block_pragma_targets_next_code_line(self):
+        pragmas = scan_pragmas(
+            Path("x.py"), "x.py",
+            ["# repro: allow[D401] -- a justification that",
+             "# wraps across two comment lines",
+             "value = 1"])
+        assert pragmas[0].lineno == 3
+
+    def test_docstring_mention_is_not_a_pragma(self):
+        pragmas = scan_pragmas(
+            Path("x.py"), "x.py",
+            ['"""Write `# repro: allow[RULE] -- why` to suppress."""',
+             "value = 1"])
+        assert pragmas == []
+
+    def test_multiple_rules_one_pragma(self):
+        pragmas = scan_pragmas(
+            Path("x.py"), "x.py",
+            ["x = 1  # repro: allow[D401, D403] -- both intended"])
+        assert pragmas[0].rules == ("D401", "D403")
+
+    def test_problems(self):
+        bad = Pragma(path=Path("x.py"), relpath="x.py", lineno=1,
+                     kind="allow", rules=("D999",), justification="")
+        assert len(bad.problems()) == 2
+        good = Pragma(path=Path("x.py"), relpath="x.py", lineno=1,
+                      kind="allow", rules=("D401", "K101"),
+                      justification="spans both families")
+        assert good.problems() == []
+
+
+class TestFiltering:
+    def test_line_pragma_suppresses_and_marks_used(self):
+        mod = module_from("import os\n"
+                          "v = os.getenv('A')  # repro: allow[D405] -- ok")
+        sup = Suppressions.from_modules([mod])
+        active, suppressed, diags = sup.filter(
+            [diag("D405", line=2)], SOURCE_REGISTRY)
+        assert active == [] and len(suppressed) == 1
+        assert diags == []  # used pragma: no A002
+
+    def test_file_pragma_covers_whole_file(self):
+        mod = module_from("# repro: allow-file[D401] -- timing module\n"
+                          "import time\n"
+                          "a = time.time()\n"
+                          "b = time.time()")
+        sup = Suppressions.from_modules([mod])
+        active, suppressed, _ = sup.filter(
+            [diag("D401", line=3), diag("D401", line=4)], SOURCE_REGISTRY)
+        assert active == [] and len(suppressed) == 2
+
+    def test_origin_cascade_suppresses_propagation(self):
+        mod = module_from("import time\n"
+                          "t = time.time()  # repro: allow[D401] -- why")
+        sup = Suppressions.from_modules([mod])
+        propagated = diag("D409", path="other/root.py", line=10,
+                          origin="pkg/mod.py:2:D401")
+        active, suppressed, _ = sup.filter(
+            [diag("D401", line=2), propagated], SOURCE_REGISTRY)
+        assert active == []
+        assert {d.rule for d in suppressed} == {"D401", "D409"}
+
+    def test_invalid_pragma_suppresses_nothing_and_reports_a001(self):
+        mod = module_from("import time\n"
+                          "t = time.time()  # repro: allow[D401]")
+        sup = Suppressions.from_modules([mod])
+        active, suppressed, diags = sup.filter(
+            [diag("D401", line=2)], SOURCE_REGISTRY)
+        assert len(active) == 1 and suppressed == []
+        assert [d.rule for d in diags] == ["A001"]
+
+    def test_stale_pragma_reports_a002(self):
+        mod = module_from("x = 1  # repro: allow[D401] -- stale")
+        _, _, diags = Suppressions.from_modules([mod]).filter(
+            [], SOURCE_REGISTRY)
+        assert [d.rule for d in diags] == ["A002"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_a002_scoped_to_the_running_family(self):
+        # A model-rule pragma is not stale just because the *static*
+        # run produced no model findings.
+        mod = module_from("# repro: allow-file[K102] -- known spill")
+        _, _, diags = Suppressions.from_modules([mod]).filter(
+            [], SOURCE_REGISTRY)
+        assert diags == []
+        _, _, diags = Suppressions.from_modules([mod]).filter(
+            [], DEFAULT_REGISTRY)
+        assert [d.rule for d in diags] == ["A002"]
+
+
+class TestWorkloadMapping:
+    def test_workload_source_resolves(self):
+        src = workload_source("vector_seq")
+        assert src is not None and src.name.endswith(".py")
+        assert workload_source("no_such_workload") is None
+
+    def test_model_finding_suppressed_by_file_pragma(self):
+        src = workload_source("vector_seq")
+        text = src.read_text()
+        mod = SourceModule(path=src, relpath="whatever.py",
+                           module="pkg.w", text=text,
+                           tree=ast.parse(text),
+                           lines=["# repro: allow-file[K102] -- probe"])
+        sup = Suppressions.from_modules([mod])
+        model = Diagnostic(rule="K102", severity=Severity.WARNING,
+                           message="m", workload="vector_seq",
+                           mode="explicit_sync")
+        active, suppressed, _ = sup.filter([model], DEFAULT_REGISTRY)
+        assert active == [] and len(suppressed) == 1
+
+
+class TestBaseline:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert baseline.entries == []
+        assert not baseline.matches(diag())
+
+    def test_version_mismatch_raises(self, tmp_path):
+        target = tmp_path / "b.json"
+        target.write_text('{"version": 99, "entries": []}')
+        try:
+            Baseline.load(target)
+        except ValueError as error:
+            assert "version" in str(error)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_content_hash_pins_finding_to_its_line(self, tmp_path):
+        src = tmp_path / "pkg"
+        src.mkdir()
+        (src / "mod.py").write_text("import time\nt = time.time()\n")
+        finding = diag("D401", path="pkg/mod.py", line=2)
+        baseline = Baseline.from_findings([finding], tmp_path)
+        out = tmp_path / "baseline.json"
+        baseline.save(out)
+
+        reloaded = Baseline.load(out, project_root=tmp_path)
+        assert reloaded.matches(finding)
+        # editing the flagged line un-grandfathers the finding
+        (src / "mod.py").write_text("import time\nt = time.time() + 1\n")
+        fresh = Baseline.load(out, project_root=tmp_path)
+        assert not fresh.matches(finding)
+
+    def test_model_findings_match_by_context(self, tmp_path):
+        model = Diagnostic(rule="K102", severity=Severity.WARNING,
+                           message="m", workload="gemm", mode="uvm",
+                           location="phase[0]")
+        baseline = Baseline.from_findings([model], tmp_path)
+        assert baseline.matches(model)
+        other = Diagnostic(rule="K102", severity=Severity.WARNING,
+                           message="m", workload="gemm", mode="uvm",
+                           location="phase[1]")
+        active, grandfathered = baseline.filter([model, other])
+        assert grandfathered == [model] and active == [other]
+
+    def test_entry_shapes(self):
+        static = baseline_entry(diag(), "some line")
+        assert set(static) == {"rule", "path", "content"}
+        model = baseline_entry(Diagnostic(
+            rule="K101", severity=Severity.ERROR, message="m",
+            workload="w", mode="m"))
+        assert set(model) == {"rule", "workload", "mode", "location"}
+
+    def test_save_is_deterministic(self, tmp_path):
+        findings = [diag("D401"), diag("D403", line=2)]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        Baseline.from_findings(findings, tmp_path).save(a)
+        Baseline.from_findings(list(reversed(findings)),
+                               tmp_path).save(b)
+        assert a.read_text() == b.read_text()
+        assert json.loads(a.read_text())["version"] == 1

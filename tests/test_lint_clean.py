@@ -54,6 +54,38 @@ class TestRegistryClean:
         assert payload["contexts"] > 105  # multiple size classes
 
 
+class TestStaticClean:
+    """The D4xx/F5xx analyzer finds nothing unsuppressed in the repo.
+
+    This is the acceptance gate for `repro lint --static` in CI: new
+    wall-clock reads, unseeded RNG, or un-fingerprinted cache inputs
+    anywhere under the pure roots fail this test before they can
+    poison the result cache or the phase memo.
+    """
+
+    def test_repo_has_no_active_static_findings(self):
+        from repro.analysis.astlint import run_static_analysis
+        report = run_static_analysis()
+        offenders = [d.format() for d in report.diagnostics]
+        assert not offenders, "\n".join(offenders)
+
+    def test_every_inline_suppression_is_used_and_justified(self):
+        """Suppressed findings exist (the faults.py env-channel) but
+        every pragma must be consumed: A001/A002 are findings too and
+        would land in report.diagnostics above; here we pin the known
+        suppression count so silent growth is visible in review."""
+        from repro.analysis.astlint import run_static_analysis
+        report = run_static_analysis()
+        rules = sorted(d.rule for d in report.suppressed)
+        assert rules == ["D405", "D409"]  # faults.py plan channel
+
+    def test_cli_static_gate_exit_zero(self, capsys):
+        """`repro lint --static --strict` - the exact CI invocation."""
+        code = main(["lint", "--static", "--strict"])
+        capsys.readouterr()
+        assert code == 0
+
+
 class TestRuffClean:
     @pytest.mark.skipif(
         shutil.which("ruff") is None
