@@ -14,6 +14,8 @@ appendix's ``run_*`` scripts, see :mod:`repro.harness.artifact`):
 * ``advise``   - configuration recommendation for a workload
 * ``interjob`` - the Sec. 6 inter-job pipeline estimate
 * ``lint``     - statically validate workload programs (exit 1 on errors)
+* ``bench``    - engine perf-trajectory snapshots (``BENCH_*.json``)
+  with a bootstrap-CI regression gate (``--check``)
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import List, Optional
 
 from .core.advisor import recommend_mode
 from .core.configs import ALL_MODES, TransferMode
+from .core.execution import ENGINES
 from .core.experiment import Experiment
 from .core.pipeline_model import interjob_speedup
 from .core.roofline import render_roofline, suite_roofline
@@ -85,12 +88,11 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                              "permanent cell failure (exit 1) instead of "
                              "rendering gaps (exit 3)")
     parser.add_argument("--engine", default="reference",
-                        choices=("reference", "fast"),
-                        help="simulation engine: 'reference' replays every "
-                             "event; 'fast' coalesces uncontended event "
-                             "trains and memoizes kernel phases "
-                             "(bit-identical results, see "
-                             "docs/PERFORMANCE.md)")
+                        choices=tuple(ENGINES),
+                        help="simulation engine (bit-identical results, "
+                             "see docs/PERFORMANCE.md): "
+                             + "; ".join(f"'{name}' {spec.summary}"
+                                         for name, spec in ENGINES.items()))
 
 
 def _progress_printer():
@@ -466,6 +468,34 @@ def build_parser() -> argparse.ArgumentParser:
     artifact.add_argument("-i", "--iterations", type=int, default=10)
     artifact.add_argument("--seed", type=int, default=1234)
     artifact.add_argument("--profiling", action="store_true")
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure the engine perf trajectory (BENCH_*.json "
+             "snapshots; --check gates statistically against the "
+             "latest committed baseline)")
+    bench.add_argument("--check", action="store_true",
+                       help="compare against the newest snapshot in "
+                            "--results-dir with bootstrap CIs; exit 1 "
+                            "when a leg regresses (non-overlapping CI "
+                            "and slower)")
+    bench.add_argument("--no-save", action="store_true",
+                       help="measure (and --check) without writing a "
+                            "new snapshot")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timed cold/warm repeats per engine "
+                            "(default: 5)")
+    bench.add_argument("--iterations", type=int, default=None,
+                       help="grid iterations per (threads, mode) cell "
+                            "(default: 10)")
+    bench.add_argument("--seed", type=int, default=1234)
+    bench.add_argument("--engines", action="append",
+                       choices=tuple(ENGINES), default=None,
+                       help="engines to measure (repeatable; default: "
+                            "fast and vector)")
+    bench.add_argument("--results-dir", default=None, metavar="DIR",
+                       help="trajectory directory (default: "
+                            "benchmarks/results)")
     return parser
 
 
@@ -575,6 +605,46 @@ def _cmd_lint(args):
     return _render_lint(args, report), code
 
 
+def _cmd_bench(args):
+    from .harness import regression
+    repeats = (args.repeats if args.repeats is not None
+               else regression.DEFAULT_BENCH_REPEATS)
+    iterations = (args.iterations if args.iterations is not None
+                  else regression.DEFAULT_BENCH_ITERATIONS)
+    if repeats < 1:
+        raise SystemExit(f"--repeats must be >= 1, got {repeats}")
+    if iterations < 1:
+        raise SystemExit(f"--iterations must be >= 1, got {iterations}")
+    engines = tuple(dict.fromkeys(args.engines)) if args.engines \
+        else regression.DEFAULT_BENCH_ENGINES
+    results_dir = (Path(args.results_dir) if args.results_dir
+                   else regression.DEFAULT_RESULTS_DIR)
+    baseline_path = regression.latest_bench(results_dir) if args.check \
+        else None
+
+    payload = regression.collect_bench(engines=engines, repeats=repeats,
+                                       iterations=iterations,
+                                       base_seed=args.seed)
+    pieces = [regression.render_bench(payload)]
+    code = 0
+    if args.check:
+        if baseline_path is None:
+            pieces.append(f"no baseline snapshot in {results_dir}; "
+                          "nothing to gate against (run `repro bench` "
+                          "once and commit the snapshot)")
+        else:
+            report = regression.compare_bench(
+                payload, regression.load_bench(baseline_path))
+            pieces.append(f"baseline: {baseline_path}")
+            pieces.append(report.render())
+            if not report.passed:
+                code = 1
+    if not args.no_save:
+        saved = regression.save_bench(payload, results_dir)
+        pieces.append(f"snapshot written: {saved}")
+    return "\n".join(pieces), code
+
+
 def _cmd_artifact(args) -> str:
     from .harness.artifact import ARTIFACT_SCRIPTS, run_micro_all
     script = ARTIFACT_SCRIPTS[args.script]
@@ -590,6 +660,7 @@ def _cmd_artifact(args) -> str:
 
 COMMANDS = {
     "artifact": _cmd_artifact,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
     "sizesearch": _cmd_sizesearch,
     "roofline": _cmd_roofline,

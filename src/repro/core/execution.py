@@ -17,7 +17,8 @@ sequence of runtime operations:
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,22 +37,82 @@ SHARED_DATA_PREFETCH_PENALTY = 0.0
 # Fraction of HBM usable for managed data (driver reserves the rest).
 UVM_USABLE_HBM_FRACTION = 0.95
 
-#: Recognized simulation engines: ``reference`` is the historical
-#: event-by-event heap engine; ``fast`` is the bit-identical
-#: train-coalescing engine (:class:`repro.sim.fastpath.FastEnvironment`).
-ENGINES = ("reference", "fast")
+@dataclass(frozen=True)
+class EngineSpec:
+    """One entry in the :data:`ENGINES` registry.
+
+    ``uses_phase_memo`` engines bind the process-local kernel-phase
+    memo (:func:`repro.sim.phasecache.phase_memo_for`); ``analytic``
+    engines replay programs without the event heap
+    (:class:`repro.sim.vecgrid.AnalyticRuntime`) and reroute to
+    ``fallback`` when the analytic contention classifier bails.
+    """
+
+    name: str
+    summary: str
+    uses_phase_memo: bool = False
+    analytic: bool = False
+    fallback: Optional[str] = None
+
+
+#: The single source of truth for engine selection — consumed by
+#: ``cli.py`` (``--engine`` choices), ``SweepExecutor`` and
+#: :func:`execute_program`.  All engines are bit-identical; they differ
+#: only in how much event machinery they can prove unobservable.
+ENGINES: Dict[str, EngineSpec] = {
+    "reference": EngineSpec(
+        "reference", "event-by-event heap engine (the historical baseline)"),
+    "fast": EngineSpec(
+        "fast", "train-coalescing event engine + kernel-phase memo",
+        uses_phase_memo=True),
+    "vector": EngineSpec(
+        "vector", "analytic array-program engine; grid-batched phases, "
+        "falls back to the event engine on cross-stream contention",
+        uses_phase_memo=True, analytic=True, fallback="fast"),
+}
+
+
+def engine_spec(engine: str) -> EngineSpec:
+    """Resolve an engine name, raising the canonical error when unknown."""
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of "
+            f"{', '.join(ENGINES)}") from None
 
 
 def make_environment(engine: str):
-    """Build the simulation environment for an engine name."""
+    """Build the simulation environment for an *event* engine name."""
     from ..sim.engine import Environment
-    if engine == "reference":
-        return Environment()
+    spec = engine_spec(engine)
+    if spec.analytic:
+        raise ValueError(
+            f"engine {engine!r} is analytic and has no event environment; "
+            "build its runtime via make_runtime()")
     if engine == "fast":
         from ..sim.fastpath import FastEnvironment
         return FastEnvironment()
-    raise ValueError(
-        f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}")
+    return Environment()
+
+
+def make_runtime(engine: str, system: SystemSpec, calib: Calibration,
+                 rng: np.random.Generator, *,
+                 footprint_bytes: int = 0,
+                 smem_carveout_bytes: Optional[int] = None,
+                 kernel_sim=None) -> CudaRuntime:
+    """Build the runtime for an engine name (event or analytic)."""
+    if engine_spec(engine).analytic:
+        from ..sim.vecgrid import AnalyticRuntime
+        return AnalyticRuntime(system, calib, rng,
+                               footprint_bytes=footprint_bytes,
+                               smem_carveout_bytes=smem_carveout_bytes,
+                               kernel_sim=kernel_sim)
+    return CudaRuntime(system, calib, rng,
+                       footprint_bytes=footprint_bytes,
+                       smem_carveout_bytes=smem_carveout_bytes,
+                       env=make_environment(engine),
+                       kernel_sim=kernel_sim)
 
 
 def managed_capacity_ratio(program: Program, rt: CudaRuntime) -> float:
@@ -63,8 +124,58 @@ def managed_capacity_ratio(program: Program, rt: CudaRuntime) -> float:
     Explicit allocation cannot oversubscribe at all; managed memory
     degrades gracefully via this cap on residency.
     """
-    usable = rt.system.gpu.hbm_bytes * UVM_USABLE_HBM_FRACTION
+    return capacity_ratio_for(program, rt.system)
+
+
+def capacity_ratio_for(program: Program, system: SystemSpec) -> float:
+    """:func:`managed_capacity_ratio` without a runtime in hand."""
+    usable = system.gpu.hbm_bytes * UVM_USABLE_HBM_FRACTION
     return min(1.0, usable / max(program.footprint_bytes, 1))
+
+
+def iter_phase_cells(program: Program, mode: TransferMode,
+                     smem_carveout_bytes: Optional[int],
+                     system: SystemSpec) -> List[Tuple]:
+    """Enumerate the kernel-phase memo cells one run will request.
+
+    Mirrors the residency logic of :func:`_explicit_process` /
+    :func:`_managed_process` (first-touch, shared-data prefetch
+    displacement, oversubscription capping, cold-vs-warm repeats) so
+    the vector engine can batch-evaluate a whole sweep's phases before
+    any spec runs (:func:`repro.sim.vecgrid.prewarm_phase_memo`).
+    Drifting from the process functions is *safe* — a missed cell is a
+    scalar memo miss, never a wrong result — but wastes the batching,
+    so keep the two in lockstep.
+    """
+    flags = mode.kernel_flags()
+    carveout = (smem_carveout_bytes if smem_carveout_bytes is not None
+                else system.gpu.default_shared_mem_bytes)
+    cells: List[Tuple] = []
+    if not mode.managed:
+        for phase in program.phases:
+            cells.append((phase.descriptor, flags, carveout, 1.0))
+        return cells
+    capacity_ratio = capacity_ratio_for(program, system)
+    first_touch = True
+    previous_shares_data = False
+    for phase in program.phases:
+        desc = phase.descriptor
+        if mode.prefetch:
+            resident_first = 1.0
+            if previous_shares_data:
+                resident_first = SHARED_DATA_PREFETCH_PENALTY
+            resident_rest = resident_first if phase.fresh_data else 1.0
+        else:
+            resident_first = 1.0 if not first_touch else 0.0
+            resident_rest = 0.0 if phase.fresh_data else 1.0
+        resident_first = min(resident_first, capacity_ratio)
+        resident_rest = min(resident_rest, capacity_ratio)
+        cells.append((desc, flags, carveout, resident_first))
+        if phase.count > 1 and resident_rest != resident_first:
+            cells.append((desc, flags, carveout, resident_rest))
+        first_touch = False
+        previous_shares_data = desc.shares_data_with_next
+    return cells
 
 
 def _explicit_process(rt: CudaRuntime, program: Program, mode: TransferMode):
@@ -178,17 +289,107 @@ def execute_program(program: Program, mode: TransferMode, *,
     kernel_sim = None
     if phase_memo is not None:
         kernel_sim = phase_memo.simulate
-    rt = CudaRuntime(system, calib, rng,
-                     footprint_bytes=program.footprint_bytes,
-                     smem_carveout_bytes=smem_carveout_bytes,
-                     env=make_environment(engine),
-                     kernel_sim=kernel_sim)
+    spec = engine_spec(engine)
+    if spec.analytic:
+        from ..sim.vecgrid import vec_stats
+        # The runtime constructor itself draws (host placement), so
+        # snapshot the RNG *before* building it: a contention fallback
+        # must replay the event engine on the exact same stream.
+        state = rng.bit_generator.state
+        rt = _build_and_run(engine, program, mode, system, calib, rng,
+                            smem_carveout_bytes, kernel_sim)
+        if rt is not None:
+            vec_stats().analytic_runs += 1
+            return _assemble_result(rt, program, mode, size_label, seed)
+        vec_stats().fallbacks += 1
+        rng.bit_generator.state = state
+        engine = spec.fallback or "reference"
+    rt = _build_and_run(engine, program, mode, system, calib, rng,
+                        smem_carveout_bytes, kernel_sim)
+    return _assemble_result(rt, program, mode, size_label, seed)
+
+
+def compile_program(program: Program, mode: TransferMode,
+                    system: SystemSpec, calib: Calibration,
+                    smem_carveout_bytes: Optional[int] = None,
+                    kernel_sim=None):
+    """Lower one (program, mode, carveout) structure to a compiled op
+    list for whole-grid replay (:mod:`repro.sim.vecgrid`).
+
+    The *real* process generators drive a recording runtime, so the
+    compiled ops cannot drift from execution semantics; only the
+    seed-dependent parts (host placement, jitter, measurement noise)
+    are deferred to replay time.
+    """
+    from ..sim.vecgrid import CompilerRuntime
+    rt = CompilerRuntime(system, calib,
+                         smem_carveout_bytes=smem_carveout_bytes,
+                         kernel_sim=kernel_sim)
     if mode.managed:
         process = _managed_process(rt, program, mode)
     else:
         process = _explicit_process(rt, program, mode)
     rt.run(process)
+    return rt.finish(program)
 
+
+def replay_result(compiled, mode: TransferMode, rng: np.random.Generator,
+                  system: SystemSpec, calib: Calibration,
+                  size_label: str, seed: int) -> RunResult:
+    """One spec's :class:`RunResult` from a compiled program.
+
+    Bit-identical to :func:`execute_program` on any engine for the same
+    seed stream; raises :class:`repro.sim.vecgrid.ContentionDetected`
+    when the replay meets genuine contention (callers fall back to the
+    per-spec path, which re-routes to the event engine).
+    """
+    from ..sim.vecgrid import replay_compiled
+    alloc_ns, memcpy_ns, kernel_ns, wall_ns, gpu_busy = replay_compiled(
+        compiled, rng, system, calib)
+    return RunResult(
+        workload=compiled.name,
+        mode=mode,
+        size=size_label,
+        seed=seed,
+        alloc_ns=alloc_ns,
+        memcpy_ns=memcpy_ns,
+        kernel_ns=kernel_ns,
+        wall_ns=wall_ns,
+        counters=compiled.counters,
+        occupancy=compiled.occupancy,
+        gpu_busy_fraction=gpu_busy,
+    )
+
+
+def _build_and_run(engine: str, program: Program, mode: TransferMode,
+                   system: SystemSpec, calib: Calibration,
+                   rng: np.random.Generator,
+                   smem_carveout_bytes: Optional[int],
+                   kernel_sim) -> Optional[CudaRuntime]:
+    """Run one program on one engine; ``None`` when the analytic
+    classifier routes the run back to the event engine."""
+    rt = make_runtime(engine, system, calib, rng,
+                      footprint_bytes=program.footprint_bytes,
+                      smem_carveout_bytes=smem_carveout_bytes,
+                      kernel_sim=kernel_sim)
+    if mode.managed:
+        process = _managed_process(rt, program, mode)
+    else:
+        process = _explicit_process(rt, program, mode)
+    if engine_spec(engine).analytic:
+        from ..sim.vecgrid import ContentionDetected
+        try:
+            rt.run(process)
+        except ContentionDetected:
+            return None
+        return rt
+    rt.run(process)
+    return rt
+
+
+def _assemble_result(rt: CudaRuntime, program: Program, mode: TransferMode,
+                     size_label: str, seed: int) -> RunResult:
+    """Fold a finished runtime's timeline into a :class:`RunResult`."""
     timeline = rt.timeline
     wall = timeline.wall_ns()
     gpu_busy = timeline.busy_time("gpu_kernel") / wall if wall > 0 else 0.0

@@ -443,6 +443,33 @@ class ResultCache:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
+# SeedSequence construction (entropy hashing over the five coordinate
+# words) costs ~20us — more than an entire vector-engine replay — yet
+# is a pure function of the spec's seed coordinates.  Memoize the
+# *SeedSequence objects*: building a fresh ``Generator(PCG64(seq))``
+# from a reused sequence is deterministic (generate_state is pure) and
+# measurably cheaper than restoring a saved bit-generator state.
+_SEED_SEQ_MEMO: Dict[Tuple, np.random.SeedSequence] = {}
+_SEED_SEQ_MEMO_CAP = 65536
+
+
+def rng_for_spec(spec: RunSpec) -> np.random.Generator:
+    """A fresh, deterministic :class:`~numpy.random.Generator` for a spec.
+
+    Bit-identical stream to ``np.random.default_rng(spec.seed_sequence())``
+    on every call — the memo only skips re-deriving the entropy pool.
+    """
+    key = (spec.base_seed, spec.workload, spec.seed_salt, spec.size,
+           spec.mode.value, spec.iteration)
+    seq = _SEED_SEQ_MEMO.get(key)
+    if seq is None:
+        if len(_SEED_SEQ_MEMO) >= _SEED_SEQ_MEMO_CAP:
+            _SEED_SEQ_MEMO.clear()
+        seq = spec.seed_sequence()
+        _SEED_SEQ_MEMO[key] = seq
+    return np.random.default_rng(seq)
+
+
 def execute_spec(spec: RunSpec,
                  system: Optional[SystemSpec] = None,
                  calib: Optional[Calibration] = None,
@@ -455,19 +482,21 @@ def execute_spec(spec: RunSpec,
     itself is seeded purely from the spec, so retried attempts produce
     byte-identical results.
 
-    ``engine`` selects the simulation engine.  ``fast`` additionally
-    enables the process-local kernel-phase memo
-    (:func:`repro.sim.phasecache.phase_memo_for`) — both legs of the
-    fast path, neither of which can change results (the differential
-    battery in ``tests/harness/test_differential.py`` pins this).
+    ``engine`` selects the simulation engine (:data:`ENGINES`).
+    Engines flagged ``uses_phase_memo`` additionally bind the
+    process-local kernel-phase memo
+    (:func:`repro.sim.phasecache.phase_memo_for`) — neither leg can
+    change results (the differential battery in
+    ``tests/harness/test_differential.py`` pins this).
     """
     faults.maybe_fire(spec, attempt)
     program = program_for(spec)
-    rng = np.random.default_rng(spec.seed_sequence())
+    rng = rng_for_spec(spec)
     system = system or default_system()
     calib = calib or default_calibration()
     phase_memo = None
-    if engine == "fast":
+    info = ENGINES.get(engine)
+    if info is not None and info.uses_phase_memo:
         from ..sim.phasecache import phase_memo_for
         phase_memo = phase_memo_for(system, calib)
     return execute_program(
@@ -514,6 +543,8 @@ class SweepStats:
     engine: str = "reference"
     phase_hits: int = 0
     phase_misses: int = 0
+    grid_groups: int = 0
+    grid_specs: int = 0
 
     @property
     def phase_lookups(self) -> int:
@@ -533,6 +564,9 @@ class SweepStats:
             parts.append(
                 f"phase memo {self.phase_hits}/{self.phase_lookups} hits "
                 f"({self.phase_hit_rate:.0%})")
+        if self.grid_specs:
+            parts.append(f"{self.grid_specs} grid-replayed "
+                         f"({self.grid_groups} compiled groups)")
         if self.executed and self.jobs > 1:
             parts.append(f"{self.jobs} {self.backend} workers")
         for label, count in (("failed", self.failed),
@@ -586,7 +620,8 @@ class SweepExecutor:
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}")
         if engine not in ENGINES:
             raise ValueError(
-                f"unknown engine {engine!r}; expected one of {ENGINES}")
+                f"unknown engine {engine!r}; expected one of "
+                f"{', '.join(ENGINES)}")
         if jobs is None:
             jobs = default_jobs()
         else:
@@ -616,6 +651,10 @@ class SweepExecutor:
         self._crashes = 0
         self._phase_memo = None
         self._memo_before = (0, 0)
+        # Grid-precomputed results for the sweep in flight (vector
+        # engine, in-process backends): spec -> RunResult.
+        self._grid: Dict[RunSpec, RunResult] = {}
+        self._grid_groups = 0
 
     # ------------------------------------------------------------------
     def key_for(self, spec: RunSpec) -> str:
@@ -694,7 +733,9 @@ class SweepExecutor:
         self.prewarm(specs)
         self._phase_memo = None
         self._memo_before = (0, 0)
-        if self.engine == "fast":
+        self._grid = {}
+        self._grid_groups = 0
+        if ENGINES[self.engine].uses_phase_memo:
             # Bind the coordinator-side memo so serial and thread
             # sweeps report hit/miss deltas in the summary (process
             # workers keep private memos the coordinator cannot see).
@@ -743,6 +784,16 @@ class SweepExecutor:
             pending = [(index, spec, keys[index])
                        for index, spec in enumerate(specs)
                        if outcomes[index] is None]
+            if (pending and ENGINES[self.engine].analytic
+                    and (self.jobs == 1 or len(pending) <= 1
+                         or self.backend == "thread")):
+                # Grid-level batching *before* spec fan-out: compile
+                # each distinct program structure once, batch-warm the
+                # phase memo across every group in one array program,
+                # and replay all cache-miss specs analytically.  Only
+                # in-process backends can serve from the coordinator's
+                # dict; process workers keep the per-spec path.
+                self._precompute_grid([spec for _, spec, _ in pending])
             if pending:
                 if self.jobs == 1 or len(pending) <= 1:
                     self._run_serial(pending, outcomes, total, strict)
@@ -844,7 +895,8 @@ class SweepExecutor:
             failed=counts["failed"], timed_out=counts["timed_out"],
             skipped=counts["skipped"], retries=self._retries,
             crashes=self._crashes, engine=self.engine,
-            phase_hits=phase_hits, phase_misses=phase_misses)
+            phase_hits=phase_hits, phase_misses=phase_misses,
+            grid_groups=self._grid_groups, grid_specs=len(self._grid))
         self.last_outcome = sweep
         return sweep
 
@@ -870,6 +922,84 @@ class SweepExecutor:
             return None
 
     # ------------------------------------------------------------------
+    # Whole-grid precompute (vector engine, in-process backends)
+    # ------------------------------------------------------------------
+    def _precompute_grid(self, specs: Sequence[RunSpec]) -> None:
+        """Compile each program structure once and replay every spec.
+
+        Groups specs by ``(coords, mode, carveout)`` — the axes that
+        determine program *structure* — batch-evaluates every group's
+        kernel-phase cells in one array program, compiles each group by
+        driving the real process generators through the recording
+        runtime, then replays per spec (seed-dependent work only) into
+        ``self._grid``.  Anything that cannot be precomputed — a
+        contention bail, a compile error, an unsupported structure —
+        is simply *absent* from the dict and flows through the normal
+        per-spec path, so this method can only accelerate, never
+        change, a sweep's results.
+        """
+        from ..core.execution import (compile_program, iter_phase_cells,
+                                      replay_result)
+        from ..sim.vecgrid import ContentionDetected, prewarm_phase_memo
+        system = self.system or default_system()
+        calib = self.calib or default_calibration()
+        memo = self._phase_memo
+        groups: Dict[Tuple, List[RunSpec]] = {}
+        for spec in specs:
+            group_key = (spec_coords(spec), spec.mode,
+                         spec.smem_carveout_bytes)
+            groups.setdefault(group_key, []).append(spec)
+        try:
+            if memo is not None:
+                # One cross-group batch: every phase cell the whole
+                # sweep will request, evaluated in a single vectorized
+                # pass before any compile runs.
+                cells: List[Tuple] = []
+                for (_, mode, carveout), members in groups.items():
+                    cells.extend(iter_phase_cells(program_for(members[0]),
+                                                  mode, carveout, system))
+                prewarm_phase_memo(memo, cells)
+            for (_, mode, carveout), members in groups.items():
+                program = program_for(members[0])
+                try:
+                    compiled = compile_program(
+                        program, mode, system, calib,
+                        smem_carveout_bytes=carveout,
+                        kernel_sim=memo.simulate if memo is not None
+                        else None)
+                except Exception:
+                    continue  # per-spec path handles this group
+                self._grid_groups += 1
+                for spec in members:
+                    rng = rng_for_spec(spec)
+                    try:
+                        self._grid[spec] = replay_result(
+                            compiled, mode, rng, system, calib,
+                            spec.size, spec.iteration)
+                    except ContentionDetected:
+                        continue  # per-spec path re-routes to events
+        except Exception:  # pragma: no cover - defensive
+            # A broken precompute must never take the sweep down; the
+            # per-spec path recomputes anything missing or partial.
+            self._grid.clear()
+            self._grid_groups = 0
+
+    def _execute_local(self, spec: RunSpec, attempt: int) -> RunResult:
+        """One in-process attempt: grid-precomputed result, else cold.
+
+        The fault-injection hook still fires first so resilience tests
+        exercise retry/timeout paths identically on every engine.
+        """
+        hit = self._grid.get(spec)
+        if hit is not None:
+            faults.maybe_fire(spec, attempt)
+            return hit
+        # Late module-level lookup, not a direct execute_spec call:
+        # tests monkeypatch _execute_entry as the serial choke point.
+        return _execute_entry((spec, self.system, self.calib, attempt,
+                               self.engine))
+
+    # ------------------------------------------------------------------
     # Serial (jobs=1) execution with retry/backoff
     # ------------------------------------------------------------------
     def _run_serial(self, pending: List[Tuple[int, RunSpec, Optional[str]]],
@@ -881,8 +1011,7 @@ class SweepExecutor:
             while True:
                 attempt += 1
                 try:
-                    run = _execute_entry((spec, self.system, self.calib,
-                                          attempt, self.engine))
+                    run = self._execute_local(spec, attempt)
                 except KeyboardInterrupt:
                     raise
                 except Exception as error:
@@ -979,10 +1108,16 @@ class SweepExecutor:
                         break
                     index, spec, key, attempt, _ = queue.pop(slot)
                     try:
-                        future = pool.submit(
-                            _execute_entry,
-                            (spec, self.system, self.calib, attempt,
-                             self.engine))
+                        if self.backend == "process":
+                            future = pool.submit(
+                                _execute_entry,
+                                (spec, self.system, self.calib, attempt,
+                                 self.engine))
+                        else:
+                            # Threads share the coordinator's memory, so
+                            # they can serve grid-precomputed results.
+                            future = pool.submit(self._execute_local,
+                                                 spec, attempt)
                     except BrokenExecutor:
                         victims.append((index, spec, key, attempt))
                         break

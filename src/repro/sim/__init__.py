@@ -32,6 +32,9 @@ from .timing import ConfigFlags, KernelExecution, simulate_kernel
 from .trace import Timeline, TraceEvent
 from .uvm import (ManagedAllocation, ManagedSpace, MigrationPlan, UvmError,
                   fault_batches, migration_blocks)
+from .vecgrid import (AnalyticRuntime, CompiledProgram, ContentionDetected,
+                      VecStats, prewarm_phase_memo, replay_compiled,
+                      simulate_phase_grid, vec_stats)
 
 __all__ = [
     "AccessPattern", "AsyncMechanism", "BufferDirection", "BufferSpec", "Calibration",
@@ -52,4 +55,7 @@ __all__ = [
     "generate_access_trace", "replay_trace", "CudaStream",
     "device_synchronize", "FastEnvironment", "PhaseMemo", "Timeout",
     "clear_phase_memos", "phase_memo_for",
+    "AnalyticRuntime", "CompiledProgram", "ContentionDetected", "VecStats",
+    "prewarm_phase_memo", "replay_compiled", "simulate_phase_grid",
+    "vec_stats",
 ]

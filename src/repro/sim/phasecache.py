@@ -55,9 +55,30 @@ class PhaseMemo:
         self.hits = 0
         self.misses = 0
         self.bypasses = 0
+        self.seeded = 0
 
     def __len__(self) -> int:
         return len(self._table)
+
+    def __contains__(self, key: Tuple) -> bool:
+        """Whether a ``(desc, flags, carveout, residency)`` key is cached."""
+        return key in self._table
+
+    def seed(self, key: Tuple, execution) -> None:
+        """Insert a precomputed phase (the vector engine's grid batcher).
+
+        ``key`` must be the exact memo key shape ``(desc, flags,
+        smem_carveout_bytes, resident_fraction)`` and ``execution`` must
+        equal what :func:`simulate_kernel` would return for it —
+        :func:`repro.sim.vecgrid.simulate_phase_grid` guarantees this
+        bitwise (pinned by ``tests/sim/test_vecgrid_properties.py``).
+        Seeds count separately from misses so sweep summaries can
+        report grid-batched cells.
+        """
+        if len(self._table) >= self.maxsize:
+            self._table.clear()
+        self._table[key] = execution
+        self.seeded += 1
 
     def matches(self, system: SystemSpec, calib: Calibration) -> bool:
         """Whether this memo is valid for the given environment."""

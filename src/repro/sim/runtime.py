@@ -189,6 +189,35 @@ class CudaRuntime:
     # ------------------------------------------------------------------
     # Kernel launch ("gpu_kernel" category)
     # ------------------------------------------------------------------
+    def _spawn_migration(self, desc: KernelDescriptor, migrate_bytes: int,
+                         batches: int) -> None:
+        """Start a demand-migration DMA train concurrent with the kernel.
+
+        Demand migration streams over the link concurrently with the
+        (stalling) kernel; it is accounted as memcpy time, exactly as
+        nvprof reports "Unified Memory Memcpy". The train is one burst
+        per serviced fault batch (the batch count the timing model
+        already derived).  Overridable engine hook: the analytic vector
+        engine (:mod:`repro.sim.vecgrid`) replays the train arithmetic
+        without spawning a process.
+        """
+        self.env.process(
+            self._transfer(f"uvm migrate:{desc.name}",
+                           TransferKind.MIGRATE_H2D, migrate_bytes,
+                           chunks=self.link.train_length(batches)),
+            name=f"migrate:{desc.name}",
+        )
+
+    def _hold_gpu(self, label: str, duration: float):
+        """Process fragment: hold GPU compute and record the kernel event.
+
+        Overridable engine hook, paired with :meth:`_spawn_migration`
+        (the analytic vector engine settles the pending migration here,
+        in event order, before recording the kernel).
+        """
+        start, end = yield from self.gpu_compute.stream(1, duration)
+        self.timeline.record(label, "gpu_kernel", start, end)
+
     def launch(self, desc: KernelDescriptor, flags: ConfigFlags,
                resident_fraction: float = 1.0):
         execution = self.kernel_sim(
@@ -200,22 +229,10 @@ class CudaRuntime:
                                self.calib.noise.kernel_sigma)
 
         if execution.demand_migrated_bytes > 0:
-            # Demand migration streams over the link concurrently with
-            # the (stalling) kernel; it is accounted as memcpy time,
-            # exactly as nvprof reports "Unified Memory Memcpy". The
-            # train is one burst per serviced fault batch (the batch
-            # count the timing model already derived).
-            self.env.process(
-                self._transfer(f"uvm migrate:{desc.name}",
-                               TransferKind.MIGRATE_H2D,
-                               execution.demand_migrated_bytes,
-                               chunks=self.link.train_length(
-                                   execution.fault_batches)),
-                name=f"migrate:{desc.name}",
-            )
+            self._spawn_migration(desc, execution.demand_migrated_bytes,
+                                  execution.fault_batches)
 
-        start, end = yield from self.gpu_compute.stream(1, duration)
-        self.timeline.record(f"kernel:{desc.name}", "gpu_kernel", start, end)
+        yield from self._hold_gpu(f"kernel:{desc.name}", duration)
         self.counters.add(execution.counters)
         self.executions.append(execution)
         return execution
@@ -254,16 +271,9 @@ class CudaRuntime:
             migrate_bytes += (count - 1) * rest.demand_migrated_bytes
             migrate_batches += (count - 1) * rest.fault_batches
         if migrate_bytes > 0:
-            self.env.process(
-                self._transfer(f"uvm migrate:{desc.name}",
-                               TransferKind.MIGRATE_H2D, migrate_bytes,
-                               chunks=self.link.train_length(migrate_batches)),
-                name=f"migrate:{desc.name}",
-            )
+            self._spawn_migration(desc, migrate_bytes, migrate_batches)
 
-        start, end = yield from self.gpu_compute.stream(1, duration)
-        self.timeline.record(f"kernel:{desc.name} x{count}", "gpu_kernel",
-                             start, end)
+        yield from self._hold_gpu(f"kernel:{desc.name} x{count}", duration)
 
         # Aggregate counters across the repeats.
         base = first.counters

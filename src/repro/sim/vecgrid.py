@@ -1,0 +1,837 @@
+"""Vectorized whole-grid simulation engine (``--engine vector``).
+
+Two cooperating pieces turn a sensitivity grid from thousands of
+event-engine runs into a handful of array programs:
+
+* :class:`AnalyticRuntime` replays a whole program **without the event
+  heap**.  Every program the executor runs is strictly serial — one
+  process issuing allocations, copies and kernel launches back to back
+  — so each ``Resource.stream`` hold is uncontended and its timing is
+  the closed form ``end = start + duration`` (bitwise: an uncontended
+  train ends on the same float as the monolithic hold it refines, see
+  :meth:`repro.sim.engine.Resource.stream`).  The only concurrency in
+  the model is the UVM demand-migration train a kernel spawns; the
+  runtime keeps those in a pending set and *settles* them in event
+  order as the clock passes their end.  The moment anything would
+  actually contend — a train ending exactly on another event boundary
+  (heap order ambiguous), or more in-flight trains than DMA copy
+  engines (FIFO queueing, re-anchored trains) — it raises
+  :class:`ContentionDetected` and the caller falls back to the event
+  engine, so the analytic path never has to approximate.
+
+* :func:`simulate_phase_grid` batches the pure phase-timing closed
+  forms of :mod:`repro.sim.timing` (memory / compute / control /
+  barrier stages, fault stalls) and the occupancy integer math of
+  :mod:`repro.sim.sm` over NumPy axes, one lane per ``(descriptor,
+  flags, carveout, residency)`` cell.  Every array expression mirrors
+  the scalar operation order exactly (IEEE-754 elementwise float64 ops
+  are identical to Python's), so each lane is **bit-identical** to
+  :func:`repro.sim.timing.simulate_kernel` — pinned element-wise by
+  ``tests/sim/test_vecgrid_properties.py`` and end-to-end by the
+  three-way differential battery.
+
+Results are bit-identical to the ``fast`` engine per the PR 4
+differential contract; the classifier only ever changes *how fast* an
+answer is produced, never the answer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .calibration import Calibration
+from .counters import CounterReport, collect_counters
+from .hardware import SystemSpec
+from .hostmem import place_host_data
+from .kernel import AccessPattern, AsyncMechanism, KernelDescriptor
+from .pcie import PcieLink, TransferKind, TransferTiming
+from .phasecache import PhaseMemo
+from .runtime import CudaRuntime
+from .sm import (ASYNC_MLP_FACTOR, BYTES_PER_REGISTER,
+                 FULL_UTILIZATION_THREADS, PER_SM_BANDWIDTH_CAP,
+                 PER_THREAD_BANDWIDTH)
+from .timing import ConfigFlags, KernelExecution
+from .trace import merge_intervals
+
+#: A phase cell: the exact :class:`~repro.sim.phasecache.PhaseMemo`
+#: key — ``(descriptor, flags, smem_carveout_bytes, resident_fraction)``.
+PhaseCell = Tuple[KernelDescriptor, ConfigFlags, int, float]
+
+
+class ContentionDetected(Exception):
+    """The analytic replay met genuine cross-stream contention.
+
+    Raised by :class:`AnalyticRuntime` the moment event order would
+    depend on heap arbitration (same-time boundaries, queued copy
+    engines).  Callers catch it, restore the RNG state and re-run on
+    the event engine — see ``repro.core.execution.execute_program``.
+    """
+
+
+@dataclass
+class VecStats:
+    """Process-wide accounting for the vector engine."""
+
+    analytic_runs: int = 0    # programs fully replayed analytically
+    fallbacks: int = 0        # runs rerouted to the event engine
+    cells_batched: int = 0    # phase cells evaluated by array programs
+    grids: int = 0            # simulate_phase_grid invocations
+    compiled_groups: int = 0  # program structures compiled to op lists
+    replayed: int = 0         # specs served by compiled-op replay
+
+    def reset(self) -> None:
+        self.analytic_runs = 0
+        self.fallbacks = 0
+        self.cells_batched = 0
+        self.grids = 0
+        self.compiled_groups = 0
+        self.replayed = 0
+
+
+_STATS = VecStats()
+
+
+def vec_stats() -> VecStats:
+    """The process-wide :class:`VecStats` (tests and sweep summaries)."""
+    return _STATS
+
+
+class _AnalyticClock:
+    """Bare simulation clock standing in for an ``Environment``.
+
+    The analytic runtime never schedules events, so all it needs from
+    its environment is the ``now`` attribute every primitive reads and
+    advances.  Anything else (``process``, ``run``...) is deliberately
+    absent: reaching for it is a bug, not a fallback.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+
+
+class AnalyticRuntime(CudaRuntime):
+    """Event-free replay of a serial program, bit-identical or bust.
+
+    Overrides the four engine hooks of :class:`CudaRuntime` with
+    closed-form equivalents.  The overrides stay *generators* (via an
+    unreachable ``yield``) so the unmodified base-class process
+    fragments (``malloc_*``, ``memcpy_*``, ``launch*``) drive them with
+    ``yield from`` exactly as they drive the event engine — same code,
+    same call order, same RNG draw order.
+    """
+
+    def __init__(self, system: SystemSpec, calib: Calibration,
+                 rng: np.random.Generator,
+                 footprint_bytes: int = 0,
+                 smem_carveout_bytes: Optional[int] = None,
+                 kernel_sim=None):
+        super().__init__(system, calib, rng,
+                         footprint_bytes=footprint_bytes,
+                         smem_carveout_bytes=smem_carveout_bytes,
+                         env=_AnalyticClock(),
+                         kernel_sim=kernel_sim)
+        #: in-flight demand-migration trains: (label, start, end),
+        #: settled in end order as the clock passes them.
+        self._pending: List[Tuple[str, float, float]] = []
+
+    # ------------------------------------------------------------------
+    # Pending-migration settlement (the contention classifier)
+    # ------------------------------------------------------------------
+    def _settle_through(self, boundary: float) -> None:
+        """Complete every pending train that ends strictly before
+        ``boundary``, in completion order.
+
+        This is where the event heap's ordering is replayed: a train
+        ending at time *t* draws its measurement noise and records its
+        timeline event before anything that happens at a later time.
+        A train ending *exactly at* ``boundary`` (or exactly with
+        another train) would be ordered by heap sequence numbers in the
+        event engine — ambiguous here, so it is contention by
+        definition.
+        """
+        if not self._pending:
+            return
+        self._pending.sort(key=lambda entry: entry[2])
+        while self._pending:
+            label, start, end = self._pending[0]
+            if end > boundary:
+                break
+            if end == boundary or (len(self._pending) > 1
+                                   and end == self._pending[1][2]):
+                raise ContentionDetected(
+                    f"migration train {label!r} ends on a same-time event "
+                    "boundary; completion order would depend on heap "
+                    "sequence numbers")
+            self._pending.pop(0)
+            noisy_end = start + self._noisy(end - start,
+                                            self.calib.noise.memcpy_sigma)
+            self.timeline.record(label, "memcpy", start, max(noisy_end, start))
+
+    def _require_free_engine(self, what: str) -> None:
+        """A new link stream next to the pending trains must not queue."""
+        if len(self._pending) + 1 > self.system.link.copy_engines:
+            raise ContentionDetected(
+                f"{what} would queue for a DMA copy engine "
+                f"({len(self._pending)} trains already in flight, "
+                f"{self.system.link.copy_engines} engines)")
+
+    # ------------------------------------------------------------------
+    # Engine hooks (closed-form replacements; still generators so the
+    # base class' ``yield from`` call sites work unchanged)
+    # ------------------------------------------------------------------
+    def _host_op(self, name: str, duration_ns: float,
+                 category: str = "allocation"):
+        start = self.env.now
+        end = start + duration_ns
+        self._settle_through(end)
+        self.env.now = end
+        self.timeline.record(name, category, start, end)
+        return
+        yield  # pragma: no cover - keeps this a generator for yield from
+
+    def _transfer(self, label: str, kind: TransferKind, num_bytes: int,
+                  chunks: Optional[int] = None):
+        if num_bytes <= 0:
+            return None
+        self._require_free_engine(f"transfer {label!r}")
+        duration = self.link.duration_ns(kind, num_bytes,
+                                         self.placement.time_multiplier)
+        start = self.env.now
+        end = start + duration
+        self._settle_through(end)
+        self.env.now = end
+        noisy_end = start + self._noisy(self.env.now - start,
+                                        self.calib.noise.memcpy_sigma)
+        self.timeline.record(label, "memcpy", start, max(noisy_end, start))
+        return TransferTiming(kind=kind, bytes=num_bytes, duration_ns=duration)
+        yield  # pragma: no cover - keeps this a generator for yield from
+
+    def _spawn_migration(self, desc: KernelDescriptor, migrate_bytes: int,
+                         batches: int) -> None:
+        self._require_free_engine(f"migration for kernel {desc.name!r}")
+        duration = self.link.duration_ns(TransferKind.MIGRATE_H2D,
+                                         migrate_bytes,
+                                         self.placement.time_multiplier)
+        start = self.env.now
+        self._pending.append((f"uvm migrate:{desc.name}", start,
+                              start + duration))
+
+    def _hold_gpu(self, label: str, duration: float):
+        start = self.env.now
+        end = start + duration
+        self._settle_through(end)
+        self.env.now = end
+        self.timeline.record(label, "gpu_kernel", start, end)
+        return
+        yield  # pragma: no cover - keeps this a generator for yield from
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def run(self, process) -> None:
+        """Exhaust the program generator inline.
+
+        With every engine hook closed-form, a serial program never
+        yields a live event; if it somehow does, the analytic premise
+        is broken and we bail rather than guess.
+        """
+        try:
+            for _event in process:
+                raise ContentionDetected(
+                    "program suspended on a live event; analytic replay "
+                    "cannot order it")
+        finally:
+            process.close()
+        # Trains that outlive the program drain in completion order,
+        # exactly as Environment.run() drains the heap.
+        self._settle_through(math.inf)
+
+
+# ----------------------------------------------------------------------
+# Batched closed forms
+# ----------------------------------------------------------------------
+_PATTERNS = tuple(AccessPattern)
+_PATTERN_INDEX = {pattern: index for index, pattern in enumerate(_PATTERNS)}
+_INT_UNLIMITED = np.iinfo(np.int64).max
+
+
+def simulate_phase_grid(cells: Sequence[PhaseCell], system: SystemSpec,
+                        calib: Calibration) -> List[KernelExecution]:
+    """Evaluate many kernel-phase cells as one array program.
+
+    Each lane mirrors :func:`repro.sim.timing.simulate_kernel` exactly:
+    identical operation order, identical branch structure (branches
+    become per-lane masks), float64 throughout — so every returned
+    :class:`KernelExecution` equals the scalar result *bitwise*.
+    Counters stay scalar per cell (pure integer bookkeeping off the
+    hot path).
+    """
+    if not cells:
+        return []
+    gpu = system.gpu
+    kc = calib.kernel
+    uvm = system.uvm
+
+    descs = [cell[0] for cell in cells]
+    flag_list = [cell[1] for cell in cells]
+
+    resident = np.array([cell[3] for cell in cells], dtype=np.float64)
+    if np.any((resident < 0.0) | (resident > 1.0)):
+        bad = float(resident[(resident < 0.0) | (resident > 1.0)][0])
+        raise ValueError(f"resident_fraction {bad} outside [0, 1]")
+
+    # --- per-cell attribute extraction (pure descriptor math; the
+    # values are identical however they are computed) -----------------
+    blocks = np.array([d.blocks for d in descs], dtype=np.int64)
+    threads = np.array([d.threads_per_block for d in descs], dtype=np.int64)
+    tiles = np.array([d.tiles_per_block for d in descs], dtype=np.int64)
+    tile_bytes = np.array([d.tile_bytes for d in descs], dtype=np.int64)
+    smem_static = np.array([d.smem_static_bytes for d in descs],
+                           dtype=np.int64)
+    registers = np.array([d.registers_per_thread for d in descs],
+                         dtype=np.int64)
+    write_bytes = np.array([d.write_bytes for d in descs], dtype=np.int64)
+    reuse = np.array([d.reuse for d in descs], dtype=np.float64)
+    touched = np.array([d.touched_fraction for d in descs], dtype=np.float64)
+    footprint = np.array([d.footprint_bytes for d in descs], dtype=np.float64)
+    compute_cycles = np.array([d.compute_cycles for d in descs],
+                              dtype=np.float64)
+    copies = np.array([d.async_copies() * d.total_tiles for d in descs],
+                      dtype=np.int64)
+    total_tiles = np.array([d.total_tiles for d in descs], dtype=np.int64)
+    sync_overlap = np.array([d.sync_overlap for d in descs], dtype=np.float64)
+    accuracy = np.array([d.derived_prefetch_accuracy() for d in descs],
+                        dtype=np.float64)
+    per_copy = np.array(
+        [d.async_control_cycles_per_copy
+         if d.async_control_cycles_per_copy is not None
+         else kc.async_control_cycles_per_copy for d in descs],
+        dtype=np.float64)
+    serializes = np.array([d.async_serializes for d in descs], dtype=bool)
+    arrive_wait = np.array(
+        [d.async_mechanism is AsyncMechanism.ARRIVE_WAIT for d in descs],
+        dtype=bool)
+    has_override = np.array(
+        [d.bandwidth_efficiency is not None for d in descs], dtype=bool)
+    override = np.array(
+        [d.bandwidth_efficiency if d.bandwidth_efficiency is not None
+         else 0.0 for d in descs], dtype=np.float64)
+    pattern_idx = np.array([_PATTERN_INDEX[d.access_pattern] for d in descs],
+                           dtype=np.int64)
+    wpattern_idx = np.array(
+        [_PATTERN_INDEX[d.effective_write_pattern] for d in descs],
+        dtype=np.int64)
+    pf_friendly = np.array(
+        [d.access_pattern.prefetch_friendly for d in descs], dtype=bool)
+    wpf_friendly = np.array(
+        [d.effective_write_pattern.prefetch_friendly for d in descs],
+        dtype=bool)
+
+    use_async = np.array([fl.use_async for fl in flag_list], dtype=bool)
+    managed = np.array([fl.managed for fl in flag_list], dtype=bool)
+    prefetched = np.array([fl.prefetched for fl in flag_list], dtype=bool)
+    carveout = np.array([cell[2] for cell in cells], dtype=np.int64)
+    if np.any(managed & ((carveout < 0)
+                         | (carveout > gpu.max_shared_mem_bytes))):
+        bad = int(carveout[managed & ((carveout < 0)
+                                      | (carveout > gpu.max_shared_mem_bytes))][0])
+        raise ValueError(f"shared-memory carveout {bad} outside "
+                         f"[0, {gpu.max_shared_mem_bytes}]")
+
+    # --- occupancy_for: integer limit math, exact in int64 ------------
+    limit = np.minimum(gpu.max_threads_per_sm // threads,
+                       np.int64(gpu.max_blocks_per_sm))
+    buffers = np.where(use_async, 2, 1).astype(np.int64)
+    need_smem = smem_static + buffers * tile_bytes
+    limit = np.minimum(limit, np.where(
+        need_smem > 0, carveout // np.maximum(need_smem, 1), _INT_UNLIMITED))
+    reg_bytes = registers * threads * BYTES_PER_REGISTER
+    limit = np.minimum(limit, np.where(
+        reg_bytes > 0, gpu.register_file_bytes // np.maximum(reg_bytes, 1),
+        _INT_UNLIMITED))
+    blocks_per_sm = np.maximum(1, limit)
+    active_sms = np.minimum(np.int64(gpu.sm_count), blocks)
+    resident_blocks = np.minimum(
+        blocks_per_sm, np.ceil(blocks / active_sms).astype(np.int64))
+    resident_threads = resident_blocks * threads
+    occ_fraction = (np.minimum(1.0, resident_threads / gpu.max_threads_per_sm)
+                    * (active_sms / gpu.sm_count))
+    throughput = np.minimum(1.0, resident_threads / FULL_UTILIZATION_THREADS)
+
+    # --- _memory_time_ns ----------------------------------------------
+    eff_lookup = np.array([kc.pattern_efficiency[p] for p in _PATTERNS],
+                          dtype=np.float64)
+    thread_limited = ~has_override
+    efficiency = np.where(has_override, override, eff_lookup[pattern_idx])
+    roofline = gpu.hbm_bandwidth * efficiency
+    per_thread = np.where(use_async,
+                          PER_THREAD_BANDWIDTH * ASYNC_MLP_FACTOR,
+                          PER_THREAD_BANDWIDTH)
+    per_sm = np.minimum(PER_SM_BANDWIDTH_CAP, resident_threads * per_thread)
+    bandwidth = np.where(thread_limited,
+                         np.minimum(roofline, active_sms * per_sm), roofline)
+    bandwidth = np.where(use_async, bandwidth * kc.async_bandwidth_gain,
+                         bandwidth)
+    irregular = pattern_idx == _PATTERN_INDEX[AccessPattern.IRREGULAR]
+    bandwidth = np.where(use_async & irregular,
+                         bandwidth * kc.async_irregular_gain, bandwidth)
+
+    warm_l2 = managed & prefetched & pf_friendly
+    strided = pattern_idx == _PATTERN_INDEX[AccessPattern.STRIDED]
+    strided_gain = (1.0 + (kc.prefetch_l2_gain - 1.0)
+                    * kc.strided_prefetch_retention)
+    gain = np.where(strided, strided_gain, kc.prefetch_l2_gain)
+    gain = 1.0 + (gain - 1.0) * accuracy
+    bandwidth = np.where(warm_l2, bandwidth * gain, bandwidth)
+
+    load_bytes = blocks * tiles * tile_bytes
+    unique = load_bytes / reuse
+    reused = load_bytes - unique
+    load_ns = unique / bandwidth * 1e9
+    load_ns = np.where(
+        reused > 0,
+        load_ns + reused / (bandwidth * kc.cached_reuse_bandwidth_factor) * 1e9,
+        load_ns)
+
+    write_eff = np.where(has_override, override, eff_lookup[wpattern_idx])
+    store_roofline = gpu.hbm_bandwidth * write_eff
+    store_per_sm = np.minimum(PER_SM_BANDWIDTH_CAP,
+                              resident_threads * PER_THREAD_BANDWIDTH)
+    store_bw = np.where(thread_limited,
+                        np.minimum(store_roofline, active_sms * store_per_sm),
+                        store_roofline)
+    store_bw = np.where(warm_l2 & wpf_friendly,
+                        store_bw * kc.prefetch_l2_gain, store_bw)
+    load_ns = np.where(write_bytes != 0,
+                       load_ns + write_bytes / store_bw * 1e9, load_ns)
+
+    # --- compute / control / barrier stages ---------------------------
+    denom = active_sms * np.maximum(throughput, 1e-9)
+    compute_ns = compute_cycles / denom * gpu.clock_ns
+    control_ns = (copies * per_copy) / denom * gpu.clock_ns
+    barrier_ns = np.where(
+        arrive_wait,
+        (total_tiles * kc.arrive_wait_extra_cycles_per_tile)
+        / denom * gpu.clock_ns,
+        0.0)
+
+    # --- core assembly (async overlap vs sync staging) ----------------
+    compute_async = compute_ns + control_ns
+    fits = (smem_static + 2 * tile_bytes) <= carveout
+    fill = load_ns / tiles * kc.async_pipeline_fill_tiles
+    core_async = np.where(fits & ~serializes,
+                          np.maximum(load_ns, compute_async) + fill,
+                          load_ns + compute_async) + barrier_ns
+    overlapped = sync_overlap * np.minimum(load_ns, compute_ns)
+    core_sync = load_ns + compute_ns - overlapped
+    core = np.where(use_async, core_async, core_sync)
+    compute_out = np.where(use_async, compute_async, compute_ns)
+
+    # --- UVM effects (managed lanes only) ------------------------------
+    l1_reference = gpu.l1_bytes(gpu.default_shared_mem_bytes)
+    l1_now = gpu.unified_l1_bytes - carveout
+    pressure = np.maximum(0.0, 1.0 - l1_now / l1_reference)
+    core_managed = core * (1.0 + kc.uvm_page_walk_overhead)
+    core_managed = core_managed + kc.uvm_launch_sync_ns
+    core_managed = core_managed * (1.0 + kc.uvm_l1_pressure * pressure)
+    missing = footprint * touched * (1.0 - resident)
+    footprint_ns = missing / bandwidth * 1e9
+    core_managed = core_managed + ((kc.uvm_demand_kernel_multiplier - 1.0)
+                                   * footprint_ns)
+    core = np.where(managed, core_managed, core)
+
+    # --- _fault_stalls (shared batch math with repro.sim.uvm) ----------
+    has_fault = managed & (missing > 0)
+    mig_blocks = np.ceil(missing / uvm.migration_block_bytes)
+    batches = np.where(has_fault,
+                       np.ceil(mig_blocks / uvm.fault_batch_size), 0.0)
+    stall_ns = np.where(has_fault,
+                        batches * (uvm.fault_service_ns + uvm.fault_stall_ns),
+                        0.0)
+    demand_bytes = np.where(has_fault, missing, 0.0)
+
+    duration = kc.launch_ns + core + stall_ns
+
+    executions: List[KernelExecution] = []
+    for index, (desc, flags, cell_carveout, _res) in enumerate(cells):
+        occupancy = float(occ_fraction[index])
+        counters = collect_counters(
+            desc, gpu, calib, cell_carveout,
+            use_async=flags.use_async, managed=flags.managed,
+            prefetched=flags.prefetched, occupancy=occupancy)
+        executions.append(KernelExecution(
+            name=desc.name,
+            duration_ns=float(duration[index]),
+            load_ns=float(load_ns[index]),
+            compute_ns=float(compute_out[index]),
+            fault_stall_ns=float(stall_ns[index]),
+            fault_batches=int(batches[index]),
+            demand_migrated_bytes=int(demand_bytes[index]),
+            occupancy_fraction=occupancy,
+            counters=counters,
+        ))
+    _STATS.grids += 1
+    _STATS.cells_batched += len(cells)
+    return executions
+
+
+def prewarm_phase_memo(memo: PhaseMemo,
+                       cells: Sequence[PhaseCell]) -> int:
+    """Batch-evaluate every not-yet-memoized cell and seed ``memo``.
+
+    Deduplicates while preserving first-seen order, evaluates the
+    missing cells with :func:`simulate_phase_grid`, and seeds the memo
+    so subsequent runs hit without ever touching the scalar simulator.
+    Returns the number of cells evaluated.  Seeded values are bitwise
+    equal to what a miss would have computed, so this is purely a
+    scheduling optimization — cells the enumeration missed simply fall
+    back to scalar misses.
+    """
+    fresh = [cell for cell in dict.fromkeys(cells) if cell not in memo]
+    if not fresh:
+        return 0
+    for cell, execution in zip(fresh,
+                               simulate_phase_grid(fresh, memo.system,
+                                                   memo.calib)):
+        memo.seed(cell, execution)
+    return len(fresh)
+
+
+# ----------------------------------------------------------------------
+# Whole-grid batching: compile once per program structure, replay per
+# spec.  A sensitivity grid re-runs the same (program, mode, carveout)
+# structure for every iteration and seed; the op *sequence* and every
+# pre-noise duration are identical across those runs (noise multiplies
+# recorded durations, it never reorders operations).  So the grid
+# runner compiles the structure once — by driving the real process
+# generators through a recording runtime, never by re-deriving the
+# logic — and then replays the compiled ops per spec with only that
+# spec's RNG draws, through the same settlement classifier as
+# :class:`AnalyticRuntime`.
+# ----------------------------------------------------------------------
+#: Compiled opcodes (plain tuples keep the replay loop allocation-free).
+_OP_HOST = 0     # (op, label, category, base_ns, sigma, charges_jitter)
+_OP_XFER = 1     # (op, label, kind, bytes, duration_at_unit_multiplier)
+_OP_SPAWN = 2    # (op, label, bytes, duration_at_unit_multiplier)
+_OP_KERNEL = 3   # (op, label, total_ns, sigma)
+
+
+@dataclass
+class CompiledProgram:
+    """One program structure lowered to a replayable op list.
+
+    Everything here is seed-independent: op order, pre-noise
+    durations (at host-placement multiplier 1.0), the aggregated
+    counters and occupancy.  ``counters`` is shared by every
+    :class:`~repro.core.results.RunResult` replayed from this compile —
+    safe because results treat counter reports as immutable.
+    """
+
+    name: str
+    footprint_bytes: int
+    ops: Tuple
+    counters: CounterReport
+    occupancy: float
+    draws: int             # upper bound of standard-normal draws/replay
+    link: PcieLink         # duration math (pure; env never touched)
+    copy_engines: int
+
+
+class _NoDrawRng:
+    """Compile-time RNG stand-in: any draw is a bug, not a fallback."""
+
+    def __getattr__(self, name: str):
+        raise RuntimeError(
+            f"compile-time RNG draw via {name!r}; compiled programs must "
+            "be seed-independent")
+
+
+class CompilerRuntime(CudaRuntime):
+    """Records a program's op sequence instead of executing it.
+
+    The real process generators (``repro.core.execution``) drive this
+    runtime exactly as they drive the event engine, so the compiled op
+    list cannot drift from execution semantics.  ``_noisy`` and
+    ``_alloc_duration`` latch the pre-noise duration and sigma instead
+    of drawing; the engine hooks emit ops.  The RNG is never touched —
+    placement, jitter and measurement noise are all replay-time.
+    """
+
+    def __init__(self, system: SystemSpec, calib: Calibration,
+                 smem_carveout_bytes: Optional[int] = None,
+                 kernel_sim=None):
+        # footprint_bytes=0 keeps the constructor's placement draw-free;
+        # the replay draws the real placement per spec.
+        super().__init__(system, calib, _NoDrawRng(),
+                         footprint_bytes=0,
+                         smem_carveout_bytes=smem_carveout_bytes,
+                         env=_AnalyticClock(),
+                         kernel_sim=kernel_sim)
+        self.ops: List[Tuple] = []
+        self.draws = 0
+        self._latch: Optional[Tuple[float, float, bool]] = None
+
+    # -- noise latches (no draws at compile time) ----------------------
+    def _noisy(self, value_ns: float, sigma: float) -> float:
+        self._latch = (value_ns, sigma, False)
+        return value_ns
+
+    def _alloc_duration(self, base_ns: float, per_byte_ns: float,
+                        num_bytes: int) -> float:
+        # Mirrors CudaRuntime._alloc_duration with the jitter draw
+        # deferred to replay time (flag recorded instead).
+        duration = base_ns + per_byte_ns * num_bytes
+        jitter = not self._jitter_charged
+        self._jitter_charged = True
+        noise = self.calib.noise
+        mib = max(1.0, num_bytes / (1024.0 * 1024.0))
+        sigma = noise.alloc_sigma + noise.small_alloc_sigma / mib ** 0.5
+        self._latch = (duration, sigma, jitter)
+        return duration
+
+    def _take_latch(self, duration_ns: float,
+                    what: str) -> Tuple[float, float, bool]:
+        latch = self._latch
+        self._latch = None
+        if latch is None or latch[0] != duration_ns:
+            raise RuntimeError(
+                f"compile latch mismatch at {what}: the duration did not "
+                "come from this runtime's noise path")
+        return latch
+
+    # -- engine hooks: emit ops ----------------------------------------
+    def _host_op(self, name: str, duration_ns: float,
+                 category: str = "allocation"):
+        base, sigma, jitter = self._take_latch(duration_ns, name)
+        self.ops.append((_OP_HOST, name, category, base, sigma, jitter))
+        self.draws += 1 + (1 if jitter else 0)
+        return
+        yield  # pragma: no cover - keeps this a generator for yield from
+
+    def _transfer(self, label: str, kind: TransferKind, num_bytes: int,
+                  chunks: Optional[int] = None):
+        if num_bytes <= 0:
+            return None
+        duration = self.link.duration_ns(kind, num_bytes, 1.0)
+        self.ops.append((_OP_XFER, label, kind, num_bytes, duration))
+        self.draws += 1
+        return TransferTiming(kind=kind, bytes=num_bytes,
+                              duration_ns=duration)
+        yield  # pragma: no cover - keeps this a generator for yield from
+
+    def _spawn_migration(self, desc: KernelDescriptor, migrate_bytes: int,
+                         batches: int) -> None:
+        duration = self.link.duration_ns(TransferKind.MIGRATE_H2D,
+                                         migrate_bytes, 1.0)
+        self.ops.append((_OP_SPAWN, f"uvm migrate:{desc.name}",
+                         migrate_bytes, duration))
+        self.draws += 1  # the train's settlement draw
+
+    def _hold_gpu(self, label: str, duration: float):
+        total_ns, sigma, _ = self._take_latch(duration, label)
+        self.ops.append((_OP_KERNEL, label, total_ns, sigma))
+        self.draws += 1
+        return
+        yield  # pragma: no cover - keeps this a generator for yield from
+
+    def run(self, process) -> None:
+        try:
+            for _event in process:
+                raise RuntimeError(
+                    "program suspended on a live event during compilation")
+        finally:
+            process.close()
+
+    def finish(self, program) -> CompiledProgram:
+        """Package the recorded ops once the program generator drained."""
+        occupancy = self.counters.mean_occupancy()
+        compiled = CompiledProgram(
+            name=program.name,
+            footprint_bytes=program.footprint_bytes,
+            ops=tuple(self.ops),
+            counters=self.counters,
+            occupancy=occupancy,
+            draws=self.draws,
+            link=self.link,
+            copy_engines=self.system.link.copy_engines,
+        )
+        _STATS.compiled_groups += 1
+        return compiled
+
+
+def replay_compiled(compiled: CompiledProgram, rng: np.random.Generator,
+                    system: SystemSpec, calib: Calibration
+                    ) -> Tuple[float, float, float, float, float]:
+    """One spec's measurements from a compiled program.
+
+    Bit-identical to running the spec through :class:`AnalyticRuntime`
+    (and therefore to the event engines): identical draw order —
+    placement first, then batched standard normals consumed in op order
+    (``rng.standard_normal(n)`` yields the same stream as ``n`` scalar
+    draws, ``lognormal(0, s)`` equals ``exp(s*z)`` and ``normal(0, s)``
+    equals ``0.0 + s*z`` bitwise) — identical float expressions,
+    identical settlement, and the same :class:`ContentionDetected`
+    bail-outs.  Returns ``(alloc_ns, memcpy_ns, kernel_ns, wall_ns,
+    gpu_busy_fraction)``.
+
+    The generator may be advanced *past* what the per-spec path would
+    consume (the draw batch is an upper bound); callers that need the
+    exact post-run stream must not reuse ``rng`` afterwards.
+    """
+    noise = calib.noise
+    placement = place_host_data(compiled.footprint_bytes, system.cpu,
+                                noise, rng)
+    multiplier = placement.time_multiplier
+    unit = multiplier == 1.0
+    z = rng.standard_normal(compiled.draws).tolist() if compiled.draws \
+        else []
+    cursor = 0
+    total_draws = len(z)
+    os_jitter = noise.os_jitter_ns
+    memcpy_sigma = noise.memcpy_sigma
+    duration_ns = compiled.link.duration_ns
+    copy_engines = compiled.copy_engines
+
+    now = 0.0
+    pending: List[Tuple[str, float, float]] = []
+    alloc_ns = 0.0
+    memcpy_ns = 0.0
+    kernel_ns = 0.0
+    gpu_spans: List[Tuple[float, float]] = []
+    min_start = math.inf
+    max_end = -math.inf
+
+    def settle_through(boundary: float) -> None:
+        nonlocal memcpy_ns, min_start, max_end, cursor
+        if not pending:
+            return
+        pending.sort(key=lambda entry: entry[2])
+        while pending:
+            label, start, end = pending[0]
+            if end > boundary:
+                break
+            if end == boundary or (len(pending) > 1
+                                   and end == pending[1][2]):
+                raise ContentionDetected(
+                    f"migration train {label!r} ends on a same-time event "
+                    "boundary; completion order would depend on heap "
+                    "sequence numbers")
+            pending.pop(0)
+            value = end - start
+            if memcpy_sigma > 0 and value > 0:
+                if cursor < total_draws:
+                    draw = z[cursor]
+                else:  # pragma: no cover - draw-count upper bound holds
+                    draw = float(rng.standard_normal())
+                cursor += 1
+                value = value * math.exp(memcpy_sigma * draw)
+            noisy_end = start + value
+            event_end = max(noisy_end, start)
+            memcpy_ns += event_end - start
+            if start < min_start:
+                min_start = start
+            if event_end > max_end:
+                max_end = event_end
+
+    for op in compiled.ops:
+        code = op[0]
+        if code == _OP_HOST:
+            _, _label, category, duration, sigma, jitter = op
+            if jitter:
+                if cursor < total_draws:
+                    draw = z[cursor]
+                else:  # pragma: no cover - draw-count upper bound holds
+                    draw = float(rng.standard_normal())
+                cursor += 1
+                duration = duration + abs(0.0 + os_jitter * draw)
+            if sigma > 0 and duration > 0:
+                if cursor < total_draws:
+                    draw = z[cursor]
+                else:  # pragma: no cover - draw-count upper bound holds
+                    draw = float(rng.standard_normal())
+                cursor += 1
+                duration = duration * math.exp(sigma * draw)
+            start = now
+            end = start + duration
+            settle_through(end)
+            now = end
+            alloc_ns += end - start
+            if start < min_start:
+                min_start = start
+            if end > max_end:
+                max_end = end
+        elif code == _OP_XFER:
+            if len(pending) + 1 > copy_engines:
+                raise ContentionDetected(
+                    f"transfer {op[1]!r} would queue for a DMA copy engine "
+                    f"({len(pending)} trains already in flight, "
+                    f"{copy_engines} engines)")
+            duration = op[4] if unit else duration_ns(op[2], op[3],
+                                                      multiplier)
+            start = now
+            end = start + duration
+            settle_through(end)
+            now = end
+            value = end - start
+            if memcpy_sigma > 0 and value > 0:
+                if cursor < total_draws:
+                    draw = z[cursor]
+                else:  # pragma: no cover - draw-count upper bound holds
+                    draw = float(rng.standard_normal())
+                cursor += 1
+                value = value * math.exp(memcpy_sigma * draw)
+            noisy_end = start + value
+            event_end = max(noisy_end, start)
+            memcpy_ns += event_end - start
+            if start < min_start:
+                min_start = start
+            if event_end > max_end:
+                max_end = event_end
+        elif code == _OP_SPAWN:
+            if len(pending) + 1 > copy_engines:
+                raise ContentionDetected(
+                    f"migration {op[1]!r} would queue for a DMA copy engine "
+                    f"({len(pending)} trains already in flight, "
+                    f"{copy_engines} engines)")
+            duration = op[3] if unit else duration_ns(
+                TransferKind.MIGRATE_H2D, op[2], multiplier)
+            pending.append((op[1], now, now + duration))
+        else:  # _OP_KERNEL
+            _, _label, duration, sigma = op
+            if sigma > 0 and duration > 0:
+                if cursor < total_draws:
+                    draw = z[cursor]
+                else:  # pragma: no cover - draw-count upper bound holds
+                    draw = float(rng.standard_normal())
+                cursor += 1
+                duration = duration * math.exp(sigma * draw)
+            start = now
+            end = start + duration
+            settle_through(end)
+            now = end
+            kernel_ns += end - start
+            gpu_spans.append((start, end))
+            if start < min_start:
+                min_start = start
+            if end > max_end:
+                max_end = end
+
+    settle_through(math.inf)
+
+    if max_end < min_start:  # no events at all
+        wall = 0.0
+    else:
+        wall = max_end - min_start
+    if wall > 0 and gpu_spans:
+        busy = sum(end - start
+                   for start, end in merge_intervals(gpu_spans))
+        gpu_busy = busy / wall
+    else:
+        gpu_busy = 0.0
+    _STATS.replayed += 1
+    _STATS.analytic_runs += 1
+    return (alloc_ns, memcpy_ns, kernel_ns, wall, gpu_busy)

@@ -1,13 +1,16 @@
-"""Reference-vs-fast engine equivalence battery.
+"""Engine equivalence battery: reference vs fast vs vector.
 
 The fast engine (:class:`repro.sim.fastpath.FastEnvironment`) is only
-allowed to skip event machinery it can *prove* unobservable, so every
-simulated quantity — phase times, wall clock, timeline events, CUPTI
-counters, UVM fault-batch counts and migration volumes — must be
-**bit-identical** to the reference engine, not merely close.  This
-module is the proof battery: a curated workload x mode grid, a
-timeline-level comparison (every recorded event, every kernel
-execution), and a hypothesis fuzz over synthetic programs.
+allowed to skip event machinery it can *prove* unobservable, and the
+vector engine (:mod:`repro.sim.vecgrid`) replays programs analytically
+with a contention classifier that reroutes anything ambiguous — so
+every simulated quantity on every engine — phase times, wall clock,
+timeline events, CUPTI counters, UVM fault-batch counts and migration
+volumes — must be **bit-identical** to the reference engine, not
+merely close.  This module is the proof battery: a curated
+workload x mode grid run three ways, a timeline-level comparison
+(every recorded event, every kernel execution), and a hypothesis fuzz
+over synthetic programs.
 """
 
 import dataclasses
@@ -18,17 +21,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.configs import TransferMode
-from repro.core.execution import (_explicit_process, _managed_process,
-                                  execute_program, make_environment)
+from repro.core.execution import (ENGINES, _explicit_process,
+                                  _managed_process, execute_program,
+                                  make_runtime)
 from repro.sim.calibration import default_calibration
 from repro.sim.hardware import default_system
 from repro.sim.kernel import AccessPattern, KernelDescriptor
 from repro.sim.program import simple_program
-from repro.sim.runtime import CudaRuntime
 from repro.workloads.registry import get_workload
 from repro.workloads.sizes import SizeClass
 
 MODES = list(TransferMode)
+ENGINE_NAMES = tuple(ENGINES)  # reference, fast, vector
 
 # Micro kernels at the paper's largest class, applications at LARGE:
 # together they exercise explicit trains, prefetch trains, demand
@@ -56,27 +60,35 @@ class TestBattery:
     @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
     @pytest.mark.parametrize("name,size", BATTERY,
                              ids=[w for w, _ in BATTERY])
-    def test_run_results_bit_identical(self, name, size, mode):
+    def test_run_results_bit_identical_three_way(self, name, size, mode):
         workload = get_workload(name)
         if not workload.supports(size):
             pytest.skip(f"{name} undefined at {size.label}")
         program = workload.program(size)
         ref = run_once(program, mode, "reference", size)
-        fast = run_once(program, mode, "fast", size)
-        # Dataclass equality covers every timing field and the full
-        # counter report (per-kernel instruction mixes, miss rates,
-        # DRAM traffic, occupancy) — all bitwise, no tolerances.
-        assert fast == ref
-        assert fast.breakdown() == ref.breakdown()
-        assert fast.total_ns == ref.total_ns
+        for engine in ENGINE_NAMES:
+            if engine == "reference":
+                continue
+            other = run_once(program, mode, engine, size)
+            # Dataclass equality covers every timing field and the full
+            # counter report (per-kernel instruction mixes, miss rates,
+            # DRAM traffic, occupancy) — all bitwise, no tolerances.
+            assert other == ref, engine
+            assert other.breakdown() == ref.breakdown(), engine
+            assert other.total_ns == ref.total_ns, engine
 
 
 def run_runtime(program, mode, engine):
-    """execute_program's internals, exposing the runtime itself."""
+    """execute_program's internals, exposing the runtime itself.
+
+    ``make_runtime`` builds the event runtime for reference/fast and
+    the analytic :class:`repro.sim.vecgrid.AnalyticRuntime` for
+    vector — both :class:`CudaRuntime` subclasses exposing the same
+    timeline/executions/counters surface.
+    """
     system, calib = default_system(), default_calibration()
-    rt = CudaRuntime(system, calib, np.random.default_rng(7),
-                     footprint_bytes=program.footprint_bytes,
-                     env=make_environment(engine))
+    rt = make_runtime(engine, system, calib, np.random.default_rng(7),
+                      footprint_bytes=program.footprint_bytes)
     if mode.managed:
         process = _managed_process(rt, program, mode)
     else:
@@ -92,25 +104,27 @@ class TestTimelineLevel:
     def test_every_trace_event_identical(self, mode):
         program = get_workload("hotspot").program(SizeClass.LARGE)
         ref = run_runtime(program, mode, "reference")
-        fast = run_runtime(program, mode, "fast")
-        assert fast.timeline.events == ref.timeline.events
-        assert fast.env.now == ref.env.now
+        for engine in ("fast", "vector"):
+            other = run_runtime(program, mode, engine)
+            assert other.timeline.events == ref.timeline.events, engine
+            assert other.env.now == ref.env.now, engine
 
+    @pytest.mark.parametrize("engine", ("fast", "vector"))
     @pytest.mark.parametrize("mode",
                              [TransferMode.UVM, TransferMode.UVM_PREFETCH,
                               TransferMode.UVM_PREFETCH_ASYNC],
                              ids=lambda m: m.value)
-    def test_uvm_fault_batches_and_migration_volumes(self, mode):
+    def test_uvm_fault_batches_and_migration_volumes(self, mode, engine):
         """The UVM driver model must agree across engines on *how much*
         moved and in *how many* service rounds, not only on time."""
         program = get_workload("srad").program(SizeClass.LARGE)
         ref = run_runtime(program, mode, "reference")
-        fast = run_runtime(program, mode, "fast")
+        other = run_runtime(program, mode, engine)
         ref_exec = [(e.name, e.fault_batches, e.demand_migrated_bytes,
                      e.fault_stall_ns) for e in ref.executions]
-        fast_exec = [(e.name, e.fault_batches, e.demand_migrated_bytes,
-                      e.fault_stall_ns) for e in fast.executions]
-        assert fast_exec == ref_exec
+        other_exec = [(e.name, e.fault_batches, e.demand_migrated_bytes,
+                       e.fault_stall_ns) for e in other.executions]
+        assert other_exec == ref_exec
         if mode is TransferMode.UVM:
             # Cold demand paging must actually migrate something, or
             # the comparison above is vacuous.
@@ -118,17 +132,18 @@ class TestTimelineLevel:
             assert sum(e.demand_migrated_bytes for e in ref.executions) > 0
         migrations = [e for e in ref.timeline.events
                       if e.name.startswith(("uvm migrate", "uvm writeback"))]
-        fast_migrations = [e for e in fast.timeline.events
-                           if e.name.startswith(("uvm migrate",
-                                                 "uvm writeback"))]
-        assert fast_migrations == migrations
+        other_migrations = [e for e in other.timeline.events
+                            if e.name.startswith(("uvm migrate",
+                                                  "uvm writeback"))]
+        assert other_migrations == migrations
 
     def test_counters_identical_per_kernel(self):
         program = get_workload("gemm").program(SizeClass.LARGE)
         for mode in MODES:
             ref = run_runtime(program, mode, "reference")
-            fast = run_runtime(program, mode, "fast")
-            assert fast.counters == ref.counters
+            for engine in ("fast", "vector"):
+                assert run_runtime(program, mode,
+                                   engine).counters == ref.counters, engine
 
 
 # ----------------------------------------------------------------------
@@ -166,7 +181,13 @@ def programs(draw):
        mode=st.sampled_from(MODES),
        seed=st.integers(min_value=0, max_value=2**31 - 1))
 @settings(max_examples=40, deadline=None)
-def test_fuzz_reference_vs_fast(program, mode, seed):
+def test_fuzz_three_way(program, mode, seed):
+    """Reference vs fast vs vector over synthetic programs.
+
+    The vector leg also exercises the contention-fallback path: when
+    the classifier bails, execute_program reroutes on the snapshotted
+    RNG state, so the result must *still* be bitwise reference."""
     ref = execute_program(program, mode, seed=seed, engine="reference")
-    fast = execute_program(program, mode, seed=seed, engine="fast")
-    assert dataclasses.asdict(fast) == dataclasses.asdict(ref)
+    for engine in ("fast", "vector"):
+        other = execute_program(program, mode, seed=seed, engine=engine)
+        assert dataclasses.asdict(other) == dataclasses.asdict(ref), engine

@@ -1,0 +1,62 @@
+"""Perf acceptance: the vector engine must earn its complexity.
+
+Gate: a cold Fig. 12 threads grid (the ``repro bench`` canonical grid:
+vector_seq @ large, 64 blocks, six thread points, all five transfer
+modes) under ``--engine vector`` completes >= 5x faster than
+``--engine fast``.  The measurement reuses the ``repro bench``
+protocol (:func:`repro.harness.regression.measure_engine`) so the
+number the gate checks is the same number the perf trajectory tracks.
+The run is written through :func:`save_bench` (schema-validated) into
+a scratch dir and summarised to ``benchmarks/results/grid_speedup.txt``
+— the *committed* ``BENCH_*.json`` trajectory only grows from
+deliberate ``repro bench`` runs, never from test runs.  On the
+development box the ratio is ~7x cold (see docs/PERFORMANCE.md and the
+committed ``BENCH_0001_*.json``), so the 5x floor leaves headroom for
+loaded CI machines.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import regression
+
+RESULTS = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+#: Cold/warm sweeps per engine: min() of the cold series discards
+#: scheduler noise, which only ever slows a run down.
+REPEATS = 3
+
+
+@pytest.mark.perf
+def test_vector_engine_5x_on_fig12_grid(tmp_path):
+    payload = regression.collect_bench(engines=("fast", "vector"),
+                                       repeats=REPEATS)
+    fast = min(payload["engines"]["fast"]["cold_s"])
+    vector = min(payload["engines"]["vector"]["cold_s"])
+    ratio = fast / vector
+
+    # Full schema'd evidence in a scratch dir (exercises the exact
+    # save path `repro bench` uses), stable summary next to the
+    # committed trajectory.
+    regression.save_bench(payload, results_dir=tmp_path)
+    specs = payload["grid"]["specs"]
+    per_spec_us = 1e6 / specs
+    snapshot = "\n".join([
+        "vector engine speedup gate (cold fig12 threads grid:",
+        f"{payload['grid']['workload']} @ {payload['grid']['size']}, "
+        f"all modes, {payload['grid']['iterations']} iterations;",
+        f"best of {REPEATS}; jobs=1, no cache)",
+        "",
+        f"specs:         {specs}",
+        f"fast engine:   {fast:.4f}s  ({fast * per_spec_us:.0f}us/spec)",
+        f"vector engine: {vector:.4f}s  ({vector * per_spec_us:.0f}us/spec)",
+        f"speedup:       {ratio:.2f}x  (gate: >= 5x)",
+    ])
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / "grid_speedup.txt").write_text(snapshot + "\n")
+
+    assert ratio >= 5.0, (
+        f"vector engine only {ratio:.2f}x faster than fast on the cold "
+        f"fig12 grid ({vector:.4f}s vs {fast:.4f}s over {specs} specs); "
+        "gate is 5x")

@@ -139,6 +139,87 @@ class TestSweep:
             main(["sweep", "saxpy", "--sizes", "tiny",
                   "--engine", "warp"])
 
+    def test_sweep_vector_engine_matches_reference(self, capsys):
+        """--engine vector renders the exact same table and reports
+        its grid-batching accounting in the summary."""
+        ref = run_cli(capsys, "sweep", "saxpy", "--sizes", "tiny",
+                      "--iterations", "2", "--no-cache")
+        vec = run_cli(capsys, "sweep", "saxpy", "--sizes", "tiny",
+                      "--iterations", "2", "--no-cache",
+                      "--engine", "vector")
+        ref_table = [line for line in ref.splitlines()
+                     if not line.startswith("[sweep]")]
+        vec_table = [line for line in vec.splitlines()
+                     if not line.startswith("[sweep]")]
+        assert vec_table == ref_table
+        assert "vector engine" in vec
+        assert "grid-replayed" in vec
+
+
+class TestBench:
+    """`repro bench`: perf-trajectory snapshots + the statistical gate."""
+
+    ARGS = ("bench", "--repeats", "1", "--iterations", "1")
+
+    def test_bench_measures_and_saves(self, capsys, tmp_path):
+        out = run_cli(capsys, *self.ARGS,
+                      "--results-dir", str(tmp_path))
+        assert "bench grid: fig12-threads" in out
+        assert "vector speedup vs fast" in out
+        assert "snapshot written" in out
+        snapshots = list(tmp_path.glob("BENCH_*.json"))
+        assert len(snapshots) == 1
+        assert snapshots[0].name.startswith("BENCH_0001_")
+
+    def test_check_without_baseline_is_informative(self, capsys,
+                                                   tmp_path):
+        out = run_cli(capsys, *self.ARGS, "--check", "--no-save",
+                      "--results-dir", str(tmp_path))
+        assert "no baseline snapshot" in out
+        assert not list(tmp_path.glob("BENCH_*.json"))
+
+    def test_check_against_slow_baseline_improves(self, capsys,
+                                                  tmp_path):
+        from repro.harness.regression import load_bench, save_bench
+        path = run_cli(capsys, *self.ARGS,
+                       "--results-dir", str(tmp_path))
+        baseline = load_bench(next(tmp_path.glob("BENCH_*.json")))
+        for samples in baseline["engines"].values():
+            for phase in ("cold_s", "warm_s"):
+                samples[phase] = [s * 1000 for s in samples[phase]]
+        save_bench(baseline, results_dir=tmp_path)
+        out = run_cli(capsys, *self.ARGS, "--check", "--no-save",
+                      "--results-dir", str(tmp_path))
+        assert "baseline:" in out
+        assert "REGRESSED" not in out
+        assert "improved" in out
+
+    def test_check_regression_exits_nonzero(self, capsys, tmp_path):
+        from repro.harness.regression import load_bench, save_bench
+        run_cli(capsys, *self.ARGS, "--results-dir", str(tmp_path))
+        baseline = load_bench(next(tmp_path.glob("BENCH_*.json")))
+        for samples in baseline["engines"].values():
+            for phase in ("cold_s", "warm_s"):
+                samples[phase] = [s / 1000 for s in samples[phase]]
+        save_bench(baseline, results_dir=tmp_path)
+        code = main(["bench", "--repeats", "1", "--iterations", "1",
+                     "--check", "--no-save",
+                     "--results-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSED" in out
+
+    def test_engine_subset_and_validation(self, capsys, tmp_path):
+        out = run_cli(capsys, "bench", "--repeats", "1",
+                      "--iterations", "1", "--engines", "vector",
+                      "--no-save", "--results-dir", str(tmp_path))
+        assert "vector" in out
+        assert "fast" not in out.replace("fig12-threads", "")
+        with pytest.raises(SystemExit):
+            main(["bench", "--repeats", "0"])
+        with pytest.raises(SystemExit):
+            main(["bench", "--engines", "warp"])
+
 
 class TestArtifact:
     def test_run_micro_shared(self, capsys):
