@@ -16,6 +16,8 @@ appendix's ``run_*`` scripts, see :mod:`repro.harness.artifact`):
 * ``lint``     - statically validate workload programs (exit 1 on errors)
 * ``bench``    - engine perf-trajectory snapshots (``BENCH_*.json``)
   with a bootstrap-CI regression gate (``--check``)
+* ``serve``    - the sweep-as-a-service HTTP server (admission
+  control, deadlines, graceful SIGTERM drain; see docs/SERVICE.md)
 """
 
 from __future__ import annotations
@@ -496,6 +498,67 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--results-dir", default=None, metavar="DIR",
                        help="trajectory directory (default: "
                             "benchmarks/results)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep-as-a-service HTTP server (POST /sweep; "
+             "429 load shedding, per-request deadlines, SIGTERM drain "
+             "with --resume; see docs/SERVICE.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="TCP port (0 = pick a free ephemeral port; "
+                            "the chosen port is announced on stdout)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="executor workers per batch (default: 1)")
+    serve.add_argument("--backend", default="process",
+                       choices=("thread", "process"),
+                       help="batch-executor backend (default: process — "
+                            "required for crash/hang containment)")
+    serve.add_argument("--engine", default="reference",
+                       choices=tuple(ENGINES),
+                       help="simulation engine; non-reference engines "
+                            "fall back to reference when the circuit "
+                            "breaker trips (results stay bit-identical)")
+    serve.add_argument("--slots", type=int, default=2,
+                       help="concurrent executor batches (default: 2)")
+    serve.add_argument("--batch-size", type=int, default=8,
+                       help="max specs per executor batch (default: 8)")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="per-spec retries inside a batch (default: 1)")
+    serve.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                       help="per-spec wall-clock budget (process "
+                            "backend; default: 30)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="result-cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro/results)")
+    serve.add_argument("--resume", action="store_true",
+                       help="on startup, re-enqueue specs the service "
+                            "journal still marks pending (the SIGTERM-"
+                            "drain checkpoint)")
+    serve.add_argument("--max-pending", type=int, default=512,
+                       help="global admitted-spec ceiling before 429s "
+                            "(default: 512)")
+    serve.add_argument("--max-requests", type=int, default=64,
+                       help="concurrent request ceiling (default: 64)")
+    serve.add_argument("--max-tenant-pending", type=int, default=None,
+                       help="per-tenant pending-spec cap (default: none)")
+    serve.add_argument("--retry-after", type=float, default=1.0,
+                       metavar="S", help="Retry-After hint on 429s")
+    serve.add_argument("--deadline", type=float, default=60.0, metavar="S",
+                       help="default per-request deadline when the "
+                            "client sends none (default: 60)")
+    serve.add_argument("--drain-grace", type=float, default=30.0,
+                       metavar="S",
+                       help="seconds running batches get to finish "
+                            "during a SIGTERM drain (default: 30)")
+    serve.add_argument("--hot-capacity", type=int, default=4096,
+                       help="in-memory hot-cache entries (0 disables)")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive executed-spec failures that "
+                            "trip the engine circuit breaker")
+    serve.add_argument("--breaker-recovery", type=int, default=3,
+                       help="reference-engine successes before probing "
+                            "the configured engine again")
     return parser
 
 
@@ -645,6 +708,46 @@ def _cmd_bench(args):
     return "\n".join(pieces), code
 
 
+def _cmd_serve(args):
+    """Run the sweep service until SIGTERM/SIGINT drains it."""
+    import asyncio
+
+    from .service import (AdmissionLimits, ReproService, ServiceConfig,
+                          serve)
+    try:
+        config = ServiceConfig(
+            host=args.host, port=args.port, jobs=args.jobs,
+            backend=args.backend, engine=args.engine, slots=args.slots,
+            batch_size=args.batch_size, retries=args.retries,
+            timeout_s=args.timeout,
+            limits=AdmissionLimits(
+                max_pending_specs=args.max_pending,
+                max_requests=args.max_requests,
+                max_tenant_pending=args.max_tenant_pending,
+                retry_after_s=args.retry_after),
+            default_deadline_s=args.deadline,
+            drain_grace_s=args.drain_grace,
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            hot_capacity=args.hot_capacity, resume=args.resume,
+            breaker_threshold=args.breaker_threshold,
+            breaker_recovery=args.breaker_recovery)
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+    service = ReproService(config)
+
+    def announce(svc: ReproService) -> None:
+        # Scrapeable ready line (chaos harness + examples/sweep_client
+        # read the ephemeral port from here).
+        print(f"[serve] listening on http://{svc.config.host}:{svc.port} "
+              f"(cache {svc.cache_root})", flush=True)
+
+    flushed = asyncio.run(serve(service, on_ready=announce))
+    text = (f"[serve] stopped; {flushed} queued spec(s) checkpointed "
+            f"pending — restart with --resume to finish them"
+            if flushed else "[serve] stopped; no pending work")
+    return text, 0
+
+
 def _cmd_artifact(args) -> str:
     from .harness.artifact import ARTIFACT_SCRIPTS, run_micro_all
     script = ARTIFACT_SCRIPTS[args.script]
@@ -661,6 +764,7 @@ def _cmd_artifact(args) -> str:
 COMMANDS = {
     "artifact": _cmd_artifact,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
     "sizesearch": _cmd_sizesearch,
     "roofline": _cmd_roofline,

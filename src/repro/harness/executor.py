@@ -396,23 +396,38 @@ class ResultCache:
             # The entry exists but cannot be parsed (torn write, stale
             # schema, bit rot): quarantine it to <key>.corrupt so the
             # re-executed run can publish a clean record, and count it
-            # separately from ordinary misses.
-            self._quarantine(path)
-            self.stats.corrupt += 1
+            # separately from ordinary misses. Two readers can race to
+            # quarantine the same entry; only the one whose rename wins
+            # counts it, so a shared cache tallies each corruption once.
+            if self._quarantine(path):
+                self.stats.corrupt += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return run
 
-    def _quarantine(self, path: Path) -> None:
-        """Move a corrupt entry aside (best effort) as ``<key>.corrupt``."""
+    def _quarantine(self, path: Path) -> bool:
+        """Move a corrupt entry aside (best effort) as ``<key>.corrupt``.
+
+        Returns whether *this* process performed the quarantine. A
+        concurrent reader of the same corrupt entry may win the rename
+        first; the loser's ``FileNotFoundError`` is the expected race
+        outcome, not an error — it reports ``False`` so callers don't
+        double-count the corruption.
+        """
         try:
             path.replace(path.with_suffix(".corrupt"))
+            return True
+        except FileNotFoundError:
+            return False  # a concurrent reader already quarantined it
         except OSError:  # pragma: no cover - cross-device/permission edge
             try:
                 path.unlink()
+                return True
+            except FileNotFoundError:
+                return False
             except OSError:
-                pass
+                return False
 
     def put(self, key: str, run: RunResult) -> None:
         path = self.path_for(key)
@@ -614,7 +629,8 @@ class SweepExecutor:
                  journal: Optional[SweepJournal] = None,
                  resume: bool = False,
                  strict: bool = False,
-                 engine: str = "reference"):
+                 engine: str = "reference",
+                 isolate: bool = False):
         if backend not in _BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}")
@@ -639,6 +655,11 @@ class SweepExecutor:
         self.resume = resume
         self.strict = strict
         self.engine = engine
+        # ``isolate`` forces the pool path even for a single pending
+        # spec, so a crash fault (SIGKILL) can never take down the
+        # coordinating process — the containment contract a long-lived
+        # server (repro.service) needs for every batch it dispatches.
+        self.isolate = isolate
         self.last = SweepStats()
         self.last_outcome: Optional[SweepOutcome] = None
         self._env_fp: Optional[str] = None
@@ -671,6 +692,28 @@ class SweepExecutor:
     def _tick(self, done: int, total: int, spec: RunSpec) -> None:
         if self.progress is not None:
             self.progress(done, total, spec)
+
+    #: Extra read attempts absorbed before a flaky cache read degrades
+    #: to a miss (the entry is then recomputed, never served torn).
+    CACHE_READ_RETRIES = 2
+
+    def _cache_get(self, spec: RunSpec, key: str) -> Optional[RunResult]:
+        """One cache lookup, resilient to transient read errors.
+
+        A read that raises :class:`OSError` (real filesystem flake or
+        an injected ``flaky_io`` fault) is retried up to
+        :data:`CACHE_READ_RETRIES` times, then degrades to a miss — a
+        flaky disk can cost a re-simulation but can never fail a spec
+        or surface a partial record.
+        """
+        for _ in range(self.CACHE_READ_RETRIES + 1):
+            try:
+                faults.maybe_flaky_io(spec)
+                return self.cache.get(key)
+            except OSError:
+                continue
+        self.cache.stats.misses += 1
+        return None
 
     def prewarm(self, specs: Sequence[RunSpec]) -> int:
         """Hoist per-spec setup shared across the sweep.
@@ -773,7 +816,7 @@ class SweepExecutor:
                 for index, spec in enumerate(specs):
                     if outcomes[index] is not None:
                         continue
-                    hit = self.cache.get(keys[index])
+                    hit = self._cache_get(spec, keys[index])
                     if hit is not None:
                         self._settle(SpecOutcome(
                             spec=spec, index=index, status=SpecStatus.OK,
@@ -784,9 +827,10 @@ class SweepExecutor:
             pending = [(index, spec, keys[index])
                        for index, spec in enumerate(specs)
                        if outcomes[index] is None]
+            use_pool = bool(pending) and (
+                self.isolate or (self.jobs > 1 and len(pending) > 1))
             if (pending and ENGINES[self.engine].analytic
-                    and (self.jobs == 1 or len(pending) <= 1
-                         or self.backend == "thread")):
+                    and (not use_pool or self.backend == "thread")):
                 # Grid-level batching *before* spec fan-out: compile
                 # each distinct program structure once, batch-warm the
                 # phase memo across every group in one array program,
@@ -795,10 +839,10 @@ class SweepExecutor:
                 # dict; process workers keep the per-spec path.
                 self._precompute_grid([spec for _, spec, _ in pending])
             if pending:
-                if self.jobs == 1 or len(pending) <= 1:
-                    self._run_serial(pending, outcomes, total, strict)
-                else:
+                if use_pool:
                     self._run_pool(pending, outcomes, total, strict)
+                else:
+                    self._run_serial(pending, outcomes, total, strict)
         except SweepFailure as failure:
             failure.partial = self._finalize(specs, outcomes, started,
                                              "aborted by strict mode")

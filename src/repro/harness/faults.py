@@ -42,11 +42,23 @@ KIND_FAIL = "fail"                   # raise InjectedFault
 KIND_HANG = "hang"                   # sleep >> any sane timeout
 KIND_CRASH = "crash"                 # SIGKILL the worker process
 KIND_CORRUPT_CACHE = "corrupt_cache"  # tear the cache write afterwards
-ALL_KINDS = (KIND_FAIL, KIND_HANG, KIND_CRASH, KIND_CORRUPT_CACHE)
+KIND_DELAY = "delay"                 # slow spec: sleep, then run normally
+KIND_FLAKY_IO = "flaky_io"           # transient cache *read* error
+ALL_KINDS = (KIND_FAIL, KIND_HANG, KIND_CRASH, KIND_CORRUPT_CACHE,
+             KIND_DELAY, KIND_FLAKY_IO)
 
 
 class InjectedFault(RuntimeError):
     """The error a ``fail`` fault raises inside ``execute_spec``."""
+
+
+class InjectedIOError(OSError):
+    """The error a ``flaky_io`` fault raises on a cache read.
+
+    Subclasses :class:`OSError` so production read paths that already
+    degrade gracefully on real filesystem errors treat the injected
+    fault identically.
+    """
 
 
 @dataclass(frozen=True)
@@ -55,6 +67,9 @@ class Fault:
 
     ``attempts`` lists the attempt numbers (1-based) on which the fault
     fires; the empty tuple means *every* attempt (a permanent fault).
+    For ``flaky_io`` the "attempt" is the per-process cache *read*
+    count for the spec, so ``attempts=(1,)`` fails exactly the first
+    read and lets a retried read succeed — the transient-IO shape.
     """
 
     kind: str
@@ -64,6 +79,7 @@ class Fault:
     iteration: int = 0
     attempts: Tuple[int, ...] = (1,)
     hang_s: float = 30.0
+    delay_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.kind not in ALL_KINDS:
@@ -71,23 +87,29 @@ class Fault:
                 f"unknown fault kind {self.kind!r}; expected one of {ALL_KINDS}")
         if any(attempt < 1 for attempt in self.attempts):
             raise ValueError("attempt numbers are 1-based")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+
+    def matches_spec(self, spec) -> bool:
+        mode = getattr(spec.mode, "value", spec.mode)
+        return (spec.workload, spec.size, mode, spec.iteration) == \
+            (self.workload, self.size, self.mode, self.iteration)
 
     def matches(self, spec, attempt: int) -> bool:
-        mode = getattr(spec.mode, "value", spec.mode)
-        if (spec.workload, spec.size, mode, spec.iteration) != \
-                (self.workload, self.size, self.mode, self.iteration):
+        if not self.matches_spec(spec):
             return False
         return not self.attempts or attempt in self.attempts
 
     @classmethod
     def for_spec(cls, spec, kind: str = KIND_FAIL,
                  attempts: Sequence[int] = (1,),
-                 hang_s: float = 30.0) -> "Fault":
+                 hang_s: float = 30.0,
+                 delay_s: float = 0.05) -> "Fault":
         """Build a fault targeting an existing ``RunSpec``."""
         return cls(kind=kind, workload=spec.workload, size=spec.size,
                    mode=getattr(spec.mode, "value", spec.mode),
                    iteration=spec.iteration, attempts=tuple(attempts),
-                   hang_s=hang_s)
+                   hang_s=hang_s, delay_s=delay_s)
 
 
 @dataclass(frozen=True)
@@ -110,6 +132,7 @@ class FaultPlan:
             "kind": f.kind, "workload": f.workload, "size": f.size,
             "mode": f.mode, "iteration": f.iteration,
             "attempts": list(f.attempts), "hang_s": f.hang_s,
+            "delay_s": f.delay_s,
         } for f in self.faults])
 
     @classmethod
@@ -119,7 +142,8 @@ class FaultPlan:
                   size=entry["size"], mode=entry["mode"],
                   iteration=entry["iteration"],
                   attempts=tuple(entry["attempts"]),
-                  hang_s=entry["hang_s"])
+                  hang_s=entry["hang_s"],
+                  delay_s=entry.get("delay_s", 0.05))
             for entry in json.loads(payload)))
 
 
@@ -128,11 +152,17 @@ class FaultPlan:
 # ----------------------------------------------------------------------
 _ACTIVE: Optional[FaultPlan] = None
 
+#: Per-process cache-read counter keyed by spec coordinates, consumed
+#: by ``flaky_io`` faults. Deterministic within a process: the N-th
+#: read of a given spec's cache entry always sees the same verdict.
+_IO_READS: dict = {}
+
 
 def install(plan: FaultPlan) -> None:
     """Activate a plan in this process and (via env) in future workers."""
     global _ACTIVE
     _ACTIVE = plan
+    _IO_READS.clear()
     os.environ[PLAN_ENV] = plan.to_json()
 
 
@@ -140,6 +170,7 @@ def clear() -> None:
     """Deactivate fault injection everywhere."""
     global _ACTIVE
     _ACTIVE = None
+    _IO_READS.clear()
     os.environ.pop(PLAN_ENV, None)
 
 
@@ -183,22 +214,28 @@ def maybe_fire(spec, attempt: int = 1) -> None:
     Called by :func:`repro.harness.executor.execute_spec` before the
     simulation starts. ``fail`` raises :class:`InjectedFault`; ``hang``
     sleeps for ``hang_s`` (long enough to trip any per-spec timeout);
+    ``delay`` sleeps for ``delay_s`` and then lets the spec run
+    normally (a deterministic *slow* spec, for deadline tests);
     ``crash`` SIGKILLs the current process — mid-spec, exactly like an
-    OOM-killed or segfaulting worker. ``corrupt_cache`` does nothing
-    here (the *coordinator* applies it after the cache write, see
-    :func:`should_corrupt_cache`).
+    OOM-killed or segfaulting worker. ``corrupt_cache`` and
+    ``flaky_io`` do nothing here (the coordinator applies them on the
+    cache write/read paths, see :func:`should_corrupt_cache` and
+    :func:`maybe_flaky_io`).
     """
     plan = active_plan()
     if plan is None:
         return
     fault = plan.match(spec, attempt)
-    if fault is None or fault.kind == KIND_CORRUPT_CACHE:
+    if fault is None or fault.kind in (KIND_CORRUPT_CACHE, KIND_FLAKY_IO):
         return
     if fault.kind == KIND_FAIL:
         raise InjectedFault(
             f"injected failure: {spec.workload}@{spec.size} "
             f"{getattr(spec.mode, 'value', spec.mode)}#{spec.iteration} "
             f"attempt {attempt}")
+    if fault.kind == KIND_DELAY:
+        time.sleep(fault.delay_s)
+        return
     if fault.kind == KIND_HANG:
         time.sleep(fault.hang_s)
         return
@@ -213,3 +250,31 @@ def should_corrupt_cache(spec) -> bool:
         return False
     fault = plan.match(spec, attempt=1)
     return fault is not None and fault.kind == KIND_CORRUPT_CACHE
+
+
+def maybe_flaky_io(spec) -> None:
+    """Fire a scheduled ``flaky_io`` fault for this spec's cache read.
+
+    Called by the coordinator immediately before a result-cache read.
+    Each call increments a per-process read counter for the spec; the
+    fault raises :class:`InjectedIOError` when the counter matches one
+    of its ``attempts`` (empty tuple = every read fails — a permanently
+    unreadable entry). The counter makes the schedule deterministic:
+    ``attempts=(1,)`` is the classic transient error that a single
+    read retry absorbs.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    for fault in plan.faults:
+        if fault.kind != KIND_FLAKY_IO or not fault.matches_spec(spec):
+            continue
+        coords = (spec.workload, spec.size,
+                  getattr(spec.mode, "value", spec.mode), spec.iteration)
+        count = _IO_READS.get(coords, 0) + 1
+        _IO_READS[coords] = count
+        if not fault.attempts or count in fault.attempts:
+            raise InjectedIOError(
+                f"injected flaky cache read #{count}: "
+                f"{spec.workload}@{spec.size} {coords[2]}#{spec.iteration}")
+        return

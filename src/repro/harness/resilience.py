@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import enum
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass, field
@@ -33,6 +34,8 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.results import RunResult
@@ -254,63 +257,117 @@ class SweepJournal:
     "attempts", "error", "ts"}``. Lives next to the result cache
     (:meth:`beside`). Each record is written with open/append/close so
     a crash can tear at most the final line — and :meth:`load`
-    tolerates a torn tail. ``--resume`` uses the journal to skip specs
-    that already failed permanently; *completed* specs need no journal
-    help because the content-addressed cache already covers them.
+    salvages a torn tail explicitly (the damaged line is dropped with
+    a logged warning and counted in ``last_salvaged``, never silently).
+    ``--resume`` uses the journal to skip specs that already failed
+    permanently; *completed* specs need no journal help because the
+    content-addressed cache already covers them.
+
+    ``durable=True`` additionally flushes **and fsyncs** every record —
+    the long-lived-process contract (``repro serve``): once
+    :meth:`record` returns, the line survives a power cut, not just a
+    process kill. One-shot CLI sweeps keep the cheaper default.
     """
 
     FILENAME = "journal.jsonl"
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], durable: bool = False):
         self.path = Path(path)
+        self.durable = durable
+        #: Damaged lines dropped by the most recent :meth:`load` /
+        #: :meth:`latest_entries` call (torn tail or mid-file rot).
+        self.last_salvaged = 0
 
     @classmethod
-    def beside(cls, cache_root: Union[str, Path]) -> "SweepJournal":
-        return cls(Path(cache_root) / cls.FILENAME)
+    def beside(cls, cache_root: Union[str, Path],
+               durable: bool = False) -> "SweepJournal":
+        return cls(Path(cache_root) / cls.FILENAME, durable=durable)
 
-    def load(self) -> Dict[str, str]:
-        """Latest journaled status per key (later lines win)."""
-        entries: Dict[str, str] = {}
+    def latest_entries(self) -> Dict[str, Dict]:
+        """Latest full record per key (later lines win).
+
+        Undecodable lines are *salvaged*: dropped from the result,
+        counted in ``last_salvaged``, and logged — a torn final line
+        (the expected crash artifact of an append interrupted mid-
+        write) is called out as such, while a corrupt line anywhere
+        else is reported with its line number so real bit rot is never
+        mistaken for an ordinary crash tail.
+        """
+        entries: Dict[str, Dict] = {}
+        self.last_salvaged = 0
         try:
             text = self.path.read_text()
         except OSError:
             return entries
-        for line in text.splitlines():
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines, 1):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn tail from a crash mid-write
+                self.last_salvaged += 1
+                if lineno == len(lines):
+                    logger.warning(
+                        "journal %s: salvaged truncated final line "
+                        "(%d bytes) — an interrupted append; the record "
+                        "it carried is lost and its spec will re-run",
+                        self.path, len(line))
+                else:
+                    logger.warning(
+                        "journal %s: dropped corrupt line %d of %d "
+                        "(not a crash tail — possible bit rot)",
+                        self.path, lineno, len(lines))
+                continue
             key, status = record.get("key"), record.get("status")
             if key and status:
-                entries[key] = status
+                entries[key] = record
         return entries
+
+    def load(self) -> Dict[str, str]:
+        """Latest journaled status per key (later lines win)."""
+        return {key: record["status"]
+                for key, record in self.latest_entries().items()}
 
     def failed_keys(self) -> Dict[str, str]:
         """Keys whose latest status is a permanent failure."""
         return {key: status for key, status in self.load().items()
                 if status in TERMINAL_FAILURE_STATUSES}
 
-    def record(self, key: str, status: SpecStatus, spec=None,
+    def record(self, key: str, status: Union[SpecStatus, str], spec=None,
                attempts: int = 0, error: Optional[str] = None) -> None:
-        entry: Dict = {"key": key, "status": status.value,
+        status_value = (status.value if isinstance(status, SpecStatus)
+                        else str(status))
+        entry: Dict = {"key": key, "status": status_value,
                        "attempts": attempts, "ts": time.time()}
         if spec is not None:
             entry["spec"] = {
                 "workload": spec.workload, "size": spec.size,
                 "mode": getattr(spec.mode, "value", spec.mode),
                 "iteration": spec.iteration,
+                # The full coordinate set, so a restarted service can
+                # reconstruct the RunSpec bit-exactly from the journal
+                # alone (defaults tolerated for pre-upgrade records).
+                "base_seed": getattr(spec, "base_seed", 1234),
+                "blocks": getattr(spec, "blocks", None),
+                "threads": getattr(spec, "threads", None),
+                "smem_carveout_bytes": getattr(spec, "smem_carveout_bytes",
+                                               None),
+                "seed_salt": getattr(spec, "seed_salt", ""),
             }
         if error:
             entry["error"] = str(error)[:500]
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # Open-append-close per record: the file is always flushed, so
         # SIGKILL between records loses nothing and Ctrl-C loses at
-        # most the line being written.
+        # most the line being written. ``durable`` upgrades that to
+        # power-cut safety with an fsync per record.
         with self.path.open("a") as stream:
             stream.write(json.dumps(entry) + "\n")
+            if self.durable:
+                stream.flush()
+                os.fsync(stream.fileno())
 
     def clear(self) -> None:
         try:

@@ -1,0 +1,159 @@
+"""Admission control for the sweep service: bounded queues, 429s.
+
+A long-running server must fail *sideways*, not down: when demand
+exceeds capacity the right answer is a fast, explicit rejection that a
+client can retry — never an unbounded queue that turns every request
+into a timeout. This module owns that decision:
+
+* :class:`AdmissionLimits` - the knobs (global pending-spec ceiling,
+  concurrent-request ceiling, optional per-tenant pending cap);
+* :class:`AdmissionController` - event-loop-confined accounting of
+  admitted requests and their unsettled specs;
+* :class:`AdmissionRejected` - carries the HTTP 429 + ``Retry-After``
+  payload up to the server layer.
+
+All counters are adjusted only from the asyncio event loop, so there
+are no locks — the controller is plain bookkeeping, cheap enough to
+consult on every request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class AdmissionLimits:
+    """Ceilings the admission controller enforces.
+
+    ``max_pending_specs`` bounds the total number of spec slots across
+    all admitted, unfinished requests (queued + executing); it is the
+    server's memory/latency backstop. ``max_requests`` bounds
+    concurrently admitted requests. ``max_tenant_pending`` optionally
+    caps one tenant's unsettled specs so a single bulk tenant cannot
+    consume the whole global budget even before fair-share scheduling
+    kicks in. ``retry_after_s`` is the hint returned with every 429.
+    """
+
+    max_pending_specs: int = 512
+    max_requests: int = 64
+    max_tenant_pending: Optional[int] = None
+    retry_after_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_pending_specs < 1:
+            raise ValueError("max_pending_specs must be >= 1")
+        if self.max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        if self.max_tenant_pending is not None \
+                and self.max_tenant_pending < 1:
+            raise ValueError("max_tenant_pending must be >= 1")
+        if self.retry_after_s < 0:
+            raise ValueError("retry_after_s must be >= 0")
+
+
+class AdmissionRejected(Exception):
+    """Load shed: the request was not admitted (HTTP 429)."""
+
+    def __init__(self, reason: str, retry_after_s: float):
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(reason)
+
+
+@dataclass
+class AdmissionStats:
+    """Lifetime counters (exported on ``/stats``)."""
+
+    admitted: int = 0
+    rejected: int = 0
+    shed_queue_full: int = 0
+    shed_requests_full: int = 0
+    shed_tenant_full: int = 0
+
+
+class AdmissionController:
+    """Tracks admitted work and sheds load past the configured limits.
+
+    Lifecycle per request: :meth:`admit` (may raise
+    :class:`AdmissionRejected`), then one :meth:`spec_settled` per spec
+    as outcomes land, then :meth:`release` when the response is sent
+    (idempotent accounting is the caller's job: exactly one release per
+    successful admit, even on deadline expiry or drain).
+    """
+
+    def __init__(self, limits: Optional[AdmissionLimits] = None):
+        self.limits = limits or AdmissionLimits()
+        self.stats = AdmissionStats()
+        self.pending_specs = 0
+        self.inflight_requests = 0
+        self.tenant_pending: Dict[str, int] = {}
+
+    def admit(self, tenant: str, spec_count: int) -> None:
+        """Admit ``spec_count`` specs for ``tenant`` or raise 429."""
+        limits = self.limits
+        if self.inflight_requests + 1 > limits.max_requests:
+            self.stats.rejected += 1
+            self.stats.shed_requests_full += 1
+            raise AdmissionRejected(
+                f"too many concurrent requests (limit "
+                f"{limits.max_requests})", limits.retry_after_s)
+        if self.pending_specs + spec_count > limits.max_pending_specs:
+            self.stats.rejected += 1
+            self.stats.shed_queue_full += 1
+            raise AdmissionRejected(
+                f"queue depth {self.pending_specs} + {spec_count} specs "
+                f"exceeds limit {limits.max_pending_specs}",
+                limits.retry_after_s)
+        tenant_load = self.tenant_pending.get(tenant, 0)
+        if limits.max_tenant_pending is not None \
+                and tenant_load + spec_count > limits.max_tenant_pending:
+            self.stats.rejected += 1
+            self.stats.shed_tenant_full += 1
+            raise AdmissionRejected(
+                f"tenant {tenant!r} has {tenant_load} pending specs; "
+                f"+{spec_count} exceeds per-tenant limit "
+                f"{limits.max_tenant_pending}", limits.retry_after_s)
+        self.stats.admitted += 1
+        self.inflight_requests += 1
+        self.pending_specs += spec_count
+        self.tenant_pending[tenant] = tenant_load + spec_count
+
+    def spec_settled(self, tenant: str, count: int = 1) -> None:
+        """``count`` of the tenant's admitted specs reached an outcome."""
+        self.pending_specs = max(0, self.pending_specs - count)
+        remaining = self.tenant_pending.get(tenant, 0) - count
+        if remaining > 0:
+            self.tenant_pending[tenant] = remaining
+        else:
+            self.tenant_pending.pop(tenant, None)
+
+    def release(self, tenant: str, unsettled: int = 0) -> None:
+        """The request's response went out; return its admission slots.
+
+        ``unsettled`` returns spec slots that never reached an outcome
+        (deadline expiry, drain) in one step.
+        """
+        self.inflight_requests = max(0, self.inflight_requests - 1)
+        if unsettled:
+            self.spec_settled(tenant, unsettled)
+
+    def snapshot(self) -> Dict:
+        return {
+            "pending_specs": self.pending_specs,
+            "inflight_requests": self.inflight_requests,
+            "tenants": dict(sorted(self.tenant_pending.items())),
+            "admitted": self.stats.admitted,
+            "rejected": self.stats.rejected,
+            "shed": {
+                "queue_full": self.stats.shed_queue_full,
+                "requests_full": self.stats.shed_requests_full,
+                "tenant_full": self.stats.shed_tenant_full,
+            },
+            "limits": {
+                "max_pending_specs": self.limits.max_pending_specs,
+                "max_requests": self.limits.max_requests,
+                "max_tenant_pending": self.limits.max_tenant_pending,
+            },
+        }

@@ -1,0 +1,97 @@
+"""In-memory hot LRU layer in front of the on-disk result cache.
+
+The disk cache (:class:`repro.harness.executor.ResultCache`) makes warm
+regenerations O(file read); a long-running server can do better for the
+overlapping grids different tenants keep re-requesting — an LRU of
+deserialized :class:`~repro.core.results.RunResult` objects keyed by the
+same content-addressed key turns a repeat lookup into a dict hit with
+zero IO and zero parsing.
+
+Entries are immutable run results shared by reference; nothing in the
+serving path mutates them (the same invariant the executor's program
+memo relies on). Corruption handling stays where the bytes are: the
+disk layer quarantines unreadable entries on read, the hot layer only
+ever holds values that already parsed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.results import RunResult
+
+
+@dataclass
+class HotCacheStats:
+    """Hit/miss/eviction accounting for one :class:`HotCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class HotCache:
+    """Bounded LRU of finished runs, keyed by content-addressed key.
+
+    Thread-safe: the asyncio event loop and the batch-executor threads
+    both touch it. A ``capacity`` of 0 disables the layer (every get is
+    a miss, puts are dropped) so the server can run hot-cache-free for
+    A/B measurements without a second code path.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = HotCacheStats()
+        self._entries: "OrderedDict[str, RunResult]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional["RunResult"]:
+        with self._lock:
+            run = self._entries.get(key)
+            if run is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return run
+
+    def put(self, key: str, run: "RunResult") -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = run
+                return
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._entries[key] = run
+            self.stats.stores += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,549 @@
+"""``repro serve``: the asyncio sweep server.
+
+A deliberately small HTTP/1.1 server built on ``asyncio.start_server``
+(stdlib only — no framework), exposing the sweep executor as a
+long-running, multi-tenant service:
+
+* ``POST /sweep``  - run a :class:`~repro.harness.executor.RunSpec`
+  grid; the request decomposes into per-spec jobs that dedup against
+  identical in-flight work, schedule fairly across tenants, and settle
+  through the cached, crash-contained
+  :class:`~repro.harness.executor.SweepExecutor`;
+* ``GET /healthz`` - liveness (always 200 while the process serves);
+* ``GET /readyz``  - readiness (503 once draining);
+* ``GET /stats``   - admission / scheduler / cache counters.
+
+Responses mirror the CLI's exit-code semantics: a fully satisfied
+request returns 200, a partial one (deadline expiry, failed specs,
+drain) returns 206 with every gap explicitly annotated — the HTTP
+analogue of ``repro sweep``'s exit code 3. Overload returns 429 with
+``Retry-After`` (admission control), drain returns 503, and any
+internal error is contained to a 500 for that one request: the serving
+loop itself never dies with a client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import logging
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.configs import ALL_MODES, TransferMode
+from ..harness.executor import (ResultCache, RunSpec, SweepExecutor,
+                                cache_key, default_cache_dir,
+                                environment_fingerprint, expand_grid)
+from ..harness.resilience import RetryPolicy, SweepJournal, SweepOutcome
+from ..harness.store import run_to_record
+from .admission import (AdmissionController, AdmissionLimits,
+                        AdmissionRejected)
+from .hotcache import HotCache
+from .scheduler import CircuitBreaker, FairShareScheduler, SpecJob
+
+logger = logging.getLogger(__name__)
+
+#: The service's journal file, beside the result cache. Distinct from
+#: the CLI sweep journal so an operator can run both against one cache.
+SERVICE_JOURNAL = "service-journal.jsonl"
+
+#: Journal status for admitted-but-unsettled specs (a plain string on
+#: purpose: :class:`~repro.harness.resilience.SpecStatus` stays the
+#: executor's terminal-state vocabulary).
+PENDING_STATUS = "pending"
+
+#: Tenant label for jobs replayed from the journal on ``--resume``.
+RESUME_TENANT = "__resume__"
+
+_REASONS = {200: "OK", 206: "Partial Content", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+class BadRequest(ValueError):
+    """Client error: malformed request line, JSON, or spec payload."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every knob of one :class:`ReproService` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8023
+    #: Batch-executor shape: ``jobs`` workers per batch, ``slots``
+    #: concurrent batches, up to ``batch_size`` specs per batch.
+    jobs: int = 1
+    backend: str = "process"
+    engine: str = "reference"
+    slots: int = 2
+    batch_size: int = 8
+    retries: int = 1
+    timeout_s: Optional[float] = 30.0
+    limits: AdmissionLimits = field(default_factory=AdmissionLimits)
+    #: Default per-request deadline when the client sends none
+    #: (``None`` waits indefinitely — not recommended for production).
+    default_deadline_s: Optional[float] = 60.0
+    drain_grace_s: float = 30.0
+    cache_dir: Optional[Path] = None
+    hot_capacity: int = 4096
+    resume: bool = False
+    breaker_threshold: int = 5
+    breaker_recovery: int = 3
+    max_body_bytes: int = 4 * 1024 * 1024
+    request_read_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be > 0")
+        if self.default_deadline_s is not None \
+                and self.default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be > 0")
+        if self.drain_grace_s < 0:
+            raise ValueError("drain_grace_s must be >= 0")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+
+
+class ReproService:
+    """One sweep-serving process: HTTP front end + fair-share backend.
+
+    Wiring: requests admit through the :class:`AdmissionController`,
+    decompose into content-addressed spec jobs, check the
+    :class:`HotCache`, then join the :class:`FairShareScheduler`. The
+    scheduler executes batches through a fresh crash-isolated
+    :class:`~repro.harness.executor.SweepExecutor` per batch (process
+    backend by default, so hang/crash faults are contained and timed
+    out exactly as in CLI sweeps); every admitted spec is journaled
+    ``pending`` at admission and terminally on settle, giving SIGTERM
+    drains a checkpoint that ``--resume`` replays bit-identically.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.cache_root = (Path(self.config.cache_dir)
+                           if self.config.cache_dir else default_cache_dir())
+        self.disk_cache = ResultCache(self.cache_root)
+        self.hot = HotCache(self.config.hot_capacity)
+        self.admission = AdmissionController(self.config.limits)
+        self.journal = SweepJournal(self.cache_root / SERVICE_JOURNAL,
+                                    durable=True)
+        self.breaker = CircuitBreaker(self.config.engine,
+                                      threshold=self.config.breaker_threshold,
+                                      recovery=self.config.breaker_recovery)
+        self.scheduler = FairShareScheduler(
+            self._execute_batch, breaker=self.breaker,
+            batch_size=self.config.batch_size, slots=self.config.slots,
+            on_settle=self._on_settle)
+        self.draining = False
+        self.requests = 0
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop = asyncio.Event()
+        self._handlers: set = set()
+        self._env_fp: Optional[str] = None
+        self._key_memo: Dict[RunSpec, str] = {}
+
+    # ------------------------------------------------------------------
+    # Backend bridge (runs in a worker thread)
+    # ------------------------------------------------------------------
+    def _execute_batch(self, specs: List[RunSpec],
+                       engine: str) -> SweepOutcome:
+        """One scheduler batch through a fresh, isolated executor.
+
+        ``isolate=True`` forces the pool path even for a one-spec
+        batch, so a crashing spec SIGKILLs a disposable worker process,
+        never this server. The executor journals nothing (the service
+        journal is per-job, written by :meth:`_on_settle`); it shares
+        the service's disk cache so results are content-addressed
+        exactly as CLI sweeps write them.
+        """
+        executor = SweepExecutor(
+            jobs=self.config.jobs, cache=self.disk_cache,
+            backend=self.config.backend,
+            retry=RetryPolicy(retries=self.config.retries,
+                              timeout_s=self.config.timeout_s),
+            engine=engine, isolate=True)
+        return executor.run_outcomes(specs, strict=False)
+
+    def _on_settle(self, job: SpecJob, outcome) -> None:
+        """Scheduler settle hook: hot-cache fill + terminal journal."""
+        if outcome.ok and outcome.result is not None:
+            self.hot.put(job.key, outcome.result)
+        if job.drained:
+            # A drained job's ``pending`` record *is* the checkpoint
+            # --resume replays; writing a terminal line would erase it.
+            return
+        self.journal.record(job.key, outcome.status, spec=job.spec,
+                            attempts=outcome.attempts, error=outcome.error)
+
+    def _keys_for(self, specs: List[RunSpec]) -> List[str]:
+        """Content-addressed keys (blocking: builds programs once)."""
+        if self._env_fp is None:
+            self._env_fp = environment_fingerprint()
+        if len(self._key_memo) > 65536:
+            self._key_memo.clear()
+        keys = []
+        for spec in specs:
+            key = self._key_memo.get(spec)
+            if key is None:
+                key = cache_key(spec, env_fingerprint=self._env_fp)
+                self._key_memo[spec] = key
+            keys.append(key)
+        return keys
+
+    # ------------------------------------------------------------------
+    # Lifecycle surface (driven by repro.service.lifecycle)
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_shutdown(self) -> None:
+        """Signal-handler entry: begin the graceful drain."""
+        self._stop.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stop.wait()
+
+    async def close(self) -> None:
+        """Stop accepting, then give open handlers a moment to flush."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        open_handlers = {task for task in self._handlers if not task.done()}
+        if open_handlers:
+            await asyncio.wait(open_handlers, timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader),
+                    timeout=self.config.request_read_timeout_s)
+            except BadRequest as error:
+                await self._respond(writer, 400, {"error": str(error)})
+                return
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    ConnectionError):
+                return  # client went away or dribbled; nothing to answer
+            try:
+                status, payload, headers = await self._dispatch(
+                    method, path, body)
+            except AdmissionRejected as error:
+                retry_after = max(0.0, error.retry_after_s)
+                status, payload = 429, {"error": error.reason,
+                                        "retry_after_s": retry_after}
+                headers = {"Retry-After": f"{retry_after:g}"}
+            except BadRequest as error:
+                status, payload, headers = 400, {"error": str(error)}, {}
+            except Exception:
+                # Containment: one broken request is one 500; the
+                # accept loop and every other request keep going.
+                logger.exception("request handler failed (%s %s)",
+                                 method, path)
+                status, payload, headers = 500, {
+                    "error": "internal error (contained; see server log)"}, {}
+            await self._respond(writer, status, payload, headers)
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover - peer already gone
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Tuple[str, str, bytes]:
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("empty request")
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise BadRequest("malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise BadRequest(
+                f"invalid Content-Length {raw_length!r}") from None
+        if length < 0:
+            raise BadRequest("negative Content-Length")
+        if length > self.config.max_body_bytes:
+            raise BadRequest(
+                f"body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit")
+        body = await reader.readexactly(length) if length else b""
+        return method, target.split("?", 1)[0], body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: Dict,
+                       headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(body)}",
+                 "Connection: close"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, RuntimeError):  # pragma: no cover
+            pass  # client vanished mid-response; its problem, not ours
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes
+                        ) -> Tuple[int, Dict, Dict[str, str]]:
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {"status": "ok", "draining": self.draining}, {}
+            if path == "/readyz":
+                if self.draining:
+                    return 503, {"status": "draining"}, {"Retry-After": "5"}
+                return 200, {"status": "ready"}, {}
+            if path == "/stats":
+                return 200, self.snapshot(), {}
+            return 404, {"error": f"no such resource {path!r}"}, {}
+        if method == "POST":
+            if path == "/sweep":
+                return await self._handle_sweep(body)
+            return 404, {"error": f"no such resource {path!r}"}, {}
+        return 405, {"error": f"method {method} not supported"}, {}
+
+    # ------------------------------------------------------------------
+    # POST /sweep
+    # ------------------------------------------------------------------
+    async def _handle_sweep(self, body: bytes
+                            ) -> Tuple[int, Dict, Dict[str, str]]:
+        if self.draining:
+            return 503, {"error": "server draining; retry after restart"}, \
+                {"Retry-After": "5"}
+        self.requests += 1
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, ValueError):
+            raise BadRequest("request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        tenant = str(payload.get("tenant") or "anonymous")
+        deadline_s = self._parse_deadline(payload)
+        specs = self._parse_specs(payload)
+        if not specs:
+            raise BadRequest("request expands to zero runnable specs")
+
+        started = time.monotonic()
+        self.admission.admit(tenant, len(specs))  # may raise -> 429
+        try:
+            loop = asyncio.get_running_loop()
+            keys = await loop.run_in_executor(None, self._keys_for, specs)
+        except Exception as error:
+            self.admission.release(tenant, unsettled=len(specs))
+            raise BadRequest(
+                f"cannot resolve specs: {type(error).__name__}: "
+                f"{error}") from error
+        if self.draining:  # the drain began while we computed keys
+            self.admission.release(tenant, unsettled=len(specs))
+            return 503, {"error": "server draining; retry after restart"}, \
+                {"Retry-After": "5"}
+
+        # Decompose: hot hits settle immediately; everything else joins
+        # the scheduler (dedup'ing onto identical in-flight jobs). No
+        # awaits in this loop, so the drain cannot interleave.
+        slots: List[Tuple[str, object, str, RunSpec]] = []
+        for spec, key in zip(specs, keys):
+            run = self.hot.get(key)
+            if run is not None:
+                self.admission.spec_settled(tenant)
+                slots.append(("hot", run, key, spec))
+                continue
+            job, created = self.scheduler.submit(tenant, spec, key)
+            job.future.add_done_callback(
+                functools.partial(self._spec_settled, tenant))
+            if created:
+                self.journal.record(key, PENDING_STATUS, spec=spec)
+            slots.append(("job", job, key, spec))
+
+        futures = {job.future for kind, job, _, _ in slots
+                   if kind == "job"}
+        expired: set = set()
+        if futures:
+            remaining = None
+            if deadline_s is not None:
+                remaining = max(0.0, deadline_s
+                                - (time.monotonic() - started))
+            _, still_pending = await asyncio.wait(futures,
+                                                  timeout=remaining)
+            expired = still_pending
+
+        entries: List[Dict] = []
+        counts: Dict[str, int] = {}
+        for kind, item, key, spec in slots:
+            if kind == "hot":
+                entry = {"status": "ok", "cache": "hot", "key": key,
+                         "record": run_to_record(item, with_counters=True)}
+            else:
+                job = item
+                if job.future in expired:
+                    # One abandon per submit call: this request's
+                    # waiter count on the job drops to zero only when
+                    # every duplicate slot has walked away.
+                    self.scheduler.abandon(job)
+                    entry = {"status": "skipped", "cache": "none",
+                             "key": key,
+                             "error": "request deadline expired before "
+                                      "this spec settled"}
+                else:
+                    outcome = job.future.result()
+                    entry = {"status": outcome.status.value,
+                             "cache": "disk" if outcome.from_cache
+                             else "none",
+                             "key": key, "attempts": outcome.attempts}
+                    if outcome.ok and outcome.result is not None:
+                        entry["record"] = run_to_record(
+                            outcome.result, with_counters=True)
+                    if outcome.error:
+                        entry["error"] = outcome.error
+            entry.update(self._spec_echo(spec))
+            counts[entry["status"]] = counts.get(entry["status"], 0) + 1
+            entries.append(entry)
+        self.admission.release(tenant)
+
+        complete = counts.get("ok", 0) == len(entries)
+        response = {
+            "tenant": tenant,
+            "complete": complete,
+            "counts": counts,
+            "deadline_expired": bool(expired),
+            "elapsed_s": round(time.monotonic() - started, 6),
+            "engine": self.breaker.select(),
+            "specs": entries,
+        }
+        # 200 iff every spec is ok — 206 is the HTTP spelling of the
+        # CLI's exit code 3 (partial sweep, gaps annotated inline).
+        return (200 if complete else 206), response, {}
+
+    def _spec_settled(self, tenant: str, _future) -> None:
+        """Future done-callback: return one admitted spec slot."""
+        self.admission.spec_settled(tenant)
+
+    @staticmethod
+    def _spec_echo(spec: RunSpec) -> Dict:
+        return {"workload": spec.workload, "size": spec.size,
+                "mode": spec.mode.value, "iteration": spec.iteration}
+
+    def _parse_deadline(self, payload: Dict) -> Optional[float]:
+        if "deadline_s" not in payload:
+            return self.config.default_deadline_s
+        deadline = payload["deadline_s"]
+        if deadline is None:
+            return None
+        if not isinstance(deadline, (int, float)) \
+                or isinstance(deadline, bool) or deadline <= 0:
+            raise BadRequest("deadline_s must be a positive number or null")
+        return float(deadline)
+
+    def _parse_specs(self, payload: Dict) -> List[RunSpec]:
+        raw_specs = payload.get("specs")
+        grid = payload.get("grid")
+        if raw_specs is not None and grid is not None:
+            raise BadRequest("give either 'specs' or 'grid', not both")
+        if raw_specs is not None:
+            if not isinstance(raw_specs, list):
+                raise BadRequest("'specs' must be a list of objects")
+            specs = []
+            for position, entry in enumerate(raw_specs):
+                if not isinstance(entry, dict):
+                    raise BadRequest(f"spec #{position} is not an object")
+                try:
+                    specs.append(RunSpec(
+                        workload=str(entry["workload"]),
+                        size=str(entry["size"]),
+                        mode=entry.get("mode", "standard"),
+                        iteration=int(entry.get("iteration", 0)),
+                        base_seed=int(entry.get("base_seed", 1234)),
+                        blocks=entry.get("blocks"),
+                        threads=entry.get("threads"),
+                        smem_carveout_bytes=entry.get(
+                            "smem_carveout_bytes"),
+                        seed_salt=str(entry.get("seed_salt", ""))))
+                except (KeyError, ValueError, TypeError) as error:
+                    raise BadRequest(
+                        f"spec #{position}: {error}") from None
+            return specs
+        if grid is not None:
+            if not isinstance(grid, dict):
+                raise BadRequest("'grid' must be an object")
+            try:
+                mode_labels = grid.get(
+                    "modes", [mode.value for mode in ALL_MODES])
+                modes = [TransferMode.from_label(label)
+                         for label in mode_labels]
+                return expand_grid(
+                    [str(name) for name in grid.get("workloads") or []],
+                    [str(size) for size in grid.get("sizes") or []],
+                    modes=modes,
+                    iterations=int(grid.get("iterations", 1)),
+                    base_seed=int(grid.get("base_seed", 1234)))
+            except (KeyError, ValueError, TypeError) as error:
+                raise BadRequest(f"grid: {error}") from None
+        raise BadRequest("request needs a 'specs' list or a 'grid' object")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        return {
+            "draining": self.draining,
+            "sweep_requests": self.requests,
+            "admission": self.admission.snapshot(),
+            "scheduler": self.scheduler.snapshot(),
+            "hot_cache": {
+                "entries": len(self.hot),
+                "capacity": self.hot.capacity,
+                "hits": self.hot.stats.hits,
+                "misses": self.hot.stats.misses,
+                "stores": self.hot.stats.stores,
+                "evictions": self.hot.stats.evictions,
+            },
+            "disk_cache": {
+                "root": str(self.cache_root),
+                "hits": self.disk_cache.stats.hits,
+                "misses": self.disk_cache.stats.misses,
+                "stores": self.disk_cache.stats.stores,
+                "corrupt": self.disk_cache.stats.corrupt,
+            },
+        }
+
+
+#: Re-exported for callers that only import the server module.
+__all__ = ["BadRequest", "ReproService", "ServiceConfig",
+           "SERVICE_JOURNAL", "PENDING_STATUS", "RESUME_TENANT",
+           "AdmissionLimits"]

@@ -1,0 +1,11 @@
+import pytest
+
+from repro.harness import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    """Service tests inject faults; never leak a plan across tests."""
+    faults.clear()
+    yield
+    faults.clear()

@@ -1,0 +1,106 @@
+"""Unit battery for the admission controller (load shedding, 429s)."""
+
+import pytest
+
+from repro.service import (AdmissionController, AdmissionLimits,
+                           AdmissionRejected)
+
+
+class TestLimitsValidation:
+    def test_defaults_are_sane(self):
+        limits = AdmissionLimits()
+        assert limits.max_pending_specs == 512
+        assert limits.max_requests == 64
+        assert limits.max_tenant_pending is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_pending_specs": 0},
+        {"max_requests": 0},
+        {"max_tenant_pending": 0},
+        {"retry_after_s": -1.0},
+    ])
+    def test_rejects_nonsense(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionLimits(**kwargs)
+
+
+class TestAccounting:
+    def test_admit_then_settle_then_release(self):
+        control = AdmissionController()
+        control.admit("alice", 4)
+        assert control.pending_specs == 4
+        assert control.inflight_requests == 1
+        assert control.tenant_pending == {"alice": 4}
+        for _ in range(4):
+            control.spec_settled("alice")
+        assert control.pending_specs == 0
+        assert control.tenant_pending == {}
+        control.release("alice")
+        assert control.inflight_requests == 0
+        assert control.stats.admitted == 1
+
+    def test_release_returns_unsettled_slots_in_one_step(self):
+        control = AdmissionController()
+        control.admit("alice", 5)
+        control.spec_settled("alice", 2)
+        control.release("alice", unsettled=3)  # deadline expiry path
+        assert control.pending_specs == 0
+        assert control.tenant_pending == {}
+        assert control.inflight_requests == 0
+
+    def test_tenants_accumulate_independently(self):
+        control = AdmissionController()
+        control.admit("alice", 3)
+        control.admit("bob", 2)
+        assert control.pending_specs == 5
+        assert control.tenant_pending == {"alice": 3, "bob": 2}
+        control.spec_settled("bob", 2)
+        assert control.tenant_pending == {"alice": 3}
+
+
+class TestShedding:
+    def test_sheds_when_queue_is_full(self):
+        control = AdmissionController(
+            AdmissionLimits(max_pending_specs=4, retry_after_s=2.5))
+        control.admit("alice", 3)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            control.admit("bob", 2)
+        assert "queue depth" in excinfo.value.reason
+        assert excinfo.value.retry_after_s == 2.5
+        assert control.stats.shed_queue_full == 1
+        assert control.pending_specs == 3  # rejection changed nothing
+        control.admit("bob", 1)  # still room for a smaller ask
+
+    def test_sheds_when_too_many_requests(self):
+        control = AdmissionController(AdmissionLimits(max_requests=1))
+        control.admit("alice", 1)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            control.admit("bob", 1)
+        assert "concurrent requests" in excinfo.value.reason
+        assert control.stats.shed_requests_full == 1
+        control.release("alice", unsettled=1)
+        control.admit("bob", 1)  # slot freed by the release
+
+    def test_sheds_per_tenant_hogs(self):
+        control = AdmissionController(
+            AdmissionLimits(max_tenant_pending=4))
+        control.admit("bulk", 4)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            control.admit("bulk", 1)
+        assert "per-tenant" in excinfo.value.reason
+        assert control.stats.shed_tenant_full == 1
+        control.admit("light", 2)  # other tenants are unaffected
+
+    def test_snapshot_shape(self):
+        control = AdmissionController(AdmissionLimits(max_requests=1))
+        control.admit("alice", 2)
+        with pytest.raises(AdmissionRejected):
+            control.admit("bob", 1)
+        snapshot = control.snapshot()
+        assert snapshot["pending_specs"] == 2
+        assert snapshot["inflight_requests"] == 1
+        assert snapshot["tenants"] == {"alice": 2}
+        assert snapshot["admitted"] == 1
+        assert snapshot["rejected"] == 1
+        assert snapshot["shed"]["requests_full"] == 1
+        assert snapshot["limits"]["max_requests"] == 1

@@ -1,0 +1,83 @@
+"""Unit battery for the in-memory hot LRU result cache."""
+
+import threading
+
+import pytest
+
+from repro.service import HotCache
+
+
+class TestBasics:
+    def test_miss_then_store_then_hit(self):
+        cache = HotCache(capacity=4)
+        assert cache.get("k1") is None
+        cache.put("k1", "run-1")
+        assert cache.get("k1") == "run-1"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_len_and_contains(self):
+        cache = HotCache(capacity=4)
+        cache.put("k1", "run-1")
+        assert len(cache) == 1
+        assert "k1" in cache
+        assert "k2" not in cache
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            HotCache(capacity=-1)
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        cache = HotCache(capacity=2)
+        cache.put("k1", "run-1")
+        cache.put("k2", "run-2")
+        assert cache.get("k1") == "run-1"  # freshen k1
+        cache.put("k3", "run-3")  # evicts k2, the stale one
+        assert "k2" not in cache
+        assert cache.get("k1") == "run-1"
+        assert cache.get("k3") == "run-3"
+        assert cache.stats.evictions == 1
+
+    def test_overwrite_freshens_without_eviction(self):
+        cache = HotCache(capacity=2)
+        cache.put("k1", "run-1")
+        cache.put("k2", "run-2")
+        cache.put("k1", "run-1b")  # overwrite, not a new entry
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        cache.put("k3", "run-3")  # now k2 is the LRU victim
+        assert "k2" not in cache
+        assert cache.get("k1") == "run-1b"
+
+    def test_capacity_zero_disables_the_layer(self):
+        cache = HotCache(capacity=0)
+        cache.put("k1", "run-1")
+        assert cache.get("k1") is None
+        assert len(cache) == 0
+        assert cache.stats.stores == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_traffic_stays_consistent(self):
+        cache = HotCache(capacity=32)
+
+        def hammer(worker):
+            for i in range(200):
+                key = f"k{(worker * 7 + i) % 48}"
+                cache.put(key, i)
+                cache.get(key)
+
+        threads = [threading.Thread(target=hammer, args=(n,))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 32
+        assert cache.stats.lookups == 800

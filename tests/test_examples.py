@@ -56,6 +56,14 @@ class TestExamples:
         assert "8 GPUs" in out
         assert (tmp_path / "trace_upa.json").exists()
 
+    def test_sweep_client(self):
+        out = run_example("sweep_client.py", "--spawn",
+                          "--iterations", "2")
+        assert "healthz: 200" in out
+        assert "cache tiers: {'hot': 20}" in out
+        assert "mean wall time by mode" in out
+        assert "server drained and stopped" in out
+
     def test_paper_walkthrough(self):
         out = run_example("paper_walkthrough.py", "--iterations", "2")
         for takeaway in ("TAKEAWAY 1", "TAKEAWAY 2", "TAKEAWAY 3",
