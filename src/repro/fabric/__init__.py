@@ -1,0 +1,41 @@
+"""repro.fabric — distributed sweep fabric over a shared filesystem.
+
+Compiles flat :class:`~repro.harness.executor.RunSpec` grids into
+dependency DAGs (:mod:`repro.fabric.dag`), then executes them either
+serially (:meth:`repro.harness.executor.SweepExecutor.run_dag`) or
+across N crash-prone worker processes coordinated purely through a
+shared directory: fenced heartbeat leases (:mod:`repro.fabric.leases`),
+a durable journal as the coordination log, the content-addressed
+result cache as the store, and a coordinator that abandons dead
+workers' leases and speculatively re-dispatches stragglers
+(:mod:`repro.fabric.coordinator`). Any interleaving of crashes,
+stalls, partitions and re-executions yields results bit-identical to
+the serial sweep — see ``docs/FABRIC.md``.
+"""
+
+from .dag import (SpecDAG, SpecNode, compile_figure_grid, compile_grid,
+                  compile_sensitivity_grid, compile_size_search_grid,
+                  compile_sweep, find_children, find_parents, group_key,
+                  walk_program, STRUCTURES)
+from .layout import FabricMeta, FabricRoot
+from .leases import Lease, LeaseDir
+from .state import (FabricState, NodeState, expired_leases, reduce_state,
+                    straggler_nodes)
+from .worker import FabricWorker, WorkerCrashed
+from .coordinator import (Coordinator, CoordinatorStats, FabricTimeout,
+                          run_fabric)
+from .status import fabric_state, render_status
+
+__all__ = [
+    "SpecDAG", "SpecNode", "compile_grid", "compile_figure_grid",
+    "compile_sensitivity_grid", "compile_size_search_grid",
+    "compile_sweep", "walk_program", "find_parents", "find_children",
+    "group_key", "STRUCTURES",
+    "FabricMeta", "FabricRoot",
+    "Lease", "LeaseDir",
+    "FabricState", "NodeState", "reduce_state", "straggler_nodes",
+    "expired_leases",
+    "FabricWorker", "WorkerCrashed",
+    "Coordinator", "CoordinatorStats", "FabricTimeout", "run_fabric",
+    "fabric_state", "render_status",
+]

@@ -1,0 +1,101 @@
+"""``repro fabric status``: render a live fabric sweep, read-only.
+
+Everything here folds the same journal + lease directory the workers
+write, so pointing it at a running (or wedged, or finished) fabric
+root from a second terminal shows ground truth, not a coordinator's
+opinion: per-status node counts, per-worker heartbeat ages, every
+in-flight lease, and any speculative re-dispatches — the exact
+observables the failure matrix in ``docs/FABRIC.md`` says you need
+to tell a crash from a straggler from a zombie.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .dag import SpecDAG
+from .layout import FabricRoot
+from .state import (COMMITTED, FAILED, LEASED, PENDING, READY, SKIPPED,
+                    FabricState, reduce_state)
+
+
+def fabric_state(root: Union[str, Path]) -> FabricState:
+    """Reduce a fabric root to its current state (read-only)."""
+    fabric = FabricRoot(root)
+    if not fabric.initialized:
+        raise FileNotFoundError(
+            f"not a fabric root (no {FabricRoot.DAG_FILE}): {root}")
+    dag = fabric.load_dag()
+    meta = fabric.load_meta()
+    return reduce_state(dag, fabric.journal().events(),
+                        fabric.leases().all_leases(), meta.lease_s,
+                        max_errors=meta.max_errors)
+
+
+def render_status(root: Union[str, Path],
+                  state: Optional[FabricState] = None) -> str:
+    """Human-readable snapshot of one fabric sweep."""
+    fabric = FabricRoot(root)
+    dag: SpecDAG = fabric.load_dag()
+    meta = fabric.load_meta()
+    if state is None:
+        state = fabric_state(root)
+    counts = state.counts()
+    done = counts[COMMITTED] + counts[FAILED] + counts[SKIPPED]
+    lines: List[str] = []
+    lines.append(f"fabric root: {fabric.root}")
+    lines.append(
+        f"sweep: {len(dag)} nodes ({dag.run_count} run, "
+        f"{len(dag) - dag.run_count} prewarm), engine={meta.engine}, "
+        f"lease={meta.lease_s:g}s")
+    lines.append(
+        "nodes: " + ", ".join(
+            f"{counts[status]} {status}" for status in
+            (READY, LEASED, COMMITTED, FAILED, SKIPPED, PENDING)
+            if counts[status] or status in (READY, LEASED, COMMITTED)))
+    lines.append(
+        f"progress: {done}/{len(dag)} finished"
+        + (" — COMPLETE" if state.complete else ""))
+    if state.abandoned_total:
+        lines.append(f"abandoned leases (crash recoveries): "
+                     f"{state.abandoned_total}")
+    redispatched = state.redispatched
+    if redispatched:
+        labels = ", ".join(f"n{node_id}" for node_id in redispatched[:8])
+        if len(redispatched) > 8:
+            labels += f", ... +{len(redispatched) - 8}"
+        lines.append(
+            f"speculative re-dispatches: {len(redispatched)} ({labels})")
+
+    ages = state.heartbeat_ages()
+    if ages:
+        lines.append("workers (heartbeat age):")
+        for worker, age in ages.items():
+            marker = " [stale]" if age > meta.lease_s else ""
+            lines.append(f"  {worker:<16} {age:6.1f}s ago{marker}")
+    else:
+        lines.append("workers: none seen yet")
+
+    leased = [(node_id, lease) for node_id, lease in
+              sorted(state.leases.items())
+              if state.nodes[node_id].status == LEASED]
+    if leased:
+        lines.append("in-flight leases:")
+        for node_id, lease in leased[:12]:
+            node = dag[node_id]
+            flag = ""
+            if state.nodes[node_id].redispatch_token is not None:
+                flag = " [re-dispatched]"
+            lines.append(
+                f"  {node.describe():<44} {lease.worker} "
+                f"t{lease.token} hb {lease.age(state.now):.1f}s ago{flag}")
+        if len(leased) > 12:
+            lines.append(f"  ... and {len(leased) - 12} more")
+    failed = [node_id for node_id, node in sorted(state.nodes.items())
+              if node.status == FAILED]
+    if failed:
+        lines.append("failed nodes: " +
+                     ", ".join(dag[node_id].describe()
+                               for node_id in failed[:8]))
+    return "\n".join(lines)

@@ -18,8 +18,9 @@ from .figures import (COUNTER_WORKLOADS, comparison_sweep, counter_sweep,
                       render_counters, render_fig5, render_fig6)
 from .plots import (render_stacked_comparison, render_stacked_suite,
                     stacked_bar)
-from .resilience import (RetryPolicy, SpecOutcome, SpecStatus, SweepFailure,
-                         SweepInterrupted, SweepJournal, SweepOutcome)
+from .resilience import (CompactionStats, RetryPolicy, SpecOutcome,
+                         SpecStatus, SweepFailure, SweepInterrupted,
+                         SweepJournal, SweepOutcome)
 from .regression import (RegressionReport, collect_headline_metrics,
                          compare_to_snapshot, save_snapshot)
 from .report import format_ns, format_pct, render_series, render_table
@@ -44,7 +45,8 @@ __all__ = [
     "render_stacked_suite", "stacked_bar", "SizeAssessment",
     "assess_sizes", "recommend_sizes", "render_size_search",
     "RegressionReport", "collect_headline_metrics", "compare_to_snapshot",
-    "save_snapshot", "ResultStore", "RetryPolicy", "SpecOutcome",
+    "save_snapshot", "ResultStore", "CompactionStats", "RetryPolicy",
+    "SpecOutcome",
     "SpecStatus", "SweepFailure", "SweepInterrupted", "SweepJournal",
     "SweepOutcome",
     "BLOCK_SWEEP", "CARVEOUT_SWEEP_KB", "COUNTER_WORKLOADS", "THREAD_SWEEP",

@@ -345,12 +345,18 @@ class CacheStats:
     each such entry is also a miss, and its file is quarantined to
     ``<key>.corrupt`` (see :meth:`ResultCache.get`) so the same broken
     record can never be re-counted on every lookup forever.
+
+    ``duplicates`` counts :meth:`ResultCache.put` calls that lost the
+    first-commit-wins race: another writer (a concurrent sweep thread,
+    a fabric worker, a fenced zombie) published the entry first, so
+    this write committed nothing and is *not* a store.
     """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    duplicates: int = 0
 
     @property
     def lookups(self) -> int:
@@ -361,7 +367,8 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def reset(self) -> None:
-        self.hits = self.misses = self.stores = self.corrupt = 0
+        self.hits = self.misses = self.stores = 0
+        self.corrupt = self.duplicates = 0
 
 
 class ResultCache:
@@ -429,14 +436,44 @@ class ResultCache:
             except OSError:
                 return False
 
-    def put(self, key: str, run: RunResult) -> None:
+    def put(self, key: str, run: RunResult) -> bool:
+        """Publish one record; first commit wins.
+
+        Two workers finishing the same spec concurrently (fabric
+        speculative re-dispatch, or plain thread races) must yield
+        exactly one committed entry and one accounting: the record is
+        written to a private temp file and *linked* into place —
+        ``os.link`` fails with ``EEXIST`` when another writer already
+        committed, so the loser counts a ``duplicate``, not a store,
+        and never rewrites the winner's bytes (results are
+        bit-identical anyway, but mtime churn and double-counted
+        ``stores`` are how the old rename-overwrite path lied).
+        Returns whether *this* call committed the entry.
+
+        Filesystems without hard links degrade to the historical
+        atomic rename (still torn-write-safe, last writer wins).
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         record = run_to_record(run, with_counters=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
         tmp.write_text(json.dumps(record))
-        tmp.replace(path)  # atomic on POSIX
-        self.stats.stores += 1
+        committed = True
+        try:
+            os.link(tmp, path)  # atomic publish; EEXIST = lost the race
+        except FileExistsError:
+            committed = False
+        except OSError:  # pragma: no cover - no-hardlink filesystem
+            tmp.replace(path)
+            tmp = None
+        if tmp is not None:
+            tmp.unlink(missing_ok=True)
+        if committed:
+            self.stats.stores += 1
+        else:
+            self.stats.duplicates += 1
+        return committed
 
     def __len__(self) -> int:
         if not self.root.exists():
@@ -754,7 +791,8 @@ class SweepExecutor:
         return self.run_outcomes(specs, strict=True).results  # type: ignore[return-value]
 
     def run_outcomes(self, specs: Sequence[RunSpec],
-                     strict: Optional[bool] = None) -> SweepOutcome:
+                     strict: Optional[bool] = None,
+                     fresh: bool = True) -> SweepOutcome:
         """Execute every spec through the resilience layer.
 
         Returns a :class:`SweepOutcome` in spec order; failed,
@@ -764,6 +802,11 @@ class SweepExecutor:
         *permanent* failure raises :class:`SweepFailure`. Ctrl-C and
         SIGTERM checkpoint the journal and raise
         :class:`SweepInterrupted` carrying the partial outcome.
+
+        ``fresh=False`` keeps the attached journal's existing records
+        (no clear-on-start): :meth:`run_dag` executes one DAG layer at
+        a time through this method, and all layers of one sweep share
+        one checkpoint.
         """
         specs = list(specs)
         strict = self.strict if strict is None else strict
@@ -808,7 +851,7 @@ class SweepExecutor:
                             error=f"skipped on resume (journaled {status})",
                             key=keys[index]), outcomes, total, strict,
                             journal=False, store=False)
-            elif self.journal is not None:
+            elif self.journal is not None and fresh:
                 self.journal.clear()  # fresh sweep, fresh checkpoint
 
             # Cache pass.
@@ -857,6 +900,82 @@ class SweepExecutor:
                 except (ValueError, OSError):  # pragma: no cover
                     pass
         return self._finalize(specs, outcomes, started, "not scheduled")
+
+    def run_dag(self, dag, strict: Optional[bool] = None) -> SweepOutcome:
+        """Execute a compiled :class:`repro.fabric.SpecDAG` in-process.
+
+        This is the *serial reference semantics* of the distributed
+        fabric: nodes run layer by layer in the DAG's deterministic
+        topological order, a node never starting before every parent
+        finished. Prewarm nodes execute inline (program build + phase
+        memo batch-warm for their group); run nodes go through the
+        normal cache/retry/journal machinery. The returned
+        :class:`SweepOutcome` is ordered by the DAG's *run nodes* —
+        for a flat grid compiled with
+        :func:`repro.fabric.compile_grid`, that is node-for-node the
+        same sweep (and byte-identical results) as calling
+        :meth:`run_outcomes` on the original spec list.
+        """
+        dag.validate()
+        layers = dag.layers()
+        merged: List[Optional[SpecOutcome]] = [None] * dag.run_count
+        stats: List[SweepStats] = []
+        succeeded: set = set()  # node ids whose work committed
+        first = True
+        for layer in layers:
+            run_nodes = []
+            for node in layer:
+                if not node.is_run:
+                    self.prewarm([s for s in (node.prewarm_specs or ())])
+                    succeeded.add(node.node_id)
+                elif all(parent in succeeded for parent in node.parents):
+                    run_nodes.append(node)
+                else:
+                    # Same policy as the distributed fabric: a node
+                    # whose parent never committed is never dispatched
+                    # (a failed size-search probe does not fan out its
+                    # mode grid).
+                    merged[node.run_index] = SpecOutcome(
+                        spec=node.spec, index=node.run_index,
+                        status=SpecStatus.SKIPPED,
+                        error="skipped: parent node failed")
+            if not run_nodes:
+                continue
+            outcome = self.run_outcomes([node.spec for node in run_nodes],
+                                        strict=strict, fresh=first)
+            first = False
+            stats.append(self.last)
+            for node, spec_outcome in zip(run_nodes, outcome.outcomes):
+                if spec_outcome.ok:
+                    succeeded.add(node.node_id)
+                merged[node.run_index] = dataclasses.replace(
+                    spec_outcome, index=node.run_index)
+        filled = [outcome if outcome is not None else SpecOutcome(
+                      spec=dag.nodes[0].spec, index=position,
+                      status=SpecStatus.SKIPPED, error="not scheduled")
+                  for position, outcome in enumerate(merged)]
+        sweep = SweepOutcome(outcomes=filled)
+        if len(stats) > 1:
+            # Collapse the per-layer stats into one sweep's accounting.
+            total = SweepStats(jobs=self.jobs, backend=self.backend,
+                               engine=self.engine)
+            for layer_stats in stats:
+                total.total += layer_stats.total
+                total.cache_hits += layer_stats.cache_hits
+                total.executed += layer_stats.executed
+                total.elapsed_s += layer_stats.elapsed_s
+                total.failed += layer_stats.failed
+                total.timed_out += layer_stats.timed_out
+                total.skipped += layer_stats.skipped
+                total.retries += layer_stats.retries
+                total.crashes += layer_stats.crashes
+                total.phase_hits += layer_stats.phase_hits
+                total.phase_misses += layer_stats.phase_misses
+                total.grid_groups += layer_stats.grid_groups
+                total.grid_specs += layer_stats.grid_specs
+            self.last = total
+        self.last_outcome = sweep
+        return sweep
 
     def summary(self) -> str:
         return self.last.summary()

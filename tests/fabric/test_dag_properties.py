@@ -1,0 +1,109 @@
+"""Hypothesis properties of the spec-DAG compilers.
+
+The satellite contract: compiled DAGs are acyclic, topological order
+respects ``find_parents``, and flat grids compile to the degenerate
+single-layer DAG that matches today's flat sweep node-for-node —
+under *arbitrary* grids, not just the fixtures the unit tests pick.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.configs import ALL_MODES
+from repro.fabric import (compile_grid, compile_sensitivity_grid,
+                         compile_size_search_grid, compile_sweep,
+                         find_children, find_parents, walk_program,
+                         SpecDAG)
+from repro.harness.executor import RunSpec
+
+WORKLOADS = ("vector_seq", "saxpy", "gemm")
+SIZES = ("tiny", "small", "medium")
+
+
+@st.composite
+def spec_lists(draw, max_size=24):
+    """Arbitrary (possibly ragged, possibly duplicated) spec grids."""
+    count = draw(st.integers(min_value=1, max_value=max_size))
+    specs = []
+    for _ in range(count):
+        specs.append(RunSpec(
+            workload=draw(st.sampled_from(WORKLOADS)),
+            size=draw(st.sampled_from(SIZES)),
+            mode=draw(st.sampled_from(ALL_MODES)),
+            iteration=draw(st.integers(min_value=0, max_value=3)),
+            base_seed=draw(st.sampled_from((1234, 99))),
+            threads=draw(st.sampled_from((None, 64, 256))),
+        ))
+    return specs
+
+
+COMPILERS = (compile_grid, compile_sensitivity_grid,
+             compile_size_search_grid)
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=spec_lists(), compiler=st.sampled_from(COMPILERS))
+def test_compiled_dags_are_acyclic(specs, compiler):
+    dag = compiler(specs)
+    dag.validate()  # raises on a cycle
+    assert len(list(dag.walk())) == len(dag)
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=spec_lists(), compiler=st.sampled_from(COMPILERS))
+def test_topological_order_respects_find_parents(specs, compiler):
+    dag = compiler(specs)
+    seen = {}
+    for node_id, layer in walk_program(dag):
+        parents = find_parents(dag, node_id)
+        for parent in parents:
+            assert parent in seen  # parent yielded first
+        expected_layer = max((seen[p] for p in parents), default=-1) + 1
+        assert layer == expected_layer
+        seen[node_id] = layer
+    assert set(seen) == {node.node_id for node in dag}
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=spec_lists(), compiler=st.sampled_from(COMPILERS))
+def test_parent_child_symmetry(specs, compiler):
+    dag = compiler(specs)
+    for node in dag:
+        for parent in find_parents(dag, node.node_id):
+            assert node.node_id in find_children(dag, parent)
+        for child in find_children(dag, node.node_id):
+            assert node.node_id in find_parents(dag, child)
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=spec_lists())
+def test_flat_grid_compiles_degenerate(specs):
+    """Flat grids: single layer, node-for-node today's sweep."""
+    dag = compile_grid(specs)
+    layers = dag.layers()
+    assert len(layers) == 1
+    assert [node.spec for node in layers[0]] == specs
+    assert [node.run_index for node in layers[0]] == list(range(len(specs)))
+    assert all(node.parents == () for node in dag)
+    assert dag.specs == specs
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=spec_lists(), compiler=st.sampled_from(COMPILERS))
+def test_run_order_preserved_and_json_stable(specs, compiler):
+    """run_index enumerates input order; manifests round-trip exactly."""
+    dag = compiler(specs)
+    assert dag.specs == specs
+    clone = SpecDAG.from_json(dag.to_json())
+    assert clone.nodes == dag.nodes
+    assert clone.to_json() == dag.to_json()
+
+
+@settings(max_examples=20, deadline=None)
+@given(specs=spec_lists(max_size=12),
+       structure=st.sampled_from(("flat", "figure", "sensitivity",
+                                  "sizesearch")))
+def test_every_named_structure_covers_every_spec(specs, structure):
+    dag = compile_sweep(specs, structure)
+    dag.validate()
+    assert sorted(n.run_index for n in dag if n.is_run) == \
+        list(range(len(specs)))

@@ -221,6 +221,92 @@ class TestQuarantineRace:
 
 
 # ----------------------------------------------------------------------
+# put races: first commit wins on the *write* path too
+# ----------------------------------------------------------------------
+class TestPutRace:
+    """The PR-8 quarantine-race discipline, extended to ``put``."""
+
+    def _run(self, workload="vector_seq"):
+        spec = spec_for(workload=workload)
+        return SweepExecutor(jobs=1, retry=FAST).run([spec])[0]
+
+    def test_first_commit_wins(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run = self._run()
+        key = "cd" + "0" * 62
+        assert cache.put(key, run) is True
+        assert cache.put(key, run) is False
+        assert cache.stats.stores == 1
+        assert cache.stats.duplicates == 1
+        assert json.loads(cache.path_for(key).read_text()) == \
+            run_to_record(run, with_counters=True)
+
+    def test_loser_never_rewrites_winner_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run = self._run()
+        key = "cd" + "1" * 62
+        cache.put(key, run)
+        path = cache.path_for(key)
+        stat_before = path.stat()
+        time.sleep(0.02)
+        cache.put(key, run)  # duplicate publish
+        stat_after = path.stat()
+        assert stat_after.st_mtime_ns == stat_before.st_mtime_ns
+        assert stat_after.st_ino == stat_before.st_ino
+
+    def test_threads_racing_put_commit_exactly_once(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path / "cache")
+        run = self._run()
+        key = "cd" + "2" * 62
+        outcomes = []
+        barrier = threading.Barrier(8)
+
+        def racer():
+            barrier.wait()
+            outcomes.append(cache.put(key, run))
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes.count(True) == 1
+        assert outcomes.count(False) == 7
+        assert cache.stats.stores == 1
+        assert cache.stats.duplicates == 7
+        # The entry parses cleanly — no interleaved bytes.
+        assert cache.get(key) is not None
+        assert cache.stats.corrupt == 0
+
+    def test_no_tmp_litter_after_races(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run = self._run()
+        key = "cd" + "3" * 62
+        for _ in range(3):
+            cache.put(key, run)
+        litter = [p for p in cache.path_for(key).parent.iterdir()
+                  if p.name != cache.path_for(key).name]
+        assert litter == []
+
+    def test_no_hardlink_fallback_still_atomic(self, tmp_path,
+                                               monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        run = self._run()
+        key = "cd" + "4" * 62
+
+        def no_links(_src, _dst):
+            raise OSError("EPERM: filesystem without hard links")
+
+        monkeypatch.setattr(os, "link", no_links)
+        assert cache.put(key, run) is True  # degrades to rename
+        assert cache.stats.stores == 1
+        assert json.loads(cache.path_for(key).read_text()) == \
+            run_to_record(run, with_counters=True)
+
+
+# ----------------------------------------------------------------------
 # durable journal + salvage
 # ----------------------------------------------------------------------
 class TestDurableJournal:

@@ -471,3 +471,123 @@ class TestChaosAcceptance:
         assert serialize(replay.results) == serialize(outcome.results)
         for index in (*doomed, crasher):
             assert replay.outcomes[index].status is SpecStatus.SKIPPED
+
+
+# ----------------------------------------------------------------------
+# Journal compaction
+# ----------------------------------------------------------------------
+class TestCompaction:
+    def _journal(self, tmp_path):
+        return SweepJournal(tmp_path / "journal.jsonl")
+
+    def _spec(self):
+        return RunSpec(workload="vector_seq", size="tiny",
+                       mode="standard", iteration=0)
+
+    def test_latest_key_record_survives(self, tmp_path):
+        journal = self._journal(tmp_path)
+        spec = self._spec()
+        journal.record("k1", SpecStatus.FAILED, spec, attempts=1,
+                       error="boom")
+        journal.record("k1", SpecStatus.OK, spec, attempts=2)
+        journal.record("k2", SpecStatus.FAILED, spec, attempts=3,
+                       error="dead")
+        view_before = journal.load()
+        stats = journal.compact()
+        assert stats.records_before == 3
+        assert stats.records_after == 2
+        assert stats.dropped == 1
+        assert journal.load() == view_before
+        assert journal.load() == {"k1": "ok", "k2": "failed"}
+
+    def test_first_commit_wins_duplicates_dropped(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.append_event("commit", node=0, worker="w1", token=1,
+                             runtime_s=0.5)
+        journal.append_event("commit", node=0, worker="w2", token=2,
+                             runtime_s=0.7)  # zombie's late duplicate
+        journal.compact()
+        commits = [e for e in journal.events() if e["event"] == "commit"]
+        assert len(commits) == 1
+        assert commits[0]["worker"] == "w1"
+        assert commits[0]["token"] == 1
+
+    def test_ephemeral_chatter_folds_behind_commit(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.append_event("claim", node=0, worker="w1", token=1)
+        for _ in range(20):
+            journal.append_event("renew", node=0, worker="w1", token=1)
+        journal.append_event("commit", node=0, worker="w1", token=1,
+                             runtime_s=0.1)
+        # An *uncommitted* node keeps its latest chatter and abandons.
+        journal.append_event("claim", node=1, worker="w2", token=1)
+        journal.append_event("renew", node=1, worker="w2", token=1)
+        journal.append_event("renew", node=1, worker="w2", token=1)
+        journal.append_event("abandon", node=1, worker="w2", token=1)
+        journal.append_event("claim", node=1, worker="w3", token=2)
+        stats = journal.compact()
+        events = journal.events()
+        node0 = [e for e in events if e.get("node") == 0]
+        assert [e["event"] for e in node0] == ["commit"]
+        node1 = [e["event"] for e in events if e.get("node") == 1]
+        assert node1.count("abandon") == 1  # abandons always kept
+        assert node1.count("claim") == 1    # only the latest claim
+        assert node1.count("renew") == 1    # only the latest renew
+        assert stats.records_after < stats.records_before
+
+    def test_torn_tail_salvaged_during_compaction(self, tmp_path,
+                                                  caplog):
+        import logging
+
+        journal = self._journal(tmp_path)
+        spec = self._spec()
+        journal.record("k1", SpecStatus.OK, spec, attempts=1)
+        with journal.path.open("a") as stream:
+            stream.write('{"key": "k2", "status": "fai')  # torn append
+        with caplog.at_level(logging.WARNING):
+            stats = journal.compact()
+        assert stats.salvaged == 1
+        assert "truncated final line" in caplog.text
+        # The rewrite is fully decodable; the torn line is gone.
+        for line in journal.path.read_text().splitlines():
+            json.loads(line)
+        assert journal.load() == {"k1": "ok"}
+        assert journal.last_salvaged == 0  # clean after the rewrite
+
+    def test_compaction_is_idempotent(self, tmp_path):
+        journal = self._journal(tmp_path)
+        spec = self._spec()
+        journal.record("k1", SpecStatus.OK, spec, attempts=2)
+        journal.record("k1", SpecStatus.OK, spec, attempts=1)
+        journal.append_event("claim", node=0, worker="w1", token=1)
+        journal.append_event("commit", node=0, worker="w1", token=1)
+        journal.compact()
+        first = journal.path.read_text()
+        second_stats = journal.compact()
+        assert journal.path.read_text() == first
+        assert second_stats.dropped == 0
+        assert second_stats.records_before == second_stats.records_after
+
+    def test_missing_journal_is_a_noop(self, tmp_path):
+        journal = self._journal(tmp_path)
+        stats = journal.compact()
+        assert stats.records_before == 0
+        assert stats.bytes_before == 0
+        assert not journal.path.exists()
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.record("k1", SpecStatus.OK, self._spec(), attempts=1)
+        journal.compact()
+        assert [p.name for p in tmp_path.iterdir()] == ["journal.jsonl"]
+
+    def test_summary_mentions_shrink(self, tmp_path):
+        journal = self._journal(tmp_path)
+        spec = self._spec()
+        journal.record("k1", SpecStatus.FAILED, spec, attempts=1,
+                       error="x")
+        journal.record("k1", SpecStatus.OK, spec, attempts=2)
+        stats = journal.compact()
+        text = stats.summary()
+        assert "2 -> 1 records" in text
+        assert "salvaged" in text
