@@ -616,6 +616,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="grid iterations per (threads, mode) cell "
                             "(default: 10)")
     bench.add_argument("--seed", type=int, default=1234)
+    bench.add_argument("--grid", default=None,
+                       choices=("fig12", "fig11", "fig13"),
+                       help="sensitivity grid to measure: fig12 threads "
+                            "(default), fig11 blocks, fig13 carveout")
     bench.add_argument("--engines", action="append",
                        choices=tuple(ENGINES), default=None,
                        help="engines to measure (repeatable; default: "
@@ -815,9 +819,11 @@ def _cmd_bench(args):
     baseline_path = regression.latest_bench(results_dir) if args.check \
         else None
 
+    grid = args.grid if args.grid is not None \
+        else regression.DEFAULT_BENCH_GRID
     payload = regression.collect_bench(engines=engines, repeats=repeats,
                                        iterations=iterations,
-                                       base_seed=args.seed)
+                                       base_seed=args.seed, grid=grid)
     pieces = [regression.render_bench(payload)]
     code = 0
     if args.check:

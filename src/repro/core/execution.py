@@ -23,9 +23,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..sim.calibration import Calibration, default_calibration
+from ..sim.counters import CounterReport
 from ..sim.hardware import SystemSpec, default_system
+from ..sim.pcie import TransferKind
 from ..sim.program import BufferDirection, Program
-from ..sim.runtime import CudaRuntime
+from ..sim.runtime import CudaRuntime, combine_repeat_counters
+from ..sim.timing import simulate_kernel
 from .configs import TransferMode
 from .results import RunResult
 
@@ -331,6 +334,121 @@ def compile_program(program: Program, mode: TransferMode,
         process = _explicit_process(rt, program, mode)
     rt.run(process)
     return rt.finish(program)
+
+
+def program_structure_key(program: Program) -> Tuple:
+    """Everything about a program that determines its compiled op shape
+    except kernel geometry.
+
+    Two programs with equal keys produce compiled tapes whose host-op
+    durations, transfer bytes, launch flags and residency fractions are
+    equal *functions of equal inputs* — allocation costs and
+    :class:`~repro.sim.uvm.ManagedSpace` plans depend only on the
+    buffer list, residency logic only on phase structure and footprint
+    (see :func:`iter_phase_cells`), and the jitter charge only on op
+    order.  That is the guard for :func:`derive_compiled`: a sibling
+    cell along a threads/blocks/carveout axis shares the key, so only
+    its kernel totals and demand-migration spawns need re-deriving;
+    a size-axis sibling gets a different key and a full compile.
+    """
+    return (
+        program.footprint_bytes,
+        tuple((buf.name, buf.size_bytes, buf.direction,
+               buf.device_touched_fraction, buf.host_read_fraction)
+              for buf in program.buffers),
+        tuple((phase.descriptor.name, phase.count, phase.host_sync_bytes,
+               phase.fresh_data, phase.descriptor.shares_data_with_next)
+              for phase in program.phases),
+    )
+
+
+def derive_compiled(rep, program: Program, system: SystemSpec,
+                    calib: Calibration,
+                    smem_carveout_bytes: Optional[int] = None,
+                    kernel_sim=None):
+    """Derive a sibling cell's compiled tape from a representative's.
+
+    ``rep`` is a :class:`~repro.sim.vecgrid.CompiledProgram` for a
+    program with the same :func:`program_structure_key`; only kernel
+    totals, counters and demand-migration spawns can differ, so this
+    rebuilds exactly those ops — through the same ``kernel_sim`` and
+    the same float expressions as ``launch_repeated`` — and copies the
+    rest verbatim.  Returns ``None`` when the sibling's spawn shape
+    differs from the representative's (a kernel that faults in one cell
+    but not the other); the caller full-compiles that cell instead.
+    Results are bitwise identical to :func:`compile_program` either
+    way — pinned by the fusion property battery.
+    """
+    from ..sim.vecgrid import _OP_KERNEL, _OP_SPAWN, CompiledProgram
+    if kernel_sim is None:
+        kernel_sim = simulate_kernel
+    if smem_carveout_bytes is None:
+        # Same default resolution as CudaRuntime.__init__ — the
+        # recorded launches saw the resolved value, not None.
+        smem_carveout_bytes = system.gpu.default_shared_mem_bytes
+    if len(rep.launches) != len(program.phases):  # pragma: no cover
+        return None
+    ops: List[Tuple] = []
+    counters = CounterReport()
+    phase_index = 0
+    i = 0
+    rep_ops = rep.ops
+    total_ops = len(rep_ops)
+    while i < total_ops:
+        op = rep_ops[i]
+        code = op[0]
+        if code != _OP_SPAWN and code != _OP_KERNEL:
+            ops.append(op)
+            i += 1
+            continue
+        # One launch: an optional spawn op followed by its kernel op.
+        flags, count, resident_first, resident_rest = \
+            rep.launches[phase_index]
+        desc = program.phases[phase_index].descriptor
+        first = kernel_sim(desc, flags, system, calib,
+                           smem_carveout_bytes=smem_carveout_bytes,
+                           resident_fraction=resident_first)
+        rest = None
+        if count > 1:
+            if resident_rest == resident_first:
+                rest = first
+            else:
+                rest = kernel_sim(desc, flags, system, calib,
+                                  smem_carveout_bytes=smem_carveout_bytes,
+                                  resident_fraction=resident_rest)
+        total_ns = first.duration_ns + (count - 1) * (rest.duration_ns
+                                                      if rest else 0.0)
+        migrate_bytes = first.demand_migrated_bytes
+        if rest is not None:
+            migrate_bytes += (count - 1) * rest.demand_migrated_bytes
+        spawned = code == _OP_SPAWN
+        if spawned != (migrate_bytes > 0):
+            return None
+        if spawned:
+            duration = rep.link.duration_ns(TransferKind.MIGRATE_H2D,
+                                            migrate_bytes, 1.0)
+            ops.append((_OP_SPAWN, op[1], migrate_bytes, duration))
+            i += 1
+            kernel_op = rep_ops[i]
+        else:
+            kernel_op = op
+        ops.append((_OP_KERNEL, kernel_op[1], total_ns, kernel_op[3]))
+        counters.add(combine_repeat_counters(first, rest, count))
+        phase_index += 1
+        i += 1
+    if phase_index != len(rep.launches):  # pragma: no cover
+        return None
+    return CompiledProgram(
+        name=program.name,
+        footprint_bytes=program.footprint_bytes,
+        ops=tuple(ops),
+        counters=counters,
+        occupancy=counters.mean_occupancy(),
+        draws=rep.draws,
+        link=rep.link,
+        copy_engines=rep.copy_engines,
+        launches=rep.launches,
+    )
 
 
 def replay_result(compiled, mode: TransferMode, rng: np.random.Generator,

@@ -39,6 +39,23 @@ class RunResult:
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
 
+    @classmethod
+    def replayed(cls, fields: Dict[str, object]) -> "RunResult":
+        """Construct from already-validated fields (batch-replay path).
+
+        The frozen-dataclass ``__init__`` pays one guarded
+        ``object.__setattr__`` per field plus the ``__post_init__``
+        range checks — an order of magnitude more than the arithmetic
+        a vectorized replay spends per run.  Batched replays validate
+        the same invariants out-of-band (the caller range-checks the
+        timing fields before calling), so this path installs the field
+        dict directly.  ``fields`` must contain exactly the dataclass
+        fields; it is adopted, not copied.
+        """
+        self = object.__new__(cls)
+        self.__dict__.update(fields)
+        return self
+
     @property
     def total_ns(self) -> float:
         """Paper-style overall execution time: sum of the components."""

@@ -15,8 +15,8 @@ the serial sweep — see ``docs/FABRIC.md``.
 
 from .dag import (SpecDAG, SpecNode, compile_figure_grid, compile_grid,
                   compile_sensitivity_grid, compile_size_search_grid,
-                  compile_sweep, find_children, find_parents, group_key,
-                  walk_program, STRUCTURES)
+                  compile_sweep, family_key, find_children, find_parents,
+                  group_key, walk_program, STRUCTURES)
 from .layout import FabricMeta, FabricRoot
 from .leases import Lease, LeaseDir
 from .state import (FabricState, NodeState, expired_leases, reduce_state,
@@ -30,7 +30,7 @@ __all__ = [
     "SpecDAG", "SpecNode", "compile_grid", "compile_figure_grid",
     "compile_sensitivity_grid", "compile_size_search_grid",
     "compile_sweep", "walk_program", "find_parents", "find_children",
-    "group_key", "STRUCTURES",
+    "group_key", "family_key", "STRUCTURES",
     "FabricMeta", "FabricRoot",
     "Lease", "LeaseDir",
     "FabricState", "NodeState", "reduce_state", "straggler_nodes",

@@ -62,6 +62,12 @@ class SpecNode:
     spec: Optional[RunSpec] = None
     parents: Tuple[int, ...] = ()
     group: Tuple = ()
+    #: Axis-fusion coordinate (``family_key``): all nodes sharing it
+    #: belong to one fusable sweep family, which the executor can
+    #: replay as a single array program.  Workers prefer leasing
+    #: within their current family so whole families settle on one
+    #: worker (one compile + one fused replay instead of per-cell).
+    family: Tuple = ()
     run_index: int = -1
     role: str = ""  # "" | "probe" | "prewarm"
 
@@ -202,7 +208,9 @@ class SpecDAG:
             "nodes": [{
                 "node_id": node.node_id, "kind": node.kind,
                 "parents": list(node.parents),
-                "group": list(node.group), "run_index": node.run_index,
+                "group": list(node.group),
+                "family": list(node.family),
+                "run_index": node.run_index,
                 "role": node.role,
                 "spec": _spec_to_json(node.spec),
             } for node in self.nodes],
@@ -211,11 +219,14 @@ class SpecDAG:
     @classmethod
     def from_json(cls, payload: str) -> "SpecDAG":
         data = json.loads(payload)
+        # ``family`` is absent from pre-axis-fusion manifests; default
+        # to no affinity rather than rejecting the manifest.
         return cls([SpecNode(
             node_id=entry["node_id"], kind=entry["kind"],
             spec=_spec_from_json(entry["spec"]),
             parents=tuple(entry["parents"]),
             group=tuple(_rehydrate_group(entry["group"])),
+            family=tuple(_rehydrate_group(entry.get("family", []))),
             run_index=entry["run_index"], role=entry.get("role", ""),
         ) for entry in data["nodes"]])
 
@@ -276,6 +287,19 @@ def group_key(spec: RunSpec) -> Tuple:
             spec.smem_carveout_bytes)
 
 
+def family_key(spec: RunSpec) -> Tuple:
+    """The axis-fusion coordinate of one spec.
+
+    Matches the executor's family grouping (``(workload, mode,
+    base_seed, seed_salt)``): all cells sharing it vary along
+    sensitivity axes only and are candidates for one fused array
+    replay (:func:`repro.sim.vecgrid.compile_family`).  A family is a
+    union of :func:`group_key` groups.
+    """
+    return (spec.workload, getattr(spec.mode, "value", spec.mode),
+            spec.base_seed, spec.seed_salt)
+
+
 def compile_grid(specs: Sequence[RunSpec]) -> SpecDAG:
     """Flat grid -> degenerate single-layer DAG, node-for-node.
 
@@ -284,7 +308,8 @@ def compile_grid(specs: Sequence[RunSpec]) -> SpecDAG:
     exactly today's flat sweep.
     """
     return SpecDAG([SpecNode(node_id=index, spec=spec, run_index=index,
-                             group=group_key(spec))
+                             group=group_key(spec),
+                             family=family_key(spec))
                     for index, spec in enumerate(specs)])
 
 
@@ -317,12 +342,15 @@ def compile_sensitivity_grid(specs: Sequence[RunSpec]) -> SpecDAG:
         if key not in prewarm_of:
             prewarm_of[key] = len(nodes)
             nodes.append(SpecNode(node_id=len(nodes), kind=KIND_PREWARM,
-                                  spec=spec, group=key, role="prewarm"))
+                                  spec=spec, group=key,
+                                  family=family_key(spec),
+                                  role="prewarm"))
         pending.append((run_index, spec))
     for run_index, spec in pending:
         key = group_key(spec)
         nodes.append(SpecNode(node_id=len(nodes), spec=spec,
                               parents=(prewarm_of[key],), group=key,
+                              family=family_key(spec),
                               run_index=run_index))
     return SpecDAG(nodes)
 
@@ -345,12 +373,15 @@ def compile_size_search_grid(specs: Sequence[RunSpec]) -> SpecDAG:
             probe_of[size_key] = len(nodes)
             nodes.append(SpecNode(node_id=len(nodes), spec=spec,
                                   run_index=run_index,
-                                  group=group_key(spec), role="probe"))
+                                  group=group_key(spec),
+                                  family=family_key(spec),
+                                  role="probe"))
         else:
             nodes.append(SpecNode(node_id=len(nodes), spec=spec,
                                   parents=(probe,),
                                   run_index=run_index,
-                                  group=group_key(spec)))
+                                  group=group_key(spec),
+                                  family=family_key(spec)))
     return SpecDAG(nodes)
 
 

@@ -87,6 +87,7 @@ class FabricWorker:
         self._crash = crash_hook or _sigkill_self
         self._env_fp = environment_fingerprint(system, calib)
         self._last_group = None
+        self._last_family = None
         self.committed = 0
         # Heartbeat machinery (live only while a lease is held).
         self._hb_stop: Optional[threading.Event] = None
@@ -137,13 +138,26 @@ class FabricWorker:
                             max_errors=self.meta.max_errors)
 
     def _pick(self, state: FabricState) -> Optional[NodeState]:
-        """Claimable node, preferring the last compile-group (affinity)."""
+        """Claimable node, preferring group then family affinity.
+
+        Tier 1: the last compile-group — the vector engine compiles
+        each group's tape once per worker.  Tier 2: the last fusion
+        family (``SpecNode.family``) — a worker that drains a whole
+        family leases exactly the cells the executor can settle as
+        one fused array replay, so distributed sweeps keep the
+        single-process fusion win instead of scattering a family
+        across workers.
+        """
         candidates = state.claimable()
         if not candidates:
             return None
         if self._last_group is not None:
             for node in candidates:
                 if self.dag[node.node_id].group == self._last_group:
+                    return node
+        if self._last_family:
+            for node in candidates:
+                if self.dag[node.node_id].family == self._last_family:
                     return node
         return candidates[0]
 
@@ -154,6 +168,7 @@ class FabricWorker:
         self.journal.append_event("claim", node=node.node_id,
                                   worker=self.worker_id, token=lease.token)
         self._last_group = node.group
+        self._last_family = node.family
         fault = faults.fabric_fault(node.spec, lease.token)
         if fault is not None and fault.kind == faults.KIND_WORKER_CRASH:
             # Die holding the lease: no release, no event, heartbeat

@@ -497,12 +497,21 @@ class ResultCache:
 # ----------------------------------------------------------------------
 # SeedSequence construction (entropy hashing over the five coordinate
 # words) costs ~20us — more than an entire vector-engine replay — yet
-# is a pure function of the spec's seed coordinates.  Memoize the
-# *SeedSequence objects*: building a fresh ``Generator(PCG64(seq))``
-# from a reused sequence is deterministic (generate_state is pure) and
-# measurably cheaper than restoring a saved bit-generator state.
+# is a pure function of the spec's seed coordinates.  Two memo tiers:
+# the *SeedSequence objects* (building a Generator from a reused
+# sequence is deterministic — generate_state is pure), and, for the
+# axis-fused family replay, the derived PCG64 *state dicts* —
+# restoring a saved state onto one shared bit generator is ~3x cheaper
+# than constructing a fresh ``Generator(PCG64(seq))`` per spec and
+# yields the bit-identical stream.
 _SEED_SEQ_MEMO: Dict[Tuple, np.random.SeedSequence] = {}
 _SEED_SEQ_MEMO_CAP = 65536
+_RNG_STATE_MEMO: Dict[Tuple, dict] = {}
+
+
+def _seed_key(spec: RunSpec) -> Tuple:
+    return (spec.base_seed, spec.workload, spec.seed_salt, spec.size,
+            spec.mode.value, spec.iteration)
 
 
 def rng_for_spec(spec: RunSpec) -> np.random.Generator:
@@ -511,8 +520,7 @@ def rng_for_spec(spec: RunSpec) -> np.random.Generator:
     Bit-identical stream to ``np.random.default_rng(spec.seed_sequence())``
     on every call — the memo only skips re-deriving the entropy pool.
     """
-    key = (spec.base_seed, spec.workload, spec.seed_salt, spec.size,
-           spec.mode.value, spec.iteration)
+    key = _seed_key(spec)
     seq = _SEED_SEQ_MEMO.get(key)
     if seq is None:
         if len(_SEED_SEQ_MEMO) >= _SEED_SEQ_MEMO_CAP:
@@ -520,6 +528,32 @@ def rng_for_spec(spec: RunSpec) -> np.random.Generator:
         seq = spec.seed_sequence()
         _SEED_SEQ_MEMO[key] = seq
     return np.random.default_rng(seq)
+
+
+def rng_state_for_spec(spec: RunSpec) -> dict:
+    """The PCG64 state behind :func:`rng_for_spec`'s generator.
+
+    Restoring this dict onto any PCG64 bit generator reproduces the
+    spec's stream bit-identically.  The fused family replay restores
+    it onto one *shared* generator per family instead of constructing
+    a ``Generator`` object per spec — same draws, a fraction of the
+    setup cost.  The memoized dicts are never mutated by restoration
+    (``bit_generator.state`` copies on both get and set).
+    """
+    key = _seed_key(spec)
+    state = _RNG_STATE_MEMO.get(key)
+    if state is None:
+        if len(_RNG_STATE_MEMO) >= _SEED_SEQ_MEMO_CAP:
+            _RNG_STATE_MEMO.clear()
+        seq = _SEED_SEQ_MEMO.get(key)
+        if seq is None:
+            if len(_SEED_SEQ_MEMO) >= _SEED_SEQ_MEMO_CAP:
+                _SEED_SEQ_MEMO.clear()
+            seq = spec.seed_sequence()
+            _SEED_SEQ_MEMO[key] = seq
+        state = np.random.PCG64(seq).state
+        _RNG_STATE_MEMO[key] = state
+    return state
 
 
 def execute_spec(spec: RunSpec,
@@ -597,6 +631,13 @@ class SweepStats:
     phase_misses: int = 0
     grid_groups: int = 0
     grid_specs: int = 0
+    families_fused: int = 0
+    families_rerouted: int = 0
+    #: reroute counts keyed by the classifier rule that fired
+    #: (``FamilyRerouted.rule``), plus ``"contention"`` for per-spec
+    #: ``ContentionDetected`` bails and ``"residual-guard"`` for fused
+    #: rows whose per-spec guards failed.
+    reroute_rules: Dict[str, int] = field(default_factory=dict)
 
     @property
     def phase_lookups(self) -> int:
@@ -619,6 +660,13 @@ class SweepStats:
         if self.grid_specs:
             parts.append(f"{self.grid_specs} grid-replayed "
                          f"({self.grid_groups} compiled groups)")
+        if self.families_fused:
+            parts.append(f"{self.families_fused} families fused")
+        if self.families_rerouted or self.reroute_rules:
+            rules = ", ".join(f"{rule}:{count}" for rule, count
+                              in sorted(self.reroute_rules.items()))
+            label = f"{self.families_rerouted} families rerouted"
+            parts.append(f"{label} ({rules})" if rules else label)
         if self.executed and self.jobs > 1:
             parts.append(f"{self.jobs} {self.backend} workers")
         for label, count in (("failed", self.failed),
@@ -632,6 +680,41 @@ class SweepStats:
 
 
 ProgressFn = Callable[[int, int, RunSpec], None]
+
+
+def _axis_split(cell_map: Dict[Tuple, List["RunSpec"]]) -> List[List[Tuple]]:
+    """Partition one family's coordinate cells into one-axis runs.
+
+    ``cell_map`` maps ``(coords, mode, carveout)`` group keys to their
+    member specs; all cells already share ``(workload, mode,
+    base_seed, seed_salt)``.  A fusable *axis run* varies along at
+    most one of the four sensitivity axes (size, blocks, threads,
+    carveout) — the shape of every figure sweep.  When several axes
+    vary (a full-factorial grid), the most-varying axis fuses and the
+    remaining coordinates split the family, so each run is still a
+    single sensitivity axis.
+    """
+    def axes_of(group_key: Tuple) -> Tuple:
+        (coords, _mode, carveout) = group_key
+        return (coords[1], coords[2], coords[3], carveout)
+
+    items = list(cell_map.items())
+    distinct: List[set] = [set(), set(), set(), set()]
+    for group_key, _ in items:
+        for axis, value in enumerate(axes_of(group_key)):
+            distinct[axis].add(value)
+    varying = [axis for axis, values in enumerate(distinct)
+               if len(values) > 1]
+    if len(varying) <= 1:
+        return [items]
+    fused = max(varying, key=lambda axis: len(distinct[axis]))
+    runs: Dict[Tuple, List[Tuple]] = {}
+    for group_key, members in items:
+        axes = axes_of(group_key)
+        rest = tuple(value for axis, value in enumerate(axes)
+                     if axis != fused)
+        runs.setdefault(rest, []).append((group_key, members))
+    return list(runs.values())
 
 
 class SweepExecutor:
@@ -667,7 +750,8 @@ class SweepExecutor:
                  resume: bool = False,
                  strict: bool = False,
                  engine: str = "reference",
-                 isolate: bool = False):
+                 isolate: bool = False,
+                 fuse: bool = True):
         if backend not in _BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}")
@@ -697,6 +781,11 @@ class SweepExecutor:
         # coordinating process — the containment contract a long-lived
         # server (repro.service) needs for every batch it dispatches.
         self.isolate = isolate
+        # ``fuse`` selects the axis-fused family replay inside the
+        # grid precompute (analytic engines only); ``fuse=False`` keeps
+        # PR 7's per-cell replay — the A/B leg the axis-speedup perf
+        # gate measures against.  Either way results are bit-identical.
+        self.fuse = fuse
         self.last = SweepStats()
         self.last_outcome: Optional[SweepOutcome] = None
         self._env_fp: Optional[str] = None
@@ -713,6 +802,9 @@ class SweepExecutor:
         # engine, in-process backends): spec -> RunResult.
         self._grid: Dict[RunSpec, RunResult] = {}
         self._grid_groups = 0
+        self._families_fused = 0
+        self._families_rerouted = 0
+        self._reroute_rules: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def key_for(self, spec: RunSpec) -> str:
@@ -725,6 +817,40 @@ class SweepExecutor:
                             env_fingerprint=self._env_fp)
             self._key_memo[spec] = key
         return key
+
+    def _batch_keys(self, specs: Sequence[RunSpec]) -> None:
+        """Pre-fill the key memo for a sweep, amortizing hashing work.
+
+        Specs of one family differ only in ``iteration``, so their
+        :func:`cache_key` payloads differ in exactly one JSON field.
+        Canonicalize one template per family and substitute the
+        iteration per member instead of re-walking the spec dataclass
+        and re-fingerprinting the program for every spec.  Produces
+        byte-identical keys to :func:`cache_key` (pinned by
+        ``tests/harness/test_cache_key.py``).
+        """
+        if self._env_fp is None:
+            self._env_fp = environment_fingerprint(self.system, self.calib)
+        families: Dict[RunSpec, List[RunSpec]] = {}
+        for spec in specs:
+            if spec in self._key_memo:
+                continue
+            families.setdefault(dataclasses.replace(spec, iteration=0),
+                                []).append(spec)
+        for members in families.values():
+            template = canonical(members[0])
+            payload = {
+                "code": CODE_VERSION,
+                "spec": template,
+                "program": program_fingerprint(members[0]),
+                "environment": self._env_fp,
+            }
+            for spec in members:
+                template["iteration"] = spec.iteration
+                blob = json.dumps(payload, sort_keys=True,
+                                  separators=(",", ":"))
+                self._key_memo[spec] = hashlib.sha256(
+                    blob.encode("utf-8")).hexdigest()
 
     def _tick(self, done: int, total: int, spec: RunSpec) -> None:
         if self.progress is not None:
@@ -821,6 +947,9 @@ class SweepExecutor:
         self._memo_before = (0, 0)
         self._grid = {}
         self._grid_groups = 0
+        self._families_fused = 0
+        self._families_rerouted = 0
+        self._reroute_rules = {}
         if ENGINES[self.engine].uses_phase_memo:
             # Bind the coordinator-side memo so serial and thread
             # sweeps report hit/miss deltas in the summary (process
@@ -832,9 +961,12 @@ class SweepExecutor:
             self._memo_before = self._phase_memo.stats()
 
         need_keys = self.cache is not None or self.journal is not None
-        keys: Dict[int, Optional[str]] = {
-            index: (self.key_for(spec) if need_keys else None)
-            for index, spec in enumerate(specs)}
+        if need_keys:
+            self._batch_keys(specs)  # key_for below then only memo-hits
+            keys: List[Optional[str]] = [self.key_for(spec)
+                                         for spec in specs]
+        else:
+            keys = [None] * total
 
         restore = self._install_sigterm_handler()
         try:
@@ -881,6 +1013,40 @@ class SweepExecutor:
                 # in-process backends can serve from the coordinator's
                 # dict; process workers keep the per-spec path.
                 self._precompute_grid([spec for _, spec, _ in pending])
+            if (pending and self._grid and self.fuse and not use_pool
+                    and faults.active_plan() is None):
+                # Bulk-settle: with no fault plan installed, a grid hit
+                # cannot raise inside ``_execute_local``, so the
+                # per-spec retry loop is pure overhead for precomputed
+                # results — publish them directly (same order, same
+                # journal/cache writes) and leave only the misses to
+                # the serial path.  Rides the ``fuse`` switch so
+                # ``fuse=False`` stays the exact PR 7 execution path
+                # for the axis-speedup A/B measurement.
+                remaining = []
+                grid_get = self._grid.get
+                # With no cache, journal or progress sink attached,
+                # _settle reduces to the outcomes[] assignment and the
+                # done counter — skip the per-spec call.
+                plain = (self.cache is None and self.journal is None
+                         and self.progress is None)
+                settled_ok = SpecOutcome.settled_ok
+                settled = 0
+                for index, spec, key in pending:
+                    hit = grid_get(spec)
+                    if hit is None:
+                        remaining.append((index, spec, key))
+                        continue
+                    if plain:
+                        outcomes[index] = settled_ok(spec, index, hit, key)
+                        settled += 1
+                    else:
+                        self._settle(SpecOutcome(
+                            spec=spec, index=index, status=SpecStatus.OK,
+                            result=hit, attempts=1, key=key),
+                            outcomes, total, strict)
+                self._done += settled
+                pending = remaining
             if pending:
                 if use_pool:
                     self._run_pool(pending, outcomes, total, strict)
@@ -973,6 +1139,11 @@ class SweepExecutor:
                 total.phase_misses += layer_stats.phase_misses
                 total.grid_groups += layer_stats.grid_groups
                 total.grid_specs += layer_stats.grid_specs
+                total.families_fused += layer_stats.families_fused
+                total.families_rerouted += layer_stats.families_rerouted
+                for rule, count in layer_stats.reroute_rules.items():
+                    total.reroute_rules[rule] = (
+                        total.reroute_rules.get(rule, 0) + count)
             self.last = total
         self.last_outcome = sweep
         return sweep
@@ -1059,7 +1230,10 @@ class SweepExecutor:
             skipped=counts["skipped"], retries=self._retries,
             crashes=self._crashes, engine=self.engine,
             phase_hits=phase_hits, phase_misses=phase_misses,
-            grid_groups=self._grid_groups, grid_specs=len(self._grid))
+            grid_groups=self._grid_groups, grid_specs=len(self._grid),
+            families_fused=self._families_fused,
+            families_rerouted=self._families_rerouted,
+            reroute_rules=dict(self._reroute_rules))
         self.last_outcome = sweep
         return sweep
 
@@ -1090,23 +1264,36 @@ class SweepExecutor:
     def _precompute_grid(self, specs: Sequence[RunSpec]) -> None:
         """Compile each program structure once and replay every spec.
 
-        Groups specs by ``(coords, mode, carveout)`` — the axes that
-        determine program *structure* — batch-evaluates every group's
-        kernel-phase cells in one array program, compiles each group by
-        driving the real process generators through the recording
-        runtime, then replays per spec (seed-dependent work only) into
-        ``self._grid``.  Anything that cannot be precomputed — a
+        Two tiers of batching feed ``self._grid``:
+
+        * **Coordinate groups** (PR 7): specs sharing ``(coords, mode,
+          carveout)`` share one compiled tape; the phase memo is
+          batch-warmed across every group in one array program before
+          any compile runs.
+        * **Families** (axis fusion, ``fuse=True``): coordinate groups
+          sharing ``(workload, mode, base_seed, seed_salt)`` and
+          varying along at most one sensitivity axis fuse into a
+          single 2-D array program — one compile per cell (siblings
+          derived from the head cell's tape when the program structure
+          matches), one classifier proof and one vectorized replay for
+          the whole family (:func:`repro.sim.vecgrid.replay_family`).
+
+        Anything that cannot be precomputed — a classifier reroute, a
         contention bail, a compile error, an unsupported structure —
-        is simply *absent* from the dict and flows through the normal
-        per-spec path, so this method can only accelerate, never
-        change, a sweep's results.
+        falls back a tier (family -> per-cell -> per-spec path), so
+        this method can only accelerate, never change, a sweep's
+        results.  Reroutes are tallied into ``self._reroute_rules``
+        for the ``[sweep]`` summary.
         """
-        from ..core.execution import (compile_program, iter_phase_cells,
-                                      replay_result)
-        from ..sim.vecgrid import ContentionDetected, prewarm_phase_memo
+        from ..core.execution import (compile_program, derive_compiled,
+                                      iter_phase_cells,
+                                      program_structure_key)
+        from ..sim.vecgrid import (FamilyRerouted, compile_family,
+                                   prewarm_phase_memo)
         system = self.system or default_system()
         calib = self.calib or default_calibration()
         memo = self._phase_memo
+        kernel_sim = memo.simulate if memo is not None else None
         groups: Dict[Tuple, List[RunSpec]] = {}
         for spec in specs:
             group_key = (spec_coords(spec), spec.mode,
@@ -1122,30 +1309,211 @@ class SweepExecutor:
                     cells.extend(iter_phase_cells(program_for(members[0]),
                                                   mode, carveout, system))
                 prewarm_phase_memo(memo, cells)
-            for (_, mode, carveout), members in groups.items():
-                program = program_for(members[0])
-                try:
-                    compiled = compile_program(
-                        program, mode, system, calib,
-                        smem_carveout_bytes=carveout,
-                        kernel_sim=memo.simulate if memo is not None
-                        else None)
-                except Exception:
-                    continue  # per-spec path handles this group
-                self._grid_groups += 1
-                for spec in members:
-                    rng = rng_for_spec(spec)
+            if not self.fuse:
+                for (_, mode, carveout), members in groups.items():
+                    program = program_for(members[0])
                     try:
-                        self._grid[spec] = replay_result(
-                            compiled, mode, rng, system, calib,
-                            spec.size, spec.iteration)
-                    except ContentionDetected:
-                        continue  # per-spec path re-routes to events
+                        compiled = compile_program(
+                            program, mode, system, calib,
+                            smem_carveout_bytes=carveout,
+                            kernel_sim=kernel_sim)
+                    except Exception:
+                        continue  # per-spec path handles this group
+                    self._grid_groups += 1
+                    self._replay_cells(compiled, members, system, calib)
+                return
+            families: Dict[Tuple, Dict[Tuple, List[RunSpec]]] = {}
+            for group_key, members in groups.items():
+                spec0 = members[0]
+                fam_key = (spec0.workload, spec0.mode, spec0.base_seed,
+                           spec0.seed_salt)
+                families.setdefault(fam_key, {})[group_key] = members
+            for cell_map in families.values():
+                for run in _axis_split(cell_map):
+                    # Compile every cell of the axis run; siblings with
+                    # the head's program structure derive their tape
+                    # instead of re-driving the process generators.
+                    fused_cells = []  # (group_key, members, compiled)
+                    head = None       # (compiled, structure_key)
+                    for group_key, members in run:
+                        (_, mode, carveout) = group_key
+                        program = program_for(members[0])
+                        compiled = None
+                        try:
+                            if (head is not None
+                                    and program_structure_key(program)
+                                    == head[1]):
+                                compiled = derive_compiled(
+                                    head[0], program, system, calib,
+                                    smem_carveout_bytes=carveout,
+                                    kernel_sim=kernel_sim)
+                            if compiled is None:
+                                compiled = compile_program(
+                                    program, mode, system, calib,
+                                    smem_carveout_bytes=carveout,
+                                    kernel_sim=kernel_sim)
+                                if head is None:
+                                    head = (compiled,
+                                            program_structure_key(program))
+                        except Exception:
+                            continue  # per-spec path handles this cell
+                        self._grid_groups += 1
+                        fused_cells.append((group_key, members, compiled))
+                    if not fused_cells:
+                        continue
+                    fam = None
+                    if sum(len(m) for _, m, _ in fused_cells) > 1:
+                        try:
+                            fam = compile_family(
+                                [c for _, _, c in fused_cells], calib)
+                        except FamilyRerouted as rerouted:
+                            self._families_rerouted += 1
+                            self._count_reroute(rerouted.rule)
+                    if fam is None:
+                        for _, members, compiled in fused_cells:
+                            self._replay_cells(compiled, members,
+                                               system, calib)
+                        continue
+                    self._families_fused += 1
+                    self._replay_fused(fam, fused_cells, system, calib)
         except Exception:  # pragma: no cover - defensive
             # A broken precompute must never take the sweep down; the
             # per-spec path recomputes anything missing or partial.
             self._grid.clear()
             self._grid_groups = 0
+
+    def _count_reroute(self, rule: str, count: int = 1) -> None:
+        self._reroute_rules[rule] = self._reroute_rules.get(rule, 0) + count
+
+    def _replay_cells(self, compiled, members: Sequence[RunSpec],
+                      system, calib) -> None:
+        """Per-cell replay (the PR 7 path): one scalar replay per spec
+        from its coordinate group's compiled tape."""
+        from ..core.execution import replay_result
+        from ..sim.vecgrid import ContentionDetected
+        for spec in members:
+            rng = rng_for_spec(spec)
+            try:
+                self._grid[spec] = replay_result(
+                    compiled, spec.mode, rng, system, calib,
+                    spec.size, spec.iteration)
+            except ContentionDetected:
+                # Per-spec path re-routes to the event engine; make
+                # the reroute visible in the sweep summary.
+                self._count_reroute("contention")
+
+    def _replay_fused(self, fam, fused_cells, system, calib) -> None:
+        """One vectorized replay for a whole family's specs.
+
+        Mirrors the scalar draw order exactly: per draw stream,
+        restore the memoized PCG64 state onto one shared generator,
+        draw the host placement, then fill that stream's row of the
+        standard-normal matrix (``standard_normal(n)`` is
+        prefix-stable, so ``cols`` draws match the head of the scalar
+        path's ``draws`` batch).  The per-spec seed key does not
+        include the fused axis, so specs that differ only along it
+        share an identical stream — each distinct ``(size, iteration,
+        spill footprint)`` is drawn once and gathered onto its rows.
+        Rows whose per-spec residual guards fail fall back to the
+        scalar per-cell replay.
+        """
+        from ..sim.hostmem import place_host_data
+        from ..sim.vecgrid import replay_family
+        noise = calib.noise
+        cpu = system.cpu
+        chip_bytes = cpu.dram_chip_bytes
+        headroom = noise.spill_threshold
+        cols = fam.cols
+        count = sum(len(members) for _, members, _ in fused_cells)
+        cell_index = np.repeat(
+            np.arange(len(fused_cells), dtype=np.intp),
+            [len(members) for _, members, _ in fused_cells])
+        # Below the spill threshold the placement is deterministic
+        # (multiplier 1.0, zero RNG consumption); above it the stream
+        # depends on the footprint.  Same float predicate as
+        # place_host_data.
+        cell_fp = []
+        for _, _, compiled in fused_cells:
+            footprint = compiled.footprint_bytes
+            spills = not (footprint / chip_bytes <= headroom)
+            cell_fp.append((spills, footprint,
+                            footprint if spills else None))
+        # When neither the size nor the spill class varies across
+        # cells, the stream key collapses to the iteration alone.
+        uniform = (len({fp for _, _, fp in cell_fp}) == 1
+                   and len({m[0].size for _, m, _ in fused_cells}) == 1)
+        draw_index: Dict = {}
+        draws: List[Tuple[RunSpec, bool, int]] = []  # (spec, spills, fp)
+        gather = np.empty(count, dtype=np.intp)
+        row = 0
+        for cell_pos, (_, members, _) in enumerate(fused_cells):
+            spills, footprint, fp_key = cell_fp[cell_pos]
+            for spec in members:
+                key = (spec.iteration if uniform
+                       else (spec.size, spec.iteration, fp_key))
+                index = draw_index.get(key)
+                if index is None:
+                    index = len(draws)
+                    draw_index[key] = index
+                    draws.append((spec, spills, footprint))
+                gather[row] = index
+                row += 1
+        mult = np.ones(len(draws), dtype=np.float64)
+        z = np.empty((len(draws), cols), dtype=np.float64)
+        shared = np.random.Generator(np.random.PCG64())
+        bitgen = shared.bit_generator
+        for index, (spec, spills, footprint) in enumerate(draws):
+            if cols or spills:
+                bitgen.state = rng_state_for_spec(spec)
+            if spills:
+                mult[index] = place_host_data(
+                    footprint, cpu, noise, shared).time_multiplier
+            if cols:
+                shared.standard_normal(out=z[index])
+        rep = replay_family(fam, cell_index, mult[gather], z[gather])
+        valid = rep.valid.tolist()
+        alloc = rep.alloc_ns.tolist()
+        memcpy = rep.memcpy_ns.tolist()
+        kernel = rep.kernel_ns.tolist()
+        wall = rep.wall_ns.tolist()
+        busy = rep.gpu_busy.tolist()
+        # The range checks stand in for RunResult's __post_init__ (see
+        # RunResult.replayed); a negative component re-routes like any
+        # other guard failure.  One vectorized precheck skips the
+        # per-row tests on the (overwhelmingly common) clean replay.
+        checks = not (rep.valid.all()
+                      and not (rep.alloc_ns < 0.0).any()
+                      and not (rep.memcpy_ns < 0.0).any()
+                      and not (rep.kernel_ns < 0.0).any()
+                      and not (rep.wall_ns < 0.0).any())
+        grid = self._grid
+        replayed = RunResult.replayed
+        invalid = 0
+        row = 0
+        for _, members, compiled in fused_cells:
+            name = compiled.name
+            counters = compiled.counters
+            occupancy = compiled.occupancy
+            for spec in members:
+                i = row
+                row += 1
+                a = alloc[i]
+                m = memcpy[i]
+                k = kernel[i]
+                w = wall[i]
+                if checks and (not valid[i] or a < 0.0 or m < 0.0
+                               or k < 0.0 or w < 0.0):
+                    invalid += 1
+                    self._replay_cells(compiled, (spec,), system, calib)
+                    continue
+                grid[spec] = replayed({
+                    "workload": name, "mode": spec.mode,
+                    "size": spec.size, "seed": spec.iteration,
+                    "alloc_ns": a, "memcpy_ns": m, "kernel_ns": k,
+                    "wall_ns": w, "counters": counters,
+                    "occupancy": occupancy, "gpu_busy_fraction": busy[i]})
+        if invalid:
+            self._count_reroute("residual-guard", invalid)
 
     def _execute_local(self, spec: RunSpec, attempt: int) -> RunResult:
         """One in-process attempt: grid-precomputed result, else cold.

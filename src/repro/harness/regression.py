@@ -159,25 +159,57 @@ DEFAULT_BOOTSTRAP_DRAWS = 4000
 BOOTSTRAP_SEED = 20260807
 
 
-def bench_grid_specs(iterations: int = DEFAULT_BENCH_ITERATIONS,
-                     base_seed: int = 1234) -> List:
-    """The canonical bench grid: the Fig. 12 threads sensitivity sweep.
+#: Sensitivity grids the trajectory can measure; ``fig12`` is the
+#: canonical default every committed snapshot uses.
+BENCH_GRIDS: Tuple[str, ...] = ("fig12", "fig11", "fig13")
+DEFAULT_BENCH_GRID = "fig12"
 
-    ``vector_seq`` @ large, 64 blocks, threads swept over the paper's
-    six points, all five transfer modes — the same specs
+
+def _bench_grid_points(grid: str) -> Tuple[str, List[Dict]]:
+    """Per-grid sweep points as ``expand_grid`` override dicts.
+
+    Returns ``(figure_label, points)``; each point dict carries the
+    coordinate that varies along that figure's sensitivity axis, with
+    the paper's fixed coordinates for the others.
+    """
+    from .sensitivity import (BLOCK_SWEEP, CARVEOUT_SWEEP_KB,
+                              THREAD_SWEEP, THREAD_SWEEP_BLOCKS)
+    if grid == "fig12":
+        return "fig12-threads", [
+            {"blocks": THREAD_SWEEP_BLOCKS, "threads": threads}
+            for threads in THREAD_SWEEP]
+    if grid == "fig11":
+        return "fig11-blocks", [
+            {"blocks": blocks, "threads": 256} for blocks in BLOCK_SWEEP]
+    if grid == "fig13":
+        return "fig13-carveout", [
+            {"smem_carveout_bytes": kb * 1024} for kb in CARVEOUT_SWEEP_KB]
+    raise ValueError(f"unknown bench grid {grid!r}; "
+                     f"choose from {BENCH_GRIDS}")
+
+
+def bench_grid_specs(iterations: int = DEFAULT_BENCH_ITERATIONS,
+                     base_seed: int = 1234,
+                     grid: str = DEFAULT_BENCH_GRID) -> List:
+    """One sensitivity-figure grid as an executor spec list.
+
+    The default is the canonical bench grid — the Fig. 12 threads
+    sweep: ``vector_seq`` @ large, 64 blocks, threads swept over the
+    paper's six points, all five transfer modes — the same specs
     :func:`repro.harness.sensitivity.threads_sensitivity` runs, so the
     trajectory measures exactly what the figure CLIs pay for.
+    ``grid`` selects the Fig. 11 blocks sweep or the Fig. 13 carveout
+    sweep instead (``repro bench --grid``).
     """
     from .executor import expand_grid
-    from .sensitivity import (SWEEP_SEED_SALT, SWEEP_WORKLOAD,
-                              THREAD_SWEEP, THREAD_SWEEP_BLOCKS)
+    from .sensitivity import SWEEP_SEED_SALT, SWEEP_WORKLOAD
+    _, points = _bench_grid_points(grid)
     specs = []
-    for threads in THREAD_SWEEP:
+    for overrides in points:
         specs.extend(expand_grid(
             [SWEEP_WORKLOAD], [SizeClass.LARGE], ALL_MODES,
             iterations=iterations, base_seed=base_seed,
-            blocks=THREAD_SWEEP_BLOCKS, threads=threads,
-            seed_salt=SWEEP_SEED_SALT))
+            seed_salt=SWEEP_SEED_SALT, **overrides))
     return specs
 
 
@@ -195,16 +227,25 @@ def _clear_sim_caches() -> None:
 
 
 def measure_engine(engine: str, specs: Sequence,
-                   repeats: int = DEFAULT_BENCH_REPEATS) -> Dict:
+                   repeats: int = DEFAULT_BENCH_REPEATS,
+                   fuse: bool = True) -> Dict:
     """Cold/warm wall-time samples for one engine over one spec list.
 
     Protocol: one untimed warm-up sweep (imports, allocator churn, the
     seed memo), then ``repeats`` x (clear sim caches -> timed cold
     sweep -> timed warm sweep).  No result cache and no journal: the
     samples time simulation, not disk.
+
+    ``fuse=False`` measures the vector engine with axis fusion
+    disabled — the per-cell replay leg of the axis-speedup gate.
+
+    Besides the timing series, the sample dict carries a ``fusion``
+    section (family fused/reroute counts, per-rule reroute tallies)
+    from the executor's last cold sweep, so every ``BENCH_*.json``
+    records *how* the vector engine earned its timings.
     """
     from .executor import SweepExecutor
-    executor = SweepExecutor(jobs=1, engine=engine)
+    executor = SweepExecutor(jobs=1, engine=engine, fuse=fuse)
     _clear_sim_caches()
     executor.run(specs)  # warm-up, untimed
     cold: List[float] = []
@@ -214,10 +255,14 @@ def measure_engine(engine: str, specs: Sequence,
         started = time.perf_counter()
         executor.run(specs)
         cold.append(time.perf_counter() - started)
+        stats = executor.last  # cold-sweep fusion accounting
         started = time.perf_counter()
         executor.run(specs)
         warm.append(time.perf_counter() - started)
-    return {"cold_s": cold, "warm_s": warm}
+    return {"cold_s": cold, "warm_s": warm,
+            "fusion": {"families_fused": stats.families_fused,
+                       "families_rerouted": stats.families_rerouted,
+                       "reroute_rules": dict(stats.reroute_rules)}}
 
 
 def bench_environment() -> Dict:
@@ -235,23 +280,29 @@ def bench_environment() -> Dict:
 def collect_bench(engines: Sequence[str] = DEFAULT_BENCH_ENGINES,
                   repeats: int = DEFAULT_BENCH_REPEATS,
                   iterations: int = DEFAULT_BENCH_ITERATIONS,
-                  base_seed: int = 1234) -> Dict:
-    """Measure the bench grid on every engine; return one snapshot payload."""
-    from .sensitivity import (SWEEP_WORKLOAD, THREAD_SWEEP,
-                              THREAD_SWEEP_BLOCKS)
+                  base_seed: int = 1234,
+                  grid: str = DEFAULT_BENCH_GRID) -> Dict:
+    """Measure one bench grid on every engine; return one snapshot payload."""
+    from .sensitivity import SWEEP_WORKLOAD
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    specs = bench_grid_specs(iterations=iterations, base_seed=base_seed)
+    figure, points = _bench_grid_points(grid)
+    specs = bench_grid_specs(iterations=iterations, base_seed=base_seed,
+                             grid=grid)
+    # The swept coordinate, flattened for the snapshot: fig12 varies
+    # threads, fig11 blocks, fig13 the carveout.
+    axis_key = ("threads" if grid == "fig12" else
+                "blocks" if grid == "fig11" else "smem_carveout_bytes")
     payload: Dict = {
         "version": BENCH_VERSION,
         "kind": "perf-trajectory",
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "grid": {
-            "figure": "fig12-threads",
+            "figure": figure,
             "workload": SWEEP_WORKLOAD,
             "size": SizeClass.LARGE.label,
-            "blocks": THREAD_SWEEP_BLOCKS,
-            "threads": list(THREAD_SWEEP),
+            "axis": axis_key,
+            "points": [point[axis_key] for point in points],
             "modes": [mode.value for mode in ALL_MODES],
             "iterations": iterations,
             "base_seed": base_seed,
@@ -275,6 +326,87 @@ def collect_bench(engines: Sequence[str] = DEFAULT_BENCH_ENGINES,
                 _mean(fast["warm_s"]) / _mean(vector["warm_s"]),
         }
     return payload
+
+
+# ----------------------------------------------------------------------
+# Axis-fusion speedup (the `repro bench` A/B the perf gate checks)
+# ----------------------------------------------------------------------
+#: The axis gate measures the paper's actual 30-run distributions:
+#: fixed costs (phase prewarm, family compiles) dominate shorter
+#: grids, while the per-spec marginal cost is what fusion changes.
+AXIS_GATE_ITERATIONS = 30
+AXIS_GATE_FLOOR = 3.0
+
+
+@dataclass
+class AxisSpeedup:
+    """Fused vs per-cell vector-engine timings on one grid."""
+
+    grid: str
+    specs: int
+    iterations: int
+    repeats: int
+    fused_s: List[float]
+    unfused_s: List[float]
+    fusion: Dict
+
+    @property
+    def best_fused_s(self) -> float:
+        return min(self.fused_s)
+
+    @property
+    def best_unfused_s(self) -> float:
+        return min(self.unfused_s)
+
+    @property
+    def speedup(self) -> float:
+        """min/min cold ratio: scheduler noise only slows a leg down."""
+        return self.best_unfused_s / self.best_fused_s
+
+    def render(self) -> str:
+        per_spec_us = 1e6 / self.specs
+        fused = self.best_fused_s
+        unfused = self.best_unfused_s
+        return "\n".join([
+            f"axis-fusion speedup gate (cold {self.grid} grid, vector "
+            "engine:",
+            f"fused family replay vs per-cell replay; {self.specs} specs,",
+            f"{self.iterations} iterations; best of {self.repeats}; "
+            "jobs=1, no cache)",
+            "",
+            f"specs:            {self.specs}",
+            f"families fused:   {self.fusion.get('families_fused', 0)}"
+            f" ({self.fusion.get('families_rerouted', 0)} rerouted)",
+            f"per-cell replay:  {unfused:.4f}s  "
+            f"({unfused * per_spec_us:.0f}us/spec)",
+            f"fused replay:     {fused:.4f}s  "
+            f"({fused * per_spec_us:.0f}us/spec)",
+            f"speedup:          {self.speedup:.2f}x  "
+            f"(gate: >= {AXIS_GATE_FLOOR:.0f}x)",
+        ])
+
+
+def measure_axis_speedup(iterations: int = AXIS_GATE_ITERATIONS,
+                         repeats: int = DEFAULT_BENCH_REPEATS,
+                         base_seed: int = 1234,
+                         grid: str = DEFAULT_BENCH_GRID) -> AxisSpeedup:
+    """A/B the vector engine against itself with fusion disabled.
+
+    Both legs run the identical cold protocol
+    (:func:`measure_engine`); the only difference is the executor's
+    ``fuse`` flag, so the ratio isolates exactly what axis fusion
+    buys over PR 7's per-cell replay.  Results are bit-identical
+    between the legs (pinned by the differential battery), so this is
+    a pure perf comparison.
+    """
+    specs = bench_grid_specs(iterations=iterations, base_seed=base_seed,
+                             grid=grid)
+    fused = measure_engine("vector", specs, repeats=repeats, fuse=True)
+    unfused = measure_engine("vector", specs, repeats=repeats, fuse=False)
+    return AxisSpeedup(grid=grid, specs=len(specs), iterations=iterations,
+                       repeats=repeats, fused_s=fused["cold_s"],
+                       unfused_s=unfused["cold_s"],
+                       fusion=fused["fusion"])
 
 
 def validate_bench(payload: Dict) -> None:
@@ -486,9 +618,18 @@ def render_bench(payload: Dict) -> str:
              f"{grid['iterations']} iterations, "
              f"{payload['protocol']['repeats']} repeats)"]
     for engine, samples in sorted(payload["engines"].items()):
-        lines.append(
+        line = (
             f"  {engine:<9} cold {_mean(samples['cold_s']) * 1e3:8.1f}ms"
             f"   warm {_mean(samples['warm_s']) * 1e3:8.1f}ms")
+        fusion = samples.get("fusion") or {}
+        if fusion.get("families_fused") or fusion.get("families_rerouted"):
+            rules = ", ".join(
+                f"{rule}:{count}" for rule, count
+                in sorted(fusion.get("reroute_rules", {}).items()))
+            line += (f"   [{fusion['families_fused']} families fused, "
+                     f"{fusion['families_rerouted']} rerouted"
+                     + (f" ({rules})" if rules else "") + "]")
+        lines.append(line)
     derived = payload.get("derived")
     if derived:
         lines.append(f"  vector speedup vs fast: "

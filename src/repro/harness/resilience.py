@@ -95,6 +95,22 @@ class SpecOutcome:
     def ok(self) -> bool:
         return self.status is SpecStatus.OK
 
+    @classmethod
+    def settled_ok(cls, spec: "RunSpec", index: int, result: "RunResult",
+                   key: Optional[str]) -> "SpecOutcome":
+        """Bulk-settle fast path: an OK outcome in one dict install.
+
+        The executor publishes hundreds of precomputed grid hits in one
+        loop; this skips the generated ``__init__``'s per-field
+        default handling.  Field set must mirror the dataclass.
+        """
+        self = cls.__new__(cls)
+        self.__dict__.update(
+            spec=spec, index=index, status=SpecStatus.OK, result=result,
+            error=None, traceback=None, attempts=1, crashes=0,
+            from_cache=False, key=key)
+        return self
+
     def describe(self) -> str:
         head = f"{describe_spec(self.spec)}: {self.status.value}"
         if self.status is SpecStatus.OK:

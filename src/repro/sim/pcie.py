@@ -76,21 +76,35 @@ class PcieLink:
             bandwidth *= uvm.prefetch_bandwidth_factor
         return bandwidth
 
-    def duration_ns(self, kind: TransferKind, num_bytes: int,
-                    host_multiplier: float = 1.0) -> float:
-        """Predicted duration of a transfer (excluding queueing)."""
+    def duration_parts(self, kind: TransferKind,
+                       num_bytes: int) -> "tuple[float, float]":
+        """``(fixed_ns, wire_unit_ns)`` decomposition of a transfer.
+
+        ``duration_ns(kind, n, m) == fixed + wire_unit * m`` *bitwise*
+        (same association order as the historical single expression),
+        which lets batched replays (:mod:`repro.sim.vecgrid`) scale a
+        whole axis of transfers by per-spec host-placement multipliers
+        without re-entering this method per spec.
+        """
         if num_bytes < 0:
             raise ValueError("negative transfer size")
         if num_bytes == 0:
-            return 0.0
-        link = self.system.link
+            return 0.0, 0.0
         bandwidth = self.effective_bandwidth(kind)
-        wire_ns = num_bytes / bandwidth * 1e9 * host_multiplier
+        wire_unit_ns = num_bytes / bandwidth * 1e9
         explicit = kind in (TransferKind.H2D, TransferKind.D2H,
                             TransferKind.H2D_PINNED,
                             TransferKind.D2H_PINNED)
         call_ns = self.calib.transfer.memcpy_call_ns if explicit else 0.0
-        return link.latency_ns + call_ns + wire_ns
+        return self.system.link.latency_ns + call_ns, wire_unit_ns
+
+    def duration_ns(self, kind: TransferKind, num_bytes: int,
+                    host_multiplier: float = 1.0) -> float:
+        """Predicted duration of a transfer (excluding queueing)."""
+        if num_bytes == 0:
+            return 0.0
+        fixed_ns, wire_unit_ns = self.duration_parts(kind, num_bytes)
+        return fixed_ns + wire_unit_ns * host_multiplier
 
     def chunk_count(self, num_bytes: int) -> int:
         """DMA chunks for an explicit copy: ``ceil(bytes / chunk_bytes)``,

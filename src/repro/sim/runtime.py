@@ -27,6 +27,31 @@ from .trace import Timeline
 from .uvm import ManagedSpace, fault_batches
 
 
+def combine_repeat_counters(first: KernelExecution,
+                            rest: Optional[KernelExecution],
+                            count: int) -> KernelCounters:
+    """Aggregate counters for ``count`` launches of one kernel.
+
+    The single source of the repeat-aggregation rule, shared by
+    :meth:`CudaRuntime.launch_repeated` and the vector engine's
+    derived-tape path (:func:`repro.core.execution.derive_compiled`) so
+    the two can never drift: instructions scale by the warm repeat,
+    DRAM traffic by the launch count, L1 and occupancy stay the cold
+    launch's.
+    """
+    base = first.counters
+    repeats = (rest.counters if rest is not None else base)
+    return KernelCounters(
+        kernel_name=base.kernel_name,
+        instructions=base.instructions.plus(
+            repeats.instructions.scaled(count - 1)),
+        l1=base.l1,
+        dram_load_bytes=base.dram_load_bytes * count,
+        dram_store_bytes=base.dram_store_bytes * count,
+        occupancy=base.occupancy,
+    )
+
+
 class CudaRuntime:
     """One simulated process' view of the CUDA runtime."""
 
@@ -276,18 +301,7 @@ class CudaRuntime:
         yield from self._hold_gpu(f"kernel:{desc.name} x{count}", duration)
 
         # Aggregate counters across the repeats.
-        base = first.counters
-        repeats = (rest.counters if rest else base)
-        combined = KernelCounters(
-            kernel_name=base.kernel_name,
-            instructions=base.instructions.plus(
-                repeats.instructions.scaled(count - 1)),
-            l1=base.l1,
-            dram_load_bytes=base.dram_load_bytes * count,
-            dram_store_bytes=base.dram_store_bytes * count,
-            occupancy=base.occupancy,
-        )
-        self.counters.add(combined)
+        self.counters.add(combine_repeat_counters(first, rest, count))
         self.executions.append(first)
         return first
 

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,6 +72,23 @@ class ContentionDetected(Exception):
     """
 
 
+class FamilyRerouted(Exception):
+    """A sweep family failed the axis-fusion classifier's proof.
+
+    ``rule`` names the obligation that failed (``shape-mismatch``,
+    ``noise-pattern``, ``degenerate-duration``, ``duration-mismatch``,
+    ``boundary-tie``, ``engine-queue``, ``schedule-divergence``,
+    ``empty``).  Unlike :class:`ContentionDetected` this is a
+    *family*-level verdict: the caller replays each member cell
+    individually (PR 7 path), which is still bit-identical — rerouting
+    only ever changes how fast the answer is produced.
+    """
+
+    def __init__(self, rule: str, detail: str = ""):
+        super().__init__(detail or rule)
+        self.rule = rule
+
+
 @dataclass
 class VecStats:
     """Process-wide accounting for the vector engine."""
@@ -82,6 +99,15 @@ class VecStats:
     grids: int = 0            # simulate_phase_grid invocations
     compiled_groups: int = 0  # program structures compiled to op lists
     replayed: int = 0         # specs served by compiled-op replay
+    fused_specs: int = 0      # specs served by axis-fused family replay
+    families_fused: int = 0   # families that passed the fusion proof
+    families_rerouted: int = 0  # families the classifier rejected
+    prewarm_dedup: int = 0    # duplicate prewarm cells skipped
+    prewarm_reused: int = 0   # prewarm cells already in the memo
+
+    def __post_init__(self) -> None:
+        #: reroute counts keyed by the FamilyRerouted rule that fired
+        self.reroute_rules: Dict[str, int] = {}
 
     def reset(self) -> None:
         self.analytic_runs = 0
@@ -90,6 +116,12 @@ class VecStats:
         self.grids = 0
         self.compiled_groups = 0
         self.replayed = 0
+        self.fused_specs = 0
+        self.families_fused = 0
+        self.families_rerouted = 0
+        self.prewarm_dedup = 0
+        self.prewarm_reused = 0
+        self.reroute_rules = {}
 
 
 _STATS = VecStats()
@@ -490,8 +522,29 @@ def prewarm_phase_memo(memo: PhaseMemo,
     equal to what a miss would have computed, so this is purely a
     scheduling optimization — cells the enumeration missed simply fall
     back to scalar misses.
+
+    Family members across sweep groups routinely share phase
+    signatures (pageable/pinned differ only in transfer kinds, not in
+    kernel cells), so each unique cell is hashed exactly once here and
+    the saved work is accounted in :class:`VecStats`: ``prewarm_dedup``
+    counts duplicate occurrences skipped, ``prewarm_reused`` counts
+    unique cells the memo already held.
     """
-    fresh = [cell for cell in dict.fromkeys(cells) if cell not in memo]
+    seen = set()
+    fresh = []
+    duplicates = 0
+    reused = 0
+    for cell in cells:
+        if cell in seen:
+            duplicates += 1
+            continue
+        seen.add(cell)
+        if cell in memo:
+            reused += 1
+        else:
+            fresh.append(cell)
+    _STATS.prewarm_dedup += duplicates
+    _STATS.prewarm_reused += reused
     if not fresh:
         return 0
     for cell, execution in zip(fresh,
@@ -539,6 +592,12 @@ class CompiledProgram:
     draws: int             # upper bound of standard-normal draws/replay
     link: PcieLink         # duration math (pure; env never touched)
     copy_engines: int
+    #: one (flags, count, resident_first, resident_rest) per
+    #: ``launch_repeated`` call, in program order — the inputs a
+    #: structure-equal sibling cell needs to re-derive its kernel and
+    #: spawn ops without re-driving the program generators (see
+    #: ``repro.core.execution.derive_compiled``).
+    launches: Tuple = ()
 
 
 class _NoDrawRng:
@@ -572,6 +631,7 @@ class CompilerRuntime(CudaRuntime):
                          env=_AnalyticClock(),
                          kernel_sim=kernel_sim)
         self.ops: List[Tuple] = []
+        self.launches: List[Tuple] = []
         self.draws = 0
         self._latch: Optional[Tuple[float, float, bool]] = None
 
@@ -638,6 +698,16 @@ class CompilerRuntime(CudaRuntime):
         return
         yield  # pragma: no cover - keeps this a generator for yield from
 
+    def launch_repeated(self, desc: KernelDescriptor, flags: ConfigFlags,
+                        count: int, resident_first: float = 1.0,
+                        resident_rest: float = 1.0):
+        # Record the launch inputs so sibling cells of a fused family
+        # can re-derive their kernel/spawn ops (derive_compiled) without
+        # re-driving the program generators.
+        self.launches.append((flags, count, resident_first, resident_rest))
+        return (yield from super().launch_repeated(
+            desc, flags, count, resident_first, resident_rest))
+
     def run(self, process) -> None:
         try:
             for _event in process:
@@ -658,6 +728,7 @@ class CompilerRuntime(CudaRuntime):
             draws=self.draws,
             link=self.link,
             copy_engines=self.system.link.copy_engines,
+            launches=tuple(self.launches),
         )
         _STATS.compiled_groups += 1
         return compiled
@@ -835,3 +906,501 @@ def replay_compiled(compiled: CompiledProgram, rng: np.random.Generator,
     _STATS.replayed += 1
     _STATS.analytic_runs += 1
     return (alloc_ns, memcpy_ns, kernel_ns, wall, gpu_busy)
+
+
+# ----------------------------------------------------------------------
+# Axis fusion: compile a whole sweep *family* — every cell sharing a
+# ``(workload, mode)``, varying along one sensitivity axis (threads /
+# blocks / carveout / size) — into one 2-D array program, evaluated as
+# one NumPy call per op over a ``[spec, op]`` matrix.
+#
+# The family-level contention classifier works in two stages:
+#
+# 1. **Static proof at compile time** (``compile_family``): every cell
+#    must share the op-code sequence, draw pattern and copy-engine
+#    budget, and the *canonical schedule* — which op boundary each
+#    migration train settles at, computed noise-free at host-placement
+#    multiplier 1.0 — must be identical across the whole axis.  One
+#    representative proves the shape; equality across the edge cells
+#    extends the proof to the family (the closed forms are monotone in
+#    the axis coordinate, so a schedule that holds at both ends and
+#    never changes in between holds everywhere).  Any violated
+#    obligation raises :class:`FamilyRerouted` naming the rule.
+#
+# 2. **Per-spec residual guards at replay time** (``replay_family``):
+#    noise, OS jitter and the per-spec host-placement multiplier can
+#    still perturb a realized schedule off the canonical one.  Each
+#    guard is the exact vectorized form of a branch the scalar replay
+#    takes (train settles strictly inside its canonical window, no
+#    same-time boundaries, every conditional noise draw actually taken,
+#    GPU busy-groups strictly separated).  Specs that fail any guard
+#    are *invalid* in the returned mask and the caller replays them
+#    per-cell — the family result is used only where it is provably
+#    the bitwise-identical answer.
+# ----------------------------------------------------------------------
+
+
+def _exp_map(values: np.ndarray) -> np.ndarray:
+    """Elementwise ``math.exp`` over a 1-D array (libm, not ``np.exp``).
+
+    The scalar engines draw measurement noise through ``math.exp``;
+    NumPy's SIMD exp kernels may differ from libm in the last ulp and
+    pick different code paths per CPU, which would silently break the
+    bitwise-identity contract.  Routing every noise factor through the
+    same libm call the scalar path makes keeps the fused replay exact.
+    """
+    return np.fromiter(map(math.exp, values.tolist()),
+                       dtype=np.float64, count=values.shape[0])
+
+
+def _canonical_schedule(ops: Tuple, copy_engines: int
+                        ) -> Tuple[List[List[int]], List[int]]:
+    """The noise-free settlement schedule of one compiled cell.
+
+    Walks the op list with all noise at zero and the host-placement
+    multiplier at 1.0 and records, for every migration train, the op
+    whose boundary settles it (``settles[j]`` lists spawn-op indices in
+    settlement order) or that it drains after the last op (``drains``).
+    Raises :class:`FamilyRerouted` where the scalar replay would raise
+    :class:`ContentionDetected` (same-time boundaries, queued engines):
+    a family whose *canonical* schedule already contends has nothing to
+    fuse.
+    """
+    now = 0.0
+    pending: List[Tuple[float, int]] = []
+    settles: List[List[int]] = [[] for _ in ops]
+    drains: List[int] = []
+
+    def settle(boundary: float, sink: List[int]) -> None:
+        pending.sort()
+        while pending:
+            end, idx = pending[0]
+            if end > boundary:
+                break
+            if end == boundary or (len(pending) > 1
+                                   and end == pending[1][0]):
+                raise FamilyRerouted(
+                    "boundary-tie",
+                    "canonical schedule has a same-time event boundary")
+            pending.pop(0)
+            sink.append(idx)
+
+    for j, op in enumerate(ops):
+        code = op[0]
+        if code == _OP_SPAWN:
+            if len(pending) + 1 > copy_engines:
+                raise FamilyRerouted(
+                    "engine-queue",
+                    "canonical schedule queues for a DMA copy engine")
+            pending.append((now + op[3], j))
+            continue
+        if code == _OP_HOST:
+            duration = op[3]
+        elif code == _OP_XFER:
+            if len(pending) + 1 > copy_engines:
+                raise FamilyRerouted(
+                    "engine-queue",
+                    "canonical schedule queues for a DMA copy engine")
+            duration = op[4]
+        else:  # _OP_KERNEL
+            duration = op[2]
+        end = now + duration
+        settle(end, settles[j])
+        now = end
+    settle(math.inf, drains)
+    return settles, drains
+
+
+@dataclass
+class CompiledFamily:
+    """One sensitivity axis lowered to a 2-D array program.
+
+    Row ``c`` of the ``[cell, op]`` matrices holds cell ``c``'s
+    pre-noise durations; :func:`replay_family` gathers rows per spec
+    and evaluates every spec of the family in one vectorized pass per
+    op.  Everything here is static: the op codes, the draw-column map
+    (which slot of the batched standard-normal vector each op
+    consumes — exact cursor positions of the scalar replay), the
+    canonical settlement plan and the GPU busy-groups.
+    """
+
+    cells: Tuple[CompiledProgram, ...]
+    codes: Tuple[int, ...]
+    base: np.ndarray          # [cell, op] pre-noise / fixed durations
+    wire: np.ndarray          # [cell, op] per-unit-multiplier wire time
+    sigma: np.ndarray         # [cell, op] lognormal sigma (host/kernel)
+    jitter_cols: Tuple[int, ...]   # OS-jitter z column per op (-1: none)
+    noise_cols: Tuple[int, ...]    # sigma z column per op (-1: none)
+    #: per op: ((spawn_op, z_col), ...) trains settling at its boundary
+    settle_plan: Tuple[Tuple[Tuple[int, int], ...], ...]
+    drain_plan: Tuple[Tuple[int, int], ...]
+    #: maximal runs of kernel ops separated only by zero-width spawns —
+    #: statically merged GPU busy spans (first_op, last_op)
+    kernel_groups: Tuple[Tuple[int, int], ...]
+    cols: int                 # z columns actually consumed per spec
+    copy_engines: int
+    os_jitter_ns: float
+    memcpy_sigma: float
+
+
+def _reroute(rule: str, detail: str) -> None:
+    _STATS.families_rerouted += 1
+    _STATS.reroute_rules[rule] = _STATS.reroute_rules.get(rule, 0) + 1
+    raise FamilyRerouted(rule, detail)
+
+
+def compile_family(cells: Sequence[CompiledProgram],
+                   calib: Calibration) -> CompiledFamily:
+    """Fuse structure-verified sibling cells into one array program.
+
+    ``cells`` are the compiled tapes of every coordinate along one
+    sensitivity axis (same workload and transfer mode).  Verifies the
+    static proof obligations (see the section comment above) and
+    precomputes the per-op matrices and draw-column map.  Raises
+    :class:`FamilyRerouted` — with the rule that fired — when the
+    family cannot be proven fusable; the caller then replays each cell
+    individually, so rerouting never changes results.
+    """
+    if not cells:
+        _reroute("empty", "no cells to fuse")
+    head = cells[0]
+    nops = len(head.ops)
+    codes = tuple(op[0] for op in head.ops)
+    if not any(code != _OP_SPAWN for code in codes):
+        _reroute("empty", "no clock-advancing ops to fuse")
+    for cell in cells[1:]:
+        if tuple(op[0] for op in cell.ops) != codes:
+            _reroute("shape-mismatch",
+                     "cells disagree on the op-code sequence")
+        if cell.draws != head.draws:
+            _reroute("shape-mismatch", "cells disagree on the draw count")
+        if cell.copy_engines != head.copy_engines:
+            _reroute("shape-mismatch",
+                     "cells disagree on the copy-engine budget")
+
+    noise = calib.noise
+    memcpy_sigma = noise.memcpy_sigma
+
+    # --- static draw-pattern verification per op ----------------------
+    host_jitter = [False] * nops
+    op_draws = [False] * nops  # host/kernel sigma draw taken (static)
+    for j in range(nops):
+        code = codes[j]
+        if code == _OP_HOST:
+            flags = {cell.ops[j][5] for cell in cells}
+            if len(flags) != 1:
+                _reroute("shape-mismatch",
+                         "cells disagree on the OS-jitter charge")
+            host_jitter[j] = flags.pop()
+            takes = set()
+            for cell in cells:
+                op = cell.ops[j]
+                if op[4] > 0 and op[3] <= 0 and host_jitter[j]:
+                    # duration = |jitter| alone: whether the sigma draw
+                    # happens depends on the jitter draw's value.
+                    _reroute("degenerate-duration",
+                             f"host op {op[1]!r} duration is jitter-only")
+                takes.add(op[4] > 0 and op[3] > 0)
+            if len(takes) != 1:
+                _reroute("noise-pattern",
+                         "cells disagree on a host noise draw")
+            op_draws[j] = takes.pop()
+        elif code == _OP_KERNEL:
+            takes = {cell.ops[j][3] > 0 and cell.ops[j][2] > 0
+                     for cell in cells}
+            if len(takes) != 1:
+                _reroute("noise-pattern",
+                         "cells disagree on a kernel noise draw")
+            op_draws[j] = takes.pop()
+
+    # --- canonical schedule: representative + equality across the axis
+    try:
+        schedule = _canonical_schedule(head.ops, head.copy_engines)
+    except FamilyRerouted as exc:
+        _reroute(exc.rule, str(exc))
+    for cell in cells[1:]:
+        try:
+            other = _canonical_schedule(cell.ops, cell.copy_engines)
+        except FamilyRerouted as exc:
+            _reroute(exc.rule, str(exc))
+        if other != schedule:
+            _reroute("schedule-divergence",
+                     "canonical settlement schedules differ across the "
+                     "axis")
+    settles, drains = schedule
+
+    # --- draw-column map: exact scalar cursor positions ---------------
+    col = 0
+    jitter_cols = [-1] * nops
+    noise_cols = [-1] * nops
+    train_cols: Dict[int, int] = {}
+    for j in range(nops):
+        code = codes[j]
+        if code == _OP_HOST:
+            if host_jitter[j]:
+                jitter_cols[j] = col
+                col += 1
+            if op_draws[j]:
+                noise_cols[j] = col
+                col += 1
+        elif code == _OP_KERNEL and op_draws[j]:
+            noise_cols[j] = col
+            col += 1
+        for t in settles[j]:
+            train_cols[t] = col if memcpy_sigma > 0 else -1
+            col += 1 if memcpy_sigma > 0 else 0
+        if code == _OP_XFER and memcpy_sigma > 0:
+            noise_cols[j] = col
+            col += 1
+    for t in drains:
+        train_cols[t] = col if memcpy_sigma > 0 else -1
+        col += 1 if memcpy_sigma > 0 else 0
+    if col > head.draws:  # pragma: no cover - draws is an upper bound
+        _reroute("shape-mismatch", "draw-column map exceeds the batch")
+
+    # --- per-op matrices ----------------------------------------------
+    ncells = len(cells)
+    base = np.zeros((ncells, nops), dtype=np.float64)
+    wire = np.zeros((ncells, nops), dtype=np.float64)
+    sigma = np.zeros((ncells, nops), dtype=np.float64)
+    # Sibling cells derived from one head share the head's link object
+    # and, on a non-size axis, its transfer tuples — memoize the
+    # decomposition per (link, kind, bytes) instead of re-deriving the
+    # bandwidth model per cell.
+    parts_memo: Dict[Tuple, Tuple[float, float]] = {}
+
+    def parts_for(link, kind, nbytes):
+        # repro: allow[D407] -- call-local dedup key; the id never
+        # outlives this compile or reaches any result or cache key
+        memo_key = (id(link), kind, nbytes)
+        value = parts_memo.get(memo_key)
+        if value is None:
+            value = link.duration_parts(kind, nbytes)
+            parts_memo[memo_key] = value
+        return value
+
+    for c, cell in enumerate(cells):
+        link = cell.link
+        for j, op in enumerate(cell.ops):
+            code = codes[j]
+            if code == _OP_HOST:
+                base[c, j] = op[3]
+                sigma[c, j] = op[4]
+            elif code == _OP_XFER:
+                fixed, unit = parts_for(link, op[2], op[3])
+                if fixed + unit * 1.0 != op[4]:
+                    _reroute("duration-mismatch",
+                             f"transfer {op[1]!r} decomposition drifted "
+                             "from the recorded duration")
+                base[c, j] = fixed
+                wire[c, j] = unit
+            elif code == _OP_SPAWN:
+                fixed, unit = parts_for(link, TransferKind.MIGRATE_H2D,
+                                        op[2])
+                if fixed + unit * 1.0 != op[3]:
+                    _reroute("duration-mismatch",
+                             f"migration {op[1]!r} decomposition drifted "
+                             "from the recorded duration")
+                base[c, j] = fixed
+                wire[c, j] = unit
+            else:  # _OP_KERNEL
+                base[c, j] = op[2]
+                sigma[c, j] = op[3]
+
+    # --- static GPU busy-groups (see replay_compiled: spans separated
+    # only by zero-width spawn ops abut exactly and always merge) ------
+    groups: List[Tuple[int, int]] = []
+    first = last = -1
+    for j, code in enumerate(codes):
+        if code == _OP_KERNEL:
+            if first < 0:
+                first = j
+            last = j
+        elif code != _OP_SPAWN and first >= 0:
+            groups.append((first, last))
+            first = last = -1
+    if first >= 0:
+        groups.append((first, last))
+
+    _STATS.families_fused += 1
+    return CompiledFamily(
+        cells=tuple(cells),
+        codes=codes,
+        base=base,
+        wire=wire,
+        sigma=sigma,
+        jitter_cols=tuple(jitter_cols),
+        noise_cols=tuple(noise_cols),
+        settle_plan=tuple(
+            tuple((t, train_cols[t]) for t in settles[j])
+            for j in range(nops)),
+        drain_plan=tuple((t, train_cols[t]) for t in drains),
+        kernel_groups=tuple(groups),
+        cols=col,
+        copy_engines=head.copy_engines,
+        os_jitter_ns=noise.os_jitter_ns,
+        memcpy_sigma=memcpy_sigma,
+    )
+
+
+@dataclass
+class FamilyReplay:
+    """Per-spec measurements of one fused family replay.
+
+    ``valid[i]`` is True iff spec ``i`` provably followed the canonical
+    schedule, in which case row ``i`` of every array is bitwise equal
+    to the scalar replay.  Invalid rows hold unverified garbage and
+    must be recomputed per-cell by the caller.
+    """
+
+    alloc_ns: np.ndarray
+    memcpy_ns: np.ndarray
+    kernel_ns: np.ndarray
+    wall_ns: np.ndarray
+    gpu_busy: np.ndarray
+    valid: np.ndarray
+
+
+def replay_family(fam: CompiledFamily, cell_index: np.ndarray,
+                  multipliers: np.ndarray, z: np.ndarray) -> FamilyReplay:
+    """Replay every spec of a family as one array program.
+
+    ``cell_index[i]`` selects spec ``i``'s row of the family matrices,
+    ``multipliers[i]`` is its host-placement time multiplier (drawn by
+    the caller, placement-first like the scalar replay) and ``z`` is
+    the ``[spec, col]`` matrix of batched standard-normal draws — each
+    row the exact prefix of the spec's post-placement stream.  Every
+    array expression mirrors the scalar ``replay_compiled`` operation
+    order per lane (same float ops, same libm exp), and every branch
+    the scalar replay could take differently is guarded into the
+    ``valid`` mask, so valid lanes are bitwise identical to the scalar
+    engines.
+    """
+    n = multipliers.shape[0]
+    with np.errstate(all="ignore"):
+        base = fam.base[cell_index]
+        wire = fam.wire[cell_index]
+        sigma = fam.sigma[cell_index]
+        memcpy_sigma = fam.memcpy_sigma
+        os_jitter = fam.os_jitter_ns
+
+        now = np.zeros(n, dtype=np.float64)
+        alloc = np.zeros(n, dtype=np.float64)
+        memcpy = np.zeros(n, dtype=np.float64)
+        kernel = np.zeros(n, dtype=np.float64)
+        busy = np.zeros(n, dtype=np.float64)
+        max_end = np.zeros(n, dtype=np.float64)
+        valid = np.ones(n, dtype=bool)
+        trains: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        group_first = {f: g for g, (f, _l) in enumerate(fam.kernel_groups)}
+        group_last = {l: g for g, (_f, l) in enumerate(fam.kernel_groups)}
+        group_spans: List[Tuple[np.ndarray, np.ndarray]] = []
+        group_start: List[Optional[np.ndarray]] = \
+            [None] * len(fam.kernel_groups)
+
+        def settle(plan, boundary) -> None:
+            # Trains settling at this boundary, canonical order.  The
+            # guards are exactly the scalar replay's branches: a train
+            # settles here iff its end lies strictly inside
+            # (previous boundary, this boundary) — `now` is the highest
+            # earlier boundary, so end > now covers every intermediate
+            # settle call and every same-time tie below it — and
+            # co-settling trains must keep strictly ordered ends.
+            # Accumulators mutate in place: they are owned zeros-born
+            # arrays never aliased by trains or group spans.
+            nonlocal memcpy, valid
+            prev_end = None
+            for t, t_col in plan:
+                t_start, t_end = trains.pop(t)
+                if boundary is None:
+                    valid &= t_end > now
+                else:
+                    valid &= (t_end > now) & (t_end < boundary)
+                if prev_end is not None:
+                    valid &= prev_end < t_end
+                prev_end = t_end
+                value = t_end - t_start
+                if t_col >= 0:
+                    valid &= value > 0
+                    value = value * _exp_map(memcpy_sigma * z[:, t_col])
+                noisy_end = t_start + value
+                event_end = np.maximum(noisy_end, t_start)
+                memcpy += event_end - t_start
+                np.maximum(max_end, event_end, out=max_end)
+
+        for j, code in enumerate(fam.codes):
+            if code == _OP_SPAWN:
+                duration = base[:, j] + wire[:, j] * multipliers
+                trains[j] = (now, now + duration)
+                continue
+            if code == _OP_HOST:
+                duration = base[:, j]
+                j_col = fam.jitter_cols[j]
+                if j_col >= 0:
+                    duration = duration + np.abs(0.0 + os_jitter
+                                                 * z[:, j_col])
+                n_col = fam.noise_cols[j]
+                if n_col >= 0:
+                    duration = duration * _exp_map(sigma[:, j]
+                                                   * z[:, n_col])
+                end = now + duration
+                settle(fam.settle_plan[j], end)
+                alloc += end - now
+                np.maximum(max_end, end, out=max_end)
+                now = end
+            elif code == _OP_KERNEL:
+                duration = base[:, j]
+                n_col = fam.noise_cols[j]
+                if n_col >= 0:
+                    duration = duration * _exp_map(sigma[:, j]
+                                                   * z[:, n_col])
+                end = now + duration
+                settle(fam.settle_plan[j], end)
+                kernel += end - now
+                np.maximum(max_end, end, out=max_end)
+                g = group_first.get(j)
+                if g is not None:
+                    group_start[g] = now
+                g = group_last.get(j)
+                if g is not None:
+                    busy += end - group_start[g]
+                    group_spans.append((group_start[g], end))
+                now = end
+            else:  # _OP_XFER
+                duration = base[:, j] + wire[:, j] * multipliers
+                end = now + duration
+                settle(fam.settle_plan[j], end)
+                value = end - now
+                n_col = fam.noise_cols[j]
+                if n_col >= 0:
+                    valid &= value > 0
+                    value = value * _exp_map(memcpy_sigma * z[:, n_col])
+                noisy_end = now + value
+                event_end = np.maximum(noisy_end, now)
+                memcpy += event_end - now
+                np.maximum(max_end, event_end, out=max_end)
+                now = end
+
+        settle(fam.drain_plan, None)
+
+        # Busy-groups must stay strictly separated per spec, or the
+        # scalar merge_intervals would have coalesced them.
+        for g in range(1, len(group_spans)):
+            valid &= group_spans[g][0] > group_spans[g - 1][1]
+
+        # min_start is 0.0 (the first event starts at the epoch), so
+        # wall == max_end bitwise.
+        wall = max_end
+        if group_spans:
+            positive = wall > 0
+            gpu_busy = np.where(positive,
+                                busy / np.where(positive, wall, 1.0), 0.0)
+        else:
+            gpu_busy = np.zeros(n, dtype=np.float64)
+
+    served = int(np.count_nonzero(valid))
+    _STATS.fused_specs += served
+    _STATS.replayed += served
+    _STATS.analytic_runs += served
+    return FamilyReplay(alloc_ns=alloc, memcpy_ns=memcpy, kernel_ns=kernel,
+                        wall_ns=wall, gpu_busy=gpu_busy, valid=valid)

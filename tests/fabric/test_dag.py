@@ -7,8 +7,8 @@ import pytest
 from repro.fabric import (SpecDAG, SpecNode, compile_figure_grid,
                          compile_grid, compile_sensitivity_grid,
                          compile_size_search_grid, compile_sweep,
-                         find_children, find_parents, group_key,
-                         walk_program)
+                         family_key, find_children, find_parents,
+                         group_key, walk_program)
 from repro.fabric.dag import KIND_PREWARM, renumber
 from repro.harness.executor import (ResultCache, RunSpec, SweepExecutor,
                                     expand_grid)
@@ -48,6 +48,44 @@ class TestCompileGrid:
         assert len(groups) > 1
         for node in dag.nodes:
             assert node.group == group_key(node.spec)
+
+
+class TestFamilyAnnotations:
+    """Axis-fusion families: the affinity coordinate workers lease by."""
+
+    def test_nodes_carry_family_key(self):
+        specs = []
+        for threads in (64, 256):
+            specs += expand_grid(["vector_seq"], ["small"], iterations=2,
+                                 blocks=64, threads=threads)
+        specs += expand_grid(["saxpy"], ["small"], iterations=2)
+        dag = compile_figure_grid(specs)
+        for node in dag.nodes:
+            assert node.family == family_key(node.spec)
+        # A family unions compile-groups: both thread points of
+        # vector_seq share one family but keep distinct groups.
+        vs = [n for n in dag.nodes if n.spec.workload == "vector_seq"
+              and n.spec.mode.value == "standard"]
+        assert len({n.family for n in vs}) == 1
+        assert len({n.group for n in vs}) == 2
+
+    @pytest.mark.parametrize("compiler", [
+        compile_grid, compile_sensitivity_grid, compile_size_search_grid])
+    def test_every_compiler_annotates_families(self, compiler):
+        dag = compiler(grid(workloads=("vector_seq", "saxpy")))
+        for node in dag.nodes:
+            assert node.family == family_key(node.spec)
+
+    def test_manifest_without_family_still_loads(self):
+        """Pre-axis-fusion manifests lack the family field; loading
+        one must degrade to no affinity, not reject the sweep."""
+        dag = compile_grid(grid())
+        data = json.loads(dag.to_json())
+        for entry in data["nodes"]:
+            del entry["family"]
+        clone = SpecDAG.from_json(json.dumps(data))
+        assert [n.spec for n in clone.nodes] == [n.spec for n in dag.nodes]
+        assert all(n.family == () for n in clone.nodes)
 
 
 class TestCompileSensitivity:

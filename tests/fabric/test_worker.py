@@ -208,6 +208,31 @@ class TestFailureRecovery:
         assert state.nodes[0].errors == 1  # one failed claim, then clean
 
 
+class TestFamilyAffinity:
+    def test_worker_drains_family_before_hopping(self, tmp_path):
+        """When the current compile-group is exhausted, the worker
+        prefers another group of the same fusion family over the
+        first claimable node — whole families settle on one worker."""
+        from repro.core.configs import TransferMode
+        specs = []
+        specs += expand_grid(["vector_seq"], ["small"],
+                             [TransferMode.STANDARD], iterations=2,
+                             blocks=64, threads=64)
+        specs += expand_grid(["saxpy"], ["small"],
+                             [TransferMode.STANDARD], iterations=2)
+        specs += expand_grid(["vector_seq"], ["small"],
+                             [TransferMode.STANDARD], iterations=2,
+                             blocks=64, threads=256)
+        fabric = make_root(tmp_path, specs)
+        FabricWorker(fabric, "w1").run()
+        commits = [e["node"] for e in fabric.journal().events()
+                   if e["event"] == "commit"]
+        # Starts at node 0 (first claimable), drains its group (0, 1),
+        # then jumps the saxpy nodes (2, 3) to finish the vector_seq
+        # family's other thread point (4, 5) first.
+        assert commits == [0, 1, 4, 5, 2, 3]
+
+
 class TestStragglerRedispatch:
     def test_straggler_is_redispatched_and_fenced(self, tmp_path):
         specs = small_grid(iterations=3)

@@ -1,0 +1,220 @@
+"""Axis-fusion equivalence battery: fused vs per-cell vs scalar.
+
+The axis-fused family replay (:func:`repro.sim.vecgrid.compile_family`
+/ :func:`replay_family`) evaluates a whole sensitivity axis as one 2-D
+array program, gated by a family-level classifier that proves the
+entire family uncontended from one representative cell.  The contract
+is the same as every other engine shortcut in this repo: **bitwise**
+equality, no tolerances — a fused sweep must be indistinguishable from
+PR 7's per-cell vector replay (``SweepExecutor(..., fuse=False)``) and
+from the scalar fast engine, which the three-way battery in
+``test_differential.py`` already pins to the event-driven reference.
+
+Three layers:
+
+* a curated 9-workload x 5-mode battery along the threads axis,
+* the exact figure grids (boundary cells at both family edges), and
+* a deliberately-contended system (one DMA engine) where the
+  classifier must *refuse* to fuse and still produce bitwise results
+  through the per-cell/event fallback,
+
+plus a hypothesis fuzz over random (workload, axis, points, mode,
+iterations) families.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configs import TransferMode
+from repro.harness.executor import SweepExecutor, expand_grid
+# Aliased: pyproject collects `bench_*` callables as tests.
+from repro.harness.regression import bench_grid_specs as grid_specs
+from repro.sim.hardware import default_system
+from repro.workloads.registry import get_workload
+from repro.workloads.sizes import SizeClass
+
+MODES = list(TransferMode)
+
+# Same population as the engine battery: micro kernels exercise
+# explicit trains and prefetch trains, applications add demand
+# migration, oversubscription, and iterative launch_repeated.
+BATTERY = [
+    ("vector_seq", SizeClass.MEGA),
+    ("vector_rand", SizeClass.MEGA),
+    ("saxpy", SizeClass.MEGA),
+    ("gemm", SizeClass.LARGE),
+    ("hotspot", SizeClass.LARGE),
+    ("kmeans", SizeClass.LARGE),
+    ("srad", SizeClass.LARGE),
+    ("pathfinder", SizeClass.LARGE),
+    ("knn", SizeClass.LARGE),
+]
+
+THREAD_POINTS = (64, 256, 1024)
+CARVEOUT_POINTS_KB = (2, 32, 128)
+
+
+def axis_family(workload, size, mode, iterations=2):
+    """One family: a single sensitivity axis for one (workload, mode).
+
+    Workloads with ``program_with_geometry`` (the vector micros) sweep
+    the threads axis; every other workload sweeps the carveout axis,
+    which never touches program construction.
+    """
+    if hasattr(get_workload(workload), "program_with_geometry"):
+        overrides = [{"blocks": 64, "threads": t} for t in THREAD_POINTS]
+    else:
+        overrides = [{"smem_carveout_bytes": kb * 1024}
+                     for kb in CARVEOUT_POINTS_KB]
+    specs = []
+    for override in overrides:
+        specs.extend(expand_grid(
+            [workload], [size], [mode], iterations=iterations,
+            seed_salt=":sweep", **override))
+    return specs
+
+
+def sweep(specs, engine, fuse=True, system=None):
+    """Run one engine over the specs; return (executor, result dicts).
+
+    ``dataclasses.asdict`` flattens every timing field and the full
+    counter report, so list equality below is bitwise across all of
+    them at once.
+    """
+    executor = SweepExecutor(jobs=1, engine=engine, fuse=fuse,
+                             system=system)
+    results = executor.run(specs)
+    return executor, [dataclasses.asdict(result) for result in results]
+
+
+class TestBattery:
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    @pytest.mark.parametrize("name,size", BATTERY,
+                             ids=[w for w, _ in BATTERY])
+    def test_fused_equals_per_cell_equals_scalar(self, name, size, mode):
+        if not get_workload(name).supports(size):
+            pytest.skip(f"{name} undefined at {size.label}")
+        specs = axis_family(name, size, mode)
+        fused_exec, fused = sweep(specs, "vector", fuse=True)
+        _, per_cell = sweep(specs, "vector", fuse=False)
+        _, scalar = sweep(specs, "fast")
+        assert fused == per_cell
+        assert fused == scalar
+        # The family must at least have reached the classifier: either
+        # it fused or it rerouted with a recorded rule — never silently
+        # fell off the fused path.
+        stats = fused_exec.last
+        assert stats.families_fused + stats.families_rerouted >= 1, \
+            stats.summary()
+
+
+class TestFigureGrids:
+    """The exact bench grids, including both family-edge cells."""
+
+    @pytest.mark.parametrize("grid", ("fig12", "fig11", "fig13"))
+    def test_grid_bitwise_and_fully_fused(self, grid):
+        specs = grid_specs(iterations=3, grid=grid)
+        fused_exec, fused = sweep(specs, "vector", fuse=True)
+        _, per_cell = sweep(specs, "vector", fuse=False)
+        _, scalar = sweep(specs, "fast")
+        assert fused == per_cell
+        assert fused == scalar
+        # One family per mode, all provably uncontended: the figure
+        # grids are the workloads the fused path exists for.
+        assert fused_exec.last.families_fused == len(MODES)
+        assert fused_exec.last.families_rerouted == 0
+
+    def test_family_edge_cells_present_and_identical(self):
+        """Boundary cells (first/last axis point) settle bitwise.
+
+        Edge cells are where a monotonicity argument would slip first;
+        compare them spec-by-spec rather than only as a whole list.
+        """
+        specs = grid_specs(iterations=2, grid="fig12")
+        edge_threads = {min(s.threads for s in specs),
+                        max(s.threads for s in specs)}
+        _, fused = sweep(specs, "vector", fuse=True)
+        _, scalar = sweep(specs, "fast")
+        compared = 0
+        for spec, ours, theirs in zip(specs, fused, scalar):
+            if spec.threads in edge_threads:
+                assert ours == theirs, spec
+                compared += 1
+        assert compared == len(MODES) * 2 * 2  # 2 edges x 2 iterations
+
+
+class TestContendedFamilies:
+    def test_single_copy_engine_reroutes_and_stays_bitwise(self):
+        """A system with one DMA engine makes saxpy's two UVM demand
+        streams queue: the classifier must reroute (never fuse a
+        contended family) and the fallback path must still match the
+        scalar engine bitwise on the *same* contended system."""
+        base = default_system()
+        system = dataclasses.replace(
+            base, link=dataclasses.replace(base.link, copy_engines=1))
+        specs = axis_family("saxpy", SizeClass.LARGE,
+                            TransferMode.UVM)
+        fused_exec, fused = sweep(specs, "vector", fuse=True,
+                                  system=system)
+        _, scalar = sweep(specs, "fast", system=system)
+        assert fused == scalar
+        stats = fused_exec.last
+        rerouted = stats.families_rerouted \
+            + sum(stats.reroute_rules.values())
+        assert rerouted >= 1, stats.summary()
+        assert stats.families_fused == 0, stats.summary()
+
+
+# ----------------------------------------------------------------------
+# Hypothesis fuzz over random single-axis families
+# ----------------------------------------------------------------------
+FUZZ_WORKLOADS = ("vector_seq", "vector_rand", "saxpy")
+
+
+@st.composite
+def families(draw):
+    mode = draw(st.sampled_from(MODES))
+    iterations = draw(st.integers(min_value=1, max_value=3))
+    axis = draw(st.sampled_from(("threads", "blocks", "carveout")))
+    # Geometry axes need program_with_geometry (the vector micros);
+    # the carveout axis works for any workload.
+    workload = draw(st.sampled_from(
+        FUZZ_WORKLOADS if axis == "carveout" else FUZZ_WORKLOADS[:2]))
+    if axis == "threads":
+        points = draw(st.lists(
+            st.sampled_from((32, 64, 128, 256, 512, 1024)),
+            min_size=2, max_size=4, unique=True))
+        overrides = [{"blocks": 64, "threads": p} for p in points]
+    elif axis == "blocks":
+        points = draw(st.lists(
+            st.sampled_from((16, 64, 256, 1024, 4096)),
+            min_size=2, max_size=4, unique=True))
+        overrides = [{"blocks": p, "threads": 256} for p in points]
+    else:
+        points = draw(st.lists(
+            st.sampled_from((2, 8, 32, 128)),
+            min_size=2, max_size=4, unique=True))
+        overrides = [{"smem_carveout_bytes": p * 1024} for p in points]
+    specs = []
+    for override in overrides:
+        specs.extend(expand_grid(
+            [workload], [SizeClass.LARGE], [mode],
+            iterations=iterations, seed_salt=":sweep", **override))
+    return specs
+
+
+@given(specs=families())
+@settings(max_examples=25, deadline=None)
+def test_fuzz_fused_three_way(specs):
+    """Fused == per-cell == scalar over random axis families.
+
+    Families the classifier reroutes are equally valid examples: the
+    equality must hold whichever path settled each spec."""
+    _, fused = sweep(specs, "vector", fuse=True)
+    _, per_cell = sweep(specs, "vector", fuse=False)
+    _, scalar = sweep(specs, "fast")
+    assert fused == per_cell
+    assert fused == scalar
